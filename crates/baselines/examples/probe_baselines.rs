@@ -1,0 +1,15 @@
+//! Developer probe: baseline design behaviour on a mid-size trace.
+use pade_baselines::{dota, energon, sanger, sofa, spatten, spatten_finetuned, Accelerator};
+use pade_workload::trace::{AttentionTrace, TraceConfig};
+
+fn main() {
+    let t = AttentionTrace::generate(&TraceConfig { seq_len: 512, ..TraceConfig::small_demo() });
+    for d in [sanger(), dota(), sofa(), energon(), spatten(), spatten_finetuned()] {
+        let r = d.run(&t);
+        println!(
+            "{:10} keep={:.3} fid={:.4} mass={:.3} pred_adds={:9} exec_adds={:9} cyc={}",
+            d.name(), r.stats.keep_ratio(), r.fidelity, r.retained_mass,
+            r.stats.predictor_ops.equivalent_adds(), r.stats.ops.equivalent_adds(), r.stats.cycles.0
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! BitWave (HPCA'24) — the bit-serial comparison point of Fig. 23(a).
+//!
+//! BitWave accelerates dense computation by skipping zero bits inside each
+//! bit plane (bit-flipping enhances *weight* plane sparsity offline, but
+//! dynamic key tensors cannot be flipped adaptively, so only bit-0
+//! sparsity is exploited — one-sided, with large variability). Its lanes
+//! advance in SIMD lockstep: every lane must finish its current key before
+//! the wave moves on, so a lane whose planes carry many `1`s stalls the
+//! whole array (inter-PE stalls), and dense sub-groups serialize inside a
+//! lane (intra-PE stalls). PADE's BS bounds both effects below 50 %.
+
+use pade_core::bitserial::BsMode;
+use pade_core::gsat::Gsat;
+use pade_quant::BitPlaneMatrix;
+use pade_sim::{Cycle, RunStats, UtilizationCounter};
+use pade_workload::trace::AttentionTrace;
+
+use crate::common::{Accelerator, BaselineResult};
+
+/// The BitWave lockstep model.
+#[derive(Debug, Clone)]
+pub struct BitWave {
+    lanes: usize,
+    gsat: Gsat,
+}
+
+impl BitWave {
+    /// Builds BitWave with `lanes` parallel bit-serial lanes per query row
+    /// (the Fig. 23(a) sweep varies this from 4 to 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "lane count must be positive");
+        Self { lanes, gsat: Gsat::default() }
+    }
+
+    /// Lane count.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs the lockstep QK stage, returning per-lane utilization and the
+    /// total cycle count.
+    #[must_use]
+    pub fn run_qk(&self, trace: &AttentionTrace) -> (Cycle, Vec<UtilizationCounter>) {
+        let bits = 8u32;
+        let keys = BitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), bits)
+            .expect("key tensor decomposes");
+        let n_q = trace.queries().rows();
+        let s = trace.keys().rows();
+
+        let mut utils = vec![UtilizationCounter::new(); self.lanes * n_q];
+        let mut total = 0u64;
+        let waves = s.div_ceil(self.lanes);
+        for wave in 0..waves {
+            // Work of each lane on its key of this wave (all planes — no
+            // early termination in a dense accelerator).
+            let mut lane_cycles = vec![0u64; self.lanes];
+            let mut lane_balanced = vec![0u64; self.lanes];
+            for lane in 0..self.lanes {
+                let token = wave * self.lanes + lane;
+                if token >= s {
+                    continue;
+                }
+                let planes = keys.token(token);
+                for r in 0..bits {
+                    let p = planes.plane(r);
+                    lane_cycles[lane] += self.gsat.plane_cycles(p, BsMode::Ones);
+                    lane_balanced[lane] += self.gsat.balanced_cycles(p, BsMode::Ones);
+                }
+            }
+            let wave_len = lane_cycles.iter().copied().max().unwrap_or(0);
+            total += wave_len;
+            for row in 0..n_q {
+                for lane in 0..self.lanes {
+                    let u = &mut utils[row * self.lanes + lane];
+                    u.busy(lane_balanced[lane]);
+                    u.stall_intra(lane_cycles[lane] - lane_balanced[lane]);
+                    u.stall_inter(wave_len - lane_cycles[lane]);
+                }
+            }
+        }
+        (Cycle(total), utils)
+    }
+}
+
+impl Default for BitWave {
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+impl Accelerator for BitWave {
+    fn name(&self) -> &'static str {
+        "BitWave"
+    }
+
+    fn run(&self, trace: &AttentionTrace) -> BaselineResult {
+        let (cycles, utils) = self.run_qk(trace);
+        let n_q = trace.queries().rows();
+        let s = trace.keys().rows();
+        let h = trace.keys().cols();
+
+        let mut stats = RunStats::new("BitWave");
+        // End-to-end latency: the lockstep QK waves, the dense PV stage on
+        // an equally-sized systolic array (128 MACs/cycle), and the dense
+        // K+V stream (256 GB/s → 320 B/cycle), pipelined.
+        let pv_cycles = (n_q * s * h) as u64 / 128;
+        let stream_cycles = (2 * s * h) as u64 / 320;
+        stats.cycles = pade_sim::Cycle(cycles.0.max(stream_cycles) + pv_cycles);
+        // Dense bit-serial arithmetic: every `1` bit is a gated accumulate.
+        let ones: u64 = (0..s)
+            .map(|j| trace.keys().row(j).iter().map(|&v| u64::from((v as u8).count_ones())).sum::<u64>())
+            .sum();
+        stats.ops.bit_serial_acc = ones * n_q as u64;
+        stats.ops.shift_add = (s * 8 * n_q) as u64;
+        stats.ops.int8_mac = (n_q * s * h) as u64; // PV stage
+        stats.ops.fp_exp = (n_q * s) as u64;
+        stats.traffic.dram_read_bytes = (2 * s * h) as u64; // K + V dense
+        stats.traffic.dram_bursts = stats.traffic.dram_read_bytes.div_ceil(32);
+        stats.traffic.sram_read_bytes = (n_q * s * h) as u64 / 4;
+        stats.traffic.sram_write_bytes = (2 * s * h) as u64;
+        stats.retained_keys = (n_q * s) as u64;
+        stats.total_keys = stats.retained_keys;
+        let mut agg = UtilizationCounter::new();
+        for u in &utils {
+            agg.merge(u);
+        }
+        stats.pe_util = agg;
+
+        let retained: Vec<Vec<usize>> = (0..n_q).map(|_| (0..s).collect()).collect();
+        BaselineResult { stats, retained, fidelity: 1.0, retained_mass: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_core::accelerator::PadeAccelerator;
+    use pade_core::config::PadeConfig;
+    use pade_workload::trace::TraceConfig;
+
+    fn trace() -> AttentionTrace {
+        AttentionTrace::generate(&TraceConfig::small_demo())
+    }
+
+    #[test]
+    fn bitwave_is_dense_and_exact() {
+        let r = BitWave::default().run(&trace());
+        assert_eq!(r.stats.sparsity(), 0.0);
+        assert!((r.fidelity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitwave_balance_is_worse_than_pade() {
+        let t = trace();
+        let bw = BitWave::default().run(&t);
+        let pade = PadeAccelerator::new(PadeConfig::standard()).run_trace(&t);
+        let bw_eff = bw.stats.pe_util.balance_efficiency();
+        let pade_eff = pade.stats.pe_util.balance_efficiency();
+        assert!(
+            pade_eff > bw_eff,
+            "PADE balance {pade_eff} should beat BitWave {bw_eff}"
+        );
+        // One-sided bit sparsity accumulates more gated adds than BS.
+        assert!(bw.stats.ops.bit_serial_acc > pade.stats.ops.bit_serial_acc);
+    }
+
+    #[test]
+    fn more_lanes_worsen_lockstep_imbalance() {
+        let t = trace();
+        let narrow = BitWave::new(4).run(&t);
+        let wide = BitWave::new(32).run(&t);
+        assert!(
+            wide.stats.pe_util.balance_efficiency()
+                <= narrow.stats.pe_util.balance_efficiency() + 1e-9,
+            "wider arrays suffer more from stragglers: {} vs {}",
+            wide.stats.pe_util.balance_efficiency(),
+            narrow.stats.pe_util.balance_efficiency()
+        );
+    }
+
+    #[test]
+    fn lane_geometry_is_respected() {
+        let t = trace();
+        let (_, utils) = BitWave::new(4).run_qk(&t);
+        assert_eq!(utils.len(), 4 * t.queries().rows());
+    }
+}

@@ -1,0 +1,54 @@
+//! Baseline accelerators and software sparse-attention methods for the
+//! PADE evaluation (§VI-A).
+//!
+//! Every prior dynamic-sparsity accelerator follows the *stage-splitting*
+//! paradigm (Fig. 4(a)): a low-precision **predictor** scans the full key
+//! tensor to choose important QK pairs, then a full-precision **executor**
+//! re-fetches and computes the survivors. The models here reproduce each
+//! design's predictor mechanism, selection rule and cost structure under
+//! the paper's normalization (same PE area, 800 MHz, 352 KB SRAM,
+//! 256 GB/s HBM):
+//!
+//! | Design | Predictor | Selection | Extra traits |
+//! |---|---|---|---|
+//! | Sanger  | 4-bit MSB QK | threshold | — |
+//! | SpAtten | previous-layer scores | cascade top-k | no predictor pass, needs finetune |
+//! | DOTA    | low-rank projection | threshold | — |
+//! | Energon | progressive 2-bit → 4-bit | threshold | mix-precision filter |
+//! | SOFA    | log-domain shift | top-k | cross-stage tiling (fused predictor I/O) |
+//! | BitWave | — (dense bit-serial) | — | bit-column zero skipping |
+//!
+//! [`software`] holds the software-only methods of Fig. 15 (StreamingLLM,
+//! MInference, DoubleSparsity), which select keys but execute on
+//! conventional hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use pade_baselines::{sanger, Accelerator};
+//! use pade_workload::trace::{AttentionTrace, TraceConfig};
+//!
+//! let trace = AttentionTrace::generate(&TraceConfig::small_demo());
+//! let result = sanger().run(&trace);
+//! // A stage-splitting design pays a separate predictor...
+//! assert!(result.stats.predictor_ops.int4_mac > 0);
+//! // ...and still reproduces attention faithfully.
+//! assert!(result.fidelity > 0.95);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitwave;
+mod common;
+mod predictors;
+pub mod software;
+mod stage_split;
+pub mod tableone;
+
+pub use bitwave::BitWave;
+pub use common::{Accelerator, BaselineResult};
+pub use predictors::{LogDomainPredictor, LowRankPredictor, MsbPredictor, PrevLayerPredictor};
+pub use stage_split::{
+    dota, energon, sanger, sofa, spatten, spatten_finetuned, Selection, StageSplitAccelerator,
+};

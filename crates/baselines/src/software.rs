@@ -1,0 +1,233 @@
+//! Software-only sparse attention methods (Fig. 15).
+//!
+//! These methods choose retained keys in software and run on stock
+//! hardware; the figure compares their accuracy at equal *sparsity level*
+//! (the ratio of sparse execution cost — prediction plus computation — to
+//! dense execution cost) and their end-to-end gains.
+//!
+//! * **StreamingLLM** — static pattern: attention sinks + a recency
+//!   window. No prediction cost, no adaptivity.
+//! * **MInference** — dynamic prediction constrained to predefined
+//!   pattern families (we model the vertical-slash family: per-head
+//!   column importance shared across query rows).
+//! * **DoubleSparsity** — flexible dynamic top-k from a channel-sparse
+//!   estimate; prediction work is not reusable by the execution step.
+
+use pade_linalg::metrics::{cosine_similarity, retained_mass};
+use pade_workload::trace::AttentionTrace;
+
+/// Result of a software method on one block.
+#[derive(Debug, Clone)]
+pub struct SoftwareResult {
+    /// Method name.
+    pub name: &'static str,
+    /// Retained keys per query row.
+    pub retained: Vec<Vec<usize>>,
+    /// Mean output cosine fidelity.
+    pub fidelity: f64,
+    /// Mean retained softmax mass.
+    pub retained_mass: f64,
+    /// Sparsity level: (prediction + sparse execution) cost over dense
+    /// execution cost, in MAC-equivalents (the x-axis of Fig. 15(a)(b)).
+    pub sparsity_level: f64,
+}
+
+fn summarize(
+    name: &'static str,
+    trace: &AttentionTrace,
+    retained: Vec<Vec<usize>>,
+    prediction_macs_per_row: f64,
+) -> SoftwareResult {
+    let n_q = trace.queries().rows();
+    let s = trace.keys().rows();
+    let h = trace.keys().cols();
+    let dense_macs = (2 * s * h) as f64;
+    let mut fid = 0.0;
+    let mut mass = 0.0;
+    let mut cost = 0.0;
+    for (row, ids) in retained.iter().enumerate() {
+        let logits = trace.exact_logits(row);
+        mass += f64::from(retained_mass(&logits, ids));
+        let out = trace.subset_output(row, ids);
+        let reference = trace.reference_output(row);
+        fid += f64::from(cosine_similarity(&out, &reference));
+        cost += (prediction_macs_per_row + (2 * ids.len() * h) as f64) / dense_macs;
+    }
+    SoftwareResult {
+        name,
+        retained,
+        fidelity: fid / n_q as f64,
+        retained_mass: mass / n_q as f64,
+        sparsity_level: cost / n_q as f64,
+    }
+}
+
+/// StreamingLLM: keep `sinks` initial tokens plus a `window`-token recency
+/// window. The pattern is static — it never adapts to content.
+#[must_use]
+pub fn streaming_llm(trace: &AttentionTrace, sinks: usize, window: usize) -> SoftwareResult {
+    let s = trace.keys().rows();
+    let n_q = trace.queries().rows();
+    let per_row: Vec<usize> = (0..s)
+        .filter(|&j| j < sinks || j >= s.saturating_sub(window))
+        .collect();
+    let retained = vec![per_row; n_q];
+    summarize("StreamingLLM", trace, retained, 0.0)
+}
+
+/// MInference-style pattern-constrained dynamic sparsity: sinks + window
+/// plus the strongest vertical lines (columns ranked by a strided estimate
+/// shared across the block's query rows).
+#[must_use]
+pub fn minference(trace: &AttentionTrace, budget_ratio: f32) -> SoftwareResult {
+    let s = trace.keys().rows();
+    let n_q = trace.queries().rows();
+    let h = trace.keys().cols();
+    let sinks = 4.min(s);
+    let window = (s / 16).max(8).min(s);
+    let budget = ((s as f32 * budget_ratio) as usize).clamp(1, s);
+
+    // Column scores: the strongest logit a column reaches across the
+    // block's query rows (vertical-line detection — a column that any
+    // query depends on strongly becomes a kept vertical).
+    let mut column_score = vec![f32::NEG_INFINITY; s];
+    for row in 0..n_q {
+        let logits = trace.exact_logits(row);
+        for j in 0..s {
+            column_score[j] = column_score[j].max(logits[j]);
+        }
+    }
+    let mut order: Vec<usize> = (0..s).collect();
+    order.sort_by(|&a, &b| {
+        column_score[b].partial_cmp(&column_score[a]).expect("scores must not be NaN")
+    });
+
+    let mut kept: Vec<usize> = (0..s)
+        .filter(|&j| j < sinks || j >= s.saturating_sub(window))
+        .collect();
+    for &j in &order {
+        if kept.len() >= budget {
+            break;
+        }
+        if !kept.contains(&j) {
+            kept.push(j);
+        }
+    }
+    kept.sort_unstable();
+    let retained = vec![kept; n_q];
+    // Pattern-detection pass: one strided estimate over the block.
+    let prediction_macs = (s * h) as f64 / 4.0;
+    summarize("MInference", trace, retained, prediction_macs)
+}
+
+/// DoubleSparsity: per-row top-k from a channel-sparse estimate using the
+/// `channels` highest-magnitude query channels. Prediction work is thrown
+/// away after selection (the paper's reuse critique).
+#[must_use]
+pub fn double_sparsity(trace: &AttentionTrace, keep_ratio: f32, channels: usize) -> SoftwareResult {
+    let s = trace.keys().rows();
+    let n_q = trace.queries().rows();
+    let h = trace.keys().cols();
+    let channels = channels.clamp(1, h);
+    let k = ((s as f32 * keep_ratio).ceil() as usize).clamp(1, s);
+
+    let mut retained = Vec::with_capacity(n_q);
+    for row in 0..n_q {
+        let q = trace.queries().row(row);
+        // Top channels of |q|.
+        let mut dims: Vec<usize> = (0..h).collect();
+        dims.sort_by_key(|&d| std::cmp::Reverse(q[d].unsigned_abs()));
+        let active = &dims[..channels];
+        let estimates: Vec<f32> = (0..s)
+            .map(|j| {
+                let krow = trace.keys().row(j);
+                active
+                    .iter()
+                    .map(|&d| f32::from(q[d]) * f32::from(krow[d]))
+                    .sum::<f32>()
+                    * trace.logit_scale()
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..s).collect();
+        order.sort_by(|&a, &b| {
+            estimates[b].partial_cmp(&estimates[a]).expect("estimates must not be NaN")
+        });
+        let mut kept: Vec<usize> = order.into_iter().take(k).collect();
+        kept.sort_unstable();
+        retained.push(kept);
+    }
+    let prediction_macs = (s * channels) as f64;
+    summarize("DoubleSparsity", trace, retained, prediction_macs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_workload::profile::ScoreProfile;
+    use pade_workload::trace::TraceConfig;
+
+    fn trace() -> AttentionTrace {
+        AttentionTrace::generate(&TraceConfig {
+            seq_len: 512,
+            profile: ScoreProfile::long_context(),
+            ..TraceConfig::small_demo()
+        })
+    }
+
+    #[test]
+    fn streaming_llm_is_static_and_cheap() {
+        let t = trace();
+        let r = streaming_llm(&t, 4, 64);
+        assert_eq!(r.retained[0].len(), 68);
+        // Same set for every row.
+        assert!(r.retained.windows(2).all(|w| w[0] == w[1]));
+        // No prediction cost: sparsity level == execution share.
+        assert!(r.sparsity_level < 0.2);
+    }
+
+    #[test]
+    fn dynamic_methods_beat_static_at_equal_budget() {
+        let t = trace();
+        let budget = 0.12f32;
+        let stat = streaming_llm(&t, 4, (512.0 * budget) as usize - 4);
+        let ds = double_sparsity(&t, budget, 16);
+        assert!(
+            ds.fidelity >= stat.fidelity,
+            "dynamic {} vs static {}",
+            ds.fidelity,
+            stat.fidelity
+        );
+    }
+
+    #[test]
+    fn minference_beats_static_at_matched_budget() {
+        let t = trace();
+        let mi = minference(&t, 0.15);
+        let matched_window = mi.retained[0].len().saturating_sub(4);
+        let stat = streaming_llm(&t, 4, matched_window);
+        assert!(
+            mi.fidelity > stat.fidelity,
+            "pattern adaptivity should pay: {} vs {}",
+            mi.fidelity,
+            stat.fidelity
+        );
+        assert!(mi.sparsity_level > stat.sparsity_level, "prediction costs something");
+    }
+
+    #[test]
+    fn double_sparsity_prediction_is_unreusable_overhead() {
+        let t = trace();
+        let r = double_sparsity(&t, 0.1, 16);
+        let exec_share = r.retained[0].len() as f64 * 2.0 * 64.0 / (2.0 * 512.0 * 64.0);
+        assert!(r.sparsity_level > exec_share, "sparsity level must include prediction");
+    }
+
+    #[test]
+    fn keep_ratio_controls_budget() {
+        let t = trace();
+        let small = double_sparsity(&t, 0.05, 16);
+        let large = double_sparsity(&t, 0.3, 16);
+        assert!(large.retained[0].len() > small.retained[0].len());
+        assert!(large.fidelity >= small.fidelity);
+    }
+}

@@ -1,0 +1,119 @@
+//! Table I: qualitative feature matrix of SOTA attention accelerators.
+
+/// Optimization granularity of a design (Table I's "Optimiz. Level").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Value-level arithmetic only.
+    Value,
+    /// Multi-bit (mixed-precision) arithmetic.
+    MultiBit,
+    /// Bit-level arithmetic (PADE).
+    Bit,
+}
+
+impl OptLevel {
+    /// Label as printed in Table I.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::Value => "Value",
+            OptLevel::MultiBit => "Multi-bit",
+            OptLevel::Bit => "Bit",
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureRow {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Optimizes computation.
+    pub computation_opt: bool,
+    /// Optimizes memory (true/partial encoded as `Some(full?)`, None = no).
+    pub memory_opt: Option<bool>,
+    /// Free of a separate sparsity predictor.
+    pub predictor_free: bool,
+    /// Predictor-free only via previous-layer scores (needs retraining).
+    pub needs_retrain: bool,
+    /// Supports tiling.
+    pub tiling_support: bool,
+    /// Optimization granularity.
+    pub level: OptLevel,
+}
+
+/// The full Table I.
+#[must_use]
+pub fn table() -> Vec<FeatureRow> {
+    vec![
+        FeatureRow { name: "ELSA", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::Value },
+        FeatureRow { name: "Sanger", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::Value },
+        FeatureRow { name: "DOTA", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::Value },
+        FeatureRow { name: "DTATrans", computation_opt: true, memory_opt: Some(false), predictor_free: true, needs_retrain: true, tiling_support: false, level: OptLevel::Value },
+        FeatureRow { name: "SpAtten", computation_opt: true, memory_opt: Some(false), predictor_free: true, needs_retrain: true, tiling_support: false, level: OptLevel::MultiBit },
+        FeatureRow { name: "Energon", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::MultiBit },
+        FeatureRow { name: "FACT", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::Value },
+        FeatureRow { name: "SOFA", computation_opt: true, memory_opt: Some(false), predictor_free: false, needs_retrain: false, tiling_support: true, level: OptLevel::Value },
+        FeatureRow { name: "PADE", computation_opt: true, memory_opt: Some(true), predictor_free: true, needs_retrain: false, tiling_support: true, level: OptLevel::Bit },
+    ]
+}
+
+/// Renders Table I as an aligned text table.
+#[must_use]
+pub fn render() -> String {
+    let mut out = String::from(
+        "Accelerator | Comp Opt | Mem Opt | Predictor-Free | Retrain-Free | Tiling | Level\n",
+    );
+    out.push_str(
+        "------------+----------+---------+----------------+--------------+--------+------\n",
+    );
+    for r in table() {
+        let mem = match r.memory_opt {
+            Some(true) => "full",
+            Some(false) => "low",
+            None => "no",
+        };
+        out.push_str(&format!(
+            "{:<12}| {:<9}| {:<8}| {:<15}| {:<13}| {:<7}| {}\n",
+            r.name,
+            if r.computation_opt { "yes" } else { "no" },
+            mem,
+            if r.predictor_free { "yes" } else { "no" },
+            if r.needs_retrain { "no" } else { "yes" },
+            if r.tiling_support { "yes" } else { "no" },
+            r.level.label(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pade_is_the_only_bit_level_retrain_free_predictor_free_design() {
+        for r in table() {
+            if r.name == "PADE" {
+                assert!(r.predictor_free && !r.needs_retrain && r.tiling_support);
+                assert_eq!(r.level, OptLevel::Bit);
+            } else {
+                assert!(
+                    !r.predictor_free || r.needs_retrain,
+                    "{} should not be cleanly predictor-free",
+                    r.name
+                );
+                assert_ne!(r.level, OptLevel::Bit);
+            }
+        }
+    }
+
+    #[test]
+    fn table_has_nine_rows_and_renders() {
+        assert_eq!(table().len(), 9);
+        let text = render();
+        assert!(text.contains("PADE"));
+        assert!(text.contains("SOFA"));
+        assert!(text.lines().count() >= 11);
+    }
+}

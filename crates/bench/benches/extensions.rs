@@ -1,0 +1,96 @@
+//! Criterion benchmarks for the extension features (multi-bit fusion,
+//! FP16 exponent alignment, distributed reduction) plus the ablation
+//! sweeps DESIGN.md calls out for the mainline design decisions
+//! (per-sub-group BS selection, OOE observation-window throttling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pade_core::config::PadeConfig;
+use pade_core::engine::run_qk_block;
+use pade_core::multibit::run_multibit_block;
+use pade_dist::partial::{reduce_states, PartialAttention};
+use pade_dist::wafer::{DistributedPade, WaferConfig};
+use pade_quant::fp::align_f32_row;
+use pade_quant::{BitPlaneMatrix, DigitPlaneMatrix};
+use pade_workload::trace::{AttentionTrace, TraceConfig};
+
+fn trace(seq_len: usize) -> AttentionTrace {
+    AttentionTrace::generate(&TraceConfig { seq_len, seed: 404, ..TraceConfig::small_demo() })
+}
+
+fn bench_multibit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multibit_fusion");
+    g.sample_size(20);
+    let t = trace(512);
+    let dims = t.keys().cols();
+    let queries: Vec<&[i8]> = (0..t.queries().rows()).map(|i| t.queries().row(i)).collect();
+    let margin = PadeConfig::standard().guard_margin();
+    for d in [1u32, 2, 4, 8] {
+        let keys = DigitPlaneMatrix::from_rows(t.keys().as_slice(), dims, d, 8).unwrap();
+        g.bench_with_input(BenchmarkId::new("block_s512", d), &d, |b, _| {
+            b.iter(|| run_multibit_block(&queries, &keys, margin, t.logit_scale()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fp_alignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fp_alignment");
+    let row: Vec<f32> = (0..64).map(|i| ((i * 37) % 101) as f32 * 0.013 - 0.65).collect();
+    g.bench_function("align_row_64", |b| b.iter(|| align_f32_row(&row, 8).unwrap()));
+    g.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed");
+    g.sample_size(10);
+    let t = trace(1024);
+    for chips in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("wafer_run_s1024", chips), &chips, |b, &chips| {
+            let dist = DistributedPade::new(WaferConfig::standard(chips));
+            b.iter(|| dist.run_trace(&t))
+        });
+    }
+    // The merge primitive itself (per query row per reduction step).
+    let states: Vec<PartialAttention> = (0..16)
+        .map(|i| {
+            let scores: Vec<f32> = (0..32).map(|j| ((i * 32 + j) % 17) as f32 * 0.3 - 2.0).collect();
+            let values: Vec<Vec<f32>> =
+                (0..32).map(|j| (0..64).map(|k| ((j * k) % 7) as f32 * 0.1).collect()).collect();
+            let rows: Vec<&[f32]> = values.iter().map(Vec::as_slice).collect();
+            PartialAttention::from_scores(64, &scores, &rows)
+        })
+        .collect();
+    g.bench_function("merge_16_states_h64", |b| b.iter(|| reduce_states(64, &states)));
+    g.finish();
+}
+
+/// Ablations on the mainline engine: the observation-window throttle and
+/// the scoreboard size interact with OOE latency hiding; the BS toggle
+/// isolates the per-sub-group selection cost.
+fn bench_engine_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_ablations");
+    g.sample_size(10);
+    let t = trace(512);
+    let keys = BitPlaneMatrix::from_rows(t.keys().as_slice(), t.keys().cols(), 8).unwrap();
+    let queries: Vec<&[i8]> = (0..t.queries().rows()).map(|i| t.queries().row(i)).collect();
+    for (label, config) in [
+        ("full", PadeConfig::standard()),
+        ("no_bs", PadeConfig { enable_bs: false, ..PadeConfig::standard() }),
+        ("no_ooe", PadeConfig { enable_ooe: false, ..PadeConfig::standard() }),
+        ("sb4", PadeConfig { scoreboard_entries: 4, ..PadeConfig::standard() }),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| run_qk_block(&config, &queries, &keys, t.logit_scale()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multibit,
+    bench_fp_alignment,
+    bench_distributed,
+    bench_engine_ablations
+);
+criterion_main!(benches);

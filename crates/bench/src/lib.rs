@@ -1,0 +1,2 @@
+//! Benchmark-only crate: see `benches/kernels.rs` (simulator kernels) and
+//! `benches/end_to_end.rs` (per-figure accelerator sweeps).

@@ -1,0 +1,20 @@
+//! Developer probe: balance efficiency at scale for Fig. 23(a) calibration.
+use pade_core::accelerator::PadeAccelerator;
+use pade_core::config::PadeConfig;
+use pade_workload::trace::{AttentionTrace, TraceConfig};
+
+fn main() {
+    for s in [256usize, 1024] {
+        let trace = AttentionTrace::generate(&TraceConfig {
+            seq_len: s,
+            n_queries: 8,
+            ..TraceConfig::small_demo()
+        });
+        let r = PadeAccelerator::new(PadeConfig::standard()).run_trace(&trace);
+        let u = &r.stats.pe_util;
+        println!(
+            "S={s} balance={:.3} busy={} intra={} inter={} mem={}",
+            u.balance_efficiency(), u.busy_cycles(), u.intra_stalls(), u.inter_stalls(), u.mem_stalls()
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Bidirectional sparsity (BS) — §IV-B, Eqs. 5–6.
+//!
+//! A bit plane's contribution to the dot product is `w_r · Σ_{k_j^r=1} q_j`.
+//! Because each bit is 0 or 1, that sum can equally be computed as
+//! `Σ_all q_j − Σ_{k_j^r=0} q_j` — so the hardware always accumulates over
+//! whichever bit value is *rarer*, bounding the number of selected lanes by
+//! 50 % of the vector width and with it the PE load imbalance.
+
+use pade_quant::{plane_weight, PlaneRow};
+
+/// Which bit value was treated as "sparse" (selected for accumulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BsMode {
+    /// Accumulate queries where the key bit is 1 (direct form, Eq. 5).
+    Ones,
+    /// Accumulate queries where the key bit is 0 and subtract from the
+    /// query total (flipped form, Eq. 6).
+    Zeros,
+}
+
+/// Result of absorbing one bit plane into a partial score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneContribution {
+    /// Weighted contribution `w_r · Σ_{bit=1} q_j` (numerically identical
+    /// in both modes).
+    pub value: i64,
+    /// Number of query elements actually accumulated.
+    pub selected: u32,
+    /// The accumulation mode chosen.
+    pub mode: BsMode,
+}
+
+/// Absorbs plane `r` of a key into the running score for query row `q`.
+///
+/// With `bidirectional` set, the rarer bit value is selected (the BS
+/// scheduler of Fig. 12); otherwise the direct bit-1 form is always used —
+/// the naive scheme whose imbalance Fig. 5(c) illustrates. `q_sum` must be
+/// `Σ q_j` over the same row (produced once by the Q-sum generator).
+///
+/// # Panics
+///
+/// Panics if `q.len() != plane.len()`.
+///
+/// # Example
+///
+/// ```
+/// use pade_core::bitserial::{plane_contribution, BsMode};
+/// use pade_quant::PlaneRow;
+///
+/// let q: [i8; 4] = [1, 2, 3, 4];
+/// // A dense plane (three 1s): BS flips to accumulate the single 0.
+/// let plane = PlaneRow::from_bits([true, true, false, true].into_iter());
+/// let c = plane_contribution(&q, &plane, 7, 8, 10, true);
+/// assert_eq!(c.mode, BsMode::Zeros);
+/// assert_eq!(c.selected, 1);
+/// assert_eq!(c.value, (1 + 2 + 4) as i64); // w_7 = 1
+/// ```
+#[must_use]
+pub fn plane_contribution(
+    q: &[i8],
+    plane: &PlaneRow,
+    r: u32,
+    bits: u32,
+    q_sum: i64,
+    bidirectional: bool,
+) -> PlaneContribution {
+    assert_eq!(q.len(), plane.len(), "query row and plane must have equal width");
+    let w = i64::from(plane_weight(r, bits));
+    let ones = plane.count_ones();
+    let zeros = plane.count_zeros();
+    if bidirectional && zeros < ones {
+        // Flipped form: Σ_{bit=1} q = q_sum − Σ_{bit=0} q.
+        let mut zero_sum = 0i64;
+        for (i, &qv) in q.iter().enumerate() {
+            if !plane.bit(i) {
+                zero_sum += i64::from(qv);
+            }
+        }
+        PlaneContribution { value: w * (q_sum - zero_sum), selected: zeros, mode: BsMode::Zeros }
+    } else {
+        PlaneContribution {
+            value: w * i64::from(plane.masked_sum(q)),
+            selected: ones,
+            mode: BsMode::Ones,
+        }
+    }
+}
+
+/// Σ of a query row — the Q-sum generator output shared by all lanes in a
+/// PE row (Fig. 11(a)).
+#[must_use]
+pub fn q_sum(q: &[i8]) -> i64 {
+    q.iter().map(|&x| i64::from(x)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_quant::TokenPlanes;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bs_bounds_selection_at_half() {
+        let q: Vec<i8> = (0..64).map(|i| (i % 11) as i8 - 5).collect();
+        let qs = q_sum(&q);
+        for fill in 0..=64usize {
+            let plane = PlaneRow::from_bits((0..64).map(|i| i < fill));
+            let c = plane_contribution(&q, &plane, 3, 8, qs, true);
+            assert!(c.selected <= 32, "fill {fill}: selected {}", c.selected);
+        }
+    }
+
+    #[test]
+    fn naive_mode_selects_all_ones() {
+        let q: Vec<i8> = vec![1; 8];
+        let plane = PlaneRow::from_bits([true; 8]);
+        let c = plane_contribution(&q, &plane, 1, 8, 8, false);
+        assert_eq!(c.selected, 8);
+        assert_eq!(c.mode, BsMode::Ones);
+        let c_bs = plane_contribution(&q, &plane, 1, 8, 8, true);
+        assert_eq!(c_bs.selected, 0);
+        assert_eq!(c_bs.value, c.value);
+    }
+
+    #[test]
+    fn sign_plane_weight_is_negative() {
+        let q: [i8; 2] = [3, 3];
+        let plane = PlaneRow::from_bits([true, false]);
+        let c = plane_contribution(&q, &plane, 0, 8, 6, true);
+        assert_eq!(c.value, -128 * 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bs_equals_direct_form(
+            q in proptest::collection::vec(any::<i8>(), 1..128),
+            seed in any::<u64>(),
+            r in 0u32..8,
+        ) {
+            let k: Vec<i8> = q.iter().enumerate()
+                .map(|(i, _)| {
+                    let h = seed.wrapping_add((i as u64).wrapping_mul(0xD6E8FEB86659FD93));
+                    (h >> 17) as u8 as i8
+                })
+                .collect();
+            let planes = TokenPlanes::from_values(&k, 8);
+            let qs = q_sum(&q);
+            let direct = plane_contribution(&q, planes.plane(r), r, 8, qs, false);
+            let bs = plane_contribution(&q, planes.plane(r), r, 8, qs, true);
+            prop_assert_eq!(direct.value, bs.value, "Eq. 6 must be value-preserving");
+            prop_assert!(bs.selected <= (q.len() as u32).div_ceil(2),
+                "BS must bound selection at 50%: {} of {}", bs.selected, q.len());
+            prop_assert!(bs.selected <= direct.selected.max(q.len() as u32 - direct.selected));
+        }
+
+        #[test]
+        fn prop_accumulating_all_planes_is_exact(
+            q in proptest::collection::vec(any::<i8>(), 1..64),
+            seed in any::<u64>(),
+        ) {
+            let k: Vec<i8> = q.iter().enumerate()
+                .map(|(i, _)| {
+                    let h = seed.wrapping_mul(0xA24BAED4963EE407)
+                        .wrapping_add((i as u64).wrapping_mul(0x9FB21C651E98DF25));
+                    (h >> 40) as u8 as i8
+                })
+                .collect();
+            let planes = TokenPlanes::from_values(&k, 8);
+            let qs = q_sum(&q);
+            let total: i64 = (0..8u32)
+                .map(|r| plane_contribution(&q, planes.plane(r), r, 8, qs, true).value)
+                .sum();
+            let exact: i64 = q.iter().zip(&k).map(|(&a, &b)| i64::from(a) * i64::from(b)).sum();
+            prop_assert_eq!(total, exact);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Autoregressive decode sessions on the cycle-level engine — §V-B and
+//! Fig. 26(b).
+//!
+//! During decoding PADE processes one new query per step against the
+//! whole cached context (the paper fills its PE rows with queries from
+//! different heads; one session here models one head — heads multiply
+//! compute and, divided by the GQA group size, KV traffic). Each step:
+//!
+//! 1. the step's query row enters the QK-PU against the current KV cache
+//!    (prefill plus all previously generated tokens),
+//! 2. BUI-GF terminates keys bit-plane by bit-plane as in prefill,
+//! 3. the retained scores drive an ISTA pass over the cached values,
+//! 4. the new token's K/V joins the cache for the next step.
+//!
+//! Because decoding has no query-block reuse, the per-step cost is
+//! dominated by the key stream — exactly the regime where the paper shows
+//! predictor-carrying designs scale worst (their predictors must stream
+//! the *full* K every step). The session exposes per-step cycles, traffic
+//! and retention so that growth with context length can be measured
+//! directly from the cycle model instead of extrapolated.
+
+use pade_linalg::metrics::cosine_similarity;
+use pade_linalg::softmax;
+use pade_quant::BitPlaneMatrix;
+use pade_sim::{Cycle, RunStats};
+use pade_workload::trace::AttentionTrace;
+
+use crate::config::PadeConfig;
+use crate::engine::run_qk_block;
+use crate::ista::{run_ista, TileOrder};
+use crate::vpu::Vpu;
+
+/// Statistics of one decode step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeStep {
+    /// Step index (0 = first generated token).
+    pub step: usize,
+    /// KV-cache length this step attended over.
+    pub kv_len: usize,
+    /// Step latency (QK-PU and V-PU pipelined).
+    pub cycles: Cycle,
+    /// Keys retained by the guard.
+    pub retained: usize,
+    /// Key bit planes fetched from DRAM.
+    pub planes_fetched: u64,
+    /// DRAM bytes moved (K stream + V fetches).
+    pub dram_bytes: u64,
+    /// Output cosine fidelity against exact causal attention at this step.
+    pub fidelity: f64,
+}
+
+/// Result of a decode session.
+#[derive(Debug, Clone)]
+pub struct DecodeSessionResult {
+    /// Per-step records, in generation order.
+    pub steps: Vec<DecodeStep>,
+    /// Accumulated event statistics over the whole session.
+    pub totals: RunStats,
+}
+
+impl DecodeSessionResult {
+    /// Mean keep ratio over all steps.
+    #[must_use]
+    pub fn mean_keep_ratio(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        let kept: f64 = self.steps.iter().map(|s| s.retained as f64 / s.kv_len as f64).sum();
+        kept / self.steps.len() as f64
+    }
+
+    /// Mean per-step output fidelity.
+    #[must_use]
+    pub fn mean_fidelity(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 1.0;
+        }
+        self.steps.iter().map(|s| s.fidelity).sum::<f64>() / self.steps.len() as f64
+    }
+}
+
+/// Runs an autoregressive decode session of `steps` tokens on top of a
+/// `prefill`-token cache.
+///
+/// The trace supplies the whole timeline: key/value rows `0..prefill` are
+/// the prompt, rows `prefill..prefill+steps` are the generated tokens, and
+/// query row `t` is the step-`t` query (so the trace must carry at least
+/// `steps` query rows and `prefill + steps` keys). Step `t` attends
+/// causally over keys `0..prefill+t`.
+///
+/// # Panics
+///
+/// Panics if the trace is too small for `prefill + steps`, or `steps`
+/// exceeds the trace's query rows.
+#[must_use]
+pub fn run_decode_session(
+    config: &PadeConfig,
+    trace: &AttentionTrace,
+    prefill: usize,
+    steps: usize,
+) -> DecodeSessionResult {
+    config.validate();
+    assert!(steps <= trace.queries().rows(), "one query row per decode step required");
+    assert!(
+        prefill + steps <= trace.keys().rows(),
+        "trace must carry prefill + steps key rows"
+    );
+    assert!(prefill > 0, "decode needs a non-empty cache");
+    let h = trace.keys().cols();
+    let values = trace.values_f32();
+    let vpu = Vpu::new(config.vpu_rows, config.vpu_cols);
+    let order = if config.enable_interleave {
+        TileOrder::HeadTail
+    } else {
+        TileOrder::LeftToRight
+    };
+
+    let mut totals = RunStats::new("pade-decode");
+    let mut out_steps = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let kv_len = prefill + t;
+        let keys = BitPlaneMatrix::from_rows(
+            &trace.keys().as_slice()[..kv_len * h],
+            h,
+            config.bits,
+        )
+        .expect("cache prefix decomposes");
+        let queries: Vec<&[i8]> = vec![trace.queries().row(t)];
+        let qk = run_qk_block(config, &queries, &keys, trace.logit_scale());
+
+        let retained_logits: Vec<(usize, f32)> = qk.retained[0]
+            .iter()
+            .map(|&(j, s)| (j, s as f32 * trace.logit_scale()))
+            .collect();
+        let bc = if config.enable_ista { config.tile_bc } else { retained_logits.len().max(1) };
+        let ista = run_ista(&retained_logits, values, bc, order, &vpu);
+
+        // Exact causal reference for this step.
+        let logits = trace.exact_logits(t);
+        let weights = softmax(&logits[..kv_len]);
+        let mut reference = vec![0.0f32; h];
+        for (j, &w) in weights.iter().enumerate() {
+            for (o, &v) in reference.iter_mut().zip(values.row(j)) {
+                *o += w * v;
+            }
+        }
+        let fidelity = f64::from(cosine_similarity(&ista.output, &reference));
+
+        let v_bytes = ista.v_rows_fetched * h as u64;
+        let dram_bytes = qk.traffic.dram_read_bytes + v_bytes;
+        totals.ops.merge(&qk.ops);
+        totals.ops.merge(&ista.ops);
+        totals.traffic.merge(&qk.traffic);
+        totals.traffic.dram_read_bytes += v_bytes;
+        totals.cycles += qk.cycles.max(Cycle(ista.vpu_cycles));
+        totals.retained_keys += retained_logits.len() as u64;
+        totals.total_keys += kv_len as u64;
+
+        out_steps.push(DecodeStep {
+            step: t,
+            kv_len,
+            cycles: qk.cycles.max(Cycle(ista.vpu_cycles)),
+            retained: retained_logits.len(),
+            planes_fetched: qk.planes_fetched,
+            dram_bytes,
+            fidelity,
+        });
+    }
+
+    DecodeSessionResult { steps: out_steps, totals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_workload::profile::ScoreProfile;
+    use pade_workload::trace::TraceConfig;
+
+    fn decode_trace(seq_len: usize, steps: usize, seed: u64) -> AttentionTrace {
+        AttentionTrace::generate(&TraceConfig {
+            seq_len,
+            head_dim: 32,
+            n_queries: steps,
+            profile: ScoreProfile::long_context(),
+            bits: 8,
+            seed,
+        })
+    }
+
+    #[test]
+    fn session_steps_grow_the_cache() {
+        let trace = decode_trace(96, 8, 17);
+        let r = run_decode_session(&PadeConfig::standard(), &trace, 88, 8);
+        assert_eq!(r.steps.len(), 8);
+        for (t, s) in r.steps.iter().enumerate() {
+            assert_eq!(s.step, t);
+            assert_eq!(s.kv_len, 88 + t);
+            assert!(s.retained <= s.kv_len);
+            assert!(s.retained >= 1, "step {t} must keep the argmax");
+        }
+    }
+
+    #[test]
+    fn decode_is_faithful_per_step() {
+        let trace = decode_trace(160, 6, 19);
+        let r = run_decode_session(&PadeConfig::standard(), &trace, 150, 6);
+        for s in &r.steps {
+            assert!(s.fidelity > 0.95, "step {}: fidelity {}", s.step, s.fidelity);
+        }
+        assert!(r.mean_fidelity() > 0.97);
+    }
+
+    #[test]
+    fn sparse_decode_moves_less_data_than_dense() {
+        let trace = decode_trace(256, 4, 23);
+        let sparse = run_decode_session(&PadeConfig::standard(), &trace, 250, 4);
+        let dense_cfg =
+            PadeConfig { enable_bui_gf: false, ..PadeConfig::standard() };
+        let dense = run_decode_session(&dense_cfg, &trace, 250, 4);
+        assert!(
+            sparse.totals.traffic.dram_read_bytes < dense.totals.traffic.dram_read_bytes,
+            "{} vs {}",
+            sparse.totals.traffic.dram_read_bytes,
+            dense.totals.traffic.dram_read_bytes
+        );
+        assert!(sparse.mean_keep_ratio() < 1.0);
+        assert!((dense.mean_keep_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_step_cost_grows_with_context() {
+        let trace = decode_trace(512, 2, 29);
+        let early = run_decode_session(&PadeConfig::standard(), &trace, 64, 1);
+        let late = run_decode_session(&PadeConfig::standard(), &trace, 500, 1);
+        assert!(
+            late.steps[0].dram_bytes > early.steps[0].dram_bytes,
+            "longer cache must stream more keys"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty cache")]
+    fn empty_prefill_rejected() {
+        let trace = decode_trace(32, 2, 31);
+        let _ = run_decode_session(&PadeConfig::standard(), &trace, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefill + steps")]
+    fn oversized_session_rejected() {
+        let trace = decode_trace(32, 4, 37);
+        let _ = run_decode_session(&PadeConfig::standard(), &trace, 30, 4);
+    }
+}

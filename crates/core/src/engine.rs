@@ -1,0 +1,593 @@
+//! Bit-wise out-of-order QK execution engine — §IV-B / §V, Figs. 8 & 11.
+//!
+//! The QK-PU streams key bit planes from DRAM on demand: a key's next
+//! plane is fetched only if BUI-GF could not resolve it. Each fetch costs
+//! tens of cycles of DRAM latency (Fig. 5(d)), so an in-order lane would
+//! idle between planes. The OOE engine keeps up to a scoreboard's worth of
+//! keys in flight per lane: while one key's plane travels from DRAM, the
+//! lane computes whichever other plane has already arrived (Fig. 8(e)).
+//!
+//! The engine simulates all `pe_rows × lanes_per_row` lanes cycle by cycle
+//! against the shared [`HbmModel`]. Fetched planes land in the shared K
+//! SRAM buffer, so the eight PE rows working on different queries reuse
+//! each other's fetches — a plane reaches DRAM only on the *first* row
+//! that needs it. The result carries each query row's retained key set,
+//! exact integer scores for retained keys, and the per-lane busy/stall
+//! breakdown behind Fig. 23(a).
+
+use std::collections::{HashMap, VecDeque};
+
+use pade_mem::{HbmModel, KeyLayout, SramBuffer};
+use pade_quant::BitPlaneMatrix;
+use pade_sim::{Cycle, EventQueue, OpCounts, TrafficCounts, UtilizationCounter};
+
+use crate::bitserial::{plane_contribution, q_sum, BsMode};
+use crate::bui::Bui;
+use crate::config::PadeConfig;
+use crate::filter::{Decision, GuardFilter};
+use crate::gsat::Gsat;
+use crate::scoreboard::Scoreboard;
+
+/// Result of one QK block (up to `pe_rows` query rows over all keys).
+#[derive(Debug, Clone)]
+pub struct QkBlockResult {
+    /// End-to-end QK-PU latency.
+    pub cycles: Cycle,
+    /// Per query row: retained `(token, exact integer score)` pairs in
+    /// token order.
+    pub retained: Vec<Vec<(usize, i64)>>,
+    /// Per-lane utilization (busy / intra-stall / inter-stall).
+    pub lane_utils: Vec<UtilizationCounter>,
+    /// Arithmetic events.
+    pub ops: OpCounts,
+    /// Memory traffic (DRAM via the HBM model + K/Q SRAM).
+    pub traffic: TrafficCounts,
+    /// Unique bit planes fetched from DRAM.
+    pub planes_fetched: u64,
+    /// Unique bit planes a dense bit-serial execution would fetch.
+    pub planes_dense: u64,
+    /// DRAM row-buffer hit rate over the run.
+    pub row_hit_rate: f64,
+    /// Fraction of peak DRAM bandwidth used.
+    pub bandwidth_utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    token: usize,
+    plane: u32,
+}
+
+#[derive(Debug)]
+struct Lane {
+    row: usize,
+    keys: Vec<usize>,
+    next_key: usize,
+    ready: VecDeque<Job>,
+    outstanding: usize,
+    inflight_keys: usize,
+    resolved_keys: usize,
+    sb: Scoreboard,
+    busy_until: Cycle,
+    util: UtilizationCounter,
+    done: bool,
+}
+
+/// Shared K-buffer plane state: in flight from DRAM or already on chip.
+#[derive(Debug, Clone, Copy)]
+enum PlaneState {
+    InFlight(Cycle),
+    Present,
+}
+
+/// Runs the QK-PU over one block of query rows.
+///
+/// `queries[r]` is the r-th query row (all rows share the key tensor);
+/// `logit_scale` maps integer scores to logits for the guard margin.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty, exceeds `config.pe_rows`, or any row's
+/// length differs from the key dimension.
+#[must_use]
+pub fn run_qk_block(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &BitPlaneMatrix,
+    logit_scale: f32,
+) -> QkBlockResult {
+    config.validate();
+    assert!(!queries.is_empty(), "at least one query row required");
+    assert!(queries.len() <= config.pe_rows, "more query rows than PE rows");
+    for q in queries {
+        assert_eq!(q.len(), keys.dims(), "query width must match key dimension");
+    }
+    let bits = keys.bits();
+    let dims = keys.dims();
+    let n_keys = keys.tokens();
+    let gsat = Gsat::new(config.gsat_width, config.subgroup);
+    let window = if config.enable_ooe { config.scoreboard_entries } else { 1 };
+
+    let mut hbm = HbmModel::new(config.hbm);
+    let mut k_sram = SramBuffer::new("kv", config.kv_buffer_kb as u64 * 1024);
+    let mut q_sram = SramBuffer::new("q", config.q_buffer_kb as u64 * 1024);
+    let mut events: EventQueue<(usize, Job)> = EventQueue::new();
+    let mut ops = OpCounts::default();
+    let mut plane_cache: HashMap<(usize, u32), PlaneState> = HashMap::new();
+    let mut planes_fetched = 0u64;
+
+    // Per-row pruning state.
+    let mut filters: Vec<GuardFilter> = queries
+        .iter()
+        .map(|_| {
+            let margin = if config.enable_bui_gf { config.guard_margin() } else { f32::INFINITY };
+            let margin = if margin.is_finite() { margin } else { 1e30 };
+            GuardFilter::new(margin, logit_scale, bits)
+        })
+        .collect();
+    let buis: Vec<Bui> = queries.iter().map(|q| Bui::new(q, bits)).collect();
+    let q_sums: Vec<i64> = queries.iter().map(|q| q_sum(q)).collect();
+    let mut retained: Vec<Vec<(usize, i64)>> = vec![Vec::new(); queries.len()];
+
+    for q in queries {
+        q_sram.write(q.len() as u64);
+    }
+
+    // Lanes: row-major, keys distributed round-robin within each row.
+    let mut lanes: Vec<Lane> = Vec::new();
+    for row in 0..queries.len() {
+        for lane_idx in 0..config.lanes_per_row {
+            lanes.push(Lane {
+                row,
+                keys: (lane_idx..n_keys).step_by(config.lanes_per_row).collect(),
+                next_key: 0,
+                ready: VecDeque::new(),
+                outstanding: 0,
+                inflight_keys: 0,
+                resolved_keys: 0,
+                sb: Scoreboard::new(config.scoreboard_entries),
+                busy_until: Cycle::ZERO,
+                util: UtilizationCounter::new(),
+                done: false,
+            });
+        }
+    }
+
+    let plane_sram_bytes = keys.plane_bytes() as u64;
+    let mut now = Cycle::ZERO;
+    let hard_stop = Cycle(100_000_000); // defensive livelock bound
+
+    // Under the bit-plane-interleaved layout (Fig. 22) one DRAM burst packs
+    // the same plane of several consecutive tokens-in-channel, so a single
+    // fetch serves that whole group (they even belong to the same lane).
+    let coalesce = match config.layout {
+        KeyLayout::BitPlaneInterleaved => {
+            (config.hbm.burst_bytes / plane_sram_bytes.max(1)).max(1) as usize
+        }
+        _ => 1,
+    };
+    let cache_key = |token: usize, plane: u32| -> (usize, u32) {
+        match config.layout {
+            KeyLayout::ValueRowMajor => (token, 0),
+            KeyLayout::BitPlaneLinear => (token, plane),
+            KeyLayout::BitPlaneInterleaved => {
+                let c = config.hbm.channels;
+                let channel = token % c;
+                let idx = token / c;
+                ((idx / coalesce) * coalesce * c + channel, plane)
+            }
+        }
+    };
+
+    // Requests a plane through the shared K buffer; returns its arrival
+    // cycle. Only the first requester pays DRAM; value-major layouts carry
+    // all planes of a token in their first fetch, and interleaved layouts
+    // deliver a whole coalescing group per burst.
+    let request_plane = |token: usize,
+                         plane: u32,
+                         now: Cycle,
+                         hbm: &mut HbmModel,
+                         cache: &mut HashMap<(usize, u32), PlaneState>,
+                         fetched: &mut u64|
+     -> Cycle {
+        let key = cache_key(token, plane);
+        match cache.get(&key) {
+            Some(PlaneState::Present) => now + Cycle(1),
+            Some(PlaneState::InFlight(t)) => (*t).max(now + Cycle(1)),
+            None => {
+                let fetch = config.layout.plane_fetch(token, plane, dims, bits, &config.hbm);
+                let arrival = hbm.access(fetch.loc, fetch.bytes, now).complete;
+                cache.insert(key, PlaneState::InFlight(arrival));
+                *fetched += 1;
+                arrival
+            }
+        }
+    };
+
+    while lanes.iter().any(|l| !l.done) && now < hard_stop {
+        // Deliver arrivals due this cycle.
+        while let Some((lane_id, job)) = events.pop_ready(now) {
+            let lane = &mut lanes[lane_id];
+            lane.outstanding -= 1;
+            lane.ready.push_back(job);
+            let key = cache_key(job.token, job.plane);
+            if let Some(state @ PlaneState::InFlight(_)) = plane_cache.get_mut(&key) {
+                *state = PlaneState::Present;
+                k_sram.write(config.hbm.burst_bytes);
+            }
+        }
+
+        // `lane_id` travels into the event queue alongside the borrow, so
+        // the indexed form is clearer than enumerate-with-reborrow here.
+        #[allow(clippy::needless_range_loop)]
+        for lane_id in 0..lanes.len() {
+            let lane = &mut lanes[lane_id];
+            if lane.done || now < lane.busy_until {
+                continue;
+            }
+
+            // Issue new first-plane fetches while the OOE window allows.
+            // The window starts small and grows as keys resolve — the
+            // observation-window semantics of Fig. 9: early keys mature the
+            // threshold before the bulk enters flight.
+            let dynamic_window = if config.enable_ooe {
+                window.min(2 + 2 * lane.resolved_keys)
+            } else {
+                1
+            };
+            while lane.inflight_keys < dynamic_window && lane.next_key < lane.keys.len() {
+                let token = lane.keys[lane.next_key];
+                lane.next_key += 1;
+                lane.inflight_keys += 1;
+                lane.outstanding += 1;
+                let arrival =
+                    request_plane(token, 0, now, &mut hbm, &mut plane_cache, &mut planes_fetched);
+                events.schedule(arrival, (lane_id, Job { token, plane: 0 }));
+                if !config.enable_ooe {
+                    break;
+                }
+            }
+
+            if let Some(job) = lane.ready.pop_front() {
+                let plane = keys.token(job.token).plane(job.plane);
+                k_sram.read(plane_sram_bytes);
+                // Numeric value is mode-independent (Eq. 6); timing and op
+                // counts depend on the selection scheme: per-sub-group BS
+                // bounds every sub-group at half occupancy (§V-D), one-sided
+                // selection does not.
+                let contrib = plane_contribution(
+                    queries[lane.row],
+                    plane,
+                    job.plane,
+                    bits,
+                    q_sums[lane.row],
+                    false,
+                );
+                let (cycles, selected, extra_subs) = if config.enable_bs {
+                    let sel = gsat.bs_selected_total(plane);
+                    let flipped_groups = gsat
+                        .bs_subgroup_selected(plane, 0)
+                        .len() as u64; // one potential subtract per group
+                    (gsat.bs_plane_cycles(plane), sel, flipped_groups / 2)
+                } else {
+                    (
+                        gsat.plane_cycles(plane, BsMode::Ones),
+                        plane.count_ones(),
+                        0,
+                    )
+                };
+                let balanced = gsat.balanced_cycles(plane, BsMode::Ones).min(cycles);
+                lane.util.busy(balanced);
+                lane.util.stall_intra(cycles - balanced);
+                lane.busy_until = now + Cycle(cycles);
+                ops.bit_serial_acc += u64::from(selected) + extra_subs;
+                ops.shift_add += 1; // plane-weight application
+
+                // Fold into the scoreboard and decide.
+                let partial = match lane.sb.lookup(job.token) {
+                    Some(e) => {
+                        let p = e.partial + contrib.value;
+                        lane.sb.update(job.token, job.plane + 1, p);
+                        p
+                    }
+                    None => {
+                        lane.sb
+                            .insert(job.token, job.plane + 1, contrib.value)
+                            .expect("window bounds in-flight keys to scoreboard capacity");
+                        contrib.value
+                    }
+                };
+                let f = &mut filters[lane.row];
+                let bui = &buis[lane.row];
+                f.observe_lower_bound(bui.lower_bound(partial, job.plane));
+                ops.lut_lookup += 1; // BUI LUT read
+                match f.decide(bui.upper_bound(partial, job.plane), job.plane) {
+                    Decision::Prune => {
+                        lane.sb.evict(job.token);
+                        lane.inflight_keys -= 1;
+                        lane.resolved_keys += 1;
+                    }
+                    Decision::Retain => {
+                        lane.sb.evict(job.token);
+                        lane.inflight_keys -= 1;
+                        lane.resolved_keys += 1;
+                        retained[lane.row].push((job.token, partial));
+                    }
+                    Decision::NeedMore => {
+                        lane.outstanding += 1;
+                        let arrival = request_plane(
+                            job.token,
+                            job.plane + 1,
+                            now,
+                            &mut hbm,
+                            &mut plane_cache,
+                            &mut planes_fetched,
+                        );
+                        events
+                            .schedule(arrival, (lane_id, Job { token: job.token, plane: job.plane + 1 }));
+                    }
+                }
+            } else if lane.outstanding > 0 {
+                lane.util.stall_mem(1);
+            } else if lane.inflight_keys == 0 && lane.next_key >= lane.keys.len() {
+                lane.done = true;
+            } else {
+                lane.util.stall_mem(1);
+            }
+        }
+
+        // Advance to the next interesting time (skip long memory waits).
+        let next_busy = lanes
+            .iter()
+            .filter(|l| !l.done && l.busy_until > now)
+            .map(|l| l.busy_until)
+            .min();
+        let next_event = events.next_time().filter(|&t| t > now);
+        let target = match (next_busy, next_event) {
+            (Some(b), Some(e)) => b.min(e),
+            (Some(b), None) => b,
+            (None, Some(e)) => e,
+            (None, None) => now + Cycle(1),
+        }
+        .max(now + Cycle(1));
+        let skipped = (target - now).0;
+        if skipped > 1 {
+            for lane in lanes.iter_mut().filter(|l| !l.done) {
+                if lane.busy_until <= now && lane.ready.is_empty() && lane.outstanding > 0 {
+                    lane.util.stall_mem(skipped - 1);
+                }
+            }
+        }
+        now = target;
+    }
+
+    for r in &mut retained {
+        r.sort_unstable_by_key(|&(t, _)| t);
+    }
+
+    let mut traffic = hbm.traffic();
+    traffic.merge(&k_sram.traffic());
+    traffic.merge(&q_sram.traffic());
+    for f in &filters {
+        ops.compare += f.compares();
+    }
+
+    let horizon = now;
+    let mut lane_utils = Vec::with_capacity(lanes.len());
+    for mut lane in lanes {
+        lane.util.pad_to(horizon);
+        lane_utils.push(lane.util);
+    }
+
+    QkBlockResult {
+        cycles: horizon,
+        retained,
+        lane_utils,
+        ops,
+        traffic,
+        planes_fetched,
+        planes_dense: dense_fetches(n_keys, bits, config, coalesce),
+        row_hit_rate: hbm.row_hit_rate(),
+        bandwidth_utilization: hbm.bandwidth_utilization(horizon),
+    }
+}
+
+/// DRAM fetches a dense (no-pruning) bit-serial run issues under `layout`.
+fn dense_fetches(n_keys: usize, bits: u32, config: &PadeConfig, coalesce: usize) -> u64 {
+    match config.layout {
+        KeyLayout::ValueRowMajor => n_keys as u64,
+        KeyLayout::BitPlaneLinear => n_keys as u64 * u64::from(bits),
+        KeyLayout::BitPlaneInterleaved => {
+            let c = config.hbm.channels;
+            let groups: u64 = (0..c)
+                .map(|ch| {
+                    let tokens_in_channel = (n_keys + c - 1 - ch) / c;
+                    tokens_in_channel.div_ceil(coalesce) as u64
+                })
+                .sum();
+            groups * u64::from(bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_workload::trace::{AttentionTrace, TraceConfig};
+
+    fn small_trace() -> AttentionTrace {
+        AttentionTrace::generate(&TraceConfig::small_demo())
+    }
+
+    fn run(config: &PadeConfig, trace: &AttentionTrace) -> QkBlockResult {
+        let keys =
+            BitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), config.bits)
+                .expect("key bit planes");
+        let queries: Vec<&[i8]> =
+            (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+        run_qk_block(config, &queries, &keys, trace.logit_scale())
+    }
+
+    #[test]
+    fn retained_scores_are_exact_dot_products() {
+        let trace = small_trace();
+        let result = run(&PadeConfig::standard(), &trace);
+        for (row, retained) in result.retained.iter().enumerate() {
+            let logits = trace.exact_logits(row);
+            for &(token, score) in retained {
+                let expect = (logits[token] / trace.logit_scale()).round() as i64;
+                assert_eq!(score, expect, "row {row} token {token}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_is_safe_every_retained_max_survives() {
+        let trace = small_trace();
+        let result = run(&PadeConfig::standard(), &trace);
+        for (row, retained) in result.retained.iter().enumerate() {
+            assert!(!retained.is_empty(), "row {row} must retain something");
+            let logits = trace.exact_logits(row);
+            let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let best_retained =
+                retained.iter().map(|&(t, _)| logits[t]).fold(f32::NEG_INFINITY, f32::max);
+            assert!(
+                (best_retained - max).abs() < 1e-3,
+                "row {row}: the argmax key must be retained ({best_retained} vs {max})"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_tokens_sit_below_guard_margin() {
+        let trace = small_trace();
+        let config = PadeConfig::standard();
+        let result = run(&config, &trace);
+        for (row, retained) in result.retained.iter().enumerate() {
+            let logits = trace.exact_logits(row);
+            let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let kept: Vec<usize> = retained.iter().map(|&(t, _)| t).collect();
+            for (j, &logit) in logits.iter().enumerate() {
+                if !kept.contains(&j) {
+                    assert!(
+                        logit <= max - config.guard_margin() + 0.1,
+                        "row {row}: pruned token {j} at {logit} vs max {max}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_bui_gf_retains_everything() {
+        let trace = small_trace();
+        let config = PadeConfig { enable_bui_gf: false, ..PadeConfig::standard() };
+        let result = run(&config, &trace);
+        for retained in &result.retained {
+            assert_eq!(retained.len(), trace.keys().rows());
+        }
+        // Dense bit-serial fetches every unique plane exactly once.
+        assert_eq!(result.planes_fetched, result.planes_dense);
+    }
+
+    #[test]
+    fn pruning_reduces_plane_fetches() {
+        // Needs a sequence long enough for the guard threshold to mature
+        // past the first OOE wave (burst groups stay alive while any member
+        // key is undecided, so short sequences barely save fetches).
+        let trace = AttentionTrace::generate(&pade_workload::trace::TraceConfig {
+            seq_len: 1024,
+            n_queries: 4,
+            ..pade_workload::trace::TraceConfig::small_demo()
+        });
+        let sparse = run(&PadeConfig::standard(), &trace);
+        let dense = run(&PadeConfig { enable_bui_gf: false, ..PadeConfig::standard() }, &trace);
+        assert!(
+            (sparse.planes_fetched as f64) < 0.85 * dense.planes_fetched as f64,
+            "early termination should cut plane fetches: {} vs {}",
+            sparse.planes_fetched,
+            dense.planes_fetched
+        );
+        assert!(sparse.traffic.dram_read_bytes < dense.traffic.dram_read_bytes);
+        // Compute shrinks much harder than fetches (groups amortize).
+        assert!(
+            (sparse.ops.bit_serial_acc as f64) < 0.75 * dense.ops.bit_serial_acc as f64,
+            "compute: {} vs {}",
+            sparse.ops.bit_serial_acc,
+            dense.ops.bit_serial_acc
+        );
+    }
+
+    #[test]
+    fn ooe_outperforms_in_order() {
+        let trace = small_trace();
+        let ooe = run(&PadeConfig::standard(), &trace);
+        let in_order = run(&PadeConfig { enable_ooe: false, ..PadeConfig::standard() }, &trace);
+        assert!(
+            ooe.cycles < in_order.cycles,
+            "OOE {} should beat in-order {}",
+            ooe.cycles,
+            in_order.cycles
+        );
+    }
+
+    #[test]
+    fn bs_improves_ops_and_plane_time() {
+        let trace = small_trace();
+        let with_bs = run(&PadeConfig::standard(), &trace);
+        let without = run(&PadeConfig { enable_bs: false, ..PadeConfig::standard() }, &trace);
+        // BS accumulates the rarer bit value: never more gated adds, and
+        // never more total plane-absorption time (busy + intra stalls).
+        assert!(with_bs.ops.bit_serial_acc <= without.ops.bit_serial_acc);
+        let time_with: u64 =
+            with_bs.lane_utils.iter().map(|u| u.busy_cycles() + u.intra_stalls()).sum();
+        let time_without: u64 =
+            without.lane_utils.iter().map(|u| u.busy_cycles() + u.intra_stalls()).sum();
+        assert!(
+            time_with <= time_without,
+            "BS should not lengthen plane time: {time_with} vs {time_without}"
+        );
+    }
+
+    #[test]
+    fn interleaved_layout_beats_linear_layout() {
+        let trace = small_trace();
+        let with_dl = run(&PadeConfig::standard(), &trace);
+        let without_dl = run(
+            &PadeConfig { layout: KeyLayout::BitPlaneLinear, ..PadeConfig::standard() },
+            &trace,
+        );
+        // The co-designed layout coalesces plane fetches into shared bursts
+        // and spreads planes across banks: fewer fetches, faster finish.
+        assert!(with_dl.planes_fetched < without_dl.planes_fetched);
+        assert!(with_dl.cycles < without_dl.cycles);
+        assert!(
+            with_dl.traffic.dram_read_bytes < without_dl.traffic.dram_read_bytes,
+            "{} vs {}",
+            with_dl.traffic.dram_read_bytes,
+            without_dl.traffic.dram_read_bytes
+        );
+    }
+
+    #[test]
+    fn shared_plane_cache_deduplicates_fetches_across_rows() {
+        let trace = small_trace();
+        let config = PadeConfig { enable_bui_gf: false, ..PadeConfig::standard() };
+        let result = run(&config, &trace);
+        // 4 query rows × 256 keys × 8 planes of compute, but DRAM only sees
+        // one burst per (coalescing group, plane): 256 tokens / (16 channels
+        // × 4 tokens-per-burst) = 4 groups per channel → 64 × 8 = 512.
+        assert_eq!(result.planes_fetched, 512);
+        let compute_planes = result.ops.shift_add;
+        assert_eq!(compute_planes, 4 * 256 * 8);
+    }
+
+    #[test]
+    fn utilization_accounts_for_full_horizon() {
+        let trace = small_trace();
+        let result = run(&PadeConfig::standard(), &trace);
+        for u in &result.lane_utils {
+            assert_eq!(u.total(), result.cycles.0, "every lane accounts every cycle");
+        }
+    }
+}

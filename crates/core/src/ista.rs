@@ -1,0 +1,270 @@
+//! Interleaving-based Sparsity-Tiled Attention (ISTA) — §IV-C, Fig. 10.
+//!
+//! FlashAttention-style tiling conflicts with row-wise pruning because the
+//! threshold needs the row maximum. ISTA resolves the conflict with the
+//! softmax monotonicity argument of Eq. 7 — a token below the threshold
+//! *within a tile subset* is below it globally — so BUI-GF runs inside an
+//! observation window and every key that reaches the LSB unpruned enters
+//! the Retained-Key Board. Each `Bc` retained keys form a tile: the
+//! matching V rows are fetched on demand and folded into the online-softmax
+//! state `(m, l, O)`.
+//!
+//! Left-to-right tile order updates the running maximum whenever a later
+//! tile holds a larger score; every update rescales the accumulator
+//! (lines 11–12 of Fig. 10(c)). The **head–tail interleaved** order
+//! processes the initial region, then the recent region, then returns
+//! toward the middle — placing both likely-maximum regions (attention
+//! sinks and recency, §IV-C) first, so the maximum settles early. Without
+//! locality the orders tie; interleaving is never worse than parity in
+//! expectation (asserted by test).
+
+use pade_linalg::{MatF32, OnlineSoftmax};
+use pade_sim::OpCounts;
+
+use crate::vpu::Vpu;
+
+/// Result of running ISTA for one query row.
+#[derive(Debug, Clone)]
+pub struct IstaResult {
+    /// Final attention output (`1 × H`).
+    pub output: Vec<f32>,
+    /// Number of tiles processed.
+    pub tiles: usize,
+    /// Running-max updates that forced an accumulator rescale.
+    pub max_updates: usize,
+    /// Equivalent scalar ops spent on those rescales.
+    pub rescale_ops: u64,
+    /// V rows fetched from DRAM (no cross-row reuse at this layer; RARS
+    /// handles sharing across query rows).
+    pub v_rows_fetched: u64,
+    /// V-PU arithmetic events.
+    pub ops: OpCounts,
+    /// V-PU cycles.
+    pub vpu_cycles: u64,
+}
+
+/// Tile processing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileOrder {
+    /// Naive left-to-right (ascending token ranges).
+    LeftToRight,
+    /// Head–tail interleaving (Fig. 10(a)): initial region, recent region,
+    /// post-initial, pre-recent, …
+    HeadTail,
+}
+
+/// Produces the visit order of `n` tiles.
+#[must_use]
+pub fn tile_visit_order(n: usize, order: TileOrder) -> Vec<usize> {
+    match order {
+        TileOrder::LeftToRight => (0..n).collect(),
+        TileOrder::HeadTail => {
+            let mut out = Vec::with_capacity(n);
+            let (mut lo, mut hi) = (0usize, n);
+            while lo < hi {
+                out.push(lo);
+                lo += 1;
+                if lo < hi {
+                    hi -= 1;
+                    out.push(hi);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Runs ISTA for one query row over its retained keys.
+///
+/// `retained` holds `(token, logit)` pairs in token order (the discovery
+/// order of the observation window); `values` is the full V matrix and
+/// `bc` the tile size. The output equals exact softmax attention over the
+/// retained subset (property-tested).
+///
+/// # Panics
+///
+/// Panics if `bc == 0` or a retained token is out of range.
+#[must_use]
+pub fn run_ista(
+    retained: &[(usize, f32)],
+    values: &MatF32,
+    bc: usize,
+    order: TileOrder,
+    vpu: &Vpu,
+) -> IstaResult {
+    assert!(bc > 0, "tile size must be positive");
+    let h = values.cols();
+    let tiles: Vec<&[(usize, f32)]> = retained.chunks(bc).collect();
+    let visit = tile_visit_order(tiles.len(), order);
+
+    let mut acc = OnlineSoftmax::new(h);
+    let mut ops = OpCounts::default();
+    let mut vpu_cycles = 0u64;
+    let mut v_rows = 0u64;
+    let mut prev_rescale = 0u64;
+    for &t in &visit {
+        let tile = tiles[t];
+        let scores: Vec<f32> = tile.iter().map(|&(_, s)| s).collect();
+        let rows: Vec<&[f32]> = tile
+            .iter()
+            .map(|&(j, _)| {
+                assert!(j < values.rows(), "retained token {j} out of range");
+                values.row(j)
+            })
+            .collect();
+        acc.update(&scores, &rows);
+        v_rows += tile.len() as u64;
+        let rescale_delta = acc.rescale_ops() - prev_rescale;
+        prev_rescale = acc.rescale_ops();
+        let cost = vpu.tile_cost(tile.len(), h, rescale_delta);
+        ops.merge(&cost.ops);
+        vpu_cycles += cost.cycles.0;
+    }
+    let norm = vpu.normalize_cost(h);
+    ops.merge(&norm.ops);
+    vpu_cycles += norm.cycles.0;
+
+    IstaResult {
+        output: acc.clone().finalize(),
+        tiles: tiles.len(),
+        max_updates: acc.max_updates(),
+        rescale_ops: acc.rescale_ops(),
+        v_rows_fetched: v_rows,
+        ops,
+        vpu_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn values(n: usize, h: usize) -> MatF32 {
+        MatF32::from_fn(n, h, |i, j| ((i * 31 + j * 7) % 17) as f32 * 0.1 - 0.8)
+    }
+
+    fn keys_identity(n: usize, h: usize) -> MatF32 {
+        // Orthogonal-ish keys so subset_attention can be driven by logits
+        // directly: we bypass K by supplying logits to both sides.
+        MatF32::zeros(n, h)
+    }
+
+    fn reference(retained: &[(usize, f32)], v: &MatF32) -> Vec<f32> {
+        // subset_attention with explicit logits: emulate by softmax over
+        // retained logits.
+        let _ = keys_identity(1, 1);
+        let logits: Vec<f32> = retained.iter().map(|&(_, s)| s).collect();
+        let w = pade_linalg::softmax(&logits);
+        let mut out = vec![0.0f32; v.cols()];
+        for (&(j, _), &wi) in retained.iter().zip(&w) {
+            for (o, &x) in out.iter_mut().zip(v.row(j)) {
+                *o += wi * x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn visit_orders() {
+        assert_eq!(tile_visit_order(5, TileOrder::LeftToRight), vec![0, 1, 2, 3, 4]);
+        assert_eq!(tile_visit_order(5, TileOrder::HeadTail), vec![0, 4, 1, 3, 2]);
+        assert_eq!(tile_visit_order(4, TileOrder::HeadTail), vec![0, 3, 1, 2]);
+        assert_eq!(tile_visit_order(1, TileOrder::HeadTail), vec![0]);
+        assert!(tile_visit_order(0, TileOrder::HeadTail).is_empty());
+    }
+
+    #[test]
+    fn ista_matches_subset_attention() {
+        let v = values(64, 8);
+        let retained: Vec<(usize, f32)> =
+            (0..64).step_by(3).map(|j| (j, (j % 13) as f32 * 0.5 - 2.0)).collect();
+        for order in [TileOrder::LeftToRight, TileOrder::HeadTail] {
+            let r = run_ista(&retained, &v, 4, order, &Vpu::default());
+            let expect = reference(&retained, &v);
+            for (a, b) in r.output.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-4, "{order:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_beats_ltr_when_max_is_recent() {
+        // Scores rise toward the sequence end (recency locality): LTR
+        // updates the max on nearly every tile; head-tail sees the tail
+        // tile second and locks the max immediately.
+        let v = values(80, 4);
+        let retained: Vec<(usize, f32)> = (0..80).map(|j| (j, j as f32 * 0.1)).collect();
+        let ltr = run_ista(&retained, &v, 8, TileOrder::LeftToRight, &Vpu::default());
+        let ht = run_ista(&retained, &v, 8, TileOrder::HeadTail, &Vpu::default());
+        assert!(
+            ht.max_updates < ltr.max_updates,
+            "head-tail {} vs LTR {}",
+            ht.max_updates,
+            ltr.max_updates
+        );
+        assert!(ht.rescale_ops < ltr.rescale_ops);
+    }
+
+    #[test]
+    fn interleaving_matches_ltr_when_max_is_initial() {
+        // Attention-sink-dominated rows: both orders see the max in tile 0.
+        let v = values(40, 4);
+        let mut retained: Vec<(usize, f32)> = (0..40).map(|j| (j, -(j as f32) * 0.05)).collect();
+        retained[0].1 = 10.0;
+        let ltr = run_ista(&retained, &v, 8, TileOrder::LeftToRight, &Vpu::default());
+        let ht = run_ista(&retained, &v, 8, TileOrder::HeadTail, &Vpu::default());
+        assert_eq!(ltr.max_updates, 0);
+        assert_eq!(ht.max_updates, 0);
+    }
+
+    #[test]
+    fn empty_retained_set_yields_zero_output() {
+        let v = values(8, 4);
+        let r = run_ista(&[], &v, 4, TileOrder::HeadTail, &Vpu::default());
+        assert_eq!(r.output, vec![0.0; 4]);
+        assert_eq!(r.tiles, 0);
+        assert_eq!(r.v_rows_fetched, 0);
+    }
+
+    #[test]
+    fn v_fetches_equal_retained_count() {
+        let v = values(32, 4);
+        let retained: Vec<(usize, f32)> = (0..20).map(|j| (j, 0.1 * j as f32)).collect();
+        let r = run_ista(&retained, &v, 6, TileOrder::LeftToRight, &Vpu::default());
+        assert_eq!(r.v_rows_fetched, 20);
+        assert_eq!(r.tiles, 4); // ceil(20/6)
+        assert_eq!(r.ops.fp_exp, 20);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ista_equals_reference_for_any_order(
+            n in 1usize..60,
+            bc in 1usize..10,
+            seed in any::<u64>(),
+        ) {
+            let v = values(n, 6);
+            let retained: Vec<(usize, f32)> = (0..n)
+                .map(|j| {
+                    let h = seed.wrapping_add((j as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                    (j, ((h >> 40) as f32 / (1u64 << 22) as f32) - 1.0)
+                })
+                .collect();
+            let expect = reference(&retained, &v);
+            for order in [TileOrder::LeftToRight, TileOrder::HeadTail] {
+                let r = run_ista(&retained, &v, bc, order, &Vpu::default());
+                for (a, b) in r.output.iter().zip(&expect) {
+                    prop_assert!((a - b).abs() < 1e-3, "{:?}: {} vs {}", order, a, b);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_headtail_visits_each_tile_once(n in 0usize..50) {
+            let mut v = tile_visit_order(n, TileOrder::HeadTail);
+            v.sort_unstable();
+            prop_assert_eq!(v, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

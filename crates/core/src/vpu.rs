@@ -1,0 +1,132 @@
+//! Value Processing Unit (V-PU) — §V-A.
+//!
+//! Retained scores flow from the QK-PU through the Score/IDX FIFOs into an
+//! 8×16 output-stationary INT8 systolic array preceded by a 128-input FP16
+//! auxiliary processing module (APM) for exponentiation. This module is an
+//! analytic timing/op model: the V-PU's behaviour is regular (no
+//! data-dependent control), so per-tile costs are closed-form.
+
+use pade_sim::{Cycle, OpCounts};
+
+/// Timing/op model of the V-PU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vpu {
+    rows: usize,
+    cols: usize,
+}
+
+/// Cost of processing one ISTA tile through the V-PU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileCost {
+    /// Cycles to drain the tile through the systolic array.
+    pub cycles: Cycle,
+    /// Arithmetic events (APM exponentials + P·V MACs).
+    pub ops: OpCounts,
+}
+
+impl Vpu {
+    /// Creates a V-PU with an `rows × cols` INT8 systolic array
+    /// (Table III: 8×16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "systolic array must be non-empty");
+        Self { rows, cols }
+    }
+
+    /// MACs the array completes per cycle.
+    #[must_use]
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.rows * self.cols) as u64
+    }
+
+    /// Cost of one tile: `retained` exponentiated scores weighting
+    /// `retained × head_dim` value MACs, plus the accumulator rescale work
+    /// (`rescale_ops` equivalent FP adds) the ISTA layer charges for
+    /// running-max updates.
+    #[must_use]
+    pub fn tile_cost(&self, retained: usize, head_dim: usize, rescale_ops: u64) -> TileCost {
+        let macs = (retained * head_dim) as u64;
+        let ops = OpCounts {
+            int8_mac: macs,
+            fp_exp: retained as u64,
+            fp_add: rescale_ops / 2,
+            fp_mul: rescale_ops / 2,
+            ..OpCounts::default()
+        };
+        // Systolic throughput: tiles stream back to back (output-
+        // stationary), so only the MAC drain counts per tile; the one-time
+        // pipeline fill is charged in [`Vpu::normalize_cost`].
+        let cycles = macs.div_ceil(self.macs_per_cycle()).max(1);
+        TileCost { cycles: Cycle(cycles), ops }
+    }
+
+    /// Final output normalization (`diag(l)⁻¹·O`, line 13 of Fig. 10(c)):
+    /// one FP divide-equivalent per output element, plus the one-time
+    /// systolic pipeline fill for the row.
+    #[must_use]
+    pub fn normalize_cost(&self, head_dim: usize) -> TileCost {
+        let ops = OpCounts { fp_mul: head_dim as u64, ..OpCounts::default() };
+        let cycles = head_dim.div_ceil(self.cols) as u64 + (self.rows + self.cols) as u64;
+        TileCost { cycles: Cycle(cycles), ops }
+    }
+}
+
+impl Default for Vpu {
+    /// The Table III configuration: 8×16.
+    fn default() -> Self {
+        Self::new(8, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_throughput() {
+        assert_eq!(Vpu::default().macs_per_cycle(), 128);
+    }
+
+    #[test]
+    fn tile_cost_scales_with_retained() {
+        let v = Vpu::default();
+        let small = v.tile_cost(16, 64, 0);
+        let big = v.tile_cost(32, 64, 0);
+        assert_eq!(small.ops.int8_mac, 16 * 64);
+        assert_eq!(big.ops.int8_mac, 32 * 64);
+        assert!(big.cycles > small.cycles);
+        assert_eq!(small.ops.fp_exp, 16);
+    }
+
+    #[test]
+    fn rescale_ops_are_charged_to_fp_units() {
+        let v = Vpu::default();
+        let c = v.tile_cost(16, 64, 100);
+        assert_eq!(c.ops.fp_add + c.ops.fp_mul, 100);
+    }
+
+    #[test]
+    fn empty_tile_costs_one_beat() {
+        let v = Vpu::default();
+        let c = v.tile_cost(0, 64, 0);
+        assert_eq!(c.ops.int8_mac, 0);
+        assert_eq!(c.cycles, Cycle(1));
+    }
+
+    #[test]
+    fn normalize_charges_muls_and_pipeline_fill() {
+        let c = Vpu::default().normalize_cost(64);
+        assert_eq!(c.ops.fp_mul, 64);
+        assert_eq!(c.cycles, Cycle(64 / 16 + 8 + 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_dimension_rejected() {
+        let _ = Vpu::new(0, 16);
+    }
+}

@@ -1,0 +1,264 @@
+//! Area and module-level power model of the PADE accelerator.
+//!
+//! Calibrated to Fig. 20 of the paper: 4.53 mm² and 591 mW at TSMC 28 nm /
+//! 800 MHz, with the per-module shares reported there. Also provides the
+//! GSAT design-space cost model behind Fig. 17(a).
+
+/// The hardware modules of the PADE accelerator (Fig. 11(a) / Fig. 20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Module {
+    /// Bit-wise PE lanes (GSAT datapaths).
+    PeLane,
+    /// Value processing unit (systolic array + APM).
+    VPu,
+    /// On-chip K/V/Q buffers.
+    OnChipBuffer,
+    /// Scoreboards inside the PE lanes.
+    Scoreboard,
+    /// Decision units inside the PE lanes.
+    DecisionUnit,
+    /// BUI generator (uncertainty-interval LUT builder).
+    BuiGenerator,
+    /// BUI-GF threshold modules.
+    BuiGfModule,
+    /// Bidirectional-sparsity and RARS schedulers.
+    Schedulers,
+    /// Everything else (top control, misc).
+    Others,
+}
+
+/// All modules, in the order used by reports.
+pub const MODULES: [Module; 9] = [
+    Module::PeLane,
+    Module::VPu,
+    Module::OnChipBuffer,
+    Module::Scoreboard,
+    Module::DecisionUnit,
+    Module::BuiGenerator,
+    Module::BuiGfModule,
+    Module::Schedulers,
+    Module::Others,
+];
+
+impl Module {
+    /// Display name matching the paper's labels.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Module::PeLane => "PE Lane",
+            Module::VPu => "V-PU",
+            Module::OnChipBuffer => "On-chip buffer",
+            Module::Scoreboard => "Scoreboard",
+            Module::DecisionUnit => "Decision Unit",
+            Module::BuiGenerator => "BUI Generator",
+            Module::BuiGfModule => "BUI-GF Module",
+            Module::Schedulers => "BS & RARS Scheduler",
+            Module::Others => "Others",
+        }
+    }
+}
+
+/// Area/power model of the full accelerator at TSMC 28 nm, 800 MHz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PadeAreaModel {
+    total_area_mm2: f64,
+    total_power_mw: f64,
+}
+
+impl PadeAreaModel {
+    /// The paper's reported design point: 4.53 mm², 591 mW.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { total_area_mm2: 4.53, total_power_mw: 591.0 }
+    }
+
+    /// Total die area.
+    #[must_use]
+    pub fn total_area_mm2(&self) -> f64 {
+        self.total_area_mm2
+    }
+
+    /// Total power at full activity.
+    #[must_use]
+    pub fn total_power_mw(&self) -> f64 {
+        self.total_power_mw
+    }
+
+    /// Area share of a module (normalized so all modules sum to 1).
+    #[must_use]
+    pub fn area_fraction(&self, m: Module) -> f64 {
+        let raw = match m {
+            Module::PeLane => 34.1,
+            Module::VPu => 28.5,
+            Module::OnChipBuffer => 23.0,
+            Module::Scoreboard => 3.7,
+            Module::DecisionUnit => 2.1,
+            Module::BuiGenerator => 2.0,
+            Module::BuiGfModule => 2.9,
+            Module::Schedulers => 2.8,
+            Module::Others => 3.2,
+        };
+        let total: f64 = MODULES.iter().map(|m| self.raw_area(*m)).sum();
+        let _ = raw;
+        self.raw_area(m) / total
+    }
+
+    fn raw_area(&self, m: Module) -> f64 {
+        match m {
+            Module::PeLane => 34.1,
+            Module::VPu => 28.5,
+            Module::OnChipBuffer => 23.0,
+            Module::Scoreboard => 3.7,
+            Module::DecisionUnit => 2.1,
+            Module::BuiGenerator => 2.0,
+            Module::BuiGfModule => 2.9,
+            Module::Schedulers => 2.8,
+            Module::Others => 3.2,
+        }
+    }
+
+    fn raw_power(&self, m: Module) -> f64 {
+        match m {
+            Module::PeLane => 41.6,
+            Module::VPu => 29.8,
+            Module::OnChipBuffer => 14.3,
+            Module::Scoreboard => 3.3,
+            Module::DecisionUnit => 1.6,
+            Module::BuiGenerator => 5.9,
+            Module::BuiGfModule => 6.2,
+            Module::Schedulers => 1.3,
+            Module::Others => 2.8,
+        }
+    }
+
+    /// Power share of a module (normalized so all modules sum to 1).
+    #[must_use]
+    pub fn power_fraction(&self, m: Module) -> f64 {
+        let total: f64 = MODULES.iter().map(|m| self.raw_power(*m)).sum();
+        self.raw_power(m) / total
+    }
+
+    /// Absolute module area in mm².
+    #[must_use]
+    pub fn area_mm2(&self, m: Module) -> f64 {
+        self.total_area_mm2 * self.area_fraction(m)
+    }
+
+    /// Absolute module power in mW.
+    #[must_use]
+    pub fn power_mw(&self, m: Module) -> f64 {
+        self.total_power_mw * self.power_fraction(m)
+    }
+
+    /// The stage-fusion overhead the paper quotes: scoreboard + decision
+    /// unit area share ("just 5.8 % area"), and BUI generator + BUI-GF
+    /// power share ("12.1 % power").
+    #[must_use]
+    pub fn fusion_overhead(&self) -> (f64, f64) {
+        let area = self.area_fraction(Module::Scoreboard) + self.area_fraction(Module::DecisionUnit);
+        let power =
+            self.power_fraction(Module::BuiGenerator) + self.power_fraction(Module::BuiGfModule);
+        (area, power)
+    }
+
+    /// Peak energy efficiency in TOPS/W (the paper reports 11.36 TOPS/W).
+    #[must_use]
+    pub fn peak_tops_per_watt(&self) -> f64 {
+        // Peak throughput: 128 bit-wise lanes × 64-wide GSAT at 800 MHz
+        // (counting gated accumulates as ops) plus the 8×16 INT8 systolic
+        // array at 2 ops/MAC.
+        let qk_ops = 128.0 * 64.0 * 800e6;
+        let v_ops = 8.0 * 16.0 * 2.0 * 800e6;
+        (qk_ops + v_ops) / (self.total_power_mw * 1e-3) / 1e12
+    }
+}
+
+impl Default for PadeAreaModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// GSAT sub-group design-space cost (Fig. 17(a)): relative hardware cost of
+/// building the 64-input dot product from sub-groups of `group_size`.
+///
+/// Muxes grow with group size (`g/2` sliding selectors of `(g/2+1):1` per
+/// sub-group) while per-sub-group subtractors and q-sum generators amortize
+/// away; the optimum sits at `g = 8`, the value the accelerator adopts.
+///
+/// Returns `(area_units, power_units)` in arbitrary consistent units.
+///
+/// # Panics
+///
+/// Panics unless `group_size` is a power of two in `2..=64`.
+#[must_use]
+pub fn gsat_cost(group_size: usize) -> (f64, f64) {
+    assert!(
+        group_size.is_power_of_two() && (2..=64).contains(&group_size),
+        "group size must be a power of two in 2..=64"
+    );
+    let g = group_size as f64;
+    let subgroups = 64.0 / g;
+    // Mux cost per subgroup: (g/2) selectors, each with (g/2 + 1) inputs.
+    let mux = subgroups * (g / 2.0) * (g / 2.0 + 1.0);
+    // Fixed per-subgroup overhead: subtractor + q-sum share + control.
+    let area = mux + subgroups * 16.0;
+    let power = 0.8 * mux + subgroups * 12.0;
+    (area, power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = PadeAreaModel::paper();
+        let area: f64 = MODULES.iter().map(|x| m.area_fraction(*x)).sum();
+        let power: f64 = MODULES.iter().map(|x| m.power_fraction(*x)).sum();
+        assert!((area - 1.0).abs() < 1e-9);
+        assert!((power - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pe_lane_dominates_area_and_power() {
+        let m = PadeAreaModel::paper();
+        for x in MODULES {
+            if x != Module::PeLane {
+                assert!(m.area_fraction(Module::PeLane) >= m.area_fraction(x));
+                assert!(m.power_fraction(Module::PeLane) >= m.power_fraction(x));
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_overhead_matches_paper_quotes() {
+        let (area, power) = PadeAreaModel::paper().fusion_overhead();
+        // Paper: ~5.8% area for scoreboard+decision, ~12.1% power for BUI.
+        assert!((area - 0.058).abs() < 0.01, "area share {area}");
+        assert!((power - 0.121).abs() < 0.015, "power share {power}");
+    }
+
+    #[test]
+    fn peak_efficiency_near_paper_value() {
+        let eff = PadeAreaModel::paper().peak_tops_per_watt();
+        assert!((eff - 11.36).abs() < 1.5, "peak TOPS/W {eff}");
+    }
+
+    #[test]
+    fn gsat_optimum_is_group_of_eight() {
+        let candidates = [2usize, 4, 8, 16, 32, 64];
+        let best_area = candidates
+            .iter()
+            .min_by(|&&a, &&b| gsat_cost(a).0.partial_cmp(&gsat_cost(b).0).unwrap())
+            .copied()
+            .unwrap();
+        assert_eq!(best_area, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn gsat_rejects_non_power_of_two() {
+        let _ = gsat_cost(6);
+    }
+}

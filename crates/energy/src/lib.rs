@@ -1,0 +1,34 @@
+//! Energy, power and area models for the PADE reproduction.
+//!
+//! The paper evaluates PADE with Synopsys DC at TSMC 28 nm plus CACTI for
+//! SRAM and a 4 pJ/bit HBM cost (§VI-A). This crate substitutes those tools
+//! with an *event-energy* model: every accelerator run produces raw event
+//! counts ([`pade_sim::RunStats`]), and [`EnergyLedger`] prices them with
+//! 28 nm-class constants ([`Tech`]). Area and module-level power come from
+//! [`area`], calibrated to the paper's Fig. 20 breakdown. [`gpu`] provides
+//! the H100 roofline used by the GPU comparisons (Fig. 18, 19, 24).
+//!
+//! # Example
+//!
+//! ```
+//! use pade_energy::{EnergyLedger, Tech};
+//! use pade_sim::RunStats;
+//!
+//! let mut stats = RunStats::new("demo");
+//! stats.ops.int8_mac = 1_000;
+//! stats.traffic.dram_read_bytes = 64;
+//! let ledger = EnergyLedger::from_stats(&stats, &Tech::cmos28());
+//! assert!(ledger.total_pj() > 0.0);
+//! assert!(ledger.executor.dram_pj > ledger.executor.compute_pj);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod gpu;
+mod ledger;
+mod tech;
+
+pub use ledger::{gops_per_watt, ops_energy_pj, traffic_energy_pj, EnergyBreakdown, EnergyLedger};
+pub use tech::Tech;

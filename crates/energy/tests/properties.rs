@@ -1,0 +1,133 @@
+//! Crate-level property tests for the energy/area/GPU models: ledger
+//! additivity, technology-constant orderings, roofline monotonicity and
+//! the Fig. 20 self-consistency pins every efficiency figure relies on.
+
+use pade_energy::gpu::{attention_phase, GpuPhase, H100Config, H100Model};
+use pade_energy::{gops_per_watt, EnergyLedger, Tech};
+use pade_sim::{Cycle, RunStats};
+use proptest::prelude::*;
+
+fn stats_from(ops_macs: u64, dram_bytes: u64) -> RunStats {
+    let mut s = RunStats::new("t");
+    s.ops.int8_mac = ops_macs;
+    s.traffic.dram_read_bytes = dram_bytes;
+    s.cycles = Cycle(1000);
+    s
+}
+
+proptest! {
+    /// Ledger energy is additive over runs and monotone in every count.
+    #[test]
+    fn ledger_is_additive_and_monotone(
+        m1 in 0u64..1_000_000, d1 in 0u64..1_000_000,
+        m2 in 0u64..1_000_000, d2 in 0u64..1_000_000,
+    ) {
+        let tech = Tech::cmos28();
+        let a = EnergyLedger::from_stats(&stats_from(m1, d1), &tech);
+        let b = EnergyLedger::from_stats(&stats_from(m2, d2), &tech);
+        let sum = EnergyLedger::from_stats(&stats_from(m1 + m2, d1 + d2), &tech);
+        let combined = a.plus(&b);
+        prop_assert!((combined.total_pj() - sum.total_pj()).abs() < 1e-6 * sum.total_pj().max(1.0));
+        let bigger = EnergyLedger::from_stats(&stats_from(m1 + 1, d1), &tech);
+        prop_assert!(bigger.total_pj() >= a.total_pj());
+    }
+
+    /// DRAM traffic dominates compute per byte at any realistic count —
+    /// the ordering behind every memory-reduction argument in the paper.
+    #[test]
+    fn dram_dominates_compute_per_event(macs in 1u64..1_000_000) {
+        let tech = Tech::cmos28();
+        let compute_only = EnergyLedger::from_stats(&stats_from(macs, 0), &tech);
+        let traffic_only = EnergyLedger::from_stats(&stats_from(0, macs), &tech);
+        // One byte moved costs more than one 8-bit MAC computed.
+        prop_assert!(traffic_only.total_pj() > compute_only.total_pj());
+    }
+
+    /// SRAM cost per byte grows with capacity but stays far below DRAM.
+    #[test]
+    fn sram_cost_ordering(kb in 8.0f64..2048.0) {
+        let tech = Tech::cmos28();
+        prop_assert!(tech.sram_pj_per_byte(kb) >= tech.sram_pj_per_byte(8.0) - 1e-12);
+        prop_assert!(tech.sram_pj_per_byte(kb) < tech.dram_pj_per_byte);
+    }
+
+    /// GPU roofline: latency is monotone in every phase component, and the
+    /// compute/memory max structure holds.
+    #[test]
+    fn gpu_latency_monotone(
+        ops in 0.0f64..1e15,
+        bytes in 0.0f64..1e12,
+        extra in 1.0f64..1e12,
+    ) {
+        let gpu = H100Model::new(H100Config::default());
+        let base = GpuPhase { int8_ops: ops, hbm_bytes: bytes, ..GpuPhase::default() };
+        let more_ops = GpuPhase { int8_ops: ops + extra, ..base };
+        let more_bytes = GpuPhase { hbm_bytes: bytes + extra, ..base };
+        let l = gpu.latency_s(&base);
+        prop_assert!(gpu.latency_s(&more_ops) >= l);
+        prop_assert!(gpu.latency_s(&more_bytes) >= l);
+        // Energy is bounded by TDP × latency and at least idle × latency.
+        let e = gpu.energy_j(&base);
+        if l > 0.0 {
+            prop_assert!(e <= 700.0 * l * (1.0 + 1e-9));
+            prop_assert!(e >= 80.0 * l * (1.0 - 1e-9));
+        }
+    }
+
+    /// FlashAttention-style tiling strictly reduces HBM traffic and never
+    /// increases roofline latency for any attention shape.
+    #[test]
+    fn flash_reduces_traffic(seq in 64usize..8192, heads in 1usize..64) {
+        let plain = attention_phase(seq, heads, 64, false);
+        let flash = attention_phase(seq, heads, 64, true);
+        prop_assert!(flash.hbm_bytes < plain.hbm_bytes);
+        prop_assert_eq!(flash.int8_ops, plain.int8_ops);
+        let gpu = H100Model::new(H100Config::default());
+        prop_assert!(gpu.latency_s(&flash) <= gpu.latency_s(&plain));
+    }
+
+    /// GOPS/W is scale-invariant: doubling ops and energy together leaves
+    /// the efficiency unchanged.
+    #[test]
+    fn gops_per_watt_scale_invariant(ops in 1.0f64..1e12, pj in 1.0f64..1e12, s in 0.001f64..10.0) {
+        let a = gops_per_watt(ops, s, pj);
+        let b = gops_per_watt(2.0 * ops, s, 2.0 * pj);
+        prop_assert!((a - b).abs() < 1e-6 * a.max(1.0));
+    }
+}
+
+mod area_pins {
+    use pade_energy::area::PadeAreaModel;
+
+    #[test]
+    fn fig20_totals_hold() {
+        let m = PadeAreaModel::paper();
+        assert!((m.total_area_mm2() - 4.53).abs() < 0.05, "area {}", m.total_area_mm2());
+        assert!((m.total_power_mw() - 591.0).abs() < 6.0, "power {}", m.total_power_mw());
+        // Peak efficiency within a few percent of the paper's 11.36 TOPS/W.
+        assert!((m.peak_tops_per_watt() - 11.36).abs() < 0.5);
+    }
+
+    #[test]
+    fn fusion_overhead_is_modest() {
+        // The paper: stage fusion costs 5.8 % area and 4.9 % power for the
+        // scoreboard + decision unit, 4.9 %/12.1 % for the BUI modules.
+        let (area, power) = PadeAreaModel::paper().fusion_overhead();
+        assert!(area < 0.15, "fusion area fraction {area}");
+        assert!(power < 0.20, "fusion power fraction {power}");
+        assert!(area > 0.0 && power > 0.0);
+    }
+
+    #[test]
+    fn gsat_dse_optimum_is_group_of_eight() {
+        // Fig. 17(a): cost is U-shaped in the sub-group size with the
+        // optimum at 8.
+        let cost = |g: usize| {
+            let (a, p) = pade_energy::area::gsat_cost(g);
+            a + p
+        };
+        for other in [2usize, 4, 16, 32, 64] {
+            assert!(cost(8) <= cost(other), "group 8 must beat {other}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Developer probe: energy breakdown PADE vs baselines on one workload.
+use pade_baselines::{dota, sanger, sofa, Accelerator};
+use pade_core::config::PadeConfig;
+use pade_experiments::runner::{run_baseline, run_pade, Workload};
+use pade_workload::{model, task};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seq: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(512);
+    let mut t = if seq >= 4096 { task::dolly() } else { task::mmlu() };
+    t.seq_len = seq;
+    let w = Workload::new(model::opt_1b3(), t, 3);
+    let (block, o) = run_pade(&w, PadeConfig::standard());
+    println!("PADE block: dram={} act={} sramR={} sramW={} bit={} mac={} keep={:.3}",
+        block.stats.traffic.dram_total_bytes(), block.stats.traffic.dram_row_activations,
+        block.stats.traffic.sram_read_bytes, block.stats.traffic.sram_write_bytes,
+        block.stats.ops.bit_serial_acc, block.stats.ops.int8_mac, block.stats.keep_ratio());
+    let e = &o.energy;
+    println!("PADE   total={:.3e} exec(comp={:.3e} sram={:.3e} dram={:.3e})",
+        e.total_pj(), e.executor.compute_pj, e.executor.sram_pj, e.executor.dram_pj);
+    for d in [&sanger() as &dyn Accelerator, &dota(), &sofa()] {
+        let (b, o) = run_baseline(&w, d);
+        let e = &o.energy;
+        println!("{:7} total={:.3e} pred(comp={:.3e} sram={:.3e} dram={:.3e}) exec(comp={:.3e} sram={:.3e} dram={:.3e}) keep={:.3}",
+            d.name(), e.total_pj(), e.predictor.compute_pj, e.predictor.sram_pj, e.predictor.dram_pj,
+            e.executor.compute_pj, e.executor.sram_pj, e.executor.dram_pj, b.stats.keep_ratio());
+    }
+}

@@ -1,0 +1,91 @@
+//! Ablation for the PTQ-calibration design note (DESIGN.md §1, note 3):
+//! how the quantization scale sets the bit-serial termination depth.
+//!
+//! The BUI shrinks by one bit of `Σ|q|·Δq·Δk` per round, so the round at
+//! which a trivial key becomes provably prunable is set by the ratio of
+//! score gaps to the *integer* guard margin — i.e. by the dequantization
+//! scale. A single outlier that inflates `max_abs` stretches the scale,
+//! shrinks every gap in integer units and pushes termination later.
+//! σ-clipped calibration (the SmoothQuant-style step every practical INT8
+//! pipeline applies) restores the dynamic range.
+//!
+//! This sweeps the clip point from max-abs (no clipping) down to 2σ and
+//! reports mean rounds-to-decision, fetched bits and retention.
+
+use pade_core::config::PadeConfig;
+use pade_core::multibit::run_multibit_block;
+use pade_experiments::report::{banner, pct, Table};
+use pade_experiments::runner::Workload;
+use pade_quant::{quantize_matrix, quantize_matrix_clipped, DigitPlaneMatrix};
+use pade_workload::{model, task};
+
+fn main() {
+    banner(
+        "Ext. 5",
+        "PTQ calibration vs bit-serial termination depth (DESIGN.md §1 note 3)",
+    );
+    let config = PadeConfig::standard();
+    let w = Workload::new(model::llama2_7b(), task::wikitext2(), 4096);
+    let trace = &w.trace;
+    let dims = trace.keys().cols();
+    let s = trace.keys().rows();
+    let n_q = trace.queries().rows();
+
+    // Real-valued keys, re-quantized under each calibration. An injected
+    // outlier (one element at 8× the max) plays the role of the activation
+    // spikes SmoothQuant-style calibration exists to absorb.
+    let mut k_real: Vec<f32> = trace.keys().dequantize();
+    let spike = k_real.iter().fold(0.0f32, |m, &v| m.max(v.abs())) * 8.0;
+    k_real[dims / 2] = spike;
+
+    let mut table = Table::new(vec![
+        "calibration",
+        "Δk scale",
+        "rounds/key",
+        "bits fetched",
+        "vs unclipped",
+        "retained",
+        "sparsity",
+    ]);
+    let mut unclipped_bits = 0u64;
+    let cases: Vec<(String, pade_quant::QuantizedMatrix)> = std::iter::once((
+        "max-abs (none)".to_string(),
+        quantize_matrix(&k_real, s, dims, 8).expect("quantizes"),
+    ))
+    .chain([4.0f32, 3.0, 2.5, 2.0].into_iter().map(|sig| {
+        (
+            format!("clip {sig}σ"),
+            quantize_matrix_clipped(&k_real, s, dims, 8, sig).expect("quantizes"),
+        )
+    }))
+    .collect();
+    for (label, k_q) in &cases {
+        let keys = DigitPlaneMatrix::from_rows(k_q.as_slice(), dims, 1, 8)
+            .expect("key tensor decomposes");
+        let queries: Vec<&[i8]> = (0..n_q).map(|i| trace.queries().row(i)).collect();
+        // Logit scale follows the key calibration (Δq is unchanged).
+        let logit_scale =
+            trace.logit_scale() * k_q.params().scale() / trace.keys().params().scale();
+        let block = run_multibit_block(&queries, &keys, config.guard_margin(), logit_scale);
+        if unclipped_bits == 0 {
+            unclipped_bits = block.bits_fetched;
+        }
+        table.row(vec![
+            label.clone(),
+            format!("{:.5}", k_q.params().scale()),
+            format!("{:.2}", block.rounds_executed as f64 / block.total_keys as f64),
+            block.bits_fetched.to_string(),
+            pct(block.bits_fetched as f64 / unclipped_bits as f64),
+            block.retained_keys.to_string(),
+            pct(block.sparsity()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "shape check: the outlier-stretched max-abs scale delays termination\n\
+         (more rounds per key, more fetched bits); moderate clipping (3σ–2.5σ)\n\
+         restores early termination at unchanged retention. Over-clipping (2σ)\n\
+         saturates real scores and starts distorting which keys are retained —\n\
+         the reason DESIGN.md calibrates at 2.5σ–3σ."
+    );
+}

@@ -1,0 +1,89 @@
+//! Extension (paper §VII, direction 1) — distributed PADE on a wafer-scale
+//! fabric.
+//!
+//! Shards the key/value stream across 1–16 cycle-level PADE chips
+//! (sequence parallelism), merges the per-chip `(m, l, O)` states over a
+//! ring or 2-D-mesh interconnect, and reports the scaling behaviour:
+//! compute shrinks with the shard, communication grows with the chip
+//! count, and shard-local guard thresholds inflate retention unless one
+//! scalar max per row is synchronized.
+
+use pade_dist::wafer::{DistributedPade, WaferConfig};
+use pade_dist::InterconnectConfig;
+use pade_experiments::report::{banner, pct, times, Table};
+use pade_experiments::runner::Workload;
+use pade_workload::{model, task};
+
+fn main() {
+    banner("Ext. 3", "Sequence-parallel PADE across wafer-scale chips (§VII)");
+    let w = Workload::new(model::llama2_7b(), task::dolly(), 2024);
+    let trace = &w.trace;
+    println!(
+        "workload: Llama2-7B / Dolly, simulated context S = {} (8 query rows)\n",
+        trace.keys().rows()
+    );
+
+    let base = DistributedPade::new(WaferConfig::standard(1)).run_trace(trace);
+    let mut table = Table::new(vec![
+        "chips",
+        "guard",
+        "compute cyc",
+        "comm cyc",
+        "comm share",
+        "speedup",
+        "retained",
+        "inflation",
+        "fidelity",
+        "comm energy (nJ)",
+    ]);
+    for chips in [1usize, 2, 4, 8, 16] {
+        for sync in [false, true] {
+            if chips == 1 && sync {
+                continue;
+            }
+            let cfg = WaferConfig { sync_guard: sync, ..WaferConfig::standard(chips) };
+            let r = DistributedPade::new(cfg).run_trace(trace);
+            table.row(vec![
+                chips.to_string(),
+                if sync { "synced" } else { "local" }.to_string(),
+                r.compute_cycles.0.to_string(),
+                (r.comm_cycles.0 + r.sync_cycles.0).to_string(),
+                pct(r.comm_share()),
+                times(base.total_cycles.0 as f64 / r.total_cycles.0 as f64),
+                r.retained_keys.to_string(),
+                pct(r.retained_keys as f64 / base.retained_keys as f64 - 1.0),
+                format!("{:.5}", r.fidelity),
+                format!("{:.1}", r.comm_energy_pj / 1e3),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    println!("fabric comparison at fixed chip count (reduction steps dominate):");
+    let mut fab = Table::new(vec!["chips", "fabric", "reduce steps", "comm cyc", "speedup"]);
+    for chips in [16usize, 64] {
+        for (name, ic) in [
+            ("ring", InterconnectConfig::wafer_ring()),
+            ("mesh", InterconnectConfig::wafer_mesh()),
+        ] {
+            let cfg = WaferConfig { interconnect: ic, ..WaferConfig::standard(chips) };
+            let r = DistributedPade::new(cfg).run_trace(trace);
+            fab.row(vec![
+                chips.to_string(),
+                name.to_string(),
+                ic.reduce_steps(chips).to_string(),
+                r.comm_cycles.0.to_string(),
+                times(base.total_cycles.0 as f64 / r.total_cycles.0 as f64),
+            ]);
+        }
+    }
+    println!("{}", fab.render());
+
+    println!(
+        "shape check: near-linear compute scaling while the shard stays large,\n\
+         communication share growing with chips (mesh flattens it at 64),\n\
+         retention inflated by shard-local thresholds and recovered by the\n\
+         one-scalar guard sync at negligible cycle cost; fidelity never drops\n\
+         below the single-chip run (extra retention only adds softmax mass)."
+    );
+}

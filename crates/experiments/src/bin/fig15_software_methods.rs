@@ -1,0 +1,80 @@
+//! Fig. 15 — comparison with software-only sparse attention: accuracy vs
+//! sparsity level on long-context tasks, and PADE's end-to-end gains.
+
+use pade_baselines::software::{double_sparsity, minference, streaming_llm, SoftwareResult};
+use pade_core::config::PadeConfig;
+use pade_experiments::report::{banner, times, Table};
+use pade_experiments::runner::{gpu_outcome, pade_end_to_end, run_pade, GpuMode, Workload};
+use pade_workload::quality::predict_metric;
+use pade_workload::{model, task};
+
+/// PADE's sparsity level: execution share of dense cost (bit-serial ops in
+/// MAC equivalents) — it has no prediction term.
+fn pade_sparsity_level(r: &pade_core::accelerator::PadeRunResult, w: &Workload) -> f64 {
+    let dense = (2 * w.trace.queries().rows() * w.trace.keys().rows() * w.trace.keys().cols())
+        as f64
+        * 8.0;
+    (r.stats.ops.equivalent_adds() as f64) / dense
+}
+
+fn row_for(name: &str, level: f64, fidelity: f64, t: &pade_workload::task::TaskConfig) -> Vec<String> {
+    // ROUGE-1 baseline 40.0 (Dolly-class) for presentation.
+    let score = predict_metric(t, 40.0, fidelity);
+    vec![name.into(), format!("1/{:.0}", (1.0 / level.max(1e-3)).round()), format!("{score:.1}")]
+}
+
+fn main() {
+    for (title, t) in [("Fig. 15(a) Dolly (15k)", task::dolly()), (
+        "Fig. 15(b) InfiniteBench (214k)",
+        task::infinitebench(),
+    )] {
+        banner("Fig. 15", title);
+        let w = Workload::new(model::llama2_7b(), t, 900 + t.seq_len as u64);
+        let s = w.sim_seq;
+        let mut table = Table::new(vec!["method", "sparsity level", "score (ROUGE-1 proxy)"]);
+        for level in [0.5f32, 0.25, 0.125, 0.0625] {
+            let budget = (s as f32 * level) as usize;
+            let methods: Vec<SoftwareResult> = vec![
+                streaming_llm(&w.trace, 4, budget.saturating_sub(4)),
+                minference(&w.trace, level),
+                double_sparsity(&w.trace, level, 24),
+            ];
+            for m in &methods {
+                table.row(row_for(m.name, m.sparsity_level, m.fidelity, &t));
+            }
+            table.row(vec!["".into(), "".into(), "".into()]);
+        }
+        // PADE at its two operating points.
+        for (label, cfg) in
+            [("PADE (standard)", PadeConfig::standard()), ("PADE (aggressive)", PadeConfig::aggressive())]
+        {
+            let (r, _) = run_pade(&w, cfg);
+            let mut row = row_for(label, pade_sparsity_level(&r, &w), r.fidelity, &t);
+            row.push(format!("keep={:.3}", r.stats.keep_ratio()));
+            table.row(row);
+        }
+        println!("{}", table.render());
+    }
+    println!("Shape to check: StreamingLLM degrades fastest (static pattern),");
+    println!("MInference recovers via pattern adaptivity, DoubleSparsity is");
+    println!("close to PADE but pays un-reusable prediction; PADE holds the");
+    println!("highest score at equal sparsity level.");
+
+    banner("Fig. 15(c)", "End-to-end latency / energy-efficiency gain vs software methods on GPU");
+    let mut table = Table::new(vec!["task", "latency gain", "energy-eff gain"]);
+    for t in [task::dolly(), task::pg19(), task::infinitebench()] {
+        let w = Workload::new(model::llama2_7b(), t, 1300 + t.seq_len as u64);
+        // Software methods run on the GPU with detection + sparse execution.
+        let (gpu_s, gpu_j) = gpu_outcome(&w, GpuMode::BuiGfFlash { keep: 0.15 });
+        let (pade_s, pade_j, _) = pade_end_to_end(&w, &PadeConfig::aggressive());
+        let area = 814.0 / 4.53; // iso-silicon normalization (see fig18)
+        table.row(vec![
+            format!("{} ({}k)", t.name, t.seq_len / 1024),
+            times(gpu_s / pade_s * area),
+            times(gpu_j / pade_j),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper: 5.2x average speedup and 10.4x energy efficiency at equal");
+    println!("1% accuracy loss, growing with sequence length.");
+}

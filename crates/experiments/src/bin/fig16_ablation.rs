@@ -1,0 +1,75 @@
+//! Fig. 16(a) — latency ablation: dense baseline → +BUI-GF → +BS-OOE →
+//! +ISTA, across four models.
+
+use pade_core::config::PadeConfig;
+use pade_experiments::report::{banner, pct, Table};
+use pade_experiments::runner::{run_pade, Workload};
+use pade_linalg::metrics::geomean;
+use pade_workload::{model, task};
+
+fn configs() -> Vec<(&'static str, PadeConfig)> {
+    let base = PadeConfig::dense_baseline();
+    let gf = PadeConfig {
+        enable_bui_gf: true,
+        enable_bs: false,
+        enable_ooe: false,
+        enable_ista: false,
+        enable_rars: false,
+        enable_interleave: false,
+        ..PadeConfig::standard()
+    };
+    let bsooe = PadeConfig {
+        enable_ista: false,
+        enable_rars: false,
+        enable_interleave: false,
+        ..PadeConfig::standard()
+    };
+    let full = PadeConfig::standard();
+    vec![("Baseline", base), ("+BUI-GF", gf), ("+BS-OOE", bsooe), ("+ISTA", full)]
+}
+
+fn main() {
+    banner("Fig. 16(a)", "Latency ablation for BUI-GF, BS-OOE and ISTA");
+    let pairs = vec![
+        (model::llama2_7b(), task::wikilingua()),
+        (model::llama3_8b(), task::wikilingua()),
+        (model::opt_1b3(), task::wikilingua()),
+        (model::pvt(), {
+            let mut t = task::imagenet();
+            t.seq_len = 3072;
+            t
+        }),
+    ];
+    let mut table = Table::new(vec!["model", "Baseline", "+BUI-GF", "+BS-OOE", "+ISTA"]);
+    let mut per_stage: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (m, t) in pairs {
+        let w = Workload::new(m, t, 1600 + t.seq_len as u64);
+        let mut row = vec![m.name.to_string()];
+        let mut base = 0.0f64;
+        for (i, (_, cfg)) in configs().into_iter().enumerate() {
+            let (_, o) = run_pade(&w, cfg);
+            if i == 0 {
+                base = o.seconds;
+            }
+            per_stage[i].push(o.seconds / base);
+            row.push(format!("{:.2}", o.seconds / base));
+        }
+        table.row(row);
+    }
+    let avg: Vec<f64> = per_stage.iter().map(|v| geomean(v)).collect();
+    table.row(vec![
+        "Average".into(),
+        format!("{:.2}", avg[0]),
+        format!("{:.2}", avg[1]),
+        format!("{:.2}", avg[2]),
+        format!("{:.2}", avg[3]),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "Stage-over-stage latency reductions: BUI-GF {}, BS-OOE {}, ISTA {}",
+        pct(1.0 - avg[1] / avg[0]),
+        pct(1.0 - avg[2] / avg[1]),
+        pct(1.0 - avg[3] / avg[2]),
+    );
+    println!("Paper: 30% (BUI-GF), 24% (BS-OOE), 27% (ISTA).");
+}

@@ -1,0 +1,39 @@
+//! Fig. 16(b) — the accuracy/sparsity trade-off under the guard parameter
+//! α (Eq. 4), on a reasoning task (MMLU) and a generation task (MBPP).
+
+use pade_core::config::PadeConfig;
+use pade_experiments::report::{banner, pct, Table};
+use pade_experiments::runner::{run_pade, Workload};
+use pade_workload::quality::predict_metric;
+use pade_workload::task::table2_baseline;
+use pade_workload::{model, task};
+
+fn main() {
+    banner("Fig. 16(b)", "Impact of α on accuracy and sparsity (Llama2-7B)");
+    let mmlu = task::mmlu();
+    let mbpp = task::mbpp();
+    let w_mmlu = Workload::new(model::llama2_7b(), mmlu, 1700);
+    let w_mbpp = Workload::new(model::llama2_7b(), mbpp, 1701);
+    let b_mmlu = table2_baseline("Llama2-7B", "MMLU").expect("baseline").int8;
+    let b_mbpp = table2_baseline("Llama2-7B", "MBPP").expect("baseline").int8;
+
+    let mut table = Table::new(vec![
+        "alpha", "acc MMLU", "acc MBPP", "sparsity MMLU", "sparsity MBPP",
+    ]);
+    for alpha in [0.8f32, 0.7, 0.6, 0.5, 0.4, 0.3] {
+        let cfg = PadeConfig { alpha, ..PadeConfig::standard() };
+        let (r1, _) = run_pade(&w_mmlu, cfg.clone());
+        let (r2, _) = run_pade(&w_mbpp, cfg);
+        table.row(vec![
+            format!("{alpha:.1}"),
+            format!("{:.1}", predict_metric(&mmlu, b_mmlu, r1.fidelity)),
+            format!("{:.1}", predict_metric(&mbpp, b_mbpp, r2.fidelity)),
+            pct(r1.stats.sparsity()),
+            pct(r2.stats.sparsity()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Shape to check: smaller α → more sparsity, less accuracy; the");
+    println!("generation task (MBPP) degrades earlier than reasoning (MMLU);");
+    println!("sparsity gains saturate at small α (paper: balance at α≈0.5-0.6).");
+}

@@ -1,0 +1,106 @@
+//! Fig. 18 — (a) PADE latency breakdown including the bit-shift overhead;
+//! (b) latency and energy efficiency of GPU variants and PADE, normalized
+//! to the H100 running dense FlashAttention-3.
+
+use pade_core::config::PadeConfig;
+use pade_experiments::report::{banner, pct, times, Table};
+use pade_experiments::runner::{gpu_outcome, pade_end_to_end, run_pade, GpuMode, Workload};
+use pade_linalg::metrics::geomean;
+use pade_workload::{model, task};
+
+fn main() {
+    banner("Fig. 18(a)", "PADE latency breakdown (computation / memory / bit shift)");
+    let mut table = Table::new(vec!["task", "compute", "mem stalls", "imbalance", "bit-shift ops share"]);
+    for t in [task::dolly(), task::wikilingua()] {
+        let w = Workload::new(model::llama2_7b(), t, 2000 + t.seq_len as u64);
+        let (r, _) = run_pade(&w, PadeConfig::standard());
+        let u = &r.stats.pe_util;
+        let total = u.total().max(1) as f64;
+        let shift_share = r.stats.ops.shift_add as f64
+            / (r.stats.ops.bit_serial_acc + r.stats.ops.shift_add).max(1) as f64;
+        table.row(vec![
+            t.name.into(),
+            pct(u.busy_cycles() as f64 / total),
+            pct(u.mem_stalls() as f64 / total),
+            pct((u.intra_stalls() + u.inter_stalls()) as f64 / total),
+            pct(shift_share),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper: ~17% bit-shifting overhead, outweighed by a 5x latency");
+    println!("reduction from bit-level early termination.");
+
+    banner("Fig. 18(b)", "Latency and energy efficiency vs H100 (baseline: dense FA3)");
+    let mut table = Table::new(vec![
+        "model", "variant", "norm latency", "efficiency gain",
+    ]);
+    let pairs = vec![
+        (model::llama2_7b(), task::wikilingua()),
+        (model::llama3_8b(), task::wikilingua()),
+        (model::opt_1b3(), task::wikilingua()),
+        (model::pvt(), {
+            let mut t = task::imagenet();
+            t.seq_len = 3072;
+            t
+        }),
+    ];
+    let mut lat_std = Vec::new();
+    let mut eff_std = Vec::new();
+    let mut lat_agg = Vec::new();
+    let mut eff_agg = Vec::new();
+    for (m, t) in pairs {
+        let w = Workload::new(m, t, 2100 + t.seq_len as u64);
+        let (base_s, base_j) = gpu_outcome(&w, GpuMode::Flash);
+        let keep = {
+            let (r, _) = run_pade(&w, PadeConfig::standard());
+            r.stats.keep_ratio()
+        };
+        let (g1_s, g1_j) = gpu_outcome(&w, GpuMode::BuiGf { keep });
+        let (g2_s, g2_j) = gpu_outcome(&w, GpuMode::BuiGfFlash { keep });
+        let (p1_s, p1_j, _) = pade_end_to_end(&w, &PadeConfig::standard());
+        let (p2_s, p2_j, _) = pade_end_to_end(&w, &PadeConfig::aggressive());
+        for (variant, s, j) in [
+            ("GPU(BUI-GF)", g1_s, g1_j),
+            ("GPU(BUI-GF+FA3)", g2_s, g2_j),
+            ("PADE standard", p1_s, p1_j),
+            ("PADE aggressive", p2_s, p2_j),
+        ] {
+            table.row(vec![
+                m.name.into(),
+                variant.into(),
+                format!("{:.3}", s / base_s),
+                times(base_j / j),
+            ]);
+        }
+        lat_std.push(base_s / p1_s);
+        eff_std.push(base_j / p1_j);
+        lat_agg.push(base_s / p2_s);
+        eff_agg.push(base_j / p2_j);
+    }
+    println!("{}", table.render());
+    // Iso-silicon normalization: PADE is a 4.53 mm² die against the H100's
+    // ~814 mm²; per-area throughput is the comparison a deployment actually
+    // faces (tile PADE instances into the same silicon budget).
+    const H100_MM2: f64 = 814.0;
+    const PADE_MM2: f64 = 4.53;
+    let area = H100_MM2 / PADE_MM2;
+    println!(
+        "PADE standard/aggressive raw latency ratio: {:.3} / {:.3} of GPU",
+        1.0 / geomean(&lat_std),
+        1.0 / geomean(&lat_agg),
+    );
+    println!(
+        "Area-normalized (iso-silicon, x{:.0}) speedup: {} / {}",
+        area,
+        times(geomean(&lat_std) * area),
+        times(geomean(&lat_agg) * area),
+    );
+    println!(
+        "Energy efficiency gain: {} / {}",
+        times(geomean(&eff_std)),
+        times(geomean(&eff_agg)),
+    );
+    println!("Paper: 5.8x/7.4x latency and 28.2x/31.1x efficiency; GPU-side");
+    println!("BUI-GF alone gains only ~1.3x (8% latency) — the datapath cannot");
+    println!("exploit bit-level early termination.");
+}

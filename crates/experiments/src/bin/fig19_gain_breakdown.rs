@@ -1,0 +1,139 @@
+//! Fig. 19 — energy-efficiency and throughput gain waterfall:
+//! GPU → baseline ASIC → +BUI-GF → +BS-OOE → +ISTA, separating the
+//! algorithm's contribution from the dedicated hardware that makes it pay
+//! (scoreboard result reuse, grouped ANDer tree, RARS/tiling engines).
+
+use pade_core::config::PadeConfig;
+use pade_experiments::report::{banner, times, Table};
+use pade_experiments::runner::{gpu_outcome, run_pade, GpuMode, Workload};
+use pade_linalg::metrics::geomean;
+use pade_workload::{model, task};
+
+fn main() {
+    banner("Fig. 19", "Efficiency and throughput gain breakdown (geomean of 4 workloads)");
+    let pairs = vec![
+        (model::llama2_7b(), task::wikilingua()),
+        (model::llama3_8b(), task::wikilingua()),
+        (model::opt_1b3(), task::wikilingua()),
+        (model::pvt(), {
+            let mut t = task::imagenet();
+            t.seq_len = 3072;
+            t
+        }),
+    ];
+    let stages: Vec<(&str, PadeConfig)> = vec![
+        ("Baseline ASIC", PadeConfig::dense_baseline()),
+        (
+            "+BUI-GF",
+            PadeConfig {
+                enable_bui_gf: true,
+                enable_bs: false,
+                enable_ooe: false,
+                enable_ista: false,
+                enable_rars: false,
+                enable_interleave: false,
+                ..PadeConfig::standard()
+            },
+        ),
+        (
+            "+BS-OOE",
+            PadeConfig {
+                enable_ista: false,
+                enable_rars: false,
+                enable_interleave: false,
+                ..PadeConfig::standard()
+            },
+        ),
+        ("+ISTA", PadeConfig::standard()),
+    ];
+
+    let mut eff_gains: Vec<Vec<f64>> = vec![Vec::new(); stages.len() + 1];
+    let mut thr_gains: Vec<Vec<f64>> = vec![Vec::new(); stages.len() + 1];
+    for (m, t) in &pairs {
+        let w = Workload::new(*m, *t, 1900 + t.seq_len as u64);
+        let (gpu_s, gpu_j) = gpu_outcome(&w, GpuMode::Flash);
+        eff_gains[0].push(1.0);
+        thr_gains[0].push(1.0);
+        for (i, (_, cfg)) in stages.iter().enumerate() {
+            let (_, o) = run_pade(&w, cfg.clone());
+            let energy_j = o.energy.total_pj() * 1e-12;
+            eff_gains[i + 1].push(gpu_j / energy_j);
+            thr_gains[i + 1].push(gpu_s / o.seconds);
+        }
+    }
+
+    let mut table = Table::new(vec!["stage", "efficiency gain vs GPU", "throughput gain vs GPU"]);
+    table.row(vec!["GPU (FA3)".into(), times(1.0), times(1.0)]);
+    for (i, (name, _)) in stages.iter().enumerate() {
+        table.row(vec![
+            (*name).into(),
+            times(geomean(&eff_gains[i + 1])),
+            times(geomean(&thr_gains[i + 1])),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The naive-vs-dedicated split: what each mechanism would deliver
+    // WITHOUT its supporting hardware, derived from measured statistics.
+    banner("Fig. 19 (cont.)", "Software gain vs dedicated-hardware gain per mechanism");
+    let w = Workload::new(model::llama2_7b(), task::wikilingua(), 1950);
+    let (full, o_full) = run_pade(&w, PadeConfig::standard());
+    // Without the scoreboard, round r recomputes planes 0..r: the average
+    // recompute factor is (p̄+1)/2 for p̄ planes per key, and every round
+    // refetches its planes.
+    let planes_avg = 8.0 * full.planes_fetched as f64 / full.planes_dense as f64;
+    let naive_gf_penalty = (planes_avg + 1.0) / 2.0;
+    let (_, o_gf) = run_pade(
+        &w,
+        PadeConfig {
+            enable_bui_gf: true,
+            enable_bs: false,
+            enable_ooe: false,
+            enable_ista: false,
+            enable_rars: false,
+            enable_interleave: false,
+            ..PadeConfig::standard()
+        },
+    );
+    let (_, o_dense) = run_pade(&w, PadeConfig::dense_baseline());
+    let gf_total = o_dense.energy.total_pj() / o_gf.energy.total_pj();
+    let mut table = Table::new(vec!["mechanism", "naive (software only)", "with dedicated hw"]);
+    table.row(vec![
+        "BUI-GF (scoreboard PE)".into(),
+        times(gf_total / naive_gf_penalty),
+        times(gf_total),
+    ]);
+    let (_, o_bs) = run_pade(
+        &w,
+        PadeConfig {
+            enable_ista: false,
+            enable_rars: false,
+            enable_interleave: false,
+            ..PadeConfig::standard()
+        },
+    );
+    // Without the grouped ANDer tree, BS would pay 64:1 multiplexing — we
+    // charge the mux-energy ratio from the DSE model.
+    let (naive_mux, _) = pade_energy::area::gsat_cost(64);
+    let (gsat_mux, _) = pade_energy::area::gsat_cost(8);
+    let bs_gain = o_gf.energy.total_pj() / o_bs.energy.total_pj();
+    table.row(vec![
+        "BS-OOE (grouped ANDer tree)".into(),
+        times(bs_gain / (naive_mux / gsat_mux).clamp(1.0, 2.0)),
+        times(bs_gain),
+    ]);
+    let ista_gain = o_bs.energy.total_pj() / o_full.energy.total_pj();
+    // Without RARS, the V stream reloads shared vectors (measured by the
+    // scheduler itself).
+    let (no_rars, _) = run_pade(&w, PadeConfig { enable_rars: false, ..PadeConfig::standard() });
+    let rars_factor = (no_rars.v_loads as f64 / full.v_loads.max(1) as f64).max(1.0);
+    table.row(vec![
+        "ISTA (RARS + reorder engine)".into(),
+        times(ista_gain / rars_factor),
+        times(ista_gain),
+    ]);
+    println!("{}", table.render());
+    println!("Paper: efficiency chain 4.0x → (+BUI-GF 1.4x naive / 2.2x with");
+    println!("scoreboard) → (+BS-OOE 1.58x/2.07x) → (+ISTA 1.43x/1.69x) = 31.1x;");
+    println!("throughput chain reaches 7.43x.");
+}

@@ -1,0 +1,38 @@
+//! Fig. 20 — area and power breakdown of the PADE accelerator at
+//! TSMC 28 nm, 800 MHz.
+
+use pade_energy::area::{PadeAreaModel, MODULES};
+use pade_experiments::report::{banner, pct, Table};
+
+fn main() {
+    let m = PadeAreaModel::paper();
+    banner(
+        "Fig. 20",
+        &format!(
+            "PADE area ({:.2} mm²) and power ({:.0} mW) breakdown",
+            m.total_area_mm2(),
+            m.total_power_mw()
+        ),
+    );
+    let mut table = Table::new(vec!["module", "area mm²", "area %", "power mW", "power %"]);
+    for module in MODULES {
+        table.row(vec![
+            module.name().into(),
+            format!("{:.3}", m.area_mm2(module)),
+            pct(m.area_fraction(module)),
+            format!("{:.1}", m.power_mw(module)),
+            pct(m.power_fraction(module)),
+        ]);
+    }
+    println!("{}", table.render());
+    let (fusion_area, fusion_power) = m.fusion_overhead();
+    println!(
+        "Stage-fusion overhead: scoreboard + decision unit = {} area;",
+        pct(fusion_area)
+    );
+    println!(
+        "BUI generator + BUI-GF modules = {} power (paper: 5.8% / 12.1%).",
+        pct(fusion_power)
+    );
+    println!("Peak energy efficiency: {:.2} TOPS/W (paper: 11.36 TOPS/W).", m.peak_tops_per_watt());
+}

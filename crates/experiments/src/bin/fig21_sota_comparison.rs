@@ -1,0 +1,94 @@
+//! Fig. 21 — speedup and energy breakdown versus the SOTA accelerators on
+//! Llama-2 (MHA), Llama-3 (GQA), ViT and PVT workloads.
+
+use pade_baselines::{dota, energon, sanger, sofa, spatten_finetuned, Accelerator};
+use pade_core::config::PadeConfig;
+use pade_experiments::report::{banner, pct, times, Table};
+use pade_experiments::runner::{run_baseline, run_pade, Outcome, Workload};
+use pade_linalg::metrics::geomean;
+use pade_workload::{model, task};
+
+fn breakdown(o: &Outcome) -> (f64, f64, f64) {
+    let c = o.energy.combined();
+    let total = c.total_pj().max(1e-12);
+    (c.dram_pj / total, c.sram_pj / total, c.compute_pj / total)
+}
+
+fn main() {
+    banner("Fig. 21", "Speedup and energy breakdown vs SOTA accelerators");
+    let pairs = vec![
+        (model::llama2_7b(), task::wikitext2(), "Llama2-7B (MHA)"),
+        (model::llama3_8b(), task::wikitext2(), "Llama3-8B (GQA)"),
+        (model::vit_l16(), task::imagenet(), "ViT-L/16"),
+        (model::pvt(), task::imagenet(), "PVT (3k)"),
+    ];
+    let mut table = Table::new(vec![
+        "workload", "design", "speedup vs SpAtten*", "energy vs PADE", "DRAM %", "buffer %",
+        "compute %",
+    ]);
+    let mut speedups: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+    let mut savings: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+    for (m, t, label) in pairs {
+        let mut t = t;
+        if label.contains("PVT") {
+            t.seq_len = 3072;
+        }
+        let w = Workload::new(m, t, 2300 + t.seq_len as u64);
+        let designs: Vec<Box<dyn Accelerator>> = vec![
+            Box::new(spatten_finetuned()),
+            Box::new(sanger()),
+            Box::new(dota()),
+            Box::new(energon()),
+            Box::new(sofa()),
+        ];
+        let outcomes: Vec<(String, Outcome)> = designs
+            .iter()
+            .map(|d| {
+                let (_, o) = run_baseline(&w, d.as_ref());
+                (d.name().to_string(), o)
+            })
+            .collect();
+        let (_, pade) = run_pade(&w, PadeConfig::standard());
+        let base_seconds = outcomes[0].1.seconds;
+        for (name, o) in &outcomes {
+            let (dram, buf, comp) = breakdown(o);
+            table.row(vec![
+                label.into(),
+                name.clone(),
+                times(base_seconds / o.seconds),
+                times(o.energy.total_pj() / pade.energy.total_pj()),
+                pct(dram),
+                pct(buf),
+                pct(comp),
+            ]);
+            speedups.entry(Box::leak(name.clone().into_boxed_str())).or_default()
+                .push(pade.seconds.recip() / o.seconds.recip());
+            savings.entry(Box::leak(name.clone().into_boxed_str())).or_default()
+                .push(o.energy.total_pj() / pade.energy.total_pj());
+        }
+        let (dram, buf, comp) = breakdown(&pade);
+        table.row(vec![
+            label.into(),
+            "PADE".into(),
+            times(base_seconds / pade.seconds),
+            times(1.0),
+            pct(dram),
+            pct(buf),
+            pct(comp),
+        ]);
+        table.row(vec!["".into()]);
+    }
+    println!("{}", table.render());
+    println!("PADE average speedup / energy saving vs each design:");
+    for (name, v) in &speedups {
+        println!(
+            "  vs {:9} speedup {} | energy saving {}",
+            name,
+            times(geomean(v)),
+            times(geomean(&savings[name])),
+        );
+    }
+    println!("Paper: speedups 3x / 2.2x / 1.9x and energy savings 5.1x / 4.3x /");
+    println!("3.4x over Sanger / DOTA / SOFA; larger gains on GQA (scoreboard");
+    println!("key reuse) and on longer vision sequences (PVT vs ViT).");
+}

@@ -1,0 +1,105 @@
+//! Fig. 23 — (a) PE-efficiency breakdown versus lane count, PADE against
+//! the BitWave bit-serial accelerator; (b) DRAM access, speedup and
+//! bandwidth utilization for the data-layout study.
+
+use pade_baselines::BitWave;
+use pade_core::config::PadeConfig;
+use pade_experiments::report::{banner, pct, times, Table};
+use pade_experiments::runner::{run_baseline, run_pade, Workload};
+use pade_mem::KeyLayout;
+use pade_sim::UtilizationCounter;
+use pade_workload::{model, task};
+
+fn breakdown(u: &UtilizationCounter) -> (f64, f64, f64) {
+    let t = (u.busy_cycles() + u.intra_stalls() + u.inter_stalls()).max(1) as f64;
+    (
+        u.busy_cycles() as f64 / t,
+        u.intra_stalls() as f64 / t,
+        u.inter_stalls() as f64 / t,
+    )
+}
+
+fn main() {
+    banner("Fig. 23(a)", "PE efficiency breakdown vs lane count: BitWave vs PADE");
+    let mut table = Table::new(vec![
+        "task", "lanes", "design", "useful", "intra-PE stall", "inter-PE stall",
+    ]);
+    for t in [task::mmlu(), task::dolly()] {
+        let w = Workload::new(model::llama2_7b(), t, 2500 + t.seq_len as u64);
+        for lanes in [4usize, 8, 16, 32] {
+            let bw = BitWave::new(lanes);
+            let (r, _) = run_baseline(&w, &bw);
+            let (u, i, e) = breakdown(&r.stats.pe_util);
+            table.row(vec![
+                t.name.into(),
+                lanes.to_string(),
+                "BitWave".into(),
+                pct(u),
+                pct(i),
+                pct(e),
+            ]);
+            let cfg = PadeConfig { lanes_per_row: lanes, ..PadeConfig::standard() };
+            let (p, _) = run_pade(&w, cfg);
+            let (u, i, e) = breakdown(&p.stats.pe_util);
+            table.row(vec![
+                t.name.into(),
+                lanes.to_string(),
+                "PADE".into(),
+                pct(u),
+                pct(i),
+                pct(e),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Shape to check: BitWave's one-sided bit sparsity leaves growing");
+    println!("intra/inter-PE stalls as lanes scale; PADE's BS bounds both");
+    println!("(paper: ~30% higher PE utilization).");
+
+    banner("Fig. 23(b)", "DRAM access, speedup, bandwidth utilization: layout study");
+    let mut table = Table::new(vec![
+        "task", "design", "norm DRAM access", "speedup", "BW utilization",
+    ]);
+    for t in [task::mmlu(), task::wikitext2()] {
+        let w = Workload::new(model::llama2_7b(), t, 2600 + t.seq_len as u64);
+        let (dense_r, dense_o) = run_pade(&w, PadeConfig::dense_baseline());
+        let dense_bytes = dense_o.stats.total_traffic().dram_total_bytes() as f64;
+        table.row(vec![
+            t.name.into(),
+            "Dense".into(),
+            "1.00".into(),
+            times(1.0),
+            pct(dense_r.bandwidth_utilization),
+        ]);
+        let (_, sanger_o) = run_baseline(&w, &pade_baselines::sanger());
+        table.row(vec![
+            t.name.into(),
+            "Sanger".into(),
+            format!(
+                "{:.2}",
+                sanger_o.stats.total_traffic().dram_total_bytes() as f64 / dense_bytes
+            ),
+            times(dense_o.seconds / sanger_o.seconds),
+            "-".into(),
+        ]);
+        for (label, layout) in [
+            ("PADE w/o DL", KeyLayout::BitPlaneLinear),
+            ("PADE w DL", KeyLayout::BitPlaneInterleaved),
+        ] {
+            let cfg = PadeConfig { layout, ..PadeConfig::standard() };
+            let (r, o) = run_pade(&w, cfg);
+            table.row(vec![
+                t.name.into(),
+                label.into(),
+                format!("{:.2}", o.stats.total_traffic().dram_total_bytes() as f64 / dense_bytes),
+                times(dense_o.seconds / o.seconds),
+                pct(r.bandwidth_utilization),
+            ]);
+        }
+        table.row(vec!["".into()]);
+    }
+    println!("{}", table.render());
+    println!("Paper: PADE cuts memory access >6.7x vs dense (3.4x speedup);");
+    println!("the bit-oriented layout lifts BW utilization to ~58% via row-");
+    println!("buffer hits, reaching 4.3x.");
+}

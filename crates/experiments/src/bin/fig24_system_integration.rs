@@ -1,0 +1,70 @@
+//! Fig. 24 — PADE as a GPU co-processor: end-to-end LLM latency with
+//! attention offloaded to PADE, interleaving two request streams, with and
+//! without the bit-plane data-conversion step.
+
+use pade_core::config::PadeConfig;
+use pade_energy::gpu::GpuPhase;
+use pade_experiments::report::{banner, times, Table};
+use pade_experiments::runner::{gpu_outcome, h100, pade_end_to_end, GpuMode, Workload, DECODE_STEPS, GPU_BATCH};
+use pade_workload::{model, task};
+
+/// Non-attention transformer work (QKV projections + FFN) per request:
+/// ~12·d_model² MACs per token per layer, executed on the GPU in both
+/// systems.
+fn other_phase(w: &Workload) -> GpuPhase {
+    let d_model = (w.model.heads * w.model.head_dim) as f64;
+    let tokens = w.task.seq_len as f64 + DECODE_STEPS as f64;
+    let layers = w.model.layers as f64;
+    let batch = GPU_BATCH as f64;
+    GpuPhase {
+        int8_ops: 2.0 * 12.0 * d_model * d_model * tokens * layers * batch,
+        fp_ops: 2.0 * d_model * tokens * layers * batch,
+        hbm_bytes: 12.0 * d_model * d_model * layers // weights stream once per step batch-shared
+            * (1.0 + DECODE_STEPS as f64),
+        kernels: layers * 4.0,
+    }
+}
+
+fn main() {
+    banner("Fig. 24(b)(c)", "GPU-only vs GPU+PADE end-to-end latency");
+    let mut table = Table::new(vec![
+        "task", "GPU-only", "GPU+PADE w/o DL conv", "GPU+PADE w DL conv", "speedup (w DL)",
+    ]);
+    for t in [task::dolly(), task::infinitebench(), task::niah()] {
+        let w = Workload::new(model::llama2_7b(), t, 2800 + (t.seq_len % 8999) as u64);
+        let gpu = h100();
+        let other_s = gpu.latency_s(&other_phase(&w)) / GPU_BATCH as f64;
+        let (attn_gpu_s, _) = gpu_outcome(&w, GpuMode::Flash);
+        let gpu_only = other_s + attn_gpu_s;
+
+        let (attn_pade_s, _, _) = pade_end_to_end(&w, &PadeConfig::standard());
+        // Without the co-designed layout the accelerator runs slower
+        // (linear bit-plane packing) — measured via the layout toggle.
+        let (attn_pade_nodl_s, _, _) = pade_end_to_end(
+            &w,
+            &PadeConfig { layout: pade_mem::KeyLayout::BitPlaneLinear, ..PadeConfig::standard() },
+        );
+        // Data conversion: the GPU packs K into bit-plane layout during KV
+        // generation — a byte-level pass over K, fused with the projection
+        // (paper: <2% overhead).
+        let conv_s = {
+            let s = w.task.seq_len as f64;
+            let bytes = s * (w.model.kv_heads * w.model.head_dim) as f64 * w.model.layers as f64;
+            bytes / (gpu.config().hbm_tbps * 1e12 * 0.5)
+        };
+        // Two request streams interleave on GPU and PADE (Fig. 24(b)):
+        // the slower side binds the pipeline.
+        let pg_nodl = other_s.max(attn_pade_nodl_s);
+        let pg_dl = other_s.max(attn_pade_s + conv_s) + conv_s;
+        table.row(vec![
+            format!("{} ({}k)", t.name, t.seq_len / 1024),
+            format!("{gpu_only:.3}s"),
+            format!("{pg_nodl:.3}s"),
+            format!("{pg_dl:.3}s"),
+            times(gpu_only / pg_dl),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper: 2.1x end-to-end speedup at 214k; the data conversion adds");
+    println!("<2% latency but enables a further 1.9x through row-buffer hits.");
+}

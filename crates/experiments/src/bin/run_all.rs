@@ -1,0 +1,82 @@
+//! Runs every experiment binary in sequence (the full reproduction of the
+//! paper's evaluation section) and prints the Table III configuration.
+//!
+//! Usage: `cargo run --release -p pade-experiments --bin run_all`
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "tab1_feature_matrix",
+    "fig02_predictor_overhead",
+    "fig04_bsf_reduction",
+    "fig05_tiling_pressure",
+    "fig10_interleave_updates",
+    "tab2_accuracy",
+    "fig14_comp_mem",
+    "fig15_software_methods",
+    "fig16_ablation",
+    "fig16_alpha_tradeoff",
+    "fig17_dse",
+    "fig18_gpu_comparison",
+    "fig19_gain_breakdown",
+    "fig20_area_power",
+    "fig21_sota_comparison",
+    "fig23_balance_bandwidth",
+    "fig24_system_integration",
+    "fig25_mxint",
+    "fig26_quant_decoding",
+    "hero_numbers",
+    "ext_multibit",
+    "ext_fp_formats",
+    "ext_distributed",
+    "ext_decode_session",
+    "ext_calibration_ablation",
+];
+
+fn print_table_iii() {
+    use pade_core::config::PadeConfig;
+    let c = PadeConfig::standard();
+    println!("\n================================================================");
+    println!("Table III: PADE hardware configuration");
+    println!("================================================================");
+    println!("QK-PU: {} PE rows x {} bit-wise lanes ({} total)", c.pe_rows, c.lanes_per_row, c.total_lanes());
+    println!("  GSAT: {}-input, sub-groups of {}", c.gsat_width, c.subgroup);
+    println!("  Scoreboard: {} entries x 45 bit", c.scoreboard_entries);
+    println!("V-PU: {}x{} INT8 systolic array + FP16 APM + RARS", c.vpu_rows, c.vpu_cols);
+    println!("Buffers: {} KB KV + {} KB Q", c.kv_buffer_kb, c.q_buffer_kb);
+    println!(
+        "HBM2: {}x64-bit pseudo channels, {} GB/s each, BL={}B, tRC={}ns",
+        c.hbm.channels, c.hbm.channel_gbps, c.hbm.burst_bytes, c.hbm.t_rc_ns
+    );
+    println!("Clock: 800 MHz; guard: alpha={} radius={} (standard)", c.alpha, c.radius);
+}
+
+fn main() {
+    print_table_iii();
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+    let mut failed = Vec::new();
+    for bin in BINS {
+        let path = dir.join(bin);
+        if !path.exists() {
+            eprintln!("[run_all] missing binary {bin} — build the workspace first");
+            failed.push(*bin);
+            continue;
+        }
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("[run_all] {bin} failed: {other:?}");
+                failed.push(*bin);
+            }
+        }
+    }
+    println!("\n================================================================");
+    if failed.is_empty() {
+        println!("All {} experiments completed.", BINS.len());
+    } else {
+        println!("{} of {} experiments failed: {:?}", failed.len(), BINS.len(), failed);
+        std::process::exit(1);
+    }
+}

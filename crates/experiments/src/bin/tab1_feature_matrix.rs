@@ -1,0 +1,11 @@
+//! Table I — qualitative feature matrix of SOTA attention accelerators.
+
+use pade_baselines::tableone;
+use pade_experiments::report::banner;
+
+fn main() {
+    banner("Table I", "Summary of SOTA attention accelerators");
+    println!("{}", tableone::render());
+    println!("PADE is the only design that is simultaneously predictor-free,");
+    println!("retraining-free, tiling-capable and bit-granular.");
+}

@@ -1,0 +1,21 @@
+//! Experiment harness regenerating every table and figure of the PADE
+//! evaluation (§VI).
+//!
+//! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md §4 for
+//! the full index); this library holds the shared machinery:
+//!
+//! * [`runner`] — builds (model, task) workloads, runs PADE / baselines /
+//!   the GPU roofline on them, and extrapolates block-level simulation to
+//!   full-model statistics,
+//! * [`report`] — aligned text tables and normalization helpers matching
+//!   the paper's presentation.
+//!
+//! Absolute numbers come from this repository's simulators and substitutes
+//! (see DESIGN.md §1); EXPERIMENTS.md records paper-vs-measured values and
+//! which shapes are preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;

@@ -1,0 +1,123 @@
+//! Text-table rendering for experiment outputs.
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// let mut t = pade_experiments::report::Table::new(vec!["design", "speedup"]);
+/// t.row(vec!["PADE".into(), format!("{:.2}", 3.0)]);
+/// let s = t.render();
+/// assert!(s.contains("PADE"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<&str>) -> Self {
+        Self { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate().take(cols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{:<width$}", cell, width = w + 2));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints a section banner matching the experiment binaries' output style.
+pub fn banner(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Formats a ratio as `N.NNx`.
+#[must_use]
+pub fn times(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Normalizes a series so its first element is 1.0.
+#[must_use]
+pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
+    let base = values.first().copied().unwrap_or(1.0);
+    if base == 0.0 {
+        return values.to_vec();
+    }
+    values.iter().map(|v| v / base).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["a", "longheader"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        t.row(vec!["y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("longheader"));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn normalize_handles_edge_cases() {
+        assert_eq!(normalize_to_first(&[2.0, 4.0]), vec![1.0, 2.0]);
+        assert!(normalize_to_first(&[]).is_empty());
+        assert_eq!(normalize_to_first(&[0.0, 1.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(times(2.0), "2.00x");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+}

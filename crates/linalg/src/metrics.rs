@@ -1,0 +1,162 @@
+//! Output-fidelity metrics.
+//!
+//! The paper reports task accuracy (Table II, Fig. 15, Fig. 16(b)); with no
+//! pretrained models available, this reproduction measures how faithfully a
+//! sparse method reproduces the exact attention computation and maps that
+//! fidelity onto task metrics (see `pade-workload::quality`). The three
+//! metrics here are the standard ones for that purpose.
+
+/// Cosine similarity between two vectors, in `[-1, 1]`.
+///
+/// Returns `1.0` when both vectors are zero (identical outputs) and `0.0`
+/// when exactly one is zero.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let c = pade_linalg::metrics::cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]);
+/// assert!((c - 1.0).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 && nb == 0.0 {
+        1.0
+    } else if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+/// Mean relative L2 error `‖a − b‖ / max(‖b‖, ε)` of an approximation `a`
+/// against a reference `b`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn relative_l2_error(approx: &[f32], reference: &[f32]) -> f32 {
+    assert_eq!(approx.len(), reference.len(), "vectors must have equal length");
+    let num: f32 = approx.iter().zip(reference).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
+    let den: f32 = reference.iter().map(|x| x * x).sum::<f32>().sqrt();
+    num / den.max(1e-12)
+}
+
+/// Fraction of the softmax probability mass captured by the retained key
+/// set for one score row — the quantity PADE's guard threshold provably
+/// bounds (a pruned token contributes `< e^{-α·radius}` of the max's mass).
+///
+/// # Panics
+///
+/// Panics if a retained index is out of range.
+///
+/// # Example
+///
+/// ```
+/// // Retaining the dominant token captures almost all the mass.
+/// let m = pade_linalg::metrics::retained_mass(&[10.0, 0.0, 0.0], &[0]);
+/// assert!(m > 0.99);
+/// ```
+#[must_use]
+pub fn retained_mass(scores: &[f32], retained: &[usize]) -> f32 {
+    if scores.is_empty() {
+        return 1.0;
+    }
+    let p = crate::softmax(scores);
+    retained
+        .iter()
+        .map(|&j| {
+            assert!(j < p.len(), "retained index {j} out of range");
+            p[j]
+        })
+        .sum()
+}
+
+/// Recall of the true top-`k` keys inside the retained set.
+///
+/// Returns `1.0` when `k == 0`.
+#[must_use]
+pub fn topk_recall(scores: &[f32], retained: &[usize], k: usize) -> f32 {
+    if k == 0 {
+        return 1.0;
+    }
+    let k = k.min(scores.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    let top: Vec<usize> = order.into_iter().take(k).collect();
+    let hit = top.iter().filter(|j| retained.contains(j)).count();
+    hit as f32 / k as f32
+}
+
+/// Geometric mean of positive values; `1.0` for an empty slice.
+///
+/// Used by the experiment harness everywhere the paper reports GeoMean bars.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_orthogonal_is_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_is_minus_one() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[-1.0, -2.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_conventions() {
+        assert_eq!(cosine_similarity(&[0.0], &[0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_of_identical_vectors_is_zero() {
+        assert_eq!(relative_l2_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn retained_mass_of_everything_is_one() {
+        let m = retained_mass(&[0.5, 1.0, -2.0], &[0, 1, 2]);
+        assert!((m - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn retained_mass_of_empty_scores_is_one() {
+        assert_eq!(retained_mass(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn topk_recall_counts_hits() {
+        let scores = [5.0, 1.0, 4.0, 0.0];
+        assert_eq!(topk_recall(&scores, &[0, 2], 2), 1.0);
+        assert_eq!(topk_recall(&scores, &[0], 2), 0.5);
+        assert_eq!(topk_recall(&scores, &[], 2), 0.0);
+        assert_eq!(topk_recall(&scores, &[], 0), 1.0);
+    }
+
+    #[test]
+    fn geomean_of_uniform_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+    }
+}

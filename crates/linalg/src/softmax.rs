@@ -1,0 +1,271 @@
+/// Numerically stable softmax of a score slice.
+///
+/// # Example
+///
+/// ```
+/// let p = pade_linalg::softmax(&[1.0, 2.0, 3.0]);
+/// assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// assert!(p[2] > p[1] && p[1] > p[0]);
+/// ```
+#[must_use]
+pub fn softmax(scores: &[f32]) -> Vec<f32> {
+    let mut out = scores.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`softmax`]. Empty slices are left untouched.
+pub fn softmax_in_place(scores: &mut [f32]) {
+    if scores.is_empty() {
+        return;
+    }
+    let m = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let mut sum = 0.0f32;
+    for s in scores.iter_mut() {
+        *s = (*s - m).exp();
+        sum += *s;
+    }
+    if sum > 0.0 {
+        for s in scores.iter_mut() {
+            *s /= sum;
+        }
+    }
+}
+
+/// Streaming softmax-weighted accumulation — the `(m, l, O)` recurrence of
+/// FlashAttention that ISTA (Fig. 10(c)) evaluates tile by tile:
+///
+/// ```text
+/// m⁽ʲ⁾ = max(m⁽ʲ⁻¹⁾, rowmax(S⁽ʲ⁾))
+/// P⁽ʲ⁾ = exp(S⁽ʲ⁾ − m⁽ʲ⁾)
+/// l⁽ʲ⁾ = exp(m⁽ʲ⁻¹⁾ − m⁽ʲ⁾)·l⁽ʲ⁻¹⁾ + rowsum(P⁽ʲ⁾)
+/// O⁽ʲ⁾ = diag(exp(m⁽ʲ⁻¹⁾ − m⁽ʲ⁾))·O⁽ʲ⁻¹⁾ + P⁽ʲ⁾·V⁽ʲ⁾
+/// ```
+///
+/// The accumulator also counts how many tile updates *changed the running
+/// maximum*; each such change triggers the extra rescaling work that the
+/// paper's head–tail interleaving (§IV-C) exists to avoid.
+///
+/// # Example
+///
+/// ```
+/// use pade_linalg::OnlineSoftmax;
+///
+/// let mut acc = OnlineSoftmax::new(2);
+/// acc.update(&[0.0, 1.0], &[&[1.0, 0.0], &[0.0, 1.0]]);
+/// acc.update(&[2.0], &[&[4.0, 4.0]]);
+/// let out = acc.finalize();
+/// let total: f32 = out.iter().sum();
+/// assert!(total > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineSoftmax {
+    running_max: f32,
+    denom: f32,
+    acc: Vec<f32>,
+    max_updates: usize,
+    tiles: usize,
+    rescale_ops: u64,
+}
+
+impl OnlineSoftmax {
+    /// Creates an accumulator producing an output vector of `dims` elements.
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        Self {
+            running_max: f32::NEG_INFINITY,
+            denom: 0.0,
+            acc: vec![0.0; dims],
+            max_updates: 0,
+            tiles: 0,
+            rescale_ops: 0,
+        }
+    }
+
+    /// Absorbs one tile: `scores[t]` weights value row `values[t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() != values.len()` or any value row has the
+    /// wrong dimensionality.
+    pub fn update(&mut self, scores: &[f32], values: &[&[f32]]) {
+        assert_eq!(scores.len(), values.len(), "one value row per score");
+        if scores.is_empty() {
+            return;
+        }
+        self.tiles += 1;
+        let tile_max = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let new_max = self.running_max.max(tile_max);
+        if new_max > self.running_max && self.running_max != f32::NEG_INFINITY {
+            // Rescaling the accumulator costs one subtraction, one exp and
+            // two scalar×vector multiplies (paper lines 11–12 of Fig. 10(c)).
+            self.max_updates += 1;
+            self.rescale_ops += 2 + 2 * self.acc.len() as u64;
+        }
+        if self.running_max != f32::NEG_INFINITY && new_max > self.running_max {
+            let correction = (self.running_max - new_max).exp();
+            self.denom *= correction;
+            for a in &mut self.acc {
+                *a *= correction;
+            }
+        }
+        self.running_max = new_max;
+        for (&s, &v) in scores.iter().zip(values) {
+            assert_eq!(v.len(), self.acc.len(), "value row dimensionality mismatch");
+            let p = (s - self.running_max).exp();
+            self.denom += p;
+            for (a, &x) in self.acc.iter_mut().zip(v) {
+                *a += p * x;
+            }
+        }
+    }
+
+    /// Number of tiles whose arrival raised the running maximum (and thus
+    /// forced an accumulator rescale).
+    #[must_use]
+    pub fn max_updates(&self) -> usize {
+        self.max_updates
+    }
+
+    /// Number of tiles absorbed so far.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Equivalent scalar additions spent on max-update rescaling, using the
+    /// arithmetic-complexity normalization of the paper (§IV-C).
+    #[must_use]
+    pub fn rescale_ops(&self) -> u64 {
+        self.rescale_ops
+    }
+
+    /// Current running denominator `l`.
+    #[must_use]
+    pub fn denom(&self) -> f32 {
+        self.denom
+    }
+
+    /// Produces the normalized output `diag(l)⁻¹·O`.
+    ///
+    /// Returns zeros when no scores were ever absorbed.
+    #[must_use]
+    pub fn finalize(self) -> Vec<f32> {
+        if self.denom == 0.0 {
+            return self.acc;
+        }
+        self.acc.into_iter().map(|a| a / self.denom).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference(scores: &[f32], values: &[Vec<f32>]) -> Vec<f32> {
+        let p = softmax(scores);
+        let dims = values[0].len();
+        let mut out = vec![0.0f32; dims];
+        for (w, v) in p.iter().zip(values) {
+            for (o, &x) in out.iter_mut().zip(v) {
+                *o += w * x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_monotonic() {
+        let p = softmax(&[-3.0, 0.0, 5.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn softmax_handles_large_scores_without_overflow() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_softmax_is_noop() {
+        let mut empty: [f32; 0] = [];
+        softmax_in_place(&mut empty);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn online_matches_reference_across_tiles() {
+        let scores = [0.3f32, -1.0, 2.0, 0.7, 1.5];
+        let values: Vec<Vec<f32>> =
+            (0..5).map(|i| (0..3).map(|j| (i * 3 + j) as f32 * 0.25 - 1.0).collect()).collect();
+        let expect = reference(&scores, &values);
+
+        let mut acc = OnlineSoftmax::new(3);
+        acc.update(&scores[0..2], &[&values[0], &values[1]]);
+        acc.update(&scores[2..3], &[&values[2]]);
+        acc.update(&scores[3..5], &[&values[3], &values[4]]);
+        let got = acc.finalize();
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn descending_tiles_never_trigger_max_updates() {
+        let mut acc = OnlineSoftmax::new(1);
+        acc.update(&[5.0], &[&[1.0]]);
+        acc.update(&[4.0], &[&[1.0]]);
+        acc.update(&[3.0], &[&[1.0]]);
+        assert_eq!(acc.max_updates(), 0);
+        assert_eq!(acc.rescale_ops(), 0);
+    }
+
+    #[test]
+    fn ascending_tiles_trigger_a_max_update_each() {
+        let mut acc = OnlineSoftmax::new(4);
+        for t in 0..5 {
+            acc.update(&[t as f32], &[&[0.0, 0.0, 0.0, 0.0]]);
+        }
+        assert_eq!(acc.max_updates(), 4);
+        // 2 scalar ops + 2 vector ops of width 4 per update.
+        assert_eq!(acc.rescale_ops(), 4 * (2 + 8));
+    }
+
+    #[test]
+    fn finalize_without_updates_is_zero() {
+        let out = OnlineSoftmax::new(3).finalize();
+        assert_eq!(out, vec![0.0, 0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_online_equals_batch_softmax(
+            scores in proptest::collection::vec(-8.0f32..8.0, 1..40),
+            dims in 1usize..6,
+            chunk in 1usize..7,
+            seed in any::<u64>(),
+        ) {
+            let values: Vec<Vec<f32>> = (0..scores.len())
+                .map(|i| (0..dims)
+                    .map(|j| {
+                        let h = seed.wrapping_mul(6364136223846793005)
+                            .wrapping_add(((i * dims + j) as u64).wrapping_mul(1442695040888963407));
+                        ((h >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+                    })
+                    .collect())
+                .collect();
+            let expect = reference(&scores, &values);
+            let mut acc = OnlineSoftmax::new(dims);
+            for (s_chunk, v_chunk) in scores.chunks(chunk).zip(values.chunks(chunk)) {
+                let refs: Vec<&[f32]> = v_chunk.iter().map(|v| v.as_slice()).collect();
+                acc.update(s_chunk, &refs);
+            }
+            let got = acc.finalize();
+            for (a, b) in got.iter().zip(&expect) {
+                prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Crate-level property tests for the numeric substrate: softmax
+//! identities, online-vs-batch agreement, subset-attention semantics and
+//! metric sanity. Every fidelity claim in the evaluation rests on these.
+
+use pade_linalg::attention::{attention_scores, dense_attention, subset_attention};
+use pade_linalg::metrics::{
+    cosine_similarity, geomean, relative_l2_error, retained_mass, topk_recall,
+};
+use pade_linalg::{softmax, MatF32, OnlineSoftmax};
+use proptest::prelude::*;
+
+fn vec_f32(n: usize, seed: u64, span: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 2.0 * span
+        })
+        .collect()
+}
+
+fn mat(rows: usize, cols: usize, seed: u64, span: f32) -> MatF32 {
+    MatF32::from_vec(vec_f32(rows * cols, seed, span), rows, cols)
+}
+
+proptest! {
+    /// Softmax outputs are a probability distribution and invariant under
+    /// a constant shift of the inputs.
+    #[test]
+    fn softmax_is_a_shift_invariant_distribution(
+        n in 1usize..64,
+        seed in any::<u64>(),
+        shift in -50.0f32..50.0,
+    ) {
+        let x = vec_f32(n, seed, 10.0);
+        let w = softmax(&x);
+        let total: f32 = w.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-4, "sum {total}");
+        prop_assert!(w.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        let shifted: Vec<f32> = x.iter().map(|&v| v + shift).collect();
+        for (a, b) in softmax(&shifted).iter().zip(&w) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// Softmax is monotone: a larger logit never gets a smaller weight.
+    #[test]
+    fn softmax_preserves_order(n in 2usize..40, seed in any::<u64>()) {
+        let x = vec_f32(n, seed, 8.0);
+        let w = softmax(&x);
+        for i in 0..n {
+            for j in 0..n {
+                if x[i] > x[j] {
+                    prop_assert!(w[i] >= w[j] - 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Online softmax over arbitrary tilings equals batch softmax
+    /// attention, regardless of tile boundaries.
+    #[test]
+    fn online_softmax_matches_batch_for_any_tiling(
+        n in 1usize..48,
+        bc in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let h = 6usize;
+        let scores = vec_f32(n, seed, 6.0);
+        let values = mat(n, h, seed ^ 0xABCD, 1.0);
+        let mut online = OnlineSoftmax::new(h);
+        for (chunk_s, chunk_rows) in scores.chunks(bc).zip(
+            (0..n).collect::<Vec<_>>().chunks(bc),
+        ) {
+            let rows: Vec<&[f32]> = chunk_rows.iter().map(|&j| values.row(j)).collect();
+            online.update(chunk_s, &rows);
+        }
+        let got = online.finalize();
+        let w = softmax(&scores);
+        let mut expect = vec![0.0f32; h];
+        for (j, &wi) in w.iter().enumerate() {
+            for (o, &x) in expect.iter_mut().zip(values.row(j)) {
+                *o += wi * x;
+            }
+        }
+        for (a, b) in got.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// Retaining every key makes subset attention equal dense attention.
+    #[test]
+    fn subset_attention_with_all_keys_is_dense(
+        s in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let h = 8usize;
+        let q = mat(2, h, seed, 1.0);
+        let k = mat(s, h, seed ^ 1, 1.0);
+        let v = mat(s, h, seed ^ 2, 1.0);
+        let scale = 1.0 / (h as f32).sqrt();
+        let dense = dense_attention(&q, &k, &v, scale);
+        let all: Vec<usize> = (0..s).collect();
+        for row in 0..2 {
+            let sub = subset_attention(q.row(row), &k, &v, scale, &all);
+            for (a, b) in sub.iter().zip(dense.row(row)) {
+                prop_assert!((a - b).abs() < 1e-4, "row {row}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Dropping only far-below-max keys moves the output very little: the
+    /// quantitative form of Eq. 1 that the guard margin relies on.
+    #[test]
+    fn dropping_margin_keys_is_harmless(s in 4usize..32, seed in any::<u64>()) {
+        let h = 8usize;
+        let q = mat(1, h, seed, 1.0);
+        let k = mat(s, h, seed ^ 3, 1.0);
+        let v = mat(s, h, seed ^ 4, 1.0);
+        let scale = 1.0 / (h as f32).sqrt();
+        let scores = attention_scores(&q, &k, scale);
+        let row = scores.row(0);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let margin = 5.0f32;
+        let kept: Vec<usize> =
+            (0..s).filter(|&j| row[j] > max - margin).collect();
+        prop_assume!(!kept.is_empty());
+        let pruned = subset_attention(q.row(0), &k, &v, scale, &kept);
+        let all: Vec<usize> = (0..s).collect();
+        let dense = subset_attention(q.row(0), &k, &v, scale, &all);
+        // Total pruned mass is below s·e^{-margin}; the output error is of
+        // the same order (values are O(1)).
+        let bound = 2.0 * s as f32 * (-margin).exp();
+        for (a, b) in pruned.iter().zip(&dense) {
+            prop_assert!((a - b).abs() <= bound + 1e-5, "{a} vs {b} (bound {bound})");
+        }
+        prop_assert!(retained_mass(row, &kept) >= 1.0 - s as f32 * (-margin).exp() - 1e-4);
+    }
+
+    /// Metric sanity: cosine of a vector with itself is 1, with its
+    /// negation −1; relative L2 of identical vectors is 0; geomean of a
+    /// constant list is the constant.
+    #[test]
+    fn metric_identities(n in 1usize..32, seed in any::<u64>(), c in 0.1f64..10.0) {
+        let x = vec_f32(n, seed, 5.0);
+        prop_assume!(x.iter().any(|&v| v != 0.0));
+        let neg: Vec<f32> = x.iter().map(|&v| -v).collect();
+        prop_assert!((cosine_similarity(&x, &x) - 1.0).abs() < 1e-5);
+        prop_assert!((cosine_similarity(&x, &neg) + 1.0).abs() < 1e-5);
+        prop_assert_eq!(relative_l2_error(&x, &x), 0.0);
+        let g = geomean(&vec![c; n]);
+        prop_assert!((g - c).abs() < 1e-9 * c.max(1.0));
+    }
+
+    /// Retained mass and top-k recall are fractions, monotone in the
+    /// retained set.
+    #[test]
+    fn mass_and_recall_are_monotone_fractions(
+        s in 2usize..32,
+        seed in any::<u64>(),
+        k in 1usize..8,
+    ) {
+        let scores = vec_f32(s, seed, 4.0);
+        let half: Vec<usize> = (0..s / 2).collect();
+        let all: Vec<usize> = (0..s).collect();
+        let m_half = retained_mass(&scores, &half);
+        let m_all = retained_mass(&scores, &all);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&m_half));
+        prop_assert!((m_all - 1.0).abs() < 1e-5);
+        prop_assert!(m_all >= m_half - 1e-6);
+        let k = k.min(s);
+        let r_half = topk_recall(&scores, &half, k);
+        let r_all = topk_recall(&scores, &all, k);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&r_half));
+        prop_assert!((r_all - 1.0).abs() < 1e-6);
+    }
+}

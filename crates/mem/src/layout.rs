@@ -1,0 +1,273 @@
+//! DRAM data layouts for the key tensor (Fig. 22).
+//!
+//! PADE's fetch granularity is *(token, bit-plane)*. How those objects map
+//! onto channels/banks/rows decides both the useful fraction of every burst
+//! and the row-buffer hit rate:
+//!
+//! * [`KeyLayout::ValueRowMajor`] — the conventional layout (all 8 bits of a
+//!   key element contiguous). Reading one bit plane of a token drags the
+//!   token's entire value row across the bus; only `1/bits` of the data is
+//!   useful. This is the "PADE w/o DL" configuration of Fig. 23(b).
+//! * [`KeyLayout::BitPlaneInterleaved`] — the paper's co-designed layout:
+//!   each bank stores one bit plane, consecutive tokens' planes are packed
+//!   into the same row. Plane fetches are compact and streaming fetches hit
+//!   the open row.
+
+use crate::{HbmConfig, PhysLoc};
+
+/// Where a (token, plane) fetch lands and how many bytes it must move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneFetch {
+    /// Physical DRAM location of the fetch.
+    pub loc: PhysLoc,
+    /// Bytes that must cross the bus to obtain the plane.
+    pub bytes: u64,
+    /// Bytes of that transfer actually consumed by the compute pipeline.
+    pub useful_bytes: u64,
+}
+
+/// DRAM layout of the key tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KeyLayout {
+    /// Conventional value-major layout: one token's 8-bit elements are
+    /// contiguous; bit planes are not separable on the bus.
+    ValueRowMajor,
+    /// Bit planes stored as separate objects but packed linearly with no
+    /// bank awareness: every plane of a channel's tokens shares one bank,
+    /// so out-of-order plane fetches thrash the row buffer. This is the
+    /// "PADE w/o DL" configuration of Fig. 23(b).
+    BitPlaneLinear,
+    /// PADE's bit-plane-interleaved layout (Fig. 22): bank ← plane index,
+    /// row ← packed stream of consecutive tokens' plane slices.
+    #[default]
+    BitPlaneInterleaved,
+}
+
+impl KeyLayout {
+    /// Maps a fetch of plane `plane` of token `token` (vectors of `dims`
+    /// elements at `bits` precision) onto the DRAM geometry in `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane >= bits` or `dims == 0`.
+    #[must_use]
+    pub fn plane_fetch(
+        &self,
+        token: usize,
+        plane: u32,
+        dims: usize,
+        bits: u32,
+        cfg: &HbmConfig,
+    ) -> PlaneFetch {
+        assert!(plane < bits, "plane {plane} out of range for {bits}-bit keys");
+        assert!(dims > 0, "dims must be positive");
+        let plane_bytes = (dims as u64).div_ceil(8);
+        match self {
+            KeyLayout::ValueRowMajor => {
+                // The token's full value row must be transferred to extract
+                // any single plane.
+                let value_bytes = (dims as u64) * u64::from(bits) / 8;
+                let channel = token % cfg.channels;
+                let per_channel_idx = (token / cfg.channels) as u64;
+                let bank = (per_channel_idx % cfg.banks_per_channel as u64) as usize;
+                let row_capacity_tokens = (cfg.row_bytes / value_bytes.max(1)).max(1);
+                let row = per_channel_idx / cfg.banks_per_channel as u64 / row_capacity_tokens;
+                PlaneFetch {
+                    loc: PhysLoc { channel, bank, row },
+                    bytes: value_bytes,
+                    useful_bytes: plane_bytes,
+                }
+            }
+            KeyLayout::BitPlaneLinear => {
+                // Planes are compact but all land in bank 0 of the token's
+                // channel, with (token, plane) pairs packed lexicographically
+                // into rows — interleaved plane fetches evict each other.
+                let channel = token % cfg.channels;
+                let per_channel_idx = (token / cfg.channels) as u64;
+                let slices_per_row = (cfg.row_bytes / plane_bytes.max(1)).max(1);
+                let row = (per_channel_idx * u64::from(bits) + u64::from(plane)) / slices_per_row;
+                PlaneFetch {
+                    loc: PhysLoc { channel, bank: 0, row },
+                    bytes: plane_bytes,
+                    useful_bytes: plane_bytes,
+                }
+            }
+            KeyLayout::BitPlaneInterleaved => {
+                // Bank ← plane, channel ← token stripe, row ← packed tokens.
+                let channel = token % cfg.channels;
+                let bank = (plane as usize) % cfg.banks_per_channel;
+                let per_channel_idx = (token / cfg.channels) as u64;
+                let tokens_per_row = (cfg.row_bytes / plane_bytes.max(1)).max(1);
+                let row = per_channel_idx / tokens_per_row;
+                PlaneFetch {
+                    loc: PhysLoc { channel, bank, row },
+                    bytes: plane_bytes,
+                    useful_bytes: plane_bytes,
+                }
+            }
+        }
+    }
+
+    /// Human-readable name used in experiment tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyLayout::ValueRowMajor => "value-row-major",
+            KeyLayout::BitPlaneLinear => "bit-plane-linear (w/o DL)",
+            KeyLayout::BitPlaneInterleaved => "bit-plane-interleaved",
+        }
+    }
+}
+
+/// Layout of the Q and V tensors: bank-interleaved along the hidden
+/// dimension so 8-bit data streams contiguously (Fig. 22, "QV region").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QvLayout;
+
+impl QvLayout {
+    /// Maps a full-row fetch of token `token` (`dims` elements × `bits`).
+    #[must_use]
+    pub fn row_fetch(&self, token: usize, dims: usize, bits: u32, cfg: &HbmConfig) -> PlaneFetch {
+        let bytes = (dims as u64) * u64::from(bits) / 8;
+        let channel = token % cfg.channels;
+        let per_channel_idx = (token / cfg.channels) as u64;
+        let bank = (per_channel_idx % cfg.banks_per_channel as u64) as usize;
+        let rows_capacity = (cfg.row_bytes / bytes.max(1)).max(1);
+        let row = per_channel_idx / cfg.banks_per_channel as u64 / rows_capacity;
+        PlaneFetch { loc: PhysLoc { channel, bank, row }, bytes, useful_bytes: bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HbmModel;
+    use pade_sim::Cycle;
+
+    const DIMS: usize = 64;
+
+    #[test]
+    fn interleaved_plane_fetch_is_compact() {
+        let cfg = HbmConfig::default();
+        let f = KeyLayout::BitPlaneInterleaved.plane_fetch(0, 0, DIMS, 8, &cfg);
+        assert_eq!(f.bytes, 8); // 64 dims / 8 = 8 bytes
+        assert_eq!(f.useful_bytes, 8);
+    }
+
+    #[test]
+    fn value_major_plane_fetch_drags_whole_row() {
+        let cfg = HbmConfig::default();
+        let f = KeyLayout::ValueRowMajor.plane_fetch(0, 0, DIMS, 8, &cfg);
+        assert_eq!(f.bytes, 64); // full 8-bit value row
+        assert_eq!(f.useful_bytes, 8); // only one plane useful
+    }
+
+    #[test]
+    fn interleaved_assigns_planes_to_distinct_banks() {
+        let cfg = HbmConfig::default();
+        let banks: Vec<usize> = (0..8)
+            .map(|r| KeyLayout::BitPlaneInterleaved.plane_fetch(0, r, DIMS, 8, &cfg).loc.bank)
+            .collect();
+        let mut unique = banks.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 8, "each plane should land in its own bank: {banks:?}");
+    }
+
+    #[test]
+    fn interleaved_streaming_same_plane_hits_rows() {
+        // Streaming the MSB plane over many tokens should be row-hit heavy
+        // under the co-designed layout and activation-heavy without it.
+        let cfg = HbmConfig::default();
+        let mut with_dl = HbmModel::new(cfg);
+        let mut without_dl = HbmModel::new(cfg);
+        let mut t = Cycle::ZERO;
+        for token in 0..512 {
+            let f = KeyLayout::BitPlaneInterleaved.plane_fetch(token, 0, DIMS, 8, &cfg);
+            t = with_dl.access(f.loc, f.bytes, t).complete;
+        }
+        let mut t2 = Cycle::ZERO;
+        for token in 0..512 {
+            let f = KeyLayout::ValueRowMajor.plane_fetch(token, 0, DIMS, 8, &cfg);
+            t2 = without_dl.access(f.loc, f.bytes, t2).complete;
+        }
+        assert!(
+            with_dl.row_hit_rate() > without_dl.row_hit_rate(),
+            "DL hit rate {} should exceed no-DL {}",
+            with_dl.row_hit_rate(),
+            without_dl.row_hit_rate()
+        );
+        assert!(with_dl.traffic().dram_read_bytes < without_dl.traffic().dram_read_bytes);
+    }
+
+    #[test]
+    fn value_major_refetching_same_token_hits_row() {
+        let cfg = HbmConfig::default();
+        let layout = KeyLayout::ValueRowMajor;
+        let a = layout.plane_fetch(5, 0, DIMS, 8, &cfg);
+        let b = layout.plane_fetch(5, 3, DIMS, 8, &cfg);
+        assert_eq!(a.loc, b.loc, "all planes of one token share a location");
+    }
+
+    #[test]
+    fn qv_rows_are_contiguous_and_full_width() {
+        let cfg = HbmConfig::default();
+        let f = QvLayout.row_fetch(3, DIMS, 8, &cfg);
+        assert_eq!(f.bytes, 64);
+        assert_eq!(f.useful_bytes, 64);
+        let g = QvLayout.row_fetch(3 + cfg.channels, DIMS, 8, &cfg);
+        assert_eq!(f.loc.channel, g.loc.channel);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plane_index_validated() {
+        let cfg = HbmConfig::default();
+        let _ = KeyLayout::BitPlaneInterleaved.plane_fetch(0, 8, DIMS, 8, &cfg);
+    }
+}
+
+#[cfg(test)]
+mod linear_layout_tests {
+    use super::*;
+    use crate::HbmModel;
+    use pade_sim::Cycle;
+
+    #[test]
+    fn linear_layout_mixes_planes_into_one_bank() {
+        let cfg = HbmConfig::default();
+        let a = KeyLayout::BitPlaneLinear.plane_fetch(0, 0, 64, 8, &cfg);
+        let b = KeyLayout::BitPlaneLinear.plane_fetch(16, 3, 64, 8, &cfg);
+        assert_eq!(a.loc.bank, b.loc.bank, "all planes share a bank without DL");
+        assert_eq!(a.bytes, 8, "plane fetches stay compact");
+    }
+
+    #[test]
+    fn interleaved_layout_beats_linear_on_mixed_plane_streams() {
+        // An OOE-like access pattern: 128 lanes keep ~hundreds of tokens in
+        // flight across all 8 planes, so requests arrive scattered in both
+        // token and plane. With bank-aware interleaving each plane owns a
+        // bank and its row stays open; packed-linear planes share a bank
+        // and evict each other's rows.
+        let cfg = HbmConfig::default();
+        let mut linear = HbmModel::new(cfg);
+        let mut interleaved = HbmModel::new(cfg);
+        let (mut ta, mut tb) = (Cycle::ZERO, Cycle::ZERO);
+        let mut state = 0x12345678u64;
+        for _ in 0..2048 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let token = ((state >> 33) % 2048) as usize;
+            let plane = ((state >> 21) % 8) as u32;
+            let f = KeyLayout::BitPlaneLinear.plane_fetch(token, plane, 64, 8, &cfg);
+            ta = linear.access(f.loc, f.bytes, ta).complete;
+            let g = KeyLayout::BitPlaneInterleaved.plane_fetch(token, plane, 64, 8, &cfg);
+            tb = interleaved.access(g.loc, g.bytes, tb).complete;
+        }
+        assert!(
+            interleaved.row_hit_rate() > linear.row_hit_rate() + 0.2,
+            "DL hit rate {} should beat linear {}",
+            interleaved.row_hit_rate(),
+            linear.row_hit_rate()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Off-chip HBM2 and on-chip SRAM models for PADE.
+//!
+//! Table III of the paper fixes the memory system: HBM2 with 16×64-bit
+//! pseudo channels at 2 Gbps (16 GB/s per channel, 256 GB/s aggregate),
+//! `BL = 4×64b` bursts and `tRC = 50 ns`; on chip, a 320 KB key/value buffer
+//! and a 32 KB query buffer. The bit-serial execution model makes DRAM
+//! behaviour a first-order effect twice over:
+//!
+//! 1. **Exposed latency** — each next bit plane of a key is a separate,
+//!    data-dependent fetch; the out-of-order engine exists to hide that
+//!    latency (Fig. 8).
+//! 2. **Data layout** — storing keys bit-plane-interleaved (each bank holds
+//!    one bit plane, Fig. 22) turns plane streams into row-buffer hits;
+//!    a value-row-major layout forces each plane fetch to drag the whole
+//!    8-bit value row across the bus (Fig. 23(b), "PADE w/o DL").
+//!
+//! [`HbmModel`] is a per-bank row-buffer timing model, [`KeyLayout`] maps
+//! (token, plane) fetches to physical locations under either layout, and
+//! [`SramBuffer`] counts on-chip traffic against a capacity budget.
+//!
+//! # Example
+//!
+//! ```
+//! use pade_mem::{HbmConfig, HbmModel, PhysLoc};
+//! use pade_sim::Cycle;
+//!
+//! let mut hbm = HbmModel::new(HbmConfig::default());
+//! let loc = PhysLoc { channel: 0, bank: 0, row: 3 };
+//! let first = hbm.access(loc, 32, Cycle(0));
+//! assert!(!first.row_hit);               // cold row: activation
+//! let second = hbm.access(loc, 32, first.complete);
+//! assert!(second.row_hit);               // same row: fast path
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hbm;
+mod layout;
+mod sram;
+
+pub use hbm::{AccessResult, HbmConfig, HbmModel, PhysLoc};
+pub use layout::{KeyLayout, PlaneFetch, QvLayout};
+pub use sram::SramBuffer;

@@ -1,0 +1,218 @@
+//! Crate-level property tests for the memory system: HBM timing sanity,
+//! layout geometry invariants and traffic conservation under randomized
+//! access streams. These complement the module unit tests with the
+//! properties the engine's correctness rests on.
+
+use pade_mem::{HbmConfig, HbmModel, KeyLayout, PhysLoc, QvLayout, SramBuffer};
+use pade_sim::Cycle;
+use proptest::prelude::*;
+
+fn small_geometry() -> HbmConfig {
+    HbmConfig { channels: 4, banks_per_channel: 4, ..HbmConfig::default() }
+}
+
+fn layout_strategy() -> impl Strategy<Value = KeyLayout> {
+    prop_oneof![
+        Just(KeyLayout::ValueRowMajor),
+        Just(KeyLayout::BitPlaneLinear),
+        Just(KeyLayout::BitPlaneInterleaved),
+    ]
+}
+
+proptest! {
+    /// Completion times never precede issue time, and the same bank/row
+    /// accessed back-to-back is a row hit with a strictly smaller latency
+    /// envelope than a conflicting row.
+    #[test]
+    fn access_times_are_causal_and_hits_are_cheaper(
+        bytes in 1u64..4096,
+        row_a in 0u64..64,
+        row_b in 0u64..64,
+    ) {
+        prop_assume!(row_a != row_b);
+        let cfg = small_geometry();
+        let loc_a = PhysLoc { channel: 0, bank: 0, row: row_a };
+        let loc_b = PhysLoc { channel: 0, bank: 0, row: row_b };
+
+        let mut hit_model = HbmModel::new(cfg);
+        let first = hit_model.access(loc_a, bytes, Cycle::ZERO);
+        prop_assert!(first.complete > Cycle::ZERO);
+        prop_assert!(!first.row_hit, "a cold bank cannot hit");
+        let hit = hit_model.access(loc_a, bytes, first.complete);
+        prop_assert!(hit.row_hit);
+        prop_assert!(hit.complete > first.complete);
+
+        let mut miss_model = HbmModel::new(cfg);
+        let warm = miss_model.access(loc_a, bytes, Cycle::ZERO);
+        let miss = miss_model.access(loc_b, bytes, warm.complete);
+        prop_assert!(!miss.row_hit);
+        let hit_latency = hit.complete - first.complete;
+        let miss_latency = miss.complete - warm.complete;
+        prop_assert!(hit_latency < miss_latency,
+            "hit {:?} must beat miss {:?}", hit_latency, miss_latency);
+    }
+
+    /// Bytes are conserved: read traffic equals bursts × burst size, and
+    /// the burst count covers the requested bytes.
+    #[test]
+    fn traffic_is_conserved(
+        accesses in proptest::collection::vec((0usize..4, 0usize..4, 0u64..32, 1u64..2000), 1..40),
+    ) {
+        let cfg = small_geometry();
+        let mut model = HbmModel::new(cfg);
+        let mut now = Cycle::ZERO;
+        let mut requested = 0u64;
+        for (ch, bank, row, bytes) in accesses {
+            let r = model.access(PhysLoc { channel: ch, bank, row }, bytes, now);
+            now = r.complete;
+            requested += bytes;
+        }
+        let t = model.traffic();
+        prop_assert_eq!(t.dram_read_bytes, t.dram_bursts * cfg.burst_bytes);
+        prop_assert!(t.dram_read_bytes >= requested, "bursts must cover every byte");
+        prop_assert!(t.dram_row_activations >= 1);
+    }
+
+    /// Bandwidth utilization is a fraction for any access stream.
+    #[test]
+    fn bandwidth_utilization_is_a_fraction(
+        accesses in proptest::collection::vec((0usize..4, 0u64..8, 64u64..512), 1..30),
+    ) {
+        let mut model = HbmModel::new(small_geometry());
+        let mut now = Cycle::ZERO;
+        for (ch, row, bytes) in accesses {
+            let r = model.access(PhysLoc { channel: ch, bank: 0, row }, bytes, now);
+            now = r.complete;
+        }
+        let u = model.bandwidth_utilization(now);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+    }
+
+    /// Every layout maps every (token, plane) inside the configured
+    /// geometry, transfers at least the plane payload, and never claims
+    /// more useful bytes than it moves.
+    #[test]
+    fn layouts_stay_inside_geometry(
+        layout in layout_strategy(),
+        token in 0usize..10_000,
+        plane in 0u32..8,
+        dims in 1usize..256,
+    ) {
+        let cfg = HbmConfig::default();
+        let f = layout.plane_fetch(token, plane, dims, 8, &cfg);
+        prop_assert!(f.loc.channel < cfg.channels);
+        prop_assert!(f.loc.bank < cfg.banks_per_channel);
+        let plane_bytes = (dims as u64).div_ceil(8);
+        prop_assert!(f.bytes >= plane_bytes, "must move at least the plane");
+        prop_assert!(f.useful_bytes <= f.bytes);
+        prop_assert_eq!(f.useful_bytes, plane_bytes);
+    }
+
+    /// Structural bank assignment: the interleaved layout spreads planes
+    /// across banks (plane ← bank), the linear layout funnels every plane
+    /// of a channel into bank 0 — the root cause behind Fig. 23(b).
+    #[test]
+    fn bank_assignment_follows_the_layout(token in 0usize..4096, plane in 0u32..8) {
+        let cfg = small_geometry();
+        let lin = KeyLayout::BitPlaneLinear.plane_fetch(token, plane, 64, 8, &cfg);
+        prop_assert_eq!(lin.loc.bank, 0);
+        let il = KeyLayout::BitPlaneInterleaved.plane_fetch(token, plane, 64, 8, &cfg);
+        prop_assert_eq!(il.loc.bank, plane as usize % cfg.banks_per_channel);
+    }
+
+    /// Q/V rows are fetched whole: useful bytes equal the row payload.
+    #[test]
+    fn qv_rows_fetch_whole_rows(token in 0usize..5_000, dims in 1usize..256) {
+        let cfg = HbmConfig::default();
+        let f = QvLayout.row_fetch(token, dims, 8, &cfg);
+        prop_assert!(f.loc.channel < cfg.channels);
+        prop_assert_eq!(f.useful_bytes, dims as u64);
+        prop_assert!(f.bytes >= f.useful_bytes);
+    }
+
+    /// SRAM occupancy arithmetic: allocations oversubscribe (spill is
+    /// *recorded*, not rejected — the experiments charge the resulting
+    /// traffic), frees saturate, and overflow events fire exactly when
+    /// residency exceeds capacity.
+    #[test]
+    fn sram_occupancy_balances(
+        ops in proptest::collection::vec((any::<bool>(), 1u64..512), 1..60),
+    ) {
+        let cap = 4096u64;
+        let mut buf = SramBuffer::new("t", cap);
+        let mut resident = 0u64;
+        let mut overflows = 0u64;
+        for (is_alloc, bytes) in ops {
+            if is_alloc {
+                resident += bytes;
+                if resident > cap {
+                    overflows += 1;
+                }
+                buf.allocate(bytes);
+            } else {
+                resident = resident.saturating_sub(bytes);
+                buf.free(bytes);
+            }
+            prop_assert_eq!(buf.resident_bytes(), resident);
+        }
+        prop_assert_eq!(buf.overflow_events(), overflows);
+    }
+}
+
+#[test]
+fn interleaved_layout_wins_at_row_scale() {
+    // The Fig. 23(b) mechanism needs the token range to span DRAM rows:
+    // with one channel and 512 tokens (64-dim planes, 2 KB rows), a
+    // plane-major sweep walks 16 rows in bank 0 under the linear layout —
+    // re-activating them for every plane — while the interleaved layout
+    // parks each plane in its own bank and streams rows once.
+    let cfg = HbmConfig { channels: 1, ..HbmConfig::default() };
+    let dims = 64usize;
+    let n_tokens = 512usize;
+    let mut rates = Vec::new();
+    let mut activations = Vec::new();
+    for layout in [KeyLayout::BitPlaneInterleaved, KeyLayout::BitPlaneLinear] {
+        let mut model = HbmModel::new(cfg);
+        let mut now = Cycle::ZERO;
+        for plane in 0..8u32 {
+            for token in 0..n_tokens {
+                let f = layout.plane_fetch(token, plane, dims, 8, &cfg);
+                let r = model.access(f.loc, f.bytes, now);
+                now = r.complete;
+            }
+        }
+        rates.push(model.row_hit_rate());
+        activations.push(model.traffic().dram_row_activations);
+    }
+    assert!(
+        rates[0] > rates[1],
+        "interleaved hit rate {} must beat linear {}",
+        rates[0],
+        rates[1]
+    );
+    assert!(
+        activations[0] < activations[1],
+        "interleaved activations {} must undercut linear {}",
+        activations[0],
+        activations[1]
+    );
+}
+
+#[test]
+fn serialized_channel_is_slower_than_spread() {
+    // The same 16 fetches through one channel vs spread over four: the
+    // single-bus stream must finish later.
+    let cfg = small_geometry();
+    let mut single = HbmModel::new(cfg);
+    let mut spread = HbmModel::new(cfg);
+    let mut t_single = Cycle::ZERO;
+    let mut t_spread = Cycle::ZERO;
+    for i in 0..16usize {
+        let r = single.access(PhysLoc { channel: 0, bank: 0, row: i as u64 }, 256, Cycle::ZERO);
+        t_single = t_single.max(r.complete);
+        let r =
+            spread.access(PhysLoc { channel: i % 4, bank: 0, row: (i / 4) as u64 }, 256, Cycle::ZERO);
+        t_spread = t_spread.max(r.complete);
+    }
+    assert!(t_spread < t_single, "{t_spread:?} vs {t_single:?}");
+}

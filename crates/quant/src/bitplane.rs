@@ -1,0 +1,466 @@
+//! Two's-complement bit-plane decomposition.
+//!
+//! A `p`-bit two's-complement integer satisfies
+//! `x = -b_{p-1}·2^{p-1} + Σ_{i=0}^{p-2} b_i·2^i` (Eq. 2 of the paper).
+//! PADE streams key vectors one *bit plane* at a time, MSB first: round
+//! `r = 0` delivers the sign plane, round `r = p-1` the LSB plane. Because
+//! every plane except the sign plane contributes non-negatively, once the
+//! first `r+1` planes are known the still-missing contribution of each
+//! element lies in `[0, U_r]` with `U_r = 2^{p-1-r} - 1` — the foundation of
+//! the Bit-wise Uncertainty Interval.
+
+use crate::QuantError;
+
+/// Signed weight of bit-plane `r` (MSB-first) for a `bits`-wide integer.
+///
+/// Round 0 is the sign plane with weight `-2^(bits-1)`; round `r ≥ 1` has
+/// weight `2^(bits-1-r)`.
+///
+/// # Panics
+///
+/// Panics if `r >= bits`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(pade_quant::plane_weight(0, 8), -128);
+/// assert_eq!(pade_quant::plane_weight(7, 8), 1);
+/// ```
+#[must_use]
+pub fn plane_weight(r: u32, bits: u32) -> i32 {
+    assert!(r < bits, "plane {r} out of range for {bits}-bit values");
+    if r == 0 {
+        -(1i32 << (bits - 1))
+    } else {
+        1i32 << (bits - 1 - r)
+    }
+}
+
+/// Maximum total contribution of the planes still unknown after round `r`
+/// (planes `r+1 .. bits`), i.e. `U_r = 2^(bits-1-r) - 1`.
+///
+/// All unknown planes carry non-negative weight, so each element's missing
+/// contribution lies in `[0, uncertainty_span(r, bits)]`.
+///
+/// # Panics
+///
+/// Panics if `r >= bits`.
+///
+/// # Example
+///
+/// ```
+/// // After only the sign plane of an 8-bit value, 127 is still in play.
+/// assert_eq!(pade_quant::uncertainty_span(0, 8), 127);
+/// // After the LSB nothing is unknown.
+/// assert_eq!(pade_quant::uncertainty_span(7, 8), 0);
+/// ```
+#[must_use]
+pub fn uncertainty_span(r: u32, bits: u32) -> i32 {
+    assert!(r < bits, "plane {r} out of range for {bits}-bit values");
+    (1i32 << (bits - 1 - r)) - 1
+}
+
+/// One bit plane of one token vector: a packed bitvector over the hidden
+/// dimension.
+///
+/// Bit `i` is set when dimension `i` of the token has a `1` in this plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaneRow {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PlaneRow {
+    /// Builds a plane row from a boolean-per-dimension iterator.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut words = Vec::new();
+        let mut len = 0usize;
+        let mut current = 0u64;
+        for (i, b) in bits.into_iter().enumerate() {
+            let slot = i % 64;
+            if slot == 0 && i != 0 {
+                words.push(current);
+                current = 0;
+            }
+            if b {
+                current |= 1 << slot;
+            }
+            len = i + 1;
+        }
+        if len > 0 {
+            words.push(current);
+        }
+        Self { words, len }
+    }
+
+    /// Number of dimensions covered by this plane.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the plane covers zero dimensions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of bounds ({} dims)", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits (`1`s) in the plane.
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of clear bits (`0`s) in the plane.
+    #[must_use]
+    pub fn count_zeros(&self) -> u32 {
+        self.len as u32 - self.count_ones()
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.bit(i))
+    }
+
+    /// Dot product of this plane against a query row: `Σ_{bit_i=1} q_i`
+    /// (unweighted; the caller applies [`plane_weight`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != self.len()`.
+    #[must_use]
+    pub fn masked_sum(&self, q: &[i8]) -> i32 {
+        assert_eq!(q.len(), self.len, "query length must match plane length");
+        let mut acc = 0i32;
+        for (w, chunk) in self.words.iter().zip(q.chunks(64)) {
+            let mut bits = *w;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                acc += i32::from(chunk[i]);
+                bits &= bits - 1;
+            }
+        }
+        acc
+    }
+
+    /// Payload size of the plane in bits (one bit per dimension).
+    #[must_use]
+    pub fn payload_bits(&self) -> usize {
+        self.len
+    }
+}
+
+/// All bit planes of one token vector, MSB first.
+///
+/// # Example
+///
+/// ```
+/// use pade_quant::TokenPlanes;
+///
+/// let planes = TokenPlanes::from_values(&[5, -5], 8);
+/// assert_eq!(planes.reconstruct(), vec![5, -5]);
+/// // Sign plane of -5 is set, of +5 is clear.
+/// assert!(!planes.plane(0).bit(0));
+/// assert!(planes.plane(0).bit(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenPlanes {
+    planes: Vec<PlaneRow>,
+    bits: u32,
+    dims: usize,
+}
+
+impl TokenPlanes {
+    /// Decomposes a token vector into `bits` MSB-first planes.
+    ///
+    /// Values are interpreted in `bits`-wide two's complement; they must fit
+    /// (this holds by construction for codes produced by
+    /// [`QuantParams`](crate::QuantParams) of the same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=8` or a value does not fit in `bits`
+    /// two's-complement bits.
+    #[must_use]
+    pub fn from_values(values: &[i8], bits: u32) -> Self {
+        Self::try_from_values(values, bits).expect("values must fit the requested width")
+    }
+
+    /// Fallible variant of [`TokenPlanes::from_values`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedWidth`] for a width outside `2..=8`
+    /// (values outside the width's range still panic, as that is a caller
+    /// contract violation rather than a data-dependent condition).
+    pub fn try_from_values(values: &[i8], bits: u32) -> Result<Self, QuantError> {
+        if !(2..=8).contains(&bits) {
+            return Err(QuantError::UnsupportedWidth { bits });
+        }
+        let lo = -(1i32 << (bits - 1));
+        let hi = (1i32 << (bits - 1)) - 1;
+        for &v in values {
+            assert!(
+                (lo..=hi).contains(&i32::from(v)),
+                "value {v} does not fit in {bits}-bit two's complement"
+            );
+        }
+        // Since each value fits in `bits` bits, the low `bits` bits of its i8
+        // representation are exactly its two's-complement pattern.
+        let mask = (1u32 << bits) - 1;
+        let planes = (0..bits)
+            .map(|r| {
+                PlaneRow::from_bits(values.iter().map(|&v| {
+                    let pattern = u32::from(v as u8) & mask;
+                    (pattern >> (bits - 1 - r)) & 1 == 1
+                }))
+            })
+            .collect();
+        Ok(Self { planes, bits, dims: values.len() })
+    }
+
+    /// Bit width of the decomposed values.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of hidden dimensions.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Borrow plane `r` (0 = sign plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.bits()`.
+    #[must_use]
+    pub fn plane(&self, r: u32) -> &PlaneRow {
+        &self.planes[r as usize]
+    }
+
+    /// Reassembles the original integers from the planes — the identity of
+    /// Eq. 2, used as the crate's primary self-check.
+    #[must_use]
+    pub fn reconstruct(&self) -> Vec<i32> {
+        let mut out = vec![0i32; self.dims];
+        for r in 0..self.bits {
+            let w = plane_weight(r, self.bits);
+            let plane = &self.planes[r as usize];
+            for i in plane.iter_ones() {
+                out[i] += w;
+            }
+        }
+        out
+    }
+}
+
+/// Bit planes for a whole key matrix (`tokens × dims`), MSB first.
+///
+/// This is the DRAM-resident form of the key tensor in PADE: plane `r` of
+/// token `j` is an independently addressable memory object (the paper's
+/// bit-plane-interleaved layout, Fig. 22).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPlaneMatrix {
+    tokens: Vec<TokenPlanes>,
+    bits: u32,
+    dims: usize,
+}
+
+impl BitPlaneMatrix {
+    /// Decomposes every row of a row-major integer matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::DimensionMismatch`] when `data.len()` is not a
+    /// multiple of `dims`, or [`QuantError::UnsupportedWidth`] for a bad width.
+    pub fn from_rows(data: &[i8], dims: usize, bits: u32) -> Result<Self, QuantError> {
+        if dims == 0 || !data.len().is_multiple_of(dims) {
+            return Err(QuantError::DimensionMismatch {
+                expected: dims.max(1),
+                actual: data.len(),
+            });
+        }
+        let tokens = data
+            .chunks(dims)
+            .map(|row| TokenPlanes::try_from_values(row, bits))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { tokens, bits, dims })
+    }
+
+    /// Number of tokens (rows).
+    #[must_use]
+    pub fn tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of hidden dimensions per token.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Bit width of the decomposition.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// All planes of token `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.tokens()`.
+    #[must_use]
+    pub fn token(&self, j: usize) -> &TokenPlanes {
+        &self.tokens[j]
+    }
+
+    /// Bytes occupied by a single bit plane of a single token, rounded up to
+    /// whole bytes (what one OOE bit-plane fetch transfers).
+    #[must_use]
+    pub fn plane_bytes(&self) -> usize {
+        self.dims.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plane_weights_sum_to_minus_one() {
+        // All-ones pattern is -1 in two's complement.
+        let total: i32 = (0..8).map(|r| plane_weight(r, 8)).sum();
+        assert_eq!(total, -1);
+        let total4: i32 = (0..4).map(|r| plane_weight(r, 4)).sum();
+        assert_eq!(total4, -1);
+    }
+
+    #[test]
+    fn uncertainty_span_matches_remaining_weights() {
+        for bits in 2..=8u32 {
+            for r in 0..bits {
+                let remaining: i32 = (r + 1..bits).map(|i| plane_weight(i, bits)).sum();
+                assert_eq!(uncertainty_span(r, bits), remaining);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig5a_example_msb_speculation() {
+        // Fig. 5(a): 4-bit MSB-only speculation of (+5)*(+5) + (+5)*(-5).
+        // MSB plane of 0101 (+5) is 0 -> conservative value 0; MSB plane of
+        // 1011 (-5) is 1 -> conservative value -8. Estimated: 5*0 + 5*(-8) = -40.
+        let k = TokenPlanes::from_values(&[5, -5], 4);
+        let msb = k.plane(0);
+        let est = plane_weight(0, 4) * msb.masked_sum(&[5, 5]);
+        assert_eq!(est, -40);
+        // True result is 0; with all planes the reconstruction is exact.
+        let q = [5i32, 5];
+        let truth: i32 = k.reconstruct().iter().zip(q.iter()).map(|(a, b)| a * b).sum();
+        assert_eq!(truth, 0);
+    }
+
+    #[test]
+    fn masked_sum_counts_selected_queries() {
+        let plane = PlaneRow::from_bits([true, false, true, true]);
+        assert_eq!(plane.masked_sum(&[1, 2, 3, 4]), 8);
+        assert_eq!(plane.count_ones(), 3);
+        assert_eq!(plane.count_zeros(), 1);
+    }
+
+    #[test]
+    fn plane_row_across_word_boundary() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let plane = PlaneRow::from_bits(bits.iter().copied());
+        assert_eq!(plane.len(), 130);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(plane.bit(i), b, "bit {i}");
+        }
+        let q: Vec<i8> = (0..130).map(|i| (i % 7) as i8 - 3).collect();
+        let expect: i32 =
+            bits.iter().zip(&q).filter(|(b, _)| **b).map(|(_, &v)| i32::from(v)).sum();
+        assert_eq!(plane.masked_sum(&q), expect);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let data: Vec<i8> = vec![6, -5, 9, -4, 127, -128, 0, 1];
+        let m = BitPlaneMatrix::from_rows(&data, 4, 8).unwrap();
+        assert_eq!(m.tokens(), 2);
+        assert_eq!(m.plane_bytes(), 1);
+        let rec: Vec<i32> = (0..2).flat_map(|j| m.token(j).reconstruct()).collect();
+        assert_eq!(rec, data.iter().map(|&v| i32::from(v)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matrix_rejects_ragged_data() {
+        assert!(BitPlaneMatrix::from_rows(&[1, 2, 3], 2, 8).is_err());
+        assert!(BitPlaneMatrix::from_rows(&[1, 2], 0, 8).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruction_is_exact_int8(values in proptest::collection::vec(any::<i8>(), 1..200)) {
+            let planes = TokenPlanes::from_values(&values, 8);
+            let rec = planes.reconstruct();
+            prop_assert_eq!(rec, values.iter().map(|&v| i32::from(v)).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_reconstruction_is_exact_int4(values in proptest::collection::vec(-8i8..=7, 1..100)) {
+            let planes = TokenPlanes::from_values(&values, 4);
+            let rec = planes.reconstruct();
+            prop_assert_eq!(rec, values.iter().map(|&v| i32::from(v)).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_partial_scores_converge_msb_first(
+            q in proptest::collection::vec(any::<i8>(), 1..64),
+            seed in any::<u64>(),
+        ) {
+            // Partial score after all planes equals the exact dot product.
+            let k: Vec<i8> = q.iter().enumerate()
+                .map(|(i, _)| ((seed.wrapping_mul(i as u64 + 1).wrapping_add(i as u64 * 7919)) % 256) as u8 as i8)
+                .collect();
+            let planes = TokenPlanes::from_values(&k, 8);
+            let exact: i32 = q.iter().zip(&k).map(|(&a, &b)| i32::from(a) * i32::from(b)).sum();
+            let mut partial = 0i32;
+            for r in 0..8u32 {
+                partial += plane_weight(r, 8) * planes.plane(r).masked_sum(&q);
+            }
+            prop_assert_eq!(partial, exact);
+        }
+
+        #[test]
+        fn prop_unknown_bits_bounded_by_span(v in any::<i8>(), r in 0u32..8) {
+            // The value formed by zeroing unknown planes differs from the true
+            // value by at most U_r, and never exceeds it.
+            let planes = TokenPlanes::from_values(&[v], 8);
+            let mut known = 0i32;
+            for p in 0..=r {
+                if planes.plane(p).bit(0) {
+                    known += plane_weight(p, 8);
+                }
+            }
+            let diff = i32::from(v) - known;
+            prop_assert!(diff >= 0);
+            prop_assert!(diff <= uncertainty_span(r, 8));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for quantization and bit-plane operations.
+///
+/// # Example
+///
+/// ```
+/// use pade_quant::QuantParams;
+///
+/// let err = QuantParams::try_from_max_abs(1.0, 1).unwrap_err();
+/// assert!(err.to_string().contains("bit width"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// The requested integer bit width is outside the supported `2..=8` range.
+    UnsupportedWidth {
+        /// The rejected width.
+        bits: u32,
+    },
+    /// A group-quantized vector length is not a multiple of the group size.
+    BadGroupLength {
+        /// Offending vector length.
+        len: usize,
+        /// Required group size.
+        group: usize,
+    },
+    /// Matrix construction with inconsistent dimensions.
+    DimensionMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Provided number of elements.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::UnsupportedWidth { bits } => {
+                write!(f, "unsupported bit width {bits}, expected 2..=8")
+            }
+            QuantError::BadGroupLength { len, group } => {
+                write!(f, "vector length {len} is not a multiple of group size {group}")
+            }
+            QuantError::DimensionMismatch { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = QuantError::UnsupportedWidth { bits: 9 };
+        let s = e.to_string();
+        assert!(s.starts_with("unsupported"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

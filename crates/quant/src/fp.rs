@@ -1,0 +1,451 @@
+//! Floating-point queries via exponent alignment — §VI-F of the paper.
+//!
+//! The paper notes that K/V tensors quantize safely to INT8/INT4 (softmax
+//! suppresses their quantization noise), while queries may arrive in FP
+//! formats. PADE handles FP×INT by *exponent alignment*, following the
+//! integer-unit FP-INT methodology of FIGNA/BitMod/Anda (the paper's refs
+//! \[14\], \[31\], \[53\]): every element of a query row is shifted to the row's maximum
+//! exponent, after which the row is a plain fixed-point integer vector with
+//! one shared power-of-two scale — exactly what the bit-serial QK-PU
+//! consumes. No multiplier is needed for the conversion; it is shift-only.
+//!
+//! This module provides a software IEEE 754 half-precision type ([`Fp16`],
+//! the format the paper's FP queries arrive in), the alignment itself
+//! ([`align_fp16_row`] / [`align_f32_row`]), and the worst-case error
+//! bounds that make the BUI guarantee carry over (the alignment error is a
+//! *query-side* perturbation, so it shifts all of a row's scores by at most
+//! [`AlignedRow::dot_error_bound`] — the guard radius absorbs it).
+
+use crate::QuantError;
+
+/// An IEEE 754 binary16 (half-precision) value.
+///
+/// 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits. Conversions
+/// round to nearest, ties to even — bit-exact with hardware `f32→f16`
+/// converters.
+///
+/// # Example
+///
+/// ```
+/// use pade_quant::fp::Fp16;
+///
+/// let h = Fp16::from_f32(1.5);
+/// assert_eq!(h.to_f32(), 1.5);
+/// assert_eq!(Fp16::from_f32(65504.0).to_f32(), 65504.0); // max finite
+/// assert!(Fp16::from_f32(1e6).to_f32().is_infinite());   // overflow
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp16(u16);
+
+impl Fp16 {
+    /// Positive zero.
+    pub const ZERO: Self = Self(0);
+    /// Largest finite half-precision value (65504).
+    pub const MAX: Self = Self(0x7BFF);
+
+    /// Reinterprets a raw bit pattern.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        Self(bits)
+    }
+
+    /// The raw bit pattern.
+    #[must_use]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32`, rounding to nearest (ties to even), with
+    /// overflow to infinity and underflow through subnormals to zero.
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp32 = ((bits >> 23) & 0xFF) as i32;
+        let mant32 = bits & 0x007F_FFFF;
+
+        if exp32 == 0xFF {
+            // Inf / NaN (NaN keeps a payload bit so it stays NaN).
+            return Self(sign | 0x7C00 | u16::from(mant32 != 0) << 9);
+        }
+        let exp16 = exp32 - 127 + 15;
+        if exp16 >= 0x1F {
+            return Self(sign | 0x7C00); // overflow → ±inf
+        }
+        if exp16 <= 0 {
+            // Subnormal half (or zero). The significand including the
+            // implicit bit must be shifted right by (1 − exp16) extra
+            // places on top of the 13-bit narrowing.
+            if exp16 < -10 {
+                return Self(sign); // underflows to zero even after rounding? see below
+            }
+            let significand = mant32 | 0x0080_0000;
+            let shift = (14 - exp16) as u32; // 23-10 narrowing + denorm shift
+            let kept = significand >> shift;
+            let rem = significand & ((1 << shift) - 1);
+            let half = 1u32 << (shift - 1);
+            let rounded = kept
+                + u32::from(rem > half || (rem == half && kept & 1 == 1));
+            return Self(sign | rounded as u16);
+        }
+        // Normalized: narrow the mantissa 23 → 10 bits.
+        let kept = mant32 >> 13;
+        let rem = mant32 & 0x1FFF;
+        let mut m = kept + u32::from(rem > 0x1000 || (rem == 0x1000 && kept & 1 == 1));
+        let mut e = exp16 as u32;
+        if m == 0x400 {
+            m = 0;
+            e += 1;
+            if e >= 0x1F {
+                return Self(sign | 0x7C00);
+            }
+        }
+        Self(sign | ((e as u16) << 10) | m as u16)
+    }
+
+    /// Converts to `f32` exactly (every half value is representable).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        let sign = if self.0 & 0x8000 != 0 { -1.0f32 } else { 1.0 };
+        let exp = (self.0 >> 10) & 0x1F;
+        let mant = u32::from(self.0 & 0x3FF);
+        match exp {
+            0 => sign * mant as f32 * f32::powi(2.0, -24),
+            0x1F => {
+                if mant == 0 {
+                    sign * f32::INFINITY
+                } else {
+                    f32::NAN
+                }
+            }
+            e => {
+                let bits = (u32::from(self.0 & 0x8000) << 16)
+                    | ((u32::from(e) + 127 - 15) << 23)
+                    | (mant << 13);
+                f32::from_bits(bits)
+            }
+        }
+    }
+
+    /// The unbiased binary exponent, or `None` for zero/subnormal/non-finite.
+    #[must_use]
+    pub fn exponent(self) -> Option<i32> {
+        let e = (self.0 >> 10) & 0x1F;
+        if e == 0 || e == 0x1F {
+            None
+        } else {
+            Some(i32::from(e) - 15)
+        }
+    }
+
+    /// `true` for NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        (self.0 >> 10) & 0x1F == 0x1F && self.0 & 0x3FF != 0
+    }
+
+    /// `true` for finite values (not inf, not NaN).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        (self.0 >> 10) & 0x1F != 0x1F
+    }
+}
+
+impl From<f32> for Fp16 {
+    fn from(x: f32) -> Self {
+        Self::from_f32(x)
+    }
+}
+
+impl std::fmt::Display for Fp16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// A query row after exponent alignment: integer codes sharing one
+/// power-of-two scale, ready for the bit-serial QK-PU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignedRow {
+    codes: Vec<i8>,
+    scale: f32,
+    bits: u32,
+}
+
+impl AlignedRow {
+    /// The aligned integer codes (`bits`-wide two's complement).
+    #[must_use]
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// The shared power-of-two scale: `value ≈ code · scale`.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Integer width of the codes.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Dequantizes the row back to floats.
+    #[must_use]
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.codes.iter().map(|&c| f32::from(c) * self.scale).collect()
+    }
+
+    /// Worst-case per-element alignment error (round-to-nearest plus the
+    /// one-code clamp at the positive edge): `scale` in absolute value.
+    #[must_use]
+    pub fn element_error_bound(&self) -> f32 {
+        self.scale
+    }
+
+    /// Worst-case error of the dot product against integer keys `k`:
+    /// `element_error_bound · Σ|k_j|`. The guard radius must absorb this
+    /// for the BUI pruning guarantee to carry over to FP queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k.len()` differs from the row length.
+    #[must_use]
+    pub fn dot_error_bound(&self, k: &[i8]) -> f64 {
+        assert_eq!(k.len(), self.codes.len(), "key length must match query row");
+        let l1: f64 = k.iter().map(|&v| f64::from(v).abs()).sum();
+        f64::from(self.element_error_bound()) * l1
+    }
+}
+
+/// Aligns a row of half-precision queries to a shared power-of-two scale,
+/// producing `bits`-wide integer codes (shift-only hardware; no
+/// multipliers).
+///
+/// Non-finite inputs saturate to the representable extremes. An all-zero
+/// row aligns to scale 1 with all-zero codes.
+///
+/// # Errors
+///
+/// Returns [`QuantError::UnsupportedWidth`] if `bits` is outside `2..=8`.
+///
+/// # Example
+///
+/// ```
+/// use pade_quant::fp::{align_fp16_row, Fp16};
+///
+/// let row: Vec<Fp16> = [1.0f32, -0.5, 0.25].iter().copied().map(Fp16::from_f32).collect();
+/// let aligned = align_fp16_row(&row, 8)?;
+/// let back = aligned.dequantize();
+/// assert!((back[0] - 1.0).abs() <= aligned.element_error_bound());
+/// # Ok::<(), pade_quant::QuantError>(())
+/// ```
+pub fn align_fp16_row(values: &[Fp16], bits: u32) -> Result<AlignedRow, QuantError> {
+    let floats: Vec<f32> = values.iter().map(|v| v.to_f32()).collect();
+    align_f32_row(&floats, bits)
+}
+
+/// Aligns a row of `f32` queries (converted through the half-precision
+/// ingest format first, as the hardware would) — see [`align_fp16_row`].
+///
+/// # Errors
+///
+/// Returns [`QuantError::UnsupportedWidth`] if `bits` is outside `2..=8`.
+pub fn align_f32_row(values: &[f32], bits: u32) -> Result<AlignedRow, QuantError> {
+    if !(2..=8).contains(&bits) {
+        return Err(QuantError::UnsupportedWidth { bits });
+    }
+    let sanitized: Vec<f32> = values
+        .iter()
+        .map(|&x| {
+            let h = Fp16::from_f32(x);
+            if h.is_nan() {
+                0.0
+            } else if h.is_finite() {
+                h.to_f32()
+            } else if h.to_bits() & 0x8000 != 0 {
+                -Fp16::MAX.to_f32()
+            } else {
+                Fp16::MAX.to_f32()
+            }
+        })
+        .collect();
+    let max_abs = sanitized.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+    if max_abs == 0.0 {
+        return Ok(AlignedRow { codes: vec![0; values.len()], scale: 1.0, bits });
+    }
+    // Shared exponent: the smallest power of two ≥ max_abs maps onto the
+    // full magnitude range 2^(bits−1).
+    let e = max_abs.log2().ceil() as i32;
+    let scale = f32::powi(2.0, e - (bits as i32 - 1));
+    let lo = -(1i32 << (bits - 1));
+    let hi = (1i32 << (bits - 1)) - 1;
+    let codes = sanitized
+        .iter()
+        .map(|&x| ((x / scale).round() as i32).clamp(lo, hi) as i8)
+        .collect();
+    Ok(AlignedRow { codes, scale, bits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fp16_known_values() {
+        for (f, bits) in [
+            (0.0f32, 0x0000u16),
+            (1.0, 0x3C00),
+            (-2.0, 0xC000),
+            (0.5, 0x3800),
+            (65504.0, 0x7BFF),
+            (6.103_515_6e-5, 0x0400), // smallest normal
+            (5.960_464_5e-8, 0x0001), // smallest subnormal
+        ] {
+            assert_eq!(Fp16::from_f32(f).to_bits(), bits, "{f}");
+            assert_eq!(Fp16::from_bits(bits).to_f32(), f, "{bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn fp16_overflow_and_nan() {
+        assert!(Fp16::from_f32(1e9).to_f32().is_infinite());
+        assert!(Fp16::from_f32(f32::NEG_INFINITY).to_f32().is_infinite());
+        assert!(Fp16::from_f32(f32::NAN).is_nan());
+        assert!(!Fp16::from_f32(1.0).is_nan());
+        assert!(Fp16::from_f32(1.0).is_finite());
+        assert!(!Fp16::from_f32(1e9).is_finite());
+    }
+
+    #[test]
+    fn fp16_rounds_ties_to_even() {
+        // 2048.5 is exactly between 2048 and 2050 in half precision
+        // (ulp = 2 at this magnitude): ties-to-even picks 2048.
+        assert_eq!(Fp16::from_f32(2049.0).to_f32(), 2048.0);
+        // 2051 is between 2050 and 2052: picks 2052.
+        assert_eq!(Fp16::from_f32(2051.0).to_f32(), 2052.0);
+    }
+
+    #[test]
+    fn fp16_exponent_field() {
+        assert_eq!(Fp16::from_f32(1.0).exponent(), Some(0));
+        assert_eq!(Fp16::from_f32(4.0).exponent(), Some(2));
+        assert_eq!(Fp16::from_f32(0.25).exponent(), Some(-2));
+        assert_eq!(Fp16::ZERO.exponent(), None);
+        assert_eq!(Fp16::from_f32(f32::INFINITY).exponent(), None);
+    }
+
+    #[test]
+    fn alignment_zero_row() {
+        let a = align_f32_row(&[0.0, 0.0, -0.0], 8).unwrap();
+        assert_eq!(a.codes(), &[0, 0, 0]);
+        assert_eq!(a.scale(), 1.0);
+        assert_eq!(a.dequantize(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn alignment_uses_power_of_two_scale() {
+        let a = align_f32_row(&[0.7, -0.3, 0.1], 8).unwrap();
+        // max_abs = 0.7 → shared exponent 0 → scale 2^(0-7) = 1/128.
+        assert_eq!(a.scale(), 1.0 / 128.0);
+        assert_eq!(a.scale().log2().fract(), 0.0, "scale must be a power of two");
+    }
+
+    #[test]
+    fn alignment_rejects_bad_width() {
+        assert!(align_f32_row(&[1.0], 1).is_err());
+        assert!(align_f32_row(&[1.0], 9).is_err());
+    }
+
+    #[test]
+    fn alignment_saturates_non_finite() {
+        let a = align_f32_row(&[f32::INFINITY, f32::NEG_INFINITY, f32::NAN], 8).unwrap();
+        assert_eq!(a.codes()[0], 127);
+        assert_eq!(a.codes()[1], -128);
+        assert_eq!(a.codes()[2], 0);
+    }
+
+    #[test]
+    fn dot_error_bound_scales_with_key_l1() {
+        let a = align_f32_row(&[1.0, -1.0], 8).unwrap();
+        let loose = a.dot_error_bound(&[100, 100]);
+        let tight = a.dot_error_bound(&[1, 1]);
+        assert!(loose > tight);
+        assert_eq!(a.dot_error_bound(&[0, 0]), 0.0);
+    }
+
+    proptest! {
+        /// f32 → fp16 → f32 stays within half an fp16 ulp of the input
+        /// (for inputs inside the finite half range).
+        #[test]
+        fn prop_fp16_round_trip_error(x in -60000.0f32..60000.0) {
+            let h = Fp16::from_f32(x);
+            let back = h.to_f32();
+            // ulp at |x|: 2^(e-10) for normals, 2^-24 for subnormals.
+            let ulp = if x.abs() >= 6.104e-5 {
+                f32::powi(2.0, x.abs().log2().floor() as i32 - 10)
+            } else {
+                f32::powi(2.0, -24)
+            };
+            prop_assert!((back - x).abs() <= 0.5 * ulp + f32::EPSILON,
+                "{} -> {} (ulp {})", x, back, ulp);
+        }
+
+        /// Round-tripping an exact half value is the identity.
+        #[test]
+        fn prop_fp16_idempotent(bits in 0u16..0x7C00) {
+            // All finite non-negative patterns (sign handled separately).
+            for sign in [0u16, 0x8000] {
+                let h = Fp16::from_bits(bits | sign);
+                let again = Fp16::from_f32(h.to_f32());
+                prop_assert_eq!(again.to_bits(), h.to_bits());
+            }
+        }
+
+        /// Every aligned element sits within the advertised error bound.
+        #[test]
+        fn prop_alignment_error_within_bound(
+            values in proptest::collection::vec(-1000.0f32..1000.0, 1..80),
+            bits in 2u32..=8,
+        ) {
+            let a = align_f32_row(&values, bits).unwrap();
+            let back = a.dequantize();
+            for (i, (&x, &y)) in values.iter().zip(&back).enumerate() {
+                // Compare against the fp16-ingested value (the hardware
+                // never sees the raw f32).
+                let ingested = Fp16::from_f32(x).to_f32();
+                prop_assert!(
+                    (ingested - y).abs() <= a.element_error_bound() + 1e-6,
+                    "elem {}: {} vs {} (bound {})", i, ingested, y, a.element_error_bound()
+                );
+            }
+        }
+
+        /// The dot-product error bound holds against arbitrary integer keys.
+        #[test]
+        fn prop_dot_error_bound_holds(
+            values in proptest::collection::vec(-100.0f32..100.0, 1..48),
+            seed in any::<u64>(),
+        ) {
+            let a = align_f32_row(&values, 8).unwrap();
+            let k: Vec<i8> = (0..values.len())
+                .map(|i| {
+                    (seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 29) as u8
+                        as i8
+                })
+                .collect();
+            let exact: f64 = values.iter().zip(&k)
+                .map(|(&q, &kv)| f64::from(Fp16::from_f32(q).to_f32()) * f64::from(kv))
+                .sum();
+            let aligned: f64 = a.dequantize().iter().zip(&k)
+                .map(|(&q, &kv)| f64::from(q) * f64::from(kv))
+                .sum();
+            prop_assert!(
+                (exact - aligned).abs() <= a.dot_error_bound(&k) + 1e-3,
+                "{} vs {} (bound {})", exact, aligned, a.dot_error_bound(&k)
+            );
+        }
+    }
+}

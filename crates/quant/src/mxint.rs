@@ -1,0 +1,202 @@
+//! MXINT micro-scaling format (Fig. 25 of the paper).
+//!
+//! The MX format performs fine-grained quantization along the channel
+//! dimension by grouping data into 32-element segments, each with its own
+//! calibration-derived scale. PADE stays compatible by (1) computing the
+//! bit-serial partial score and BUI *per group*, (2) scaling each group's
+//! interval by `Δ_Q·Δ_K / Δ_A`, and (3) summing intervals across groups —
+//! implemented in `pade-core`'s BUI on top of the representation here.
+
+use crate::{QuantError, QuantParams};
+
+/// Default MX group size (the microscaling standard uses 32).
+pub const MX_GROUP: usize = 32;
+
+/// A vector quantized in per-group MXINT format.
+///
+/// # Example
+///
+/// ```
+/// use pade_quant::mxint::MxVector;
+///
+/// let xs: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 8.0).collect();
+/// let v = MxVector::quantize(&xs, 32, 8)?;
+/// assert_eq!(v.groups(), 2);
+/// let back = v.dequantize();
+/// for (a, b) in xs.iter().zip(&back) {
+///     assert!((a - b).abs() < 0.05);
+/// }
+/// # Ok::<(), pade_quant::QuantError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MxVector {
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+    group: usize,
+    bits: u32,
+}
+
+impl MxVector {
+    /// Quantizes `values` in groups of `group`, each with its own symmetric
+    /// scale derived from the group's max magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadGroupLength`] when `values.len()` is not a
+    /// multiple of `group`, or [`QuantError::UnsupportedWidth`] for a bad
+    /// bit width.
+    pub fn quantize(values: &[f32], group: usize, bits: u32) -> Result<Self, QuantError> {
+        if group == 0 || !values.len().is_multiple_of(group) {
+            return Err(QuantError::BadGroupLength { len: values.len(), group: group.max(1) });
+        }
+        let mut codes = Vec::with_capacity(values.len());
+        let mut scales = Vec::with_capacity(values.len() / group);
+        for chunk in values.chunks(group) {
+            let max_abs = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let params = QuantParams::try_from_max_abs(max_abs, bits)?;
+            scales.push(params.scale());
+            codes.extend(chunk.iter().map(|&v| params.quantize(v)));
+        }
+        Ok(Self { codes, scales, group, bits })
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Group size (32 in the MX standard).
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.group
+    }
+
+    /// Bit width of the integer codes.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Integer codes of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= self.groups()`.
+    #[must_use]
+    pub fn group_codes(&self, g: usize) -> &[i8] {
+        &self.codes[g * self.group..(g + 1) * self.group]
+    }
+
+    /// Scale of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= self.groups()`.
+    #[must_use]
+    pub fn group_scale(&self, g: usize) -> f32 {
+        self.scales[g]
+    }
+
+    /// All integer codes, group-major.
+    #[must_use]
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// Reconstructs the real-valued vector.
+    #[must_use]
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.codes
+            .chunks(self.group)
+            .zip(&self.scales)
+            .flat_map(|(chunk, &s)| chunk.iter().map(move |&c| f32::from(c) * s))
+            .collect()
+    }
+}
+
+/// Exact real-valued dot product of two MX vectors:
+/// `Σ_g Δ_Q(g)·Δ_K(g) · (q_g · k_g)` — Fig. 25(a)'s "essential group-wise INT
+/// computation".
+///
+/// # Errors
+///
+/// Returns [`QuantError::BadGroupLength`] when the two vectors have different
+/// group structure.
+pub fn mx_dot(q: &MxVector, k: &MxVector) -> Result<f32, QuantError> {
+    if q.groups() != k.groups() || q.group_size() != k.group_size() {
+        return Err(QuantError::BadGroupLength { len: k.codes.len(), group: q.group_size() });
+    }
+    let mut acc = 0.0f64;
+    for g in 0..q.groups() {
+        let s = f64::from(q.group_scale(g)) * f64::from(k.group_scale(g));
+        let int: i64 = q
+            .group_codes(g)
+            .iter()
+            .zip(k.group_codes(g))
+            .map(|(&a, &b)| i64::from(a) * i64::from(b))
+            .sum();
+        acc += s * int as f64;
+    }
+    Ok(acc as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_ragged_groups() {
+        assert!(MxVector::quantize(&[1.0; 33], 32, 8).is_err());
+        assert!(MxVector::quantize(&[1.0; 32], 0, 8).is_err());
+    }
+
+    #[test]
+    fn per_group_scales_adapt_to_magnitude() {
+        let mut xs = vec![0.01f32; 32];
+        xs.extend(vec![10.0f32; 32]);
+        let v = MxVector::quantize(&xs, 32, 8).unwrap();
+        assert!(v.group_scale(1) > v.group_scale(0) * 100.0);
+        // The small group keeps fine resolution despite the large group.
+        let back = v.dequantize();
+        assert!((back[0] - 0.01).abs() < 0.001);
+    }
+
+    #[test]
+    fn mx_dot_matches_reference_on_exact_codes() {
+        // Values chosen to quantize exactly.
+        let q: Vec<f32> = (0..64).map(|i| (i % 16) as f32 - 8.0).collect();
+        let k: Vec<f32> = (0..64).map(|i| ((i * 3) % 16) as f32 - 8.0).collect();
+        let qv = MxVector::quantize(&q, 32, 8).unwrap();
+        let kv = MxVector::quantize(&k, 32, 8).unwrap();
+        let exact: f32 = q.iter().zip(&k).map(|(a, b)| a * b).sum();
+        let got = mx_dot(&qv, &kv).unwrap();
+        assert!((got - exact).abs() / exact.abs().max(1.0) < 0.05, "{got} vs {exact}");
+    }
+
+    #[test]
+    fn mx_dot_rejects_mismatched_structure() {
+        let a = MxVector::quantize(&[1.0; 32], 32, 8).unwrap();
+        let b = MxVector::quantize(&[1.0; 64], 32, 8).unwrap();
+        assert!(mx_dot(&a, &b).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mx_quantization_error_bounded(
+            xs in proptest::collection::vec(-100.0f32..100.0, 64..=64)
+        ) {
+            let v = MxVector::quantize(&xs, 32, 8).unwrap();
+            let back = v.dequantize();
+            for (g, chunk) in xs.chunks(32).enumerate() {
+                let max_abs = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                let tol = v.group_scale(g) * 0.5 + 1e-6;
+                for (i, &x) in chunk.iter().enumerate() {
+                    let r = back[g * 32 + i];
+                    prop_assert!((x - r).abs() <= tol, "x={x} r={r} max_abs={max_abs}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+use crate::Cycle;
+
+/// Busy/stall accounting for one execution unit (a PE lane, a systolic
+/// column, a DRAM channel).
+///
+/// The split mirrors Fig. 23(a): *useful* cycles, *intra-unit* stalls
+/// (waiting on work inside the lane — e.g. more effective bits than peers),
+/// and *inter-unit* stalls (waiting on another unit or on memory).
+///
+/// # Example
+///
+/// ```
+/// use pade_sim::UtilizationCounter;
+///
+/// let mut u = UtilizationCounter::new();
+/// u.busy(8);
+/// u.stall_intra(1);
+/// u.stall_inter(1);
+/// assert!((u.utilization() - 0.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UtilizationCounter {
+    busy_cycles: u64,
+    intra_stall_cycles: u64,
+    inter_stall_cycles: u64,
+    mem_stall_cycles: u64,
+}
+
+impl UtilizationCounter {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` cycles of useful work.
+    pub fn busy(&mut self, n: u64) {
+        self.busy_cycles += n;
+    }
+
+    /// Records `n` cycles stalled on imbalance internal to the unit.
+    pub fn stall_intra(&mut self, n: u64) {
+        self.intra_stall_cycles += n;
+    }
+
+    /// Records `n` cycles stalled on a peer unit (lockstep barriers, tail
+    /// imbalance).
+    pub fn stall_inter(&mut self, n: u64) {
+        self.inter_stall_cycles += n;
+    }
+
+    /// Records `n` cycles stalled on memory (exposed DRAM latency).
+    pub fn stall_mem(&mut self, n: u64) {
+        self.mem_stall_cycles += n;
+    }
+
+    /// Memory stall cycles.
+    #[must_use]
+    pub fn mem_stalls(&self) -> u64 {
+        self.mem_stall_cycles
+    }
+
+    /// Useful cycles.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Intra-unit stall cycles.
+    #[must_use]
+    pub fn intra_stalls(&self) -> u64 {
+        self.intra_stall_cycles
+    }
+
+    /// Inter-unit stall cycles.
+    #[must_use]
+    pub fn inter_stalls(&self) -> u64 {
+        self.inter_stall_cycles
+    }
+
+    /// Total accounted cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.busy_cycles + self.intra_stall_cycles + self.inter_stall_cycles + self.mem_stall_cycles
+    }
+
+    /// Workload-balance efficiency: useful fraction of the cycles spent
+    /// busy or imbalance-stalled (memory stalls excluded) — the metric of
+    /// Fig. 23(a).
+    #[must_use]
+    pub fn balance_efficiency(&self) -> f64 {
+        let t = self.busy_cycles + self.intra_stall_cycles + self.inter_stall_cycles;
+        if t == 0 {
+            1.0
+        } else {
+            self.busy_cycles as f64 / t as f64
+        }
+    }
+
+    /// Fraction of accounted cycles doing useful work; `1.0` when nothing
+    /// was accounted (an idle-but-unused unit is not a stall).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.busy_cycles as f64 / total as f64
+        }
+    }
+
+    /// Elementwise accumulation of another counter.
+    pub fn merge(&mut self, other: &UtilizationCounter) {
+        self.busy_cycles += other.busy_cycles;
+        self.intra_stall_cycles += other.intra_stall_cycles;
+        self.inter_stall_cycles += other.inter_stall_cycles;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+    }
+
+    /// Pads the counter with inter-unit stalls so its total reaches
+    /// `horizon` cycles (used to charge tail latency to lanes that finished
+    /// early).
+    pub fn pad_to(&mut self, horizon: Cycle) {
+        let total = self.total();
+        if horizon.0 > total {
+            self.inter_stall_cycles += horizon.0 - total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_of_untouched_counter_is_one() {
+        assert_eq!(UtilizationCounter::new().utilization(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates_fields() {
+        let mut a = UtilizationCounter::new();
+        a.busy(10);
+        let mut b = UtilizationCounter::new();
+        b.stall_intra(5);
+        b.stall_inter(5);
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert!((a.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pad_to_charges_inter_stalls() {
+        let mut u = UtilizationCounter::new();
+        u.busy(6);
+        u.pad_to(Cycle(10));
+        assert_eq!(u.inter_stalls(), 4);
+        u.pad_to(Cycle(5)); // shorter horizon: no change
+        assert_eq!(u.total(), 10);
+    }
+}

@@ -1,0 +1,162 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) on the accelerator's clock, in core cycles.
+///
+/// The newtype keeps cycle arithmetic from being confused with byte counts
+/// or operation counts in the simulator's bookkeeping.
+///
+/// # Example
+///
+/// ```
+/// use pade_sim::Cycle;
+///
+/// let start = Cycle(10);
+/// let end = start + Cycle(5);
+/// assert_eq!(end - start, Cycle(5));
+/// assert_eq!(end.max(Cycle(12)), Cycle(15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero cycle.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Saturating subtraction, for computing spans that may be negative.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// A clock frequency, used to convert between wall-clock time and [`Cycle`]s.
+///
+/// PADE runs at 800 MHz (Table III); DRAM timing parameters arrive in
+/// nanoseconds and must be expressed in core cycles.
+///
+/// # Example
+///
+/// ```
+/// use pade_sim::Frequency;
+///
+/// let clk = Frequency::mhz(800.0);
+/// // tRC = 50 ns at 800 MHz is 40 core cycles.
+/// assert_eq!(clk.cycles_from_ns(50.0).0, 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frequency {
+    hz: f64,
+}
+
+impl Frequency {
+    /// Builds a frequency from megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not strictly positive.
+    #[must_use]
+    pub fn mhz(mhz: f64) -> Self {
+        assert!(mhz > 0.0, "frequency must be positive");
+        Self { hz: mhz * 1e6 }
+    }
+
+    /// Frequency in hertz.
+    #[must_use]
+    pub fn hz(&self) -> f64 {
+        self.hz
+    }
+
+    /// Converts a duration in nanoseconds to cycles, rounding up (a timing
+    /// parameter must always be fully honored).
+    #[must_use]
+    pub fn cycles_from_ns(&self, ns: f64) -> Cycle {
+        Cycle((ns * 1e-9 * self.hz).ceil() as u64)
+    }
+
+    /// Converts a cycle count back to seconds.
+    #[must_use]
+    pub fn seconds(&self, cycles: Cycle) -> f64 {
+        cycles.0 as f64 / self.hz
+    }
+}
+
+impl Default for Frequency {
+    /// The PADE core clock, 800 MHz.
+    fn default() -> Self {
+        Frequency::mhz(800.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        assert_eq!(Cycle(3) + Cycle(4), Cycle(7));
+        assert_eq!(Cycle(7) - Cycle(4), Cycle(3));
+        assert_eq!(Cycle(3).saturating_sub(Cycle(4)), Cycle::ZERO);
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn ns_conversion_rounds_up() {
+        let clk = Frequency::mhz(800.0);
+        assert_eq!(clk.cycles_from_ns(50.0), Cycle(40));
+        assert_eq!(clk.cycles_from_ns(0.1), Cycle(1));
+        assert_eq!(clk.cycles_from_ns(0.0), Cycle(0));
+    }
+
+    #[test]
+    fn seconds_round_trip() {
+        let clk = Frequency::default();
+        let s = clk.seconds(Cycle(800_000_000));
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = Frequency::mhz(0.0);
+    }
+
+    #[test]
+    fn display_mentions_unit() {
+        assert_eq!(Cycle(5).to_string(), "5 cyc");
+    }
+}

@@ -1,0 +1,136 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A time-ordered event queue used for completion scheduling (DRAM responses
+/// arriving at the scoreboard, V-tile drains, GPU kernel boundaries).
+///
+/// Events scheduled for the same cycle are delivered in insertion order,
+/// which keeps simulations deterministic.
+///
+/// # Example
+///
+/// ```
+/// use pade_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(5), "late");
+/// q.schedule(Cycle(2), "early");
+/// assert_eq!(q.pop_ready(Cycle(2)), Some("early"));
+/// assert_eq!(q.pop_ready(Cycle(2)), None);
+/// assert_eq!(q.next_time(), Some(Cycle(5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Cycle, u64, EventSlot<T>)>>,
+    seq: u64,
+}
+
+// Wrapper so T does not need Ord; ordering is fully determined by (Cycle, seq).
+#[derive(Debug, Clone)]
+struct EventSlot<T>(T);
+
+impl<T> PartialEq for EventSlot<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for EventSlot<T> {}
+impl<T> PartialOrd for EventSlot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for EventSlot<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: Cycle, event: T) {
+        self.heap.push(Reverse((time, self.seq, EventSlot(event))));
+        self.seq += 1;
+    }
+
+    /// Pops the oldest event whose time is `<= now`, if any.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if let Some(Reverse((t, _, _))) = self.heap.peek() {
+            if *t <= now {
+                let Reverse((_, _, EventSlot(ev))) = self.heap.pop().expect("peeked");
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    /// The firing time of the earliest pending event.
+    #[must_use]
+    pub fn next_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), 'c');
+        q.schedule(Cycle(1), 'a');
+        q.schedule(Cycle(5), 'b');
+        assert_eq!(q.pop_ready(Cycle(100)), Some('a'));
+        assert_eq!(q.pop_ready(Cycle(100)), Some('b'));
+        assert_eq!(q.pop_ready(Cycle(100)), Some('c'));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(Cycle(3), i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop_ready(Cycle(3)), Some(i));
+        }
+    }
+
+    #[test]
+    fn future_events_are_not_ready() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(7), ());
+        assert_eq!(q.pop_ready(Cycle(6)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(Cycle(7)));
+        assert_eq!(q.pop_ready(Cycle(7)), Some(()));
+    }
+}

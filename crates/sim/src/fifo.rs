@@ -1,0 +1,178 @@
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when pushing into a full [`BoundedFifo`]; carries the
+/// rejected element back to the caller so it can be retried next cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FifoFullError<T>(pub T);
+
+impl<T> fmt::Display for FifoFullError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo is full")
+    }
+}
+
+impl<T: fmt::Debug> Error for FifoFullError<T> {}
+
+/// A bounded FIFO queue modeling an on-chip buffer between pipeline stages
+/// (e.g. the Score-FIFO and IDX-FIFO between QK-PU and V-PU in Fig. 11(a)).
+///
+/// Pushing into a full queue fails — that is how backpressure propagates in
+/// the cycle-level models. High-water occupancy is tracked for sizing
+/// studies.
+///
+/// # Example
+///
+/// ```
+/// use pade_sim::BoundedFifo;
+///
+/// let mut f = BoundedFifo::new(1);
+/// f.push("req").unwrap();
+/// assert!(f.is_full());
+/// assert_eq!(f.pop(), Some("req"));
+/// assert!(f.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+    total_pushed: u64,
+    rejected: u64,
+}
+
+impl<T> BoundedFifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+            total_pushed: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Enqueues an element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] containing the element when full.
+    pub fn push(&mut self, item: T) -> Result<(), FifoFullError<T>> {
+        if self.items.len() == self.capacity {
+            self.rejected += 1;
+            return Err(FifoFullError(item));
+        }
+        self.items.push_back(item);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest element without removing it.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum occupancy ever observed.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of successful pushes over the queue's lifetime.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Number of pushes rejected by backpressure.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut f = BoundedFifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.pop(), Some(1));
+        f.push(9).unwrap();
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(9));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn full_push_returns_element() {
+        let mut f = BoundedFifo::new(1);
+        f.push(7).unwrap();
+        let err = f.push(8).unwrap_err();
+        assert_eq!(err.0, 8);
+        assert_eq!(f.rejected(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = BoundedFifo::new(8);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.high_water(), 2);
+        assert_eq!(f.total_pushed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: BoundedFifo<u8> = BoundedFifo::new(0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Cycle-level simulation kernel for the PADE workspace.
+//!
+//! All accelerator models (PADE itself in `pade-core` and the baselines in
+//! `pade-baselines`) are built on the same small set of primitives:
+//!
+//! * [`Cycle`] — the simulation time base (one tick of the 800 MHz core
+//!   clock from Table III),
+//! * [`BoundedFifo`] — backpressure-capable queues between pipeline stages,
+//! * [`EventQueue`] — completion scheduling (DRAM responses, systolic array
+//!   drains),
+//! * [`UtilizationCounter`] — per-unit busy/stall accounting used by the
+//!   workload-balance studies (Fig. 23(a)),
+//! * [`RunStats`] / [`OpCounts`] / [`TrafficCounts`] — the common result
+//!   record every accelerator run produces; `pade-energy` turns these event
+//!   counts into energy.
+//!
+//! # Example
+//!
+//! ```
+//! use pade_sim::{BoundedFifo, Cycle};
+//!
+//! let mut fifo = BoundedFifo::new(2);
+//! assert!(fifo.push(1).is_ok());
+//! assert!(fifo.push(2).is_ok());
+//! assert!(fifo.push(3).is_err()); // backpressure
+//! assert_eq!(fifo.pop(), Some(1));
+//! let t = Cycle(40) + Cycle(2);
+//! assert_eq!(t.0, 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod cycle;
+mod event;
+mod fifo;
+mod stats;
+
+pub use counters::UtilizationCounter;
+pub use cycle::{Cycle, Frequency};
+pub use event::EventQueue;
+pub use fifo::{BoundedFifo, FifoFullError};
+pub use stats::{OpCounts, RunStats, TrafficCounts};

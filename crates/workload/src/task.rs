@@ -1,0 +1,254 @@
+//! Task zoo: the benchmarks of Table II and the long-context workloads of
+//! Fig. 15 / Fig. 24, with the paper's published baseline metric values.
+
+/// Metric a task is scored with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// ROUGE-1 (summarization / instruction following).
+    Rouge1,
+    /// Accuracy in percent.
+    AccuracyPct,
+    /// Perplexity (lower is better).
+    Perplexity,
+}
+
+impl Metric {
+    /// Whether larger values are better.
+    #[must_use]
+    pub fn higher_is_better(&self) -> bool {
+        !matches!(self, Metric::Perplexity)
+    }
+
+    /// Unit string for report tables.
+    #[must_use]
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Metric::Rouge1 => "ROUGE-1",
+            Metric::AccuracyPct => "%",
+            Metric::Perplexity => "PPL",
+        }
+    }
+}
+
+/// Behavioral category of a task; drives both the synthetic score profile
+/// and the fidelity→metric sensitivity (Fig. 16(b): generation tasks are
+/// more pruning-sensitive than reasoning tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Open-ended generation (Dolly, WikiLingua, MBPP).
+    Generation,
+    /// Multiple-choice reasoning (MMLU, WinoGrande).
+    Reasoning,
+    /// Language modeling (WikiText-2).
+    LanguageModeling,
+    /// Image classification (ImageNet, VTAB).
+    Vision,
+    /// Long-context retrieval/summarization (PG-19, InfiniteBench, NIAH).
+    LongContext,
+}
+
+/// One benchmark task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskConfig {
+    /// Task name as printed in the paper.
+    pub name: &'static str,
+    /// Sequence length the paper evaluates at.
+    pub seq_len: usize,
+    /// Scoring metric.
+    pub metric: Metric,
+    /// Behavioral category.
+    pub kind: TaskKind,
+}
+
+/// Dolly long-form instruction following, S = 15k.
+#[must_use]
+pub fn dolly() -> TaskConfig {
+    TaskConfig { name: "Dolly", seq_len: 15 * 1024, metric: Metric::Rouge1, kind: TaskKind::Generation }
+}
+
+/// WikiLingua multilingual summarization, S = 2k.
+#[must_use]
+pub fn wikilingua() -> TaskConfig {
+    TaskConfig { name: "Wikilingua", seq_len: 2048, metric: Metric::Rouge1, kind: TaskKind::Generation }
+}
+
+/// MBPP code generation, S = 1k.
+#[must_use]
+pub fn mbpp() -> TaskConfig {
+    TaskConfig { name: "MBPP", seq_len: 1024, metric: Metric::AccuracyPct, kind: TaskKind::Generation }
+}
+
+/// WikiText-2 language modeling, S = 2k.
+#[must_use]
+pub fn wikitext2() -> TaskConfig {
+    TaskConfig { name: "Wiki2", seq_len: 2048, metric: Metric::Perplexity, kind: TaskKind::LanguageModeling }
+}
+
+/// MMLU multiple-choice understanding, S = 0.5k.
+#[must_use]
+pub fn mmlu() -> TaskConfig {
+    TaskConfig { name: "MMLU", seq_len: 512, metric: Metric::AccuracyPct, kind: TaskKind::Reasoning }
+}
+
+/// WinoGrande commonsense reasoning, S = 0.25k.
+#[must_use]
+pub fn winogrande() -> TaskConfig {
+    TaskConfig { name: "Winog.", seq_len: 256, metric: Metric::AccuracyPct, kind: TaskKind::Reasoning }
+}
+
+/// ImageNet-1k classification (ViT patch sequences).
+#[must_use]
+pub fn imagenet() -> TaskConfig {
+    TaskConfig { name: "Image", seq_len: 576, metric: Metric::AccuracyPct, kind: TaskKind::Vision }
+}
+
+/// VTAB transfer classification.
+#[must_use]
+pub fn vtab() -> TaskConfig {
+    TaskConfig { name: "VTAB", seq_len: 576, metric: Metric::AccuracyPct, kind: TaskKind::Vision }
+}
+
+/// PG-19 book-length modeling, S = 100k (Fig. 15(c)).
+#[must_use]
+pub fn pg19() -> TaskConfig {
+    TaskConfig { name: "PG-19", seq_len: 100_000, metric: Metric::Rouge1, kind: TaskKind::LongContext }
+}
+
+/// InfiniteBench ultra-long context, S = 214k.
+#[must_use]
+pub fn infinitebench() -> TaskConfig {
+    TaskConfig { name: "InfiniteBench", seq_len: 214_000, metric: Metric::Rouge1, kind: TaskKind::LongContext }
+}
+
+/// Needle-in-a-haystack retrieval, S = 1M (Fig. 24(c)).
+#[must_use]
+pub fn niah() -> TaskConfig {
+    TaskConfig { name: "NIAH", seq_len: 1_000_000, metric: Metric::AccuracyPct, kind: TaskKind::LongContext }
+}
+
+/// Baseline metric values of one (model, task) cell of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Baseline {
+    /// MXINT8 quantization.
+    pub mxint8: f64,
+    /// FP16 reference.
+    pub fp16: f64,
+    /// INT8 post-training quantization (the accuracy baseline for PADE).
+    pub int8: f64,
+    /// PADE standard configuration as published (0 % loss target).
+    pub pade_standard: f64,
+    /// PADE aggressive configuration as published (≤1 % loss target).
+    pub pade_aggressive: f64,
+}
+
+/// The published Table II values for a (model, task) pair, if the paper
+/// evaluates that combination.
+#[must_use]
+pub fn table2_baseline(model: &str, task: &str) -> Option<Table2Baseline> {
+    let b = |mxint8, fp16, int8, s, a| {
+        Some(Table2Baseline { mxint8, fp16, int8, pade_standard: s, pade_aggressive: a })
+    };
+    match (model, task) {
+        ("Llama2-7B", "Dolly") => b(36.5, 36.4, 36.4, 36.3, 36.1),
+        ("Llama2-7B", "Wikilingua") => b(39.3, 39.1, 38.9, 38.9, 38.4),
+        ("Llama2-7B", "MBPP") => b(17.5, 17.5, 17.2, 17.2, 16.5),
+        ("Llama2-7B", "Wiki2") => b(5.63, 5.71, 5.73, 5.75, 5.80),
+        ("Llama2-7B", "MMLU") => b(35.2, 35.1, 34.7, 34.6, 34.1),
+        ("Llama2-7B", "Winog.") => b(69.8, 69.4, 69.3, 69.2, 68.7),
+        ("Llama3-8B", "Dolly") => b(40.9, 40.8, 40.7, 40.6, 40.5),
+        ("Llama3-8B", "Wikilingua") => b(43.6, 42.7, 42.7, 42.6, 42.0),
+        ("Llama3-8B", "MBPP") => b(23.3, 21.8, 21.6, 21.5, 21.0),
+        ("Llama3-8B", "Wiki2") => b(5.01, 5.11, 5.13, 5.13, 5.19),
+        ("Llama3-8B", "MMLU") => b(42.2, 41.2, 40.9, 40.7, 40.2),
+        ("Llama3-8B", "Winog.") => b(75.1, 74.2, 73.7, 73.7, 72.8),
+        ("OPT1B3", "Wikilingua") => b(36.1, 36.2, 35.9, 35.9, 35.3),
+        ("OPT1B3", "MBPP") => b(11.9, 11.9, 11.6, 11.5, 11.0),
+        ("Bloom1B7", "Wikilingua") => b(44.6, 44.3, 44.1, 44.0, 43.6),
+        ("Bloom1B7", "MBPP") => b(16.3, 16.0, 15.7, 15.6, 15.2),
+        ("Qwen7B", "Wikilingua") => b(46.8, 46.6, 46.4, 46.3, 45.9),
+        ("Qwen7B", "MBPP") => b(30.5, 30.0, 29.2, 29.2, 28.4),
+        ("ViT-L/16", "Image") => b(85.5, 85.3, 85.3, 85.3, 84.9),
+        ("ViT-L/16", "VTAB") => b(72.8, 72.7, 72.5, 72.5, 72.4),
+        ("PVT", "Image") => b(89.7, 89.4, 89.3, 89.3, 89.1),
+        ("PVT", "VTAB") => b(77.5, 77.3, 77.1, 77.1, 76.8),
+        _ => None,
+    }
+}
+
+/// The (model, task-list) pairing of Table II.
+#[must_use]
+pub fn table2_layout() -> Vec<(&'static str, Vec<TaskConfig>)> {
+    vec![
+        ("Llama2-7B", vec![dolly(), wikilingua(), mbpp(), wikitext2(), mmlu(), winogrande()]),
+        ("Llama3-8B", vec![dolly(), wikilingua(), mbpp(), wikitext2(), mmlu(), winogrande()]),
+        ("OPT1B3", vec![wikilingua(), mbpp()]),
+        ("Bloom1B7", vec![wikilingua(), mbpp()]),
+        ("Qwen7B", vec![wikilingua(), mbpp()]),
+        ("ViT-L/16", vec![imagenet(), vtab()]),
+        ("PVT", vec![imagenet(), vtab()]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table2_cell_has_baselines() {
+        for (model, tasks) in table2_layout() {
+            for t in tasks {
+                assert!(
+                    table2_baseline(model, t.name).is_some(),
+                    "missing Table II data for {model}/{}",
+                    t.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table2_covers_22_benchmark_cells() {
+        let total: usize = table2_layout().iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total, 22, "the paper evaluates 22 benchmarks");
+    }
+
+    #[test]
+    fn perplexity_is_lower_better() {
+        assert!(!Metric::Perplexity.higher_is_better());
+        assert!(Metric::Rouge1.higher_is_better());
+    }
+
+    #[test]
+    fn pade_standard_is_within_rounding_of_int8() {
+        for (model, tasks) in table2_layout() {
+            for t in tasks {
+                let b = table2_baseline(model, t.name).unwrap();
+                let diff = (b.pade_standard - b.int8).abs();
+                let tol = if t.metric == Metric::Perplexity { 0.03 } else { 0.25 };
+                assert!(diff <= tol, "{model}/{}: standard drop {diff}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_never_beats_int8() {
+        for (model, tasks) in table2_layout() {
+            for t in tasks {
+                let b = table2_baseline(model, t.name).unwrap();
+                if t.metric.higher_is_better() {
+                    assert!(b.pade_aggressive <= b.int8 + 1e-9);
+                } else {
+                    assert!(b.pade_aggressive >= b.int8 - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_context_tasks_have_long_sequences() {
+        assert!(pg19().seq_len >= 100_000);
+        assert!(infinitebench().seq_len >= 200_000);
+        assert!(niah().seq_len >= 1_000_000);
+        assert_eq!(dolly().seq_len, 15 * 1024);
+    }
+}

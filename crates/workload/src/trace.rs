@@ -1,0 +1,421 @@
+//! Synthetic attention trace generation.
+//!
+//! A trace holds the quantized Q/K/V operands of one attention head plus
+//! the exact INT8 ground truth derived from them. Score structure is
+//! injected through a small set of shared *feature directions* rather than
+//! per-token boosts: sink tokens carry a sink direction, recent tokens a
+//! ramped recency direction, and heavy-tail tokens one of a few retrieval
+//! directions that queries subscribe to. This keeps the cross-talk between
+//! S ≫ H tokens bounded (it hides in the configured noise floor) while
+//! giving precise control over how much softmax mass each structure owns —
+//! which is exactly the input property the paper's pruning results depend
+//! on.
+
+use pade_linalg::{attention, MatF32};
+use pade_quant::{quantize_matrix, quantize_matrix_clipped, QuantizedMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::ScoreProfile;
+
+/// Number of distinct heavy-tail retrieval directions.
+const TAIL_FAMILIES: usize = 4;
+
+/// Configuration of one synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Context length (number of keys/values).
+    pub seq_len: usize,
+    /// Per-head hidden dimension.
+    pub head_dim: usize,
+    /// Number of query rows to materialize (PADE processes 8 per head in
+    /// prefill; decode traces use 1).
+    pub n_queries: usize,
+    /// Attention score structure.
+    pub profile: ScoreProfile,
+    /// Quantization bit width for Q/K/V (8 in the main configuration).
+    pub bits: u32,
+    /// RNG seed; equal seeds produce identical traces.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A small deterministic configuration for examples and tests.
+    #[must_use]
+    pub fn small_demo() -> Self {
+        Self {
+            seq_len: 256,
+            head_dim: 64,
+            n_queries: 4,
+            profile: ScoreProfile::standard(),
+            bits: 8,
+            seed: 7,
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            seq_len: 2048,
+            head_dim: 64,
+            n_queries: 8,
+            profile: ScoreProfile::standard(),
+            bits: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// One attention head's operands plus exact INT8 ground truth.
+#[derive(Debug, Clone)]
+pub struct AttentionTrace {
+    config: TraceConfig,
+    q: QuantizedMatrix,
+    k: QuantizedMatrix,
+    v: QuantizedMatrix,
+    v_f32: MatF32,
+    logit_scale: f32,
+}
+
+impl AttentionTrace {
+    /// Generates a trace from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_len`, `head_dim` or `n_queries` is zero.
+    #[must_use]
+    pub fn generate(config: &TraceConfig) -> Self {
+        assert!(config.seq_len > 0 && config.head_dim > 0 && config.n_queries > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let s = config.seq_len;
+        let h = config.head_dim;
+        let p = &config.profile;
+
+        // Shared feature directions, made exactly orthonormal so structure
+        // logits are deterministic and cross-talk lives only in the
+        // configured noise floor.
+        assert!(h > 2 + TAIL_FAMILIES, "head_dim too small for the feature basis");
+        let mut basis: Vec<Vec<f32>> = Vec::with_capacity(2 + TAIL_FAMILIES);
+        while basis.len() < 2 + TAIL_FAMILIES {
+            let mut v: Vec<f32> = (0..h).map(|_| standard_normal(&mut rng)).collect();
+            project_out(&mut v, &basis);
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 1e-3 {
+                for x in &mut v {
+                    *x /= norm;
+                }
+                basis.push(v);
+            }
+        }
+        let sink_dir = basis[0].clone();
+        let recency_dir = basis[1].clone();
+        let tail_dirs: Vec<Vec<f32>> = basis[2..2 + TAIL_FAMILIES].to_vec();
+
+        // Keys: isotropic noise of unit expected norm plus structure flags.
+        let inv_sqrt_h = 1.0 / (h as f32).sqrt();
+        let mut k = MatF32::zeros(s, h);
+        let mut tail_family = vec![usize::MAX; s];
+        for j in 0..s {
+            let row = k.row_mut(j);
+            for x in row.iter_mut() {
+                *x = standard_normal(&mut rng) * inv_sqrt_h;
+            }
+            // Keep key noise out of the feature span so query subscriptions
+            // see exactly the configured boosts.
+            project_out(row, &basis);
+            // Each token carries at most one structure (sink ≻ tail ≻
+            // recency); stacking would create outlier logits no real score
+            // row exhibits.
+            let is_sink = j < p.sink_tokens;
+            let is_tail = !is_sink && rng.gen::<f32>() < p.tail_rate;
+            if is_tail {
+                tail_family[j] = rng.gen_range(0..TAIL_FAMILIES);
+            }
+            // Recency ramp relative to the sequence end, decaying with
+            // distance over the locality window.
+            let dist = (s - 1 - j) as f32;
+            let ramp = (-dist / p.locality_window.max(1) as f32).exp();
+            for d in 0..h {
+                if is_sink {
+                    row[d] += sink_dir[d];
+                } else if is_tail {
+                    row[d] += tail_dirs[tail_family[j]][d];
+                } else {
+                    row[d] += ramp * recency_dir[d];
+                }
+            }
+        }
+
+        // Queries: noise floor with configured logit sigma plus direction
+        // subscriptions (every query sees sinks and recency; each query
+        // subscribes to one tail family).
+        let mut q = MatF32::zeros(config.n_queries, h);
+        for i in 0..config.n_queries {
+            let family = rng.gen_range(0..TAIL_FAMILIES);
+            let row = q.row_mut(i);
+            for x in row.iter_mut() {
+                *x = standard_normal(&mut rng);
+            }
+            project_out(row, &basis);
+            // |q_noise| = noise_sigma·√H makes q·k_noise ~ N(0, noise_sigma²).
+            let target = p.noise_sigma * (h as f32).sqrt();
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            for x in row.iter_mut() {
+                *x *= target / norm;
+            }
+            for d in 0..h {
+                row[d] += p.sink_strength * sink_dir[d]
+                    + p.locality_strength * recency_dir[d]
+                    + p.tail_strength * tail_dirs[family][d];
+            }
+        }
+
+        // Values: plain activations.
+        let mut v = MatF32::zeros(s, h);
+        for j in 0..s {
+            for x in v.row_mut(j).iter_mut() {
+                *x = standard_normal(&mut rng) * 0.5;
+            }
+        }
+
+        // Operands are quantized with outlier clipping (3σ / 2.5σ), the
+        // calibration step of any practical INT8 PTQ pipeline; it keeps the
+        // integer scale representative of the bulk data, which is also what
+        // makes bit-serial early termination effective.
+        let qq = quantize_matrix_clipped(q.as_slice(), config.n_queries, h, config.bits, 3.0)
+            .expect("query quantization");
+        let kq = quantize_matrix_clipped(k.as_slice(), s, h, config.bits, 2.5)
+            .expect("key quantization");
+        let vq = quantize_matrix(v.as_slice(), s, h, config.bits).expect("value quantization");
+        let logit_scale = qq.params().scale() * kq.params().scale();
+        Self { config: *config, q: qq, k: kq, v: vq, v_f32: v, logit_scale }
+    }
+
+    /// The generating configuration.
+    #[must_use]
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Quantized queries (`n_queries × H`).
+    #[must_use]
+    pub fn queries(&self) -> &QuantizedMatrix {
+        &self.q
+    }
+
+    /// Quantized keys (`S × H`).
+    #[must_use]
+    pub fn keys(&self) -> &QuantizedMatrix {
+        &self.k
+    }
+
+    /// Quantized values (`S × H`).
+    #[must_use]
+    pub fn values(&self) -> &QuantizedMatrix {
+        &self.v
+    }
+
+    /// The FP32 values used for reference outputs.
+    #[must_use]
+    pub fn values_f32(&self) -> &MatF32 {
+        &self.v_f32
+    }
+
+    /// Multiplier mapping an integer Q·K dot product into the logit domain
+    /// (`Δq·Δk`; the softmax temperature is already folded into the score
+    /// structure at generation time).
+    #[must_use]
+    pub fn logit_scale(&self) -> f32 {
+        self.logit_scale
+    }
+
+    /// Exact INT8 logits of query row `i` — the ground truth every pruning
+    /// decision is judged against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_queries`.
+    #[must_use]
+    pub fn exact_logits(&self, i: usize) -> Vec<f32> {
+        let q = self.q.row(i);
+        (0..self.k.rows())
+            .map(|j| {
+                let dot: i32 = q
+                    .iter()
+                    .zip(self.k.row(j))
+                    .map(|(&a, &b)| i32::from(a) * i32::from(b))
+                    .sum();
+                dot as f32 * self.logit_scale
+            })
+            .collect()
+    }
+
+    /// Exact attention output of query row `i` over all keys (INT8 scores,
+    /// FP32 values) — the dense reference for fidelity metrics.
+    #[must_use]
+    pub fn reference_output(&self, i: usize) -> Vec<f32> {
+        let logits = self.exact_logits(i);
+        let weights = pade_linalg::softmax(&logits);
+        let mut out = vec![0.0f32; self.v_f32.cols()];
+        for (j, &w) in weights.iter().enumerate() {
+            for (o, &x) in out.iter_mut().zip(self.v_f32.row(j)) {
+                *o += w * x;
+            }
+        }
+        out
+    }
+
+    /// Exact attention output over a retained subset (the ideal result of a
+    /// pruning method that kept exactly `retained`).
+    #[must_use]
+    pub fn subset_output(&self, i: usize, retained: &[usize]) -> Vec<f32> {
+        let logits = self.exact_logits(i);
+        let scores: Vec<f32> = retained.iter().map(|&j| logits[j]).collect();
+        let weights = pade_linalg::softmax(&scores);
+        let mut out = vec![0.0f32; self.v_f32.cols()];
+        for (&j, &w) in retained.iter().zip(&weights) {
+            for (o, &x) in out.iter_mut().zip(self.v_f32.row(j)) {
+                *o += w * x;
+            }
+        }
+        out
+    }
+
+    /// Dense MAC count for this trace (all queries × all keys × H, for QKᵀ
+    /// plus the PV product).
+    #[must_use]
+    pub fn dense_macs(&self) -> u64 {
+        2 * self.config.n_queries as u64 * self.config.seq_len as u64 * self.config.head_dim as u64
+    }
+
+    /// Convenience: exact dense attention via the `pade-linalg` reference
+    /// (FP32 path; used by cross-checks only).
+    #[must_use]
+    pub fn dense_reference_f32(&self) -> MatF32 {
+        let qf = MatF32::from_vec(self.q.dequantize(), self.q.rows(), self.q.cols());
+        let kf = MatF32::from_vec(self.k.dequantize(), self.k.rows(), self.k.cols());
+        attention::dense_attention(&qf, &kf, &self.v_f32, 1.0)
+    }
+}
+
+/// Removes the components of `v` lying in the span of `basis` (which must
+/// be orthonormal).
+fn project_out(v: &mut [f32], basis: &[Vec<f32>]) {
+    for b in basis {
+        let dot: f32 = v.iter().zip(b).map(|(x, y)| x * y).sum();
+        for (x, y) in v.iter_mut().zip(b) {
+            *x -= dot * y;
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller (keeps the dependency surface to
+/// `rand`'s uniform source only).
+fn standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7f32..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ScoreProfile;
+
+    fn small(seed: u64) -> AttentionTrace {
+        AttentionTrace::generate(&TraceConfig { seed, ..TraceConfig::small_demo() })
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let a = small(3);
+        let b = small(3);
+        assert_eq!(a.keys().as_slice(), b.keys().as_slice());
+        assert_eq!(a.queries().as_slice(), b.queries().as_slice());
+        let c = small(4);
+        assert_ne!(a.keys().as_slice(), c.keys().as_slice());
+    }
+
+    #[test]
+    fn sink_tokens_score_high() {
+        let t = small(11);
+        let sink_count = t.config().profile.sink_tokens;
+        for i in 0..t.config().n_queries {
+            let logits = t.exact_logits(i);
+            let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            for (j, &logit) in logits.iter().enumerate().take(sink_count) {
+                assert!(
+                    logit > max - 6.0,
+                    "sink token {j} at {logit} vs max {max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recent_tokens_score_above_middle_tokens() {
+        let t = small(5);
+        let s = t.config().seq_len;
+        let logits = t.exact_logits(0);
+        let recent: f32 = logits[s - 8..].iter().sum::<f32>() / 8.0;
+        let middle: f32 = logits[s / 2 - 32..s / 2 + 32].iter().sum::<f32>() / 64.0;
+        assert!(recent > middle + 1.0, "recent {recent} vs middle {middle}");
+    }
+
+    #[test]
+    fn long_context_profile_is_sparser_than_vision() {
+        // Long-context profiles are parameterized for S ≥ 4k, where the
+        // recency window is a vanishing fraction of the sequence.
+        let near_max_fraction = |profile: ScoreProfile| {
+            let t = AttentionTrace::generate(&TraceConfig {
+                seq_len: 4096,
+                profile,
+                seed: 9,
+                ..TraceConfig::small_demo()
+            });
+            let logits = t.exact_logits(0);
+            let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            logits.iter().filter(|&&x| x > max - 5.0).count() as f64 / logits.len() as f64
+        };
+        let lc = near_max_fraction(ScoreProfile::long_context());
+        let vis = near_max_fraction(ScoreProfile::vision());
+        assert!(lc < vis, "long-context keep {lc} should be below vision {vis}");
+    }
+
+    #[test]
+    fn subset_with_all_keys_matches_reference() {
+        let t = small(2);
+        let all: Vec<usize> = (0..t.config().seq_len).collect();
+        let a = t.reference_output(0);
+        let b = t.subset_output(0, &all);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn retained_mass_of_near_max_set_is_high() {
+        let t = small(13);
+        let logits = t.exact_logits(1);
+        let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let retained: Vec<usize> =
+            (0..logits.len()).filter(|&j| logits[j] > max - 5.0).collect();
+        let mass = pade_linalg::metrics::retained_mass(&logits, &retained);
+        assert!(mass > 0.9, "mass {mass}");
+        assert!(retained.len() < logits.len() / 2, "retained {} keys", retained.len());
+    }
+
+    #[test]
+    fn dense_macs_counts_qk_and_pv() {
+        let t = small(1);
+        let c = t.config();
+        assert_eq!(t.dense_macs(), 2 * (c.n_queries * c.seq_len * c.head_dim) as u64);
+    }
+
+    #[test]
+    fn int4_traces_generate() {
+        let t = AttentionTrace::generate(&TraceConfig { bits: 4, ..TraceConfig::small_demo() });
+        assert!(t.queries().as_slice().iter().all(|&x| (-8..=7).contains(&x)));
+    }
+}

@@ -1,0 +1,64 @@
+//! FP16 queries through exponent alignment (paper §VI-F): align a
+//! floating-point query row to one shared power-of-two scale and run the
+//! unchanged integer bit-serial filter.
+//!
+//! ```text
+//! cargo run --release --example fp_queries
+//! ```
+
+use pade::core::config::PadeConfig;
+use pade::core::multibit::run_multibit_row;
+use pade::quant::fp::{align_f32_row, Fp16};
+use pade::quant::DigitPlaneMatrix;
+use pade::workload::trace::{AttentionTrace, TraceConfig};
+
+fn main() {
+    let trace = AttentionTrace::generate(&TraceConfig {
+        seq_len: 512,
+        head_dim: 64,
+        n_queries: 4,
+        ..TraceConfig::small_demo()
+    });
+    let config = PadeConfig::standard();
+    let q_scale = trace.queries().params().scale();
+    let keys = DigitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), 1, 8)
+        .expect("key tensor decomposes");
+
+    println!("FP16 queries via exponent alignment (S = 512)");
+    println!("row  scale   worst-case dot err  |INT8 kept|  |FP16 kept|");
+    println!("----------------------------------------------------------");
+    for row in 0..trace.queries().rows() {
+        let q_int = trace.queries().row(row);
+        let int8 = run_multibit_row(q_int, &keys, config.guard_margin(), trace.logit_scale());
+
+        // The query as the hardware would receive it: real-valued, then
+        // ingested as IEEE half precision.
+        let q_fp16: Vec<f32> = q_int
+            .iter()
+            .map(|&c| Fp16::from_f32(f32::from(c) * q_scale).to_f32())
+            .collect();
+        let aligned = align_f32_row(&q_fp16, 8).expect("8-bit alignment");
+        let fp = run_multibit_row(
+            aligned.codes(),
+            &keys,
+            config.guard_margin(),
+            trace.logit_scale() * aligned.scale() / q_scale,
+        );
+
+        let worst = aligned.dot_error_bound(trace.keys().row(0));
+        println!(
+            "{}    2^{:<4}  {:<18.4}  {:<11}  {}",
+            row,
+            aligned.scale().log2() as i32,
+            worst * f64::from(trace.logit_scale() / q_scale),
+            int8.retained.len(),
+            fp.retained.len()
+        );
+    }
+    println!(
+        "\nThe alignment is shift-only (power-of-two scale) and its worst-case\n\
+         score perturbation sits far inside the guard radius of {:.1} logits, so\n\
+         the BUI pruning guarantee carries over to floating-point queries.",
+        config.guard_margin()
+    );
+}

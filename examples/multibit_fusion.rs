@@ -1,0 +1,52 @@
+//! Multi-bit stage fusion (paper §VII, future-work direction 2): sweep the
+//! digit width of the BSF loop and watch the fetch/decision trade-off.
+//!
+//! ```text
+//! cargo run --release --example multibit_fusion
+//! ```
+
+use pade::core::config::PadeConfig;
+use pade::core::multibit::sweep_digit_widths;
+use pade::workload::trace::{AttentionTrace, TraceConfig};
+
+fn main() {
+    let trace = AttentionTrace::generate(&TraceConfig {
+        seq_len: 1024,
+        head_dim: 64,
+        n_queries: 8,
+        ..TraceConfig::small_demo()
+    });
+    let config = PadeConfig::standard();
+    let queries: Vec<&[i8]> =
+        (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+
+    println!("Multi-bit stage fusion on S = 1024 (8 query rows)");
+    println!("d  rounds/key  decisions  kbits fetched  retained  sparsity");
+    println!("-------------------------------------------------------------");
+    let sweep = sweep_digit_widths(
+        &queries,
+        trace.keys().as_slice(),
+        trace.keys().cols(),
+        8,
+        &[1, 2, 4, 8],
+        config.guard_margin(),
+        trace.logit_scale(),
+    );
+    for r in &sweep {
+        println!(
+            "{}  {:<10.2}  {:<9}  {:<13}  {:<8}  {:.1}%",
+            r.digit_bits,
+            r.rounds_executed as f64 / r.total_keys as f64,
+            r.decisions,
+            r.bits_fetched / 1000,
+            r.retained_keys,
+            r.sparsity() * 100.0
+        );
+    }
+    println!(
+        "\n1-bit digits terminate keys earliest (fewest fetched bits); coarser\n\
+         digits spend fewer decisions and — with tighter bounds at each shared\n\
+         boundary — retain a subset of the 1-bit keys. d = 8 is value-level\n\
+         execution: one decision per key, no early termination inside a key."
+    );
+}

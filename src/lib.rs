@@ -1,0 +1,48 @@
+//! # PADE — a predictor-free sparse attention accelerator (reproduction)
+//!
+//! This facade crate re-exports the whole workspace reproducing
+//! *"PADE: A Predictor-Free Sparse Attention Accelerator via Unified
+//! Execution and Stage Fusion"* (HPCA 2026):
+//!
+//! * [`quant`] — INT quantization and two's-complement bit planes,
+//! * [`linalg`] — matrices, softmax and exact attention references,
+//! * [`workload`] — the synthetic benchmark zoo standing in for the
+//!   paper's 22 benchmarks,
+//! * [`mem`] — the HBM2 model and the bit-plane data layouts,
+//! * [`energy`] — 28 nm event energy, area/power, the H100 roofline,
+//! * [`sim`] — the cycle-level simulation kernel,
+//! * [`core`] — PADE itself: BUI-GF, BS-OOE, ISTA, RARS, GSAT and the
+//!   assembled accelerator,
+//! * [`baselines`] — Sanger, SpAtten, DOTA, Energon, SOFA, BitWave and the
+//!   software-only methods,
+//! * [`dist`] — the wafer-scale sequence-parallel extension (§VII):
+//!   mergeable online-softmax states, interconnect model, multi-chip runs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pade::core::accelerator::PadeAccelerator;
+//! use pade::core::config::PadeConfig;
+//! use pade::workload::trace::{AttentionTrace, TraceConfig};
+//!
+//! let trace = AttentionTrace::generate(&TraceConfig::small_demo());
+//! let result = PadeAccelerator::new(PadeConfig::standard()).run_trace(&trace);
+//! assert!(result.stats.sparsity() > 0.3);
+//! assert!(result.fidelity > 0.95);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/experiments` for the
+//! binaries regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pade_baselines as baselines;
+pub use pade_core as core;
+pub use pade_dist as dist;
+pub use pade_energy as energy;
+pub use pade_linalg as linalg;
+pub use pade_mem as mem;
+pub use pade_quant as quant;
+pub use pade_sim as sim;
+pub use pade_workload as workload;
