@@ -8,8 +8,13 @@ fn main() {
         let r = d.run(&t);
         println!(
             "{:10} keep={:.3} fid={:.4} mass={:.3} pred_adds={:9} exec_adds={:9} cyc={}",
-            d.name(), r.stats.keep_ratio(), r.fidelity, r.retained_mass,
-            r.stats.predictor_ops.equivalent_adds(), r.stats.ops.equivalent_adds(), r.stats.cycles.0
+            d.name(),
+            r.stats.keep_ratio(),
+            r.fidelity,
+            r.retained_mass,
+            r.stats.predictor_ops.equivalent_adds(),
+            r.stats.ops.equivalent_adds(),
+            r.stats.cycles.0
         );
     }
 }

@@ -114,7 +114,9 @@ impl Accelerator for BitWave {
         stats.cycles = pade_sim::Cycle(cycles.0.max(stream_cycles) + pv_cycles);
         // Dense bit-serial arithmetic: every `1` bit is a gated accumulate.
         let ones: u64 = (0..s)
-            .map(|j| trace.keys().row(j).iter().map(|&v| u64::from((v as u8).count_ones())).sum::<u64>())
+            .map(|j| {
+                trace.keys().row(j).iter().map(|&v| u64::from((v as u8).count_ones())).sum::<u64>()
+            })
             .sum();
         stats.ops.bit_serial_acc = ones * n_q as u64;
         stats.ops.shift_add = (s * 8 * n_q) as u64;
@@ -162,10 +164,7 @@ mod tests {
         let pade = PadeAccelerator::new(PadeConfig::standard()).run_trace(&t);
         let bw_eff = bw.stats.pe_util.balance_efficiency();
         let pade_eff = pade.stats.pe_util.balance_efficiency();
-        assert!(
-            pade_eff > bw_eff,
-            "PADE balance {pade_eff} should beat BitWave {bw_eff}"
-        );
+        assert!(pade_eff > bw_eff, "PADE balance {pade_eff} should beat BitWave {bw_eff}");
         // One-sided bit sparsity accumulates more gated adds than BS.
         assert!(bw.stats.ops.bit_serial_acc > pade.stats.ops.bit_serial_acc);
     }

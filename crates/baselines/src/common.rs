@@ -68,7 +68,8 @@ pub fn executor_cost(
     for &token in &unique {
         let k = QvLayout.row_fetch(token, h, exec_bits, &hbm.config().clone());
         t = t.max(hbm.access(k.loc, k.bytes, Cycle::ZERO).complete);
-        let v = QvLayout.row_fetch(token + trace.keys().rows(), h, exec_bits, &hbm.config().clone());
+        let v =
+            QvLayout.row_fetch(token + trace.keys().rows(), h, exec_bits, &hbm.config().clone());
         t = t.max(hbm.access(v.loc, v.bytes, Cycle::ZERO).complete);
     }
     hbm.write((retained.len() * h) as u64);
@@ -123,12 +124,7 @@ pub fn finish_result(
         let reference = trace.reference_output(row);
         fid += f64::from(cosine_similarity(&out, &reference));
     }
-    BaselineResult {
-        stats,
-        retained,
-        fidelity: fid / n_q as f64,
-        retained_mass: mass / n_q as f64,
-    }
+    BaselineResult { stats, retained, fidelity: fid / n_q as f64, retained_mass: mass / n_q as f64 }
 }
 
 #[cfg(test)]

@@ -65,11 +65,7 @@ impl Predictor for MsbPredictor {
 
     fn cost(&self, n_q: usize, s: usize, h: usize) -> (OpCounts, TrafficCounts, Cycle) {
         let macs = (n_q * s * h) as u64;
-        let ops = OpCounts {
-            int4_mac: macs,
-            compare: (n_q * s) as u64,
-            ..OpCounts::default()
-        };
+        let ops = OpCounts { int4_mac: macs, compare: (n_q * s) as u64, ..OpCounts::default() };
         // The predictor must stream the full K tensor at its bit width —
         // the cost that sparsity cannot reduce (§I observation 2).
         let k_bytes = (s * h) as u64 * u64::from(self.bits) / 8;
@@ -135,10 +131,7 @@ impl LowRankPredictor {
     }
 
     fn project(v: &[i8], basis: &[Vec<f32>]) -> Vec<f32> {
-        basis
-            .iter()
-            .map(|b| v.iter().zip(b).map(|(&x, w)| f32::from(x) * w).sum::<f32>())
-            .collect()
+        basis.iter().map(|b| v.iter().zip(b).map(|(&x, w)| f32::from(x) * w).sum::<f32>()).collect()
     }
 }
 
@@ -210,7 +203,8 @@ impl Predictor for LogDomainPredictor {
         (0..trace.keys().rows())
             .map(|j| {
                 let k = trace.keys().row(j);
-                let dot: i32 = q.iter().zip(k).map(|(&a, &b)| log_approx(a) * log_approx(b) / 2).sum();
+                let dot: i32 =
+                    q.iter().zip(k).map(|(&a, &b)| log_approx(a) * log_approx(b) / 2).sum();
                 // The /2 centers the 1.0–2.0× mantissa bias of the
                 // leading-one approximation.
                 dot as f32 * scale * 2.0
@@ -221,9 +215,9 @@ impl Predictor for LogDomainPredictor {
     fn cost(&self, n_q: usize, s: usize, h: usize) -> (OpCounts, TrafficCounts, Cycle) {
         let lookups = (n_q * s * h) as u64;
         let ops = OpCounts {
-            shift_add: lookups,             // shifter-adder tree instead of multipliers
-            lut_lookup: (s * h) as u64,     // leading-one detection on K
-            compare: (n_q * s) as u64 * 4,  // top-k sorting network steps
+            shift_add: lookups,            // shifter-adder tree instead of multipliers
+            lut_lookup: (s * h) as u64,    // leading-one detection on K
+            compare: (n_q * s) as u64 * 4, // top-k sorting network steps
             ..OpCounts::default()
         };
         let mut traffic = TrafficCounts::default();

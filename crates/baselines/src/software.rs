@@ -68,9 +68,8 @@ fn summarize(
 pub fn streaming_llm(trace: &AttentionTrace, sinks: usize, window: usize) -> SoftwareResult {
     let s = trace.keys().rows();
     let n_q = trace.queries().rows();
-    let per_row: Vec<usize> = (0..s)
-        .filter(|&j| j < sinks || j >= s.saturating_sub(window))
-        .collect();
+    let per_row: Vec<usize> =
+        (0..s).filter(|&j| j < sinks || j >= s.saturating_sub(window)).collect();
     let retained = vec![per_row; n_q];
     summarize("StreamingLLM", trace, retained, 0.0)
 }
@@ -102,9 +101,8 @@ pub fn minference(trace: &AttentionTrace, budget_ratio: f32) -> SoftwareResult {
         column_score[b].partial_cmp(&column_score[a]).expect("scores must not be NaN")
     });
 
-    let mut kept: Vec<usize> = (0..s)
-        .filter(|&j| j < sinks || j >= s.saturating_sub(window))
-        .collect();
+    let mut kept: Vec<usize> =
+        (0..s).filter(|&j| j < sinks || j >= s.saturating_sub(window)).collect();
     for &j in &order {
         if kept.len() >= budget {
             break;
@@ -141,10 +139,7 @@ pub fn double_sparsity(trace: &AttentionTrace, keep_ratio: f32, channels: usize)
         let estimates: Vec<f32> = (0..s)
             .map(|j| {
                 let krow = trace.keys().row(j);
-                active
-                    .iter()
-                    .map(|&d| f32::from(q[d]) * f32::from(krow[d]))
-                    .sum::<f32>()
+                active.iter().map(|&d| f32::from(q[d]) * f32::from(krow[d])).sum::<f32>()
                     * trace.logit_scale()
             })
             .collect();

@@ -7,7 +7,6 @@
 //! keeps a fixed fraction. Both reproduce the paper's observation that
 //! noisy estimation costs either accuracy or sparsity.
 
-
 use pade_workload::trace::AttentionTrace;
 
 use crate::common::{finish_result, Accelerator, BaselineResult};
@@ -121,8 +120,8 @@ impl StageSplitAccelerator {
                 (0..estimates.len()).filter(|&j| estimates[j] >= cut).collect()
             }
             Selection::TopK { ratio } => {
-                let k = ((estimates.len() as f32 * ratio).ceil() as usize)
-                    .clamp(1, estimates.len());
+                let k =
+                    ((estimates.len() as f32 * ratio).ceil() as usize).clamp(1, estimates.len());
                 let mut order: Vec<usize> = (0..estimates.len()).collect();
                 order.sort_by(|&a, &b| {
                     estimates[b].partial_cmp(&estimates[a]).expect("estimates must not be NaN")
@@ -166,9 +165,7 @@ impl Accelerator for StageSplitAccelerator {
                 let loose = {
                     let mut order: Vec<usize> = (0..s).collect();
                     order.sort_by(|&a, &b| {
-                        estimates[b]
-                            .partial_cmp(&estimates[a])
-                            .expect("estimates must not be NaN")
+                        estimates[b].partial_cmp(&estimates[a]).expect("estimates must not be NaN")
                     });
                     order.truncate(s.div_ceil(2));
                     order
@@ -289,18 +286,11 @@ mod tests {
     fn all_designs_run_and_are_sparse_yet_faithful() {
         // S = 512 so the recency window is a proper subset of the context
         // (small_demo's 256-token window spans the whole sequence).
-        let t = AttentionTrace::generate(&TraceConfig {
-            seq_len: 512,
-            ..TraceConfig::small_demo()
-        });
+        let t =
+            AttentionTrace::generate(&TraceConfig { seq_len: 512, ..TraceConfig::small_demo() });
         for design in [sanger(), dota(), sofa(), energon(), spatten_finetuned()] {
             let r = design.run(&t);
-            assert!(
-                r.stats.sparsity() > 0.15,
-                "{} sparsity {}",
-                design.name(),
-                r.stats.sparsity()
-            );
+            assert!(r.stats.sparsity() > 0.15, "{} sparsity {}", design.name(), r.stats.sparsity());
             assert!(r.fidelity > 0.9, "{} fidelity {}", design.name(), r.fidelity);
         }
     }

@@ -46,15 +46,87 @@ pub struct FeatureRow {
 #[must_use]
 pub fn table() -> Vec<FeatureRow> {
     vec![
-        FeatureRow { name: "ELSA", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::Value },
-        FeatureRow { name: "Sanger", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::Value },
-        FeatureRow { name: "DOTA", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::Value },
-        FeatureRow { name: "DTATrans", computation_opt: true, memory_opt: Some(false), predictor_free: true, needs_retrain: true, tiling_support: false, level: OptLevel::Value },
-        FeatureRow { name: "SpAtten", computation_opt: true, memory_opt: Some(false), predictor_free: true, needs_retrain: true, tiling_support: false, level: OptLevel::MultiBit },
-        FeatureRow { name: "Energon", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::MultiBit },
-        FeatureRow { name: "FACT", computation_opt: true, memory_opt: None, predictor_free: false, needs_retrain: false, tiling_support: false, level: OptLevel::Value },
-        FeatureRow { name: "SOFA", computation_opt: true, memory_opt: Some(false), predictor_free: false, needs_retrain: false, tiling_support: true, level: OptLevel::Value },
-        FeatureRow { name: "PADE", computation_opt: true, memory_opt: Some(true), predictor_free: true, needs_retrain: false, tiling_support: true, level: OptLevel::Bit },
+        FeatureRow {
+            name: "ELSA",
+            computation_opt: true,
+            memory_opt: None,
+            predictor_free: false,
+            needs_retrain: false,
+            tiling_support: false,
+            level: OptLevel::Value,
+        },
+        FeatureRow {
+            name: "Sanger",
+            computation_opt: true,
+            memory_opt: None,
+            predictor_free: false,
+            needs_retrain: false,
+            tiling_support: false,
+            level: OptLevel::Value,
+        },
+        FeatureRow {
+            name: "DOTA",
+            computation_opt: true,
+            memory_opt: None,
+            predictor_free: false,
+            needs_retrain: false,
+            tiling_support: false,
+            level: OptLevel::Value,
+        },
+        FeatureRow {
+            name: "DTATrans",
+            computation_opt: true,
+            memory_opt: Some(false),
+            predictor_free: true,
+            needs_retrain: true,
+            tiling_support: false,
+            level: OptLevel::Value,
+        },
+        FeatureRow {
+            name: "SpAtten",
+            computation_opt: true,
+            memory_opt: Some(false),
+            predictor_free: true,
+            needs_retrain: true,
+            tiling_support: false,
+            level: OptLevel::MultiBit,
+        },
+        FeatureRow {
+            name: "Energon",
+            computation_opt: true,
+            memory_opt: None,
+            predictor_free: false,
+            needs_retrain: false,
+            tiling_support: false,
+            level: OptLevel::MultiBit,
+        },
+        FeatureRow {
+            name: "FACT",
+            computation_opt: true,
+            memory_opt: None,
+            predictor_free: false,
+            needs_retrain: false,
+            tiling_support: false,
+            level: OptLevel::Value,
+        },
+        FeatureRow {
+            name: "SOFA",
+            computation_opt: true,
+            memory_opt: Some(false),
+            predictor_free: false,
+            needs_retrain: false,
+            tiling_support: true,
+            level: OptLevel::Value,
+        },
+        FeatureRow {
+            name: "PADE",
+            computation_opt: true,
+            memory_opt: Some(true),
+            predictor_free: true,
+            needs_retrain: false,
+            tiling_support: true,
+            level: OptLevel::Bit,
+        },
     ]
 }
 

@@ -37,8 +37,8 @@ fn every_stage_splitter_pays_a_predictor() {
     let t = trace(256, 41);
     for accel in stage_splitters() {
         let r = accel.run(&t);
-        let pred = r.stats.predictor_ops.equivalent_adds()
-            + r.stats.predictor_traffic.dram_total_bytes();
+        let pred =
+            r.stats.predictor_ops.equivalent_adds() + r.stats.predictor_traffic.dram_total_bytes();
         assert!(pred > 0, "{} must carry predictor cost", accel.name());
     }
     // BitWave is dense bit-serial: nothing to predict.
@@ -53,12 +53,8 @@ fn predictor_traffic_scales_with_context_not_sparsity() {
     // sparsity rises. (SpAtten is the exception by design — it reuses the
     // previous layer's scores instead of streaming K, paying in accuracy
     // drift rather than bytes; Table I marks it "Low" memory.)
-    let streaming: Vec<Box<dyn Accelerator>> = vec![
-        Box::new(sanger()),
-        Box::new(dota()),
-        Box::new(energon()),
-        Box::new(sofa()),
-    ];
+    let streaming: Vec<Box<dyn Accelerator>> =
+        vec![Box::new(sanger()), Box::new(dota()), Box::new(energon()), Box::new(sofa())];
     for accel in streaming {
         let short = accel.run(&trace(256, 43));
         let long = accel.run(&trace(512, 43));

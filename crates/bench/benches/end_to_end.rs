@@ -80,7 +80,9 @@ fn bench_layouts(c: &mut Criterion) {
     let t = trace(512);
     let mut g = c.benchmark_group("fig23_layouts");
     g.sample_size(10);
-    for layout in [KeyLayout::BitPlaneInterleaved, KeyLayout::BitPlaneLinear, KeyLayout::ValueRowMajor] {
+    for layout in
+        [KeyLayout::BitPlaneInterleaved, KeyLayout::BitPlaneLinear, KeyLayout::ValueRowMajor]
+    {
         g.bench_with_input(BenchmarkId::new("layout", layout.name()), &layout, |b, &layout| {
             let a = PadeAccelerator::new(PadeConfig { layout, ..PadeConfig::standard() });
             b.iter(|| a.run_trace(&t))
@@ -103,5 +105,34 @@ fn bench_context_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ablation, bench_designs, bench_layouts, bench_context_scaling);
+/// Long-context scaling (S ∈ {2k, 4k}): minutes of wall clock, so opt-in
+/// via `cargo bench --features slow-bench`.
+fn bench_long_context(c: &mut Criterion) {
+    #[cfg(feature = "slow-bench")]
+    {
+        let mut g = c.benchmark_group("long_context");
+        g.sample_size(10);
+        for seq in [2048usize, 4096] {
+            let t = trace(seq);
+            g.bench_with_input(BenchmarkId::new("pade", seq), &seq, |b, _| {
+                let a = PadeAccelerator::new(PadeConfig::standard());
+                b.iter(|| a.run_trace(&t))
+            });
+        }
+        g.finish();
+    }
+    #[cfg(not(feature = "slow-bench"))]
+    {
+        let _ = c; // enable with --features slow-bench
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_ablation,
+    bench_designs,
+    bench_layouts,
+    bench_context_scaling,
+    bench_long_context
+);
 criterion_main!(benches);

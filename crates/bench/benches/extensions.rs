@@ -53,7 +53,8 @@ fn bench_distributed(c: &mut Criterion) {
     // The merge primitive itself (per query row per reduction step).
     let states: Vec<PartialAttention> = (0..16)
         .map(|i| {
-            let scores: Vec<f32> = (0..32).map(|j| ((i * 32 + j) % 17) as f32 * 0.3 - 2.0).collect();
+            let scores: Vec<f32> =
+                (0..32).map(|j| ((i * 32 + j) % 17) as f32 * 0.3 - 2.0).collect();
             let values: Vec<Vec<f32>> =
                 (0..32).map(|j| (0..64).map(|k| ((j * k) % 7) as f32 * 0.1).collect()).collect();
             let rows: Vec<&[f32]> = values.iter().map(Vec::as_slice).collect();

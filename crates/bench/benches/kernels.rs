@@ -42,9 +42,7 @@ fn bench_bitserial(c: &mut Criterion) {
     let qs = q_sum(&q);
     g.bench_function("plane_contribution_bs", |b| {
         b.iter(|| {
-            (0..8u32)
-                .map(|r| plane_contribution(&q, k.plane(r), r, 8, qs, true).value)
-                .sum::<i64>()
+            (0..8u32).map(|r| plane_contribution(&q, k.plane(r), r, 8, qs, true).value).sum::<i64>()
         })
     });
     g.bench_function("bui_filter_round", |b| {
@@ -82,9 +80,8 @@ fn bench_ista(c: &mut Criterion) {
 fn bench_rars(c: &mut Criterion) {
     let mut g = c.benchmark_group("rars_schedule");
     g.sample_size(20);
-    let rows: Vec<Vec<usize>> = (0..8)
-        .map(|r| (0..48).map(|i| (i * 3 + r * 5) % 96).collect())
-        .collect();
+    let rows: Vec<Vec<usize>> =
+        (0..8).map(|r| (0..48).map(|i| (i * 3 + r * 5) % 96).collect()).collect();
     g.bench_function("naive_8x48", |b| b.iter(|| naive_schedule(&rows, 2)));
     g.bench_function("greedy_8x48", |b| b.iter(|| rars_schedule(&rows, 2, 16)));
     g.finish();
@@ -116,5 +113,63 @@ fn bench_hbm(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bitplane, bench_bitserial, bench_ista, bench_rars, bench_hbm);
+/// The optimized engine vs the seed reference on one block — the
+/// micro-scale view of what `pade-bench` measures end to end.
+fn bench_engine_paths(c: &mut Criterion) {
+    use pade_core::config::PadeConfig;
+    use pade_core::engine::{run_qk_block, run_qk_block_reference};
+    use pade_workload::trace::{AttentionTrace, TraceConfig};
+
+    let mut g = c.benchmark_group("engine_paths");
+    g.sample_size(10);
+    let t = AttentionTrace::generate(&TraceConfig { seq_len: 512, ..TraceConfig::small_demo() });
+    let config = PadeConfig::standard();
+    let keys =
+        BitPlaneMatrix::from_rows(t.keys().as_slice(), t.keys().cols(), config.bits).unwrap();
+    let queries: Vec<&[i8]> = (0..t.queries().rows()).map(|i| t.queries().row(i)).collect();
+    g.bench_function("reference_s512", |b| {
+        b.iter(|| run_qk_block_reference(&config, &queries, &keys, t.logit_scale()))
+    });
+    g.bench_function("optimized_s512", |b| {
+        b.iter(|| run_qk_block(&config, &queries, &keys, t.logit_scale()))
+    });
+    g.finish();
+}
+
+/// LUT-based plane dot products vs the per-bit oracle.
+fn bench_qrow_lut(c: &mut Criterion) {
+    use pade_core::bitserial::{plane_contribution_lut, QRowLut};
+
+    let mut g = c.benchmark_group("qrow_lut");
+    g.sample_size(30);
+    let q: Vec<i8> = keys(1, 128);
+    let k = TokenPlanes::from_values(&keys(1, 128), 8);
+    let qs = q_sum(&q);
+    g.bench_function("oracle_plane_sum_128", |b| {
+        b.iter(|| {
+            (0..8u32).map(|r| plane_contribution(&q, k.plane(r), r, 8, qs, true).value).sum::<i64>()
+        })
+    });
+    g.bench_function("lut_build_128", |b| b.iter(|| QRowLut::new(&q)));
+    let lut = QRowLut::new(&q);
+    g.bench_function("lut_plane_sum_128", |b| {
+        b.iter(|| {
+            (0..8u32)
+                .map(|r| plane_contribution_lut(&lut, k.plane(r), r, 8, true).value)
+                .sum::<i64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitplane,
+    bench_bitserial,
+    bench_ista,
+    bench_rars,
+    bench_hbm,
+    bench_engine_paths,
+    bench_qrow_lut
+);
 criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! `pade-bench` — the reproducible perf harness.
+//!
+//! ```text
+//! cargo run --release -p pade-bench --bin pade-bench            # full matrix -> BENCH_1.json
+//! cargo run --release -p pade-bench --bin pade-bench -- --quick # CI smoke (2 shapes, no file)
+//! cargo run --release -p pade-bench --bin pade-bench -- --out path/to.json
+//! ```
+//!
+//! Runs the sequential seed engine and the parallel engine over the fixed
+//! shape matrix, hard-checks the results are bit-identical, prints a
+//! table, and (unless `--quick` without `--out`) writes the
+//! `BENCH_1.json` perf-trajectory file.
+
+use std::path::PathBuf;
+
+use pade_bench::{run_matrix, write_json};
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+                out = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!("usage: pade-bench [--quick] [--out FILE.json]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "pade-bench: sequential seed path vs parallel engine ({} worker threads)\n",
+        pade_par::max_threads()
+    );
+    println!(
+        "{:<22} {:>7} {:>12} {:>12} {:>9}   {:>16}",
+        "shape", "blocks", "seq wall", "par wall", "speedup", "simulated cyc"
+    );
+    let results = run_matrix(quick);
+    for r in &results {
+        println!(
+            "{:<22} {:>7} {:>11.4}s {:>11.4}s {:>8.2}x   {:>16}",
+            r.spec.id(),
+            r.blocks,
+            r.seq_wall_s,
+            r.par_wall_s,
+            r.speedup,
+            r.simulated_cycles
+        );
+    }
+    println!("\nall shapes bit-identical across both paths");
+
+    let path = match (&out, quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some(PathBuf::from("BENCH_1.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = path {
+        let mode = if quick { "quick" } else { "full" };
+        write_json(&path, &results, mode).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+}

@@ -14,7 +14,11 @@ fn main() {
         let u = &r.stats.pe_util;
         println!(
             "S={s} balance={:.3} busy={} intra={} inter={} mem={}",
-            u.balance_efficiency(), u.busy_cycles(), u.intra_stalls(), u.inter_stalls(), u.mem_stalls()
+            u.balance_efficiency(),
+            u.busy_cycles(),
+            u.intra_stalls(),
+            u.inter_stalls(),
+            u.mem_stalls()
         );
     }
 }

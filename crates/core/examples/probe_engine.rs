@@ -7,7 +7,11 @@ use pade_workload::trace::{AttentionTrace, TraceConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let sizes: Vec<usize> = if args.len() > 1 { args[1..].iter().map(|a| a.parse().unwrap()).collect() } else { vec![256] };
+    let sizes: Vec<usize> = if args.len() > 1 {
+        args[1..].iter().map(|a| a.parse().unwrap()).collect()
+    } else {
+        vec![256]
+    };
     for s in sizes {
         let trace = AttentionTrace::generate(&TraceConfig {
             seq_len: s,

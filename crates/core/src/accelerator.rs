@@ -420,11 +420,9 @@ mod tests {
     fn rars_reduces_v_loads() {
         let trace = small();
         let with = PadeAccelerator::new(PadeConfig::standard()).run_trace(&trace);
-        let without = PadeAccelerator::new(PadeConfig {
-            enable_rars: false,
-            ..PadeConfig::standard()
-        })
-        .run_trace(&trace);
+        let without =
+            PadeAccelerator::new(PadeConfig { enable_rars: false, ..PadeConfig::standard() })
+                .run_trace(&trace);
         assert!(with.v_loads <= without.v_loads, "{} vs {}", with.v_loads, without.v_loads);
     }
 
@@ -432,11 +430,9 @@ mod tests {
     fn interleaving_reduces_max_updates() {
         let trace = small();
         let ht = PadeAccelerator::new(PadeConfig::standard()).run_trace(&trace);
-        let ltr = PadeAccelerator::new(PadeConfig {
-            enable_interleave: false,
-            ..PadeConfig::standard()
-        })
-        .run_trace(&trace);
+        let ltr =
+            PadeAccelerator::new(PadeConfig { enable_interleave: false, ..PadeConfig::standard() })
+                .run_trace(&trace);
         assert!(ht.max_updates <= ltr.max_updates, "{} vs {}", ht.max_updates, ltr.max_updates);
     }
 

@@ -93,6 +93,104 @@ pub fn q_sum(q: &[i8]) -> i64 {
     q.iter().map(|&x| i64::from(x)).sum()
 }
 
+/// Per-query-row lookup tables turning a bit-plane dot product into
+/// `⌈H/8⌉` table reads.
+///
+/// For every 8-dimension chunk of the query row the table stores, for all
+/// 256 possible key-bit bytes, the partial sum `Σ_{bit set} q_j`. A
+/// plane's masked sum is then the sum of one lookup per byte of the
+/// packed plane — ~8× fewer adds than walking set bits, and free of
+/// data-dependent branches. Built once per query row (cost `⌈H/8⌉ × 256`
+/// adds) and shared read-only by every lane of that row, this is the
+/// plane-cache the parallel engine borrows per row worker.
+///
+/// Integer addition is associative, so the lookup-based sum is *equal*
+/// (not just close) to [`PlaneRow::masked_sum`]; the property tests below
+/// pin this down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QRowLut {
+    /// `chunks × 256` partial sums, chunk-major.
+    sums: Vec<i32>,
+    len: usize,
+}
+
+impl QRowLut {
+    /// Builds the tables for one query row.
+    #[must_use]
+    pub fn new(q: &[i8]) -> Self {
+        let chunks = q.len().div_ceil(8);
+        let mut sums = vec![0i32; chunks * 256];
+        for (c, chunk) in q.chunks(8).enumerate() {
+            let table = &mut sums[c * 256..(c + 1) * 256];
+            for mask in 1usize..256 {
+                let low_bit = mask.trailing_zeros() as usize;
+                let rest = mask & (mask - 1);
+                let q_val = if low_bit < chunk.len() { i32::from(chunk[low_bit]) } else { 0 };
+                table[mask] = table[rest] + q_val;
+            }
+        }
+        Self { sums, len: q.len() }
+    }
+
+    /// Query width the tables were built for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for a zero-width query row.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `Σ_{bit_i=1} q_i` over a packed plane, via table lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane's width differs from the query row's.
+    #[must_use]
+    pub fn masked_sum(&self, plane: &PlaneRow) -> i32 {
+        assert_eq!(plane.len(), self.len, "query length must match plane length");
+        let mut acc = 0i32;
+        for (w, tables) in plane.words().iter().zip(self.sums.chunks(8 * 256)) {
+            let mut word = *w;
+            for table in tables.chunks_exact(256) {
+                acc += table[(word & 0xFF) as usize];
+                word >>= 8;
+            }
+        }
+        acc
+    }
+}
+
+/// Table-driven variant of [`plane_contribution`]: numerically identical
+/// (same integer sums, same mode selection), but the accumulation runs
+/// through [`QRowLut::masked_sum`] instead of a per-bit scan. The engine's
+/// hot loop uses this; [`plane_contribution`] stays as the oracle.
+///
+/// # Panics
+///
+/// Panics if the plane's width differs from the LUT's query width.
+#[must_use]
+pub fn plane_contribution_lut(
+    lut: &QRowLut,
+    plane: &PlaneRow,
+    r: u32,
+    bits: u32,
+    bidirectional: bool,
+) -> PlaneContribution {
+    let w = i64::from(plane_weight(r, bits));
+    let ones = plane.count_ones();
+    let zeros = plane.count_zeros();
+    let value = w * i64::from(lut.masked_sum(plane));
+    if bidirectional && zeros < ones {
+        PlaneContribution { value, selected: zeros, mode: BsMode::Zeros }
+    } else {
+        PlaneContribution { value, selected: ones, mode: BsMode::Ones }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,7 +228,38 @@ mod tests {
         assert_eq!(c.value, -128 * 3);
     }
 
+    #[test]
+    fn lut_masked_sum_handles_ragged_widths() {
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 130] {
+            let q: Vec<i8> = (0..len).map(|i| (i as i8).wrapping_mul(37)).collect();
+            let lut = QRowLut::new(&q);
+            let plane = PlaneRow::from_bits((0..len).map(|i| i % 3 != 1));
+            assert_eq!(lut.masked_sum(&plane), plane.masked_sum(&q), "len {len}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_lut_contribution_matches_oracle(
+            q in proptest::collection::vec(any::<i8>(), 1..150),
+            seed in any::<u64>(),
+            r in 0u32..8,
+            bidirectional in any::<bool>(),
+        ) {
+            let k: Vec<i8> = q.iter().enumerate()
+                .map(|(i, _)| {
+                    let h = seed.wrapping_add((i as u64).wrapping_mul(0xD6E8FEB86659FD93));
+                    (h >> 17) as u8 as i8
+                })
+                .collect();
+            let planes = TokenPlanes::from_values(&k, 8);
+            let lut = QRowLut::new(&q);
+            let qs = q_sum(&q);
+            let oracle = plane_contribution(&q, planes.plane(r), r, 8, qs, bidirectional);
+            let fast = plane_contribution_lut(&lut, planes.plane(r), r, 8, bidirectional);
+            prop_assert_eq!(oracle, fast);
+        }
+
         #[test]
         fn prop_bs_equals_direct_form(
             q in proptest::collection::vec(any::<i8>(), 1..128),

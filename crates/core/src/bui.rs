@@ -120,9 +120,8 @@ impl MxBui {
         assert_eq!(q.groups(), k_scales.len(), "one key scale per group");
         let group_buis: Vec<Bui> =
             (0..q.groups()).map(|g| Bui::new(q.group_codes(g), q.bits())).collect();
-        let group_scales = (0..q.groups())
-            .map(|g| f64::from(q.group_scale(g)) * f64::from(k_scales[g]))
-            .collect();
+        let group_scales =
+            (0..q.groups()).map(|g| f64::from(q.group_scale(g)) * f64::from(k_scales[g])).collect();
         Self { group_buis, group_scales, bits: q.bits() }
     }
 
@@ -138,9 +137,7 @@ impl MxBui {
         assert_eq!(partials.len(), self.group_buis.len(), "one partial score per group");
         let mut lo = 0.0f64;
         let mut hi = 0.0f64;
-        for ((bui, &scale), &s) in
-            self.group_buis.iter().zip(&self.group_scales).zip(partials)
-        {
+        for ((bui, &scale), &s) in self.group_buis.iter().zip(&self.group_scales).zip(partials) {
             let (gl, gh) = bui.interval(r);
             lo += scale * (s + gl) as f64;
             hi += scale * (s + gh) as f64;

@@ -101,37 +101,25 @@ pub fn run_decode_session(
 ) -> DecodeSessionResult {
     config.validate();
     assert!(steps <= trace.queries().rows(), "one query row per decode step required");
-    assert!(
-        prefill + steps <= trace.keys().rows(),
-        "trace must carry prefill + steps key rows"
-    );
+    assert!(prefill + steps <= trace.keys().rows(), "trace must carry prefill + steps key rows");
     assert!(prefill > 0, "decode needs a non-empty cache");
     let h = trace.keys().cols();
     let values = trace.values_f32();
     let vpu = Vpu::new(config.vpu_rows, config.vpu_cols);
-    let order = if config.enable_interleave {
-        TileOrder::HeadTail
-    } else {
-        TileOrder::LeftToRight
-    };
+    let order = if config.enable_interleave { TileOrder::HeadTail } else { TileOrder::LeftToRight };
 
     let mut totals = RunStats::new("pade-decode");
     let mut out_steps = Vec::with_capacity(steps);
     for t in 0..steps {
         let kv_len = prefill + t;
-        let keys = BitPlaneMatrix::from_rows(
-            &trace.keys().as_slice()[..kv_len * h],
-            h,
-            config.bits,
-        )
-        .expect("cache prefix decomposes");
+        let keys =
+            BitPlaneMatrix::from_rows(&trace.keys().as_slice()[..kv_len * h], h, config.bits)
+                .expect("cache prefix decomposes");
         let queries: Vec<&[i8]> = vec![trace.queries().row(t)];
         let qk = run_qk_block(config, &queries, &keys, trace.logit_scale());
 
-        let retained_logits: Vec<(usize, f32)> = qk.retained[0]
-            .iter()
-            .map(|&(j, s)| (j, s as f32 * trace.logit_scale()))
-            .collect();
+        let retained_logits: Vec<(usize, f32)> =
+            qk.retained[0].iter().map(|&(j, s)| (j, s as f32 * trace.logit_scale())).collect();
         let bc = if config.enable_ista { config.tile_bc } else { retained_logits.len().max(1) };
         let ista = run_ista(&retained_logits, values, bc, order, &vpu);
 
@@ -214,8 +202,7 @@ mod tests {
     fn sparse_decode_moves_less_data_than_dense() {
         let trace = decode_trace(256, 4, 23);
         let sparse = run_decode_session(&PadeConfig::standard(), &trace, 250, 4);
-        let dense_cfg =
-            PadeConfig { enable_bui_gf: false, ..PadeConfig::standard() };
+        let dense_cfg = PadeConfig { enable_bui_gf: false, ..PadeConfig::standard() };
         let dense = run_decode_session(&dense_cfg, &trace, 250, 4);
         assert!(
             sparse.totals.traffic.dram_read_bytes < dense.totals.traffic.dram_read_bytes,

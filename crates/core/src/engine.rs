@@ -21,7 +21,7 @@ use pade_mem::{HbmModel, KeyLayout, SramBuffer};
 use pade_quant::BitPlaneMatrix;
 use pade_sim::{Cycle, EventQueue, OpCounts, TrafficCounts, UtilizationCounter};
 
-use crate::bitserial::{plane_contribution, q_sum, BsMode};
+use crate::bitserial::{plane_contribution, plane_contribution_lut, q_sum, BsMode, QRowLut};
 use crate::bui::Bui;
 use crate::config::PadeConfig;
 use crate::filter::{Decision, GuardFilter};
@@ -29,7 +29,7 @@ use crate::gsat::Gsat;
 use crate::scoreboard::Scoreboard;
 
 /// Result of one QK block (up to `pe_rows` query rows over all keys).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QkBlockResult {
     /// End-to-end QK-PU latency.
     pub cycles: Cycle,
@@ -85,12 +85,353 @@ enum PlaneState {
 /// `queries[r]` is the r-th query row (all rows share the key tensor);
 /// `logit_scale` maps integer scores to logits for the guard margin.
 ///
+/// This is the allocation-lean hot path: the shared K-buffer state lives
+/// in a flat `Vec` indexed by `(token, plane)` instead of a hash map, each
+/// query row gets a [`QRowLut`] built once and borrowed read-only by all
+/// of the row's lanes, and per-plane GSAT bookkeeping runs through the
+/// single-sweep [`Gsat::absorb_stats`]. Results are bit-identical to
+/// [`run_qk_block_reference`] (property-tested below): the restructuring
+/// only changes *how* the same integers are computed.
+///
 /// # Panics
 ///
 /// Panics if `queries` is empty, exceeds `config.pe_rows`, or any row's
 /// length differs from the key dimension.
 #[must_use]
 pub fn run_qk_block(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &BitPlaneMatrix,
+    logit_scale: f32,
+) -> QkBlockResult {
+    config.validate();
+    assert!(!queries.is_empty(), "at least one query row required");
+    assert!(queries.len() <= config.pe_rows, "more query rows than PE rows");
+    for q in queries {
+        assert_eq!(q.len(), keys.dims(), "query width must match key dimension");
+    }
+    let bits = keys.bits();
+    let dims = keys.dims();
+    let n_keys = keys.tokens();
+    let gsat = Gsat::new(config.gsat_width, config.subgroup);
+    let window = if config.enable_ooe { config.scoreboard_entries } else { 1 };
+
+    let mut hbm = HbmModel::new(config.hbm);
+    let mut k_sram = SramBuffer::new("kv", config.kv_buffer_kb as u64 * 1024);
+    let mut q_sram = SramBuffer::new("q", config.q_buffer_kb as u64 * 1024);
+    let mut events: EventQueue<(usize, Job)> = EventQueue::new();
+    let mut ops = OpCounts::default();
+    // Flat shared K-buffer state: slot `token_key·bits + plane_key` (the
+    // layout-dependent cache key always satisfies `token_key < n_keys`).
+    let mut plane_cache: Vec<SlotState> = vec![SlotState::Unfetched; n_keys * bits as usize];
+    let mut planes_fetched = 0u64;
+
+    // Per-row pruning state; the QRowLuts are the per-row read-only plane
+    // tables every lane of the row borrows.
+    let mut filters: Vec<GuardFilter> = queries
+        .iter()
+        .map(|_| {
+            let margin = if config.enable_bui_gf { config.guard_margin() } else { f32::INFINITY };
+            let margin = if margin.is_finite() { margin } else { 1e30 };
+            GuardFilter::new(margin, logit_scale, bits)
+        })
+        .collect();
+    let buis: Vec<Bui> = queries.iter().map(|q| Bui::new(q, bits)).collect();
+    let luts: Vec<QRowLut> = queries.iter().map(|q| QRowLut::new(q)).collect();
+    let mut retained: Vec<Vec<(usize, i64)>> = vec![Vec::new(); queries.len()];
+
+    for q in queries {
+        q_sram.write(q.len() as u64);
+    }
+
+    // Lanes: row-major, keys distributed round-robin within each row.
+    let mut lanes: Vec<Lane> = Vec::new();
+    for row in 0..queries.len() {
+        for lane_idx in 0..config.lanes_per_row {
+            lanes.push(Lane {
+                row,
+                keys: (lane_idx..n_keys).step_by(config.lanes_per_row).collect(),
+                next_key: 0,
+                ready: VecDeque::new(),
+                outstanding: 0,
+                inflight_keys: 0,
+                resolved_keys: 0,
+                sb: Scoreboard::new(config.scoreboard_entries),
+                busy_until: Cycle::ZERO,
+                util: UtilizationCounter::new(),
+                done: false,
+            });
+        }
+    }
+
+    let plane_sram_bytes = keys.plane_bytes() as u64;
+    let mut now = Cycle::ZERO;
+    let hard_stop = Cycle(100_000_000); // defensive livelock bound
+
+    let coalesce = match config.layout {
+        KeyLayout::BitPlaneInterleaved => {
+            (config.hbm.burst_bytes / plane_sram_bytes.max(1)).max(1) as usize
+        }
+        _ => 1,
+    };
+    let bits_us = bits as usize;
+    let cache_slot = |token: usize, plane: u32| -> usize {
+        match config.layout {
+            KeyLayout::ValueRowMajor => token * bits_us,
+            KeyLayout::BitPlaneLinear => token * bits_us + plane as usize,
+            KeyLayout::BitPlaneInterleaved => {
+                let c = config.hbm.channels;
+                let channel = token % c;
+                let idx = token / c;
+                ((idx / coalesce) * coalesce * c + channel) * bits_us + plane as usize
+            }
+        }
+    };
+
+    let request_plane = |token: usize,
+                         plane: u32,
+                         now: Cycle,
+                         hbm: &mut HbmModel,
+                         cache: &mut [SlotState],
+                         fetched: &mut u64|
+     -> Cycle {
+        let slot = cache_slot(token, plane);
+        match cache[slot] {
+            SlotState::Present => now + Cycle(1),
+            SlotState::InFlight(t) => t.max(now + Cycle(1)),
+            SlotState::Unfetched => {
+                let fetch = config.layout.plane_fetch(token, plane, dims, bits, &config.hbm);
+                let arrival = hbm.access(fetch.loc, fetch.bytes, now).complete;
+                cache[slot] = SlotState::InFlight(arrival);
+                *fetched += 1;
+                arrival
+            }
+        }
+    };
+
+    // One subtractor fires per potentially-flipped sub-group under
+    // per-sub-group BS (constant per plane: the group count of pass 0).
+    let extra_subs =
+        if config.enable_bs { (config.gsat_width / config.subgroup) as u64 / 2 } else { 0 };
+
+    while lanes.iter().any(|l| !l.done) && now < hard_stop {
+        // Deliver arrivals due this cycle.
+        while let Some((lane_id, job)) = events.pop_ready(now) {
+            let lane = &mut lanes[lane_id];
+            lane.outstanding -= 1;
+            lane.ready.push_back(job);
+            let slot = cache_slot(job.token, job.plane);
+            if let SlotState::InFlight(_) = plane_cache[slot] {
+                plane_cache[slot] = SlotState::Present;
+                k_sram.write(config.hbm.burst_bytes);
+            }
+        }
+
+        // `lane_id` travels into the event queue alongside the borrow, so
+        // the indexed form is clearer than enumerate-with-reborrow here.
+        #[allow(clippy::needless_range_loop)]
+        for lane_id in 0..lanes.len() {
+            let lane = &mut lanes[lane_id];
+            if lane.done || now < lane.busy_until {
+                continue;
+            }
+
+            let dynamic_window =
+                if config.enable_ooe { window.min(2 + 2 * lane.resolved_keys) } else { 1 };
+            while lane.inflight_keys < dynamic_window && lane.next_key < lane.keys.len() {
+                let token = lane.keys[lane.next_key];
+                lane.next_key += 1;
+                lane.inflight_keys += 1;
+                lane.outstanding += 1;
+                let arrival =
+                    request_plane(token, 0, now, &mut hbm, &mut plane_cache, &mut planes_fetched);
+                events.schedule(arrival, (lane_id, Job { token, plane: 0 }));
+                if !config.enable_ooe {
+                    break;
+                }
+            }
+
+            if let Some(job) = lane.ready.pop_front() {
+                let plane = keys.token(job.token).plane(job.plane);
+                k_sram.read(plane_sram_bytes);
+                let contrib =
+                    plane_contribution_lut(&luts[lane.row], plane, job.plane, bits, false);
+                let stats = gsat.absorb_stats(plane, config.enable_bs);
+                let (cycles, selected) = (stats.cycles, stats.selected);
+                let balanced = stats.balanced;
+                lane.util.busy(balanced);
+                lane.util.stall_intra(cycles - balanced);
+                lane.busy_until = now + Cycle(cycles);
+                ops.bit_serial_acc += u64::from(selected) + extra_subs;
+                ops.shift_add += 1; // plane-weight application
+
+                // Fold into the scoreboard and decide.
+                let partial = match lane.sb.lookup(job.token) {
+                    Some(e) => {
+                        let p = e.partial + contrib.value;
+                        lane.sb.update(job.token, job.plane + 1, p);
+                        p
+                    }
+                    None => {
+                        lane.sb
+                            .insert(job.token, job.plane + 1, contrib.value)
+                            .expect("window bounds in-flight keys to scoreboard capacity");
+                        contrib.value
+                    }
+                };
+                let f = &mut filters[lane.row];
+                let bui = &buis[lane.row];
+                f.observe_lower_bound(bui.lower_bound(partial, job.plane));
+                ops.lut_lookup += 1; // BUI LUT read
+                match f.decide(bui.upper_bound(partial, job.plane), job.plane) {
+                    Decision::Prune => {
+                        lane.sb.evict(job.token);
+                        lane.inflight_keys -= 1;
+                        lane.resolved_keys += 1;
+                    }
+                    Decision::Retain => {
+                        lane.sb.evict(job.token);
+                        lane.inflight_keys -= 1;
+                        lane.resolved_keys += 1;
+                        retained[lane.row].push((job.token, partial));
+                    }
+                    Decision::NeedMore => {
+                        lane.outstanding += 1;
+                        let arrival = request_plane(
+                            job.token,
+                            job.plane + 1,
+                            now,
+                            &mut hbm,
+                            &mut plane_cache,
+                            &mut planes_fetched,
+                        );
+                        events.schedule(
+                            arrival,
+                            (lane_id, Job { token: job.token, plane: job.plane + 1 }),
+                        );
+                    }
+                }
+            } else if lane.outstanding > 0 {
+                lane.util.stall_mem(1);
+            } else if lane.inflight_keys == 0 && lane.next_key >= lane.keys.len() {
+                lane.done = true;
+            } else {
+                lane.util.stall_mem(1);
+            }
+        }
+
+        // Advance to the next interesting time (skip long memory waits).
+        let next_busy =
+            lanes.iter().filter(|l| !l.done && l.busy_until > now).map(|l| l.busy_until).min();
+        let next_event = events.next_time().filter(|&t| t > now);
+        let target = match (next_busy, next_event) {
+            (Some(b), Some(e)) => b.min(e),
+            (Some(b), None) => b,
+            (None, Some(e)) => e,
+            (None, None) => now + Cycle(1),
+        }
+        .max(now + Cycle(1));
+        let skipped = (target - now).0;
+        if skipped > 1 {
+            for lane in lanes.iter_mut().filter(|l| !l.done) {
+                if lane.busy_until <= now && lane.ready.is_empty() && lane.outstanding > 0 {
+                    lane.util.stall_mem(skipped - 1);
+                }
+            }
+        }
+        now = target;
+    }
+
+    for r in &mut retained {
+        r.sort_unstable_by_key(|&(t, _)| t);
+    }
+
+    let mut traffic = hbm.traffic();
+    traffic.merge(&k_sram.traffic());
+    traffic.merge(&q_sram.traffic());
+    for f in &filters {
+        ops.compare += f.compares();
+    }
+
+    let horizon = now;
+    let mut lane_utils = Vec::with_capacity(lanes.len());
+    for mut lane in lanes {
+        lane.util.pad_to(horizon);
+        lane_utils.push(lane.util);
+    }
+
+    QkBlockResult {
+        cycles: horizon,
+        retained,
+        lane_utils,
+        ops,
+        traffic,
+        planes_fetched,
+        planes_dense: dense_fetches(n_keys, bits, config, coalesce),
+        row_hit_rate: hbm.row_hit_rate(),
+        bandwidth_utilization: hbm.bandwidth_utilization(horizon),
+    }
+}
+
+/// Shared K-buffer slot state for the flat plane cache.
+#[derive(Debug, Clone, Copy)]
+enum SlotState {
+    Unfetched,
+    InFlight(Cycle),
+    Present,
+}
+
+/// Runs a batch of query rows as a sequence of independent
+/// `config.pe_rows`-sized blocks (how a prefill of many query rows maps
+/// onto one QK-PU): block `i` covers `queries[i·pe_rows ..]`.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the key dimension.
+#[must_use]
+pub fn run_qk_blocks(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &BitPlaneMatrix,
+    logit_scale: f32,
+) -> Vec<QkBlockResult> {
+    queries
+        .chunks(config.pe_rows)
+        .map(|block| run_qk_block(config, block, keys, logit_scale))
+        .collect()
+}
+
+/// Parallel variant of [`run_qk_blocks`]: blocks fan out across worker
+/// threads and are merged back in block order. Each block simulates its
+/// own HBM/SRAM instances (exactly as in the sequential loop), so the
+/// returned vector is **bit-identical** to [`run_qk_blocks`] regardless
+/// of thread count.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the key dimension.
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn run_qk_blocks_par(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &BitPlaneMatrix,
+    logit_scale: f32,
+) -> Vec<QkBlockResult> {
+    let blocks: Vec<&[&[i8]]> = queries.chunks(config.pe_rows).collect();
+    pade_par::par_map(&blocks, |block| run_qk_block(config, block, keys, logit_scale))
+}
+
+/// The seed's hash-map-based implementation, kept verbatim as the
+/// bit-exact oracle for [`run_qk_block`] and as the sequential baseline
+/// the `pade-bench` harness measures speedups against.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty, exceeds `config.pe_rows`, or any row's
+/// length differs from the key dimension.
+#[must_use]
+pub fn run_qk_block_reference(
     config: &PadeConfig,
     queries: &[&[i8]],
     keys: &BitPlaneMatrix,
@@ -230,11 +571,8 @@ pub fn run_qk_block(
             // The window starts small and grows as keys resolve — the
             // observation-window semantics of Fig. 9: early keys mature the
             // threshold before the bulk enters flight.
-            let dynamic_window = if config.enable_ooe {
-                window.min(2 + 2 * lane.resolved_keys)
-            } else {
-                1
-            };
+            let dynamic_window =
+                if config.enable_ooe { window.min(2 + 2 * lane.resolved_keys) } else { 1 };
             while lane.inflight_keys < dynamic_window && lane.next_key < lane.keys.len() {
                 let token = lane.keys[lane.next_key];
                 lane.next_key += 1;
@@ -265,16 +603,10 @@ pub fn run_qk_block(
                 );
                 let (cycles, selected, extra_subs) = if config.enable_bs {
                     let sel = gsat.bs_selected_total(plane);
-                    let flipped_groups = gsat
-                        .bs_subgroup_selected(plane, 0)
-                        .len() as u64; // one potential subtract per group
+                    let flipped_groups = gsat.bs_subgroup_selected(plane, 0).len() as u64; // one potential subtract per group
                     (gsat.bs_plane_cycles(plane), sel, flipped_groups / 2)
                 } else {
-                    (
-                        gsat.plane_cycles(plane, BsMode::Ones),
-                        plane.count_ones(),
-                        0,
-                    )
+                    (gsat.plane_cycles(plane, BsMode::Ones), plane.count_ones(), 0)
                 };
                 let balanced = gsat.balanced_cycles(plane, BsMode::Ones).min(cycles);
                 lane.util.busy(balanced);
@@ -323,8 +655,10 @@ pub fn run_qk_block(
                             &mut plane_cache,
                             &mut planes_fetched,
                         );
-                        events
-                            .schedule(arrival, (lane_id, Job { token: job.token, plane: job.plane + 1 }));
+                        events.schedule(
+                            arrival,
+                            (lane_id, Job { token: job.token, plane: job.plane + 1 }),
+                        );
                     }
                 }
             } else if lane.outstanding > 0 {
@@ -337,11 +671,8 @@ pub fn run_qk_block(
         }
 
         // Advance to the next interesting time (skip long memory waits).
-        let next_busy = lanes
-            .iter()
-            .filter(|l| !l.done && l.busy_until > now)
-            .map(|l| l.busy_until)
-            .min();
+        let next_busy =
+            lanes.iter().filter(|l| !l.done && l.busy_until > now).map(|l| l.busy_until).min();
         let next_event = events.next_time().filter(|&t| t > now);
         let target = match (next_busy, next_event) {
             (Some(b), Some(e)) => b.min(e),
@@ -580,6 +911,90 @@ mod tests {
         assert_eq!(result.planes_fetched, 512);
         let compute_planes = result.ops.shift_add;
         assert_eq!(compute_planes, 4 * 256 * 8);
+    }
+
+    #[test]
+    fn optimized_engine_is_bit_identical_to_reference() {
+        // Every config axis that touches the restructured code paths:
+        // BS on/off (absorb_stats), layouts (flat cache indexing), OOE.
+        let trace = small_trace();
+        let configs = [
+            PadeConfig::standard(),
+            PadeConfig { enable_bs: false, ..PadeConfig::standard() },
+            PadeConfig { enable_ooe: false, ..PadeConfig::standard() },
+            PadeConfig { enable_bui_gf: false, ..PadeConfig::standard() },
+            PadeConfig { layout: KeyLayout::BitPlaneLinear, ..PadeConfig::standard() },
+            PadeConfig { layout: KeyLayout::ValueRowMajor, ..PadeConfig::standard() },
+            PadeConfig { scoreboard_entries: 4, ..PadeConfig::standard() },
+        ];
+        for config in configs {
+            let keys = BitPlaneMatrix::from_rows(
+                trace.keys().as_slice(),
+                trace.keys().cols(),
+                config.bits,
+            )
+            .unwrap();
+            let queries: Vec<&[i8]> =
+                (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+            let fast = run_qk_block(&config, &queries, &keys, trace.logit_scale());
+            let reference = run_qk_block_reference(&config, &queries, &keys, trace.logit_scale());
+            assert_eq!(fast, reference, "layout {:?} bs {}", config.layout, config.enable_bs);
+        }
+    }
+
+    #[test]
+    fn single_row_block_matches_reference() {
+        let trace = small_trace();
+        let config = PadeConfig::standard();
+        let keys =
+            BitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), config.bits)
+                .unwrap();
+        let row: Vec<&[i8]> = vec![trace.queries().row(0)];
+        let fast = run_qk_block(&config, &row, &keys, trace.logit_scale());
+        let reference = run_qk_block_reference(&config, &row, &keys, trace.logit_scale());
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn batched_blocks_partition_the_rows() {
+        let trace = AttentionTrace::generate(&pade_workload::trace::TraceConfig {
+            n_queries: 20, // 3 blocks of 8, 8, 4 under the standard config
+            ..pade_workload::trace::TraceConfig::small_demo()
+        });
+        let config = PadeConfig::standard();
+        let keys =
+            BitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), config.bits)
+                .unwrap();
+        let queries: Vec<&[i8]> =
+            (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+        let blocks = run_qk_blocks(&config, &queries, &keys, trace.logit_scale());
+        assert_eq!(blocks.len(), 3);
+        let rows: usize = blocks.iter().map(|b| b.retained.len()).sum();
+        assert_eq!(rows, 20);
+        // Each block is exactly the standalone block run.
+        for (i, chunk) in queries.chunks(config.pe_rows).enumerate() {
+            let solo = run_qk_block(&config, chunk, &keys, trace.logit_scale());
+            assert_eq!(blocks[i], solo, "block {i}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_blocks_are_bit_identical_to_sequential() {
+        let trace = AttentionTrace::generate(&pade_workload::trace::TraceConfig {
+            n_queries: 20,
+            seq_len: 512,
+            ..pade_workload::trace::TraceConfig::small_demo()
+        });
+        let config = PadeConfig::standard();
+        let keys =
+            BitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), config.bits)
+                .unwrap();
+        let queries: Vec<&[i8]> =
+            (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+        let seq = run_qk_blocks(&config, &queries, &keys, trace.logit_scale());
+        let par = run_qk_blocks_par(&config, &queries, &keys, trace.logit_scale());
+        assert_eq!(seq, par);
     }
 
     #[test]

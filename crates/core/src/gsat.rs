@@ -168,6 +168,56 @@ impl Gsat {
     }
 }
 
+/// Everything the engine needs from one plane absorption, computed in a
+/// single pass over sub-groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneAbsorb {
+    /// Absorption cycles (per-sub-group BS when enabled, else one-sided).
+    pub cycles: u64,
+    /// Query elements actually accumulated.
+    pub selected: u32,
+    /// Perfectly balanced cycles, already clamped to `cycles`.
+    pub balanced: u64,
+}
+
+impl Gsat {
+    /// Fast path for the engine's per-plane bookkeeping: one word-level
+    /// sweep over sub-groups replaces the separate
+    /// [`Gsat::bs_plane_cycles`] / [`Gsat::bs_selected_total`] /
+    /// [`Gsat::plane_cycles`] / [`Gsat::balanced_cycles`] calls (each of
+    /// which re-scans the plane bit by bit and allocates). Values are
+    /// identical to the naive methods — property-tested in this module.
+    #[must_use]
+    pub fn absorb_stats(&self, plane: &PlaneRow, enable_bs: bool) -> PlaneAbsorb {
+        let muxes = self.muxes_per_subgroup() as u32;
+        let groups = self.width / self.subgroup;
+        let passes = self.passes(plane.len());
+        let total_muxes = (self.muxes_per_subgroup() * groups) as u64;
+        let mut cycles = 0u64;
+        let mut selected = 0u32;
+        let mut ones_total = 0u32;
+        for pass in 0..passes {
+            let base = pass * self.width;
+            let mut worst = 0u64;
+            for g in 0..groups {
+                let lo = base + g * self.subgroup;
+                let hi = (lo + self.subgroup).min(plane.len());
+                let present = hi.saturating_sub(lo) as u32;
+                let ones = plane.count_ones_in_range(lo, lo + self.subgroup);
+                ones_total += ones;
+                let sel = if enable_bs { ones.min(present - ones) } else { ones };
+                selected += sel;
+                worst = worst.max(u64::from(sel.div_ceil(muxes)));
+            }
+            cycles += worst.max(1);
+        }
+        // `balanced_cycles(plane, BsMode::Ones)` — always the one-sided
+        // count, matching the engine's imbalance accounting.
+        let balanced = u64::from(ones_total).div_ceil(total_muxes).max(passes as u64);
+        PlaneAbsorb { cycles, selected, balanced: balanced.min(cycles) }
+    }
+}
+
 impl Default for Gsat {
     /// The Table III configuration: 64-input, sub-groups of 8.
     fn default() -> Self {
@@ -270,6 +320,38 @@ mod tests {
         // Selection bounded at half per sub-group.
         for sel in g.bs_subgroup_selected(&p, 0) {
             assert!(sel <= 4);
+        }
+    }
+
+    #[test]
+    fn absorb_stats_matches_naive_methods() {
+        use proptest::prelude::*;
+        // Deterministic sweep over widths, fills and BS modes rather than a
+        // hand-picked case: absorb_stats is the engine's hot path and must
+        // agree with the per-bit oracles everywhere.
+        let g = Gsat::default();
+        let mut rng = TestRng::for_case("gsat::absorb", 0);
+        for len in [1usize, 3, 8, 16, 63, 64, 65, 127, 128, 200] {
+            for _ in 0..20 {
+                let bits: Vec<bool> = (0..len).map(|_| (0u32..2).sample(&mut rng) == 1).collect();
+                let p = plane(&bits);
+                let bs = g.absorb_stats(&p, true);
+                assert_eq!(bs.cycles, g.bs_plane_cycles(&p), "len {len}");
+                assert_eq!(bs.selected, g.bs_selected_total(&p), "len {len}");
+                assert_eq!(
+                    bs.balanced,
+                    g.balanced_cycles(&p, BsMode::Ones).min(bs.cycles),
+                    "len {len}"
+                );
+                let ones = g.absorb_stats(&p, false);
+                assert_eq!(ones.cycles, g.plane_cycles(&p, BsMode::Ones), "len {len}");
+                assert_eq!(ones.selected, p.count_ones(), "len {len}");
+                assert_eq!(
+                    ones.balanced,
+                    g.balanced_cycles(&p, BsMode::Ones).min(ones.cycles),
+                    "len {len}"
+                );
+            }
         }
     }
 

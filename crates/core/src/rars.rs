@@ -115,10 +115,8 @@ pub fn rars_schedule(rows: &[Vec<usize>], per_row: usize, buffer_capacity: usize
 fn rars_greedy(rows: &[Vec<usize>], per_row: usize, buffer_capacity: usize) -> Schedule {
     let per_row = per_row.max(1);
     let buffer_capacity = buffer_capacity.max(per_row);
-    let mut pending: Vec<BTreeSet<usize>> = rows
-        .iter()
-        .map(|r| r.iter().copied().collect::<BTreeSet<_>>())
-        .collect();
+    let mut pending: Vec<BTreeSet<usize>> =
+        rows.iter().map(|r| r.iter().copied().collect::<BTreeSet<_>>()).collect();
     let mut rounds = Vec::new();
     let mut total = 0usize;
 

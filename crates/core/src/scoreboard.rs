@@ -134,10 +134,7 @@ impl Scoreboard {
         if self.is_full() {
             return Err(ScoreboardFullError);
         }
-        assert!(
-            !self.entries.iter().any(|e| e.token == token),
-            "token {token} already in flight"
-        );
+        assert!(!self.entries.iter().any(|e| e.token == token), "token {token} already in flight");
         self.entries.push(Entry { token, next_plane, partial });
         self.high_water = self.high_water.max(self.entries.len());
         Ok(())

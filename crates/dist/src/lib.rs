@@ -1,0 +1,106 @@
+//! Wafer-scale sequence-parallel PADE — the paper's future-work
+//! direction 1 (§VII).
+//!
+//! A long context is sharded across up to dozens of cycle-level PADE
+//! chips: each chip runs the full QK-PU pipeline over its key shard, and
+//! the per-chip partial attention states `(m, l, O)` are merged over a
+//! ring or 2-D-mesh interconnect. The merge is the associative online-
+//! softmax combination, so the fabric topology changes *cost*, never the
+//! *result*:
+//!
+//! * [`partial`] — mergeable `(m, l, O)` states and the reduction
+//!   primitive,
+//! * [`wafer`] — the multi-chip runner: sharding, per-chip simulation,
+//!   guard synchronization and the communication model,
+//! * [`InterconnectConfig`] — ring vs 2-D mesh fabric parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod partial;
+pub mod wafer;
+
+/// Fabric topology of the wafer interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Unidirectional ring: `chips − 1` reduction steps.
+    Ring,
+    /// 2-D mesh with row-then-column reduction: `2·(⌈√chips⌉ − 1)` steps.
+    Mesh2D,
+}
+
+/// Interconnect parameters of the wafer fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectConfig {
+    /// Fabric topology.
+    pub topology: Topology,
+    /// Payload bytes a link moves per core cycle.
+    pub link_bytes_per_cycle: u64,
+    /// Fixed per-hop latency in core cycles.
+    pub hop_latency_cycles: u64,
+    /// Energy per payload byte moved one hop, in pJ.
+    pub pj_per_byte: f64,
+}
+
+impl InterconnectConfig {
+    /// Wafer-scale ring: wide low-latency links, but `chips − 1` serial
+    /// reduction steps.
+    #[must_use]
+    pub fn wafer_ring() -> Self {
+        Self {
+            topology: Topology::Ring,
+            link_bytes_per_cycle: 64,
+            hop_latency_cycles: 25,
+            pj_per_byte: 1.1,
+        }
+    }
+
+    /// Wafer-scale 2-D mesh: same links, logarithmic-ish reduction depth
+    /// (row reduce, then column reduce).
+    #[must_use]
+    pub fn wafer_mesh() -> Self {
+        Self { topology: Topology::Mesh2D, ..Self::wafer_ring() }
+    }
+
+    /// Serial reduction steps needed to merge `chips` partial states.
+    #[must_use]
+    pub fn reduce_steps(&self, chips: usize) -> u64 {
+        if chips <= 1 {
+            return 0;
+        }
+        match self.topology {
+            Topology::Ring => chips as u64 - 1,
+            Topology::Mesh2D => {
+                let side = (chips as f64).sqrt().ceil() as u64;
+                2 * (side - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_reduces_in_fewer_steps_than_ring_at_scale() {
+        let ring = InterconnectConfig::wafer_ring();
+        let mesh = InterconnectConfig::wafer_mesh();
+        for chips in [4usize, 16, 64] {
+            assert!(mesh.reduce_steps(chips) < ring.reduce_steps(chips), "chips {chips}");
+        }
+    }
+
+    #[test]
+    fn single_chip_needs_no_reduction() {
+        assert_eq!(InterconnectConfig::wafer_ring().reduce_steps(1), 0);
+        assert_eq!(InterconnectConfig::wafer_mesh().reduce_steps(1), 0);
+    }
+
+    #[test]
+    fn mesh_step_counts_match_row_column_schedule() {
+        let mesh = InterconnectConfig::wafer_mesh();
+        assert_eq!(mesh.reduce_steps(16), 6); // 4×4: 3 row + 3 column
+        assert_eq!(mesh.reduce_steps(64), 14); // 8×8
+    }
+}

@@ -1,0 +1,214 @@
+//! Mergeable partial attention states.
+//!
+//! One chip's shard produces `(m, l, O)` — the running maximum, softmax
+//! denominator and unnormalized output of the online-softmax recurrence
+//! (the same state ISTA streams tile by tile). Two states over disjoint
+//! key sets merge exactly:
+//!
+//! ```text
+//! m  = max(m₁, m₂)
+//! l  = e^{m₁−m}·l₁ + e^{m₂−m}·l₂
+//! O  = e^{m₁−m}·O₁ + e^{m₂−m}·O₂
+//! ```
+//!
+//! The operation is associative and commutative (up to fp rounding), so
+//! any reduction tree over the fabric computes the same attention output
+//! a single chip would.
+
+/// One shard's `(m, l, O)` state for a single query row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAttention {
+    m: f32,
+    l: f32,
+    acc: Vec<f32>,
+}
+
+impl PartialAttention {
+    /// The neutral state (no keys absorbed) producing a `dims`-wide output.
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        Self { m: f32::NEG_INFINITY, l: 0.0, acc: vec![0.0; dims] }
+    }
+
+    /// Builds a state from raw logits and their value rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() != values.len()` or any value row's length
+    /// differs from `dims`.
+    #[must_use]
+    pub fn from_scores(dims: usize, scores: &[f32], values: &[&[f32]]) -> Self {
+        assert_eq!(scores.len(), values.len(), "one value row per score");
+        let mut state = Self::new(dims);
+        if scores.is_empty() {
+            return state;
+        }
+        state.m = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        for (&s, v) in scores.iter().zip(values) {
+            assert_eq!(v.len(), dims, "value row dimensionality mismatch");
+            let p = (s - state.m).exp();
+            state.l += p;
+            for (a, &x) in state.acc.iter_mut().zip(*v) {
+                *a += p * x;
+            }
+        }
+        state
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// The running maximum `m` (−∞ when empty).
+    #[must_use]
+    pub fn running_max(&self) -> f32 {
+        self.m
+    }
+
+    /// The softmax denominator `l`.
+    #[must_use]
+    pub fn denom(&self) -> f32 {
+        self.l
+    }
+
+    /// Absorbs `other` (a state over a disjoint key set).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.dims(), other.dims(), "cannot merge states of different width");
+        if other.l == 0.0 {
+            return;
+        }
+        if self.l == 0.0 {
+            self.m = other.m;
+            self.l = other.l;
+            self.acc.copy_from_slice(&other.acc);
+            return;
+        }
+        let m = self.m.max(other.m);
+        let c_self = (self.m - m).exp();
+        let c_other = (other.m - m).exp();
+        self.l = c_self * self.l + c_other * other.l;
+        for (a, &b) in self.acc.iter_mut().zip(&other.acc) {
+            *a = c_self * *a + c_other * b;
+        }
+        self.m = m;
+    }
+
+    /// The normalized attention output `O / l` (zeros when empty).
+    #[must_use]
+    pub fn finalize(&self) -> Vec<f32> {
+        if self.l == 0.0 {
+            return self.acc.clone();
+        }
+        self.acc.iter().map(|&a| a / self.l).collect()
+    }
+}
+
+/// Left-to-right reduction of shard states — the per-row payload of one
+/// fabric reduction pass.
+///
+/// # Panics
+///
+/// Panics if any state's width differs from `dims`.
+#[must_use]
+pub fn reduce_states(dims: usize, states: &[PartialAttention]) -> PartialAttention {
+    let mut acc = PartialAttention::new(dims);
+    for s in states {
+        acc.merge(s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn softmax_reference(scores: &[f32], values: &[Vec<f32>], dims: usize) -> Vec<f32> {
+        let m = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let w: Vec<f32> = scores.iter().map(|&s| (s - m).exp()).collect();
+        let z: f32 = w.iter().sum();
+        let mut out = vec![0.0f32; dims];
+        for (wi, v) in w.iter().zip(values) {
+            for (o, &x) in out.iter_mut().zip(v) {
+                *o += wi / z * x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_state_finalizes_to_zeros() {
+        assert_eq!(PartialAttention::new(3).finalize(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn merging_with_empty_is_identity() {
+        let s = PartialAttention::from_scores(2, &[0.5, -1.0], &[&[1.0, 0.0], &[0.0, 1.0]]);
+        let mut merged = s.clone();
+        merged.merge(&PartialAttention::new(2));
+        assert_eq!(merged, s);
+        let mut from_empty = PartialAttention::new(2);
+        from_empty.merge(&s);
+        assert_eq!(from_empty.finalize(), s.finalize());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sharded_merge_matches_batch_softmax(
+            scores in proptest::collection::vec(-8.0f32..8.0, 1..40),
+            dims in 1usize..6,
+            cut in 0usize..40,
+            seed in any::<u64>(),
+        ) {
+            let cut = cut.min(scores.len());
+            let values: Vec<Vec<f32>> = (0..scores.len())
+                .map(|i| (0..dims)
+                    .map(|j| {
+                        let h = seed.wrapping_mul(6364136223846793005)
+                            .wrapping_add(((i * dims + j) as u64).wrapping_mul(1442695040888963407));
+                        ((h >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+                    })
+                    .collect())
+                .collect();
+            let refs: Vec<&[f32]> = values.iter().map(Vec::as_slice).collect();
+            let left = PartialAttention::from_scores(dims, &scores[..cut], &refs[..cut]);
+            let right = PartialAttention::from_scores(dims, &scores[cut..], &refs[cut..]);
+            let merged = reduce_states(dims, &[left, right]).finalize();
+            let expect = softmax_reference(&scores, &values, dims);
+            for (a, b) in merged.iter().zip(&expect) {
+                prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+            }
+        }
+
+        #[test]
+        fn prop_reduction_order_is_immaterial(
+            scores in proptest::collection::vec(-6.0f32..6.0, 3..30),
+            parts in 2usize..5,
+        ) {
+            let dims = 4usize;
+            let values: Vec<Vec<f32>> = (0..scores.len())
+                .map(|i| (0..dims).map(|j| ((i * 7 + j * 3) % 11) as f32 * 0.2 - 1.0).collect())
+                .collect();
+            let refs: Vec<&[f32]> = values.iter().map(Vec::as_slice).collect();
+            let chunk = scores.len().div_ceil(parts);
+            let states: Vec<PartialAttention> = scores
+                .chunks(chunk)
+                .zip(refs.chunks(chunk))
+                .map(|(s, v)| PartialAttention::from_scores(dims, s, v))
+                .collect();
+            let forward = reduce_states(dims, &states).finalize();
+            let mut reversed: Vec<PartialAttention> = states.clone();
+            reversed.reverse();
+            let backward = reduce_states(dims, &reversed).finalize();
+            for (a, b) in forward.iter().zip(&backward) {
+                prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Multi-chip sequence-parallel execution.
+//!
+//! [`DistributedPade`] shards the key/value stream contiguously across
+//! `chips` cycle-level PADE instances. Every chip sees all query rows but
+//! only its key shard, runs the full BUI-GF / BS-OOE QK pipeline locally,
+//! and emits one [`PartialAttention`] state per query row. States are
+//! merged over the configured fabric.
+//!
+//! Shard-local guard thresholds are weaker than the global one (each chip
+//! only observes its own shard's maximum), which inflates retention.
+//! `sync_guard` models the paper's one-scalar fix: chips exchange the
+//! per-row maximum retained score (one scalar per row per reduction
+//! step), then discard retained keys that the globally-thresholded filter
+//! would have pruned. This is exactly the post-hoc application of the
+//! guard inequality, so the synced retained set is never larger than the
+//! single-chip set.
+
+use pade_core::config::PadeConfig;
+use pade_core::engine::run_qk_block;
+use pade_linalg::metrics::cosine_similarity;
+use pade_quant::BitPlaneMatrix;
+use pade_sim::Cycle;
+use pade_workload::trace::AttentionTrace;
+
+use crate::partial::{reduce_states, PartialAttention};
+use crate::InterconnectConfig;
+
+/// Configuration of one wafer-scale deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferConfig {
+    /// Number of PADE chips sharing the sequence.
+    pub chips: usize,
+    /// Fabric carrying the partial-state reduction.
+    pub interconnect: InterconnectConfig,
+    /// Synchronize one scalar (per-row max retained score) across chips
+    /// and re-filter retention against the global threshold.
+    pub sync_guard: bool,
+    /// Per-chip accelerator configuration.
+    pub pade: PadeConfig,
+}
+
+impl WaferConfig {
+    /// `chips` standard PADE chips on a ring, local guards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips == 0`.
+    #[must_use]
+    pub fn standard(chips: usize) -> Self {
+        assert!(chips > 0, "at least one chip required");
+        Self {
+            chips,
+            interconnect: InterconnectConfig::wafer_ring(),
+            sync_guard: false,
+            pade: PadeConfig::standard(),
+        }
+    }
+}
+
+/// Result of one distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedRunResult {
+    /// Chips used.
+    pub chips: usize,
+    /// Slowest chip's QK compute latency (chips run concurrently).
+    pub compute_cycles: Cycle,
+    /// Fabric cycles spent reducing partial states.
+    pub comm_cycles: Cycle,
+    /// Fabric cycles spent on the guard-scalar exchange.
+    pub sync_cycles: Cycle,
+    /// End-to-end latency: compute, then sync, then reduction.
+    pub total_cycles: Cycle,
+    /// Keys retained across all query rows (after sync filtering, when
+    /// enabled).
+    pub retained_keys: u64,
+    /// Per query row: merged attention output.
+    pub outputs: Vec<Vec<f32>>,
+    /// Mean cosine similarity of the merged outputs against the exact
+    /// dense reference.
+    pub fidelity: f64,
+    /// Fabric energy of the reduction payload, in pJ.
+    pub comm_energy_pj: f64,
+}
+
+impl DistributedRunResult {
+    /// Fraction of end-to-end cycles spent on the fabric.
+    #[must_use]
+    pub fn comm_share(&self) -> f64 {
+        if self.total_cycles.0 == 0 {
+            0.0
+        } else {
+            (self.comm_cycles.0 + self.sync_cycles.0) as f64 / self.total_cycles.0 as f64
+        }
+    }
+}
+
+/// The distributed accelerator.
+#[derive(Debug, Clone)]
+pub struct DistributedPade {
+    config: WaferConfig,
+}
+
+impl DistributedPade {
+    /// Builds a deployment, validating the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips == 0` or the per-chip configuration is invalid.
+    #[must_use]
+    pub fn new(config: WaferConfig) -> Self {
+        assert!(config.chips > 0, "at least one chip required");
+        config.pade.validate();
+        Self { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &WaferConfig {
+        &self.config
+    }
+
+    /// Runs one attention block across the wafer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has fewer keys than chips.
+    #[must_use]
+    pub fn run_trace(&self, trace: &AttentionTrace) -> DistributedRunResult {
+        let cfg = &self.config;
+        let s = trace.keys().rows();
+        let dims = trace.keys().cols();
+        let n_q = trace.queries().rows();
+        assert!(s >= cfg.chips, "cannot shard {s} keys across {} chips", cfg.chips);
+
+        let queries: Vec<&[i8]> = (0..n_q).map(|i| trace.queries().row(i)).collect();
+        let margin_int = (cfg.pade.guard_margin() / trace.logit_scale()).ceil() as i64;
+
+        // Per chip: run every query block over the chip's contiguous key
+        // shard; collect globally-indexed retained sets.
+        let mut compute_cycles = Cycle::ZERO;
+        let mut per_chip_retained: Vec<Vec<Vec<(usize, i64)>>> = Vec::with_capacity(cfg.chips);
+        for chip in 0..cfg.chips {
+            let lo = chip * s / cfg.chips;
+            let hi = (chip + 1) * s / cfg.chips;
+            let shard = &trace.keys().as_slice()[lo * dims..hi * dims];
+            let keys =
+                BitPlaneMatrix::from_rows(shard, dims, cfg.pade.bits).expect("shard bit planes");
+            let mut chip_cycles = Cycle::ZERO;
+            let mut chip_retained: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n_q];
+            for (block_idx, block) in queries.chunks(cfg.pade.pe_rows).enumerate() {
+                let r = run_qk_block(&cfg.pade, block, &keys, trace.logit_scale());
+                chip_cycles += r.cycles;
+                for (row_in_block, retained) in r.retained.into_iter().enumerate() {
+                    let row = block_idx * cfg.pade.pe_rows + row_in_block;
+                    chip_retained[row]
+                        .extend(retained.into_iter().map(|(t, score)| (t + lo, score)));
+                }
+            }
+            compute_cycles = compute_cycles.max(chip_cycles);
+            per_chip_retained.push(chip_retained);
+        }
+
+        // Optional guard sync: one scalar per row crosses the fabric, then
+        // every chip re-filters against the global threshold.
+        let mut sync_cycles = Cycle::ZERO;
+        if cfg.sync_guard && cfg.chips > 1 {
+            for row in 0..n_q {
+                let global_max = per_chip_retained
+                    .iter()
+                    .flat_map(|chip| chip[row].iter().map(|&(_, score)| score))
+                    .max();
+                if let Some(global_max) = global_max {
+                    let threshold = global_max.saturating_sub(margin_int);
+                    for chip in &mut per_chip_retained {
+                        chip[row].retain(|&(_, score)| score >= threshold);
+                    }
+                }
+            }
+            let steps = cfg.interconnect.reduce_steps(cfg.chips);
+            // 8-byte scalar per row per step; latency-dominated.
+            let payload = 8 * n_q as u64;
+            let per_step = cfg.interconnect.hop_latency_cycles
+                + payload.div_ceil(cfg.interconnect.link_bytes_per_cycle);
+            sync_cycles = Cycle(steps * per_step);
+        }
+
+        // Merge per-chip (m, l, O) states per row in chip order.
+        let v = trace.values_f32();
+        let mut outputs = Vec::with_capacity(n_q);
+        let mut retained_keys = 0u64;
+        let mut fidelity_sum = 0.0f64;
+        for row in 0..n_q {
+            let states: Vec<PartialAttention> = per_chip_retained
+                .iter()
+                .map(|chip| {
+                    let scores: Vec<f32> = chip[row]
+                        .iter()
+                        .map(|&(_, score)| score as f32 * trace.logit_scale())
+                        .collect();
+                    let rows: Vec<&[f32]> =
+                        chip[row].iter().map(|&(token, _)| v.row(token)).collect();
+                    retained_keys += scores.len() as u64;
+                    PartialAttention::from_scores(dims, &scores, &rows)
+                })
+                .collect();
+            let out = reduce_states(dims, &states).finalize();
+            fidelity_sum += f64::from(cosine_similarity(&out, &trace.reference_output(row)));
+            outputs.push(out);
+        }
+
+        // Reduction traffic: each step forwards every row's (m, l, O).
+        let steps = cfg.interconnect.reduce_steps(cfg.chips);
+        let state_bytes = 4 * (dims as u64 + 2);
+        let payload = state_bytes * n_q as u64;
+        let per_step = cfg.interconnect.hop_latency_cycles
+            + payload.div_ceil(cfg.interconnect.link_bytes_per_cycle);
+        let comm_cycles = Cycle(steps * per_step);
+        let comm_energy_pj = (steps * payload) as f64 * cfg.interconnect.pj_per_byte;
+
+        let total_cycles = compute_cycles + sync_cycles + comm_cycles;
+        DistributedRunResult {
+            chips: cfg.chips,
+            compute_cycles,
+            comm_cycles,
+            sync_cycles,
+            total_cycles,
+            retained_keys,
+            fidelity: fidelity_sum / n_q.max(1) as f64,
+            outputs,
+            comm_energy_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_workload::trace::TraceConfig;
+
+    fn trace(seq_len: usize, seed: u64) -> AttentionTrace {
+        AttentionTrace::generate(&TraceConfig { seq_len, seed, ..TraceConfig::small_demo() })
+    }
+
+    #[test]
+    fn single_chip_has_no_fabric_cost() {
+        let t = trace(256, 3);
+        let r = DistributedPade::new(WaferConfig::standard(1)).run_trace(&t);
+        assert_eq!(r.comm_cycles, Cycle::ZERO);
+        assert_eq!(r.sync_cycles, Cycle::ZERO);
+        assert!(r.fidelity > 0.99, "fidelity {}", r.fidelity);
+    }
+
+    #[test]
+    fn local_guards_retain_at_least_the_synced_set() {
+        let t = trace(512, 5);
+        let local = DistributedPade::new(WaferConfig::standard(4)).run_trace(&t);
+        let synced =
+            DistributedPade::new(WaferConfig { sync_guard: true, ..WaferConfig::standard(4) })
+                .run_trace(&t);
+        assert!(synced.retained_keys <= local.retained_keys);
+        assert!(synced.fidelity > 0.99);
+    }
+
+    #[test]
+    fn compute_scales_down_with_chips() {
+        let t = trace(1024, 7);
+        let one = DistributedPade::new(WaferConfig::standard(1)).run_trace(&t);
+        let eight = DistributedPade::new(WaferConfig::standard(8)).run_trace(&t);
+        assert!(eight.compute_cycles < one.compute_cycles);
+    }
+}

@@ -155,7 +155,8 @@ impl PadeAreaModel {
     /// power share ("12.1 % power").
     #[must_use]
     pub fn fusion_overhead(&self) -> (f64, f64) {
-        let area = self.area_fraction(Module::Scoreboard) + self.area_fraction(Module::DecisionUnit);
+        let area =
+            self.area_fraction(Module::Scoreboard) + self.area_fraction(Module::DecisionUnit);
         let power =
             self.power_fraction(Module::BuiGenerator) + self.power_fraction(Module::BuiGfModule);
         (area, power)

@@ -110,8 +110,8 @@ impl H100Model {
             return 0.0;
         }
         let c = &self.config;
-        let compute_s = phase.int8_ops / (c.int8_tops * 1e12)
-            + phase.fp_ops / (c.fp16_tflops * 1e12);
+        let compute_s =
+            phase.int8_ops / (c.int8_tops * 1e12) + phase.fp_ops / (c.fp16_tflops * 1e12);
         let memory_s = phase.hbm_bytes / (c.hbm_tbps * 1e12);
         let activity = ((compute_s + memory_s) / latency).clamp(0.05, 1.0);
         latency * (c.idle_w + (c.tdp_w - c.idle_w) * activity)
@@ -146,7 +146,12 @@ pub fn attention_phase(seq: usize, heads: usize, head_dim: usize, flash: bool) -
     // travels to HBM twice unless tiling keeps it on chip.
     let qkvo = n * 4.0 * s * h;
     let s_matrix = if flash { 0.0 } else { n * 2.0 * 2.0 * s * s };
-    GpuPhase { int8_ops, fp_ops, hbm_bytes: qkvo + s_matrix, kernels: if flash { 1.0 } else { 3.0 } }
+    GpuPhase {
+        int8_ops,
+        fp_ops,
+        hbm_bytes: qkvo + s_matrix,
+        kernels: if flash { 1.0 } else { 3.0 },
+    }
 }
 
 #[cfg(test)]
@@ -156,10 +161,8 @@ mod tests {
     #[test]
     fn latency_respects_both_roofs() {
         let model = H100Model::default();
-        let compute_bound =
-            GpuPhase { int8_ops: 1e15, fp_ops: 0.0, hbm_bytes: 1.0, kernels: 0.0 };
-        let memory_bound =
-            GpuPhase { int8_ops: 1.0, fp_ops: 0.0, hbm_bytes: 1e13, kernels: 0.0 };
+        let compute_bound = GpuPhase { int8_ops: 1e15, fp_ops: 0.0, hbm_bytes: 1.0, kernels: 0.0 };
+        let memory_bound = GpuPhase { int8_ops: 1.0, fp_ops: 0.0, hbm_bytes: 1e13, kernels: 0.0 };
         let lc = model.latency_s(&compute_bound);
         let lm = model.latency_s(&memory_bound);
         // 1e15 ops at 1979 TOPS × 0.35 ≈ 1.44 s; 1e13 B at 3.35 TB/s × 0.65 ≈ 4.6 s.

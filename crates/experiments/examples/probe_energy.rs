@@ -11,13 +11,24 @@ fn main() {
     t.seq_len = seq;
     let w = Workload::new(model::opt_1b3(), t, 3);
     let (block, o) = run_pade(&w, PadeConfig::standard());
-    println!("PADE block: dram={} act={} sramR={} sramW={} bit={} mac={} keep={:.3}",
-        block.stats.traffic.dram_total_bytes(), block.stats.traffic.dram_row_activations,
-        block.stats.traffic.sram_read_bytes, block.stats.traffic.sram_write_bytes,
-        block.stats.ops.bit_serial_acc, block.stats.ops.int8_mac, block.stats.keep_ratio());
+    println!(
+        "PADE block: dram={} act={} sramR={} sramW={} bit={} mac={} keep={:.3}",
+        block.stats.traffic.dram_total_bytes(),
+        block.stats.traffic.dram_row_activations,
+        block.stats.traffic.sram_read_bytes,
+        block.stats.traffic.sram_write_bytes,
+        block.stats.ops.bit_serial_acc,
+        block.stats.ops.int8_mac,
+        block.stats.keep_ratio()
+    );
     let e = &o.energy;
-    println!("PADE   total={:.3e} exec(comp={:.3e} sram={:.3e} dram={:.3e})",
-        e.total_pj(), e.executor.compute_pj, e.executor.sram_pj, e.executor.dram_pj);
+    println!(
+        "PADE   total={:.3e} exec(comp={:.3e} sram={:.3e} dram={:.3e})",
+        e.total_pj(),
+        e.executor.compute_pj,
+        e.executor.sram_pj,
+        e.executor.dram_pj
+    );
     for d in [&sanger() as &dyn Accelerator, &dota(), &sofa()] {
         let (b, o) = run_baseline(&w, d);
         let e = &o.energy;

@@ -20,10 +20,7 @@ use pade_quant::{quantize_matrix, quantize_matrix_clipped, DigitPlaneMatrix};
 use pade_workload::{model, task};
 
 fn main() {
-    banner(
-        "Ext. 5",
-        "PTQ calibration vs bit-serial termination depth (DESIGN.md §1 note 3)",
-    );
+    banner("Ext. 5", "PTQ calibration vs bit-serial termination depth (DESIGN.md §1 note 3)");
     let config = PadeConfig::standard();
     let w = Workload::new(model::llama2_7b(), task::wikitext2(), 4096);
     let trace = &w.trace;
@@ -60,8 +57,8 @@ fn main() {
     }))
     .collect();
     for (label, k_q) in &cases {
-        let keys = DigitPlaneMatrix::from_rows(k_q.as_slice(), dims, 1, 8)
-            .expect("key tensor decomposes");
+        let keys =
+            DigitPlaneMatrix::from_rows(k_q.as_slice(), dims, 1, 8).expect("key tensor decomposes");
         let queries: Vec<&[i8]> = (0..n_q).map(|i| trace.queries().row(i)).collect();
         // Logit scale follows the key calibration (Δq is unchanged).
         let logit_scale =

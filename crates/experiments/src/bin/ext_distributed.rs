@@ -62,10 +62,9 @@ fn main() {
     println!("fabric comparison at fixed chip count (reduction steps dominate):");
     let mut fab = Table::new(vec!["chips", "fabric", "reduce steps", "comm cyc", "speedup"]);
     for chips in [16usize, 64] {
-        for (name, ic) in [
-            ("ring", InterconnectConfig::wafer_ring()),
-            ("mesh", InterconnectConfig::wafer_mesh()),
-        ] {
+        for (name, ic) in
+            [("ring", InterconnectConfig::wafer_ring()), ("mesh", InterconnectConfig::wafer_mesh())]
+        {
             let cfg = WaferConfig { interconnect: ic, ..WaferConfig::standard(chips) };
             let r = DistributedPade::new(cfg).run_trace(trace);
             fab.row(vec![

@@ -61,9 +61,7 @@ fn main() {
 
         // Worst-case score perturbation from alignment, in logits.
         let k_l1_max = (0..trace.keys().rows())
-            .map(|j| {
-                trace.keys().row(j).iter().map(|&v| f64::from(v).abs()).sum::<f64>() as u64
-            })
+            .map(|j| trace.keys().row(j).iter().map(|&v| f64::from(v).abs()).sum::<f64>() as u64)
             .max()
             .unwrap_or(0);
         let worst_err_logits = f64::from(aligned.element_error_bound())

@@ -31,19 +31,13 @@ fn main() {
     let s = 2048usize;
     let h = 128usize;
     let base = untiled_bytes(8, s, h, 240 * 1024);
-    let mut table =
-        Table::new(vec!["P", "240 KB SRAM", "320 KB SRAM", "ideal (tiled)"]);
+    let mut table = Table::new(vec!["P", "240 KB SRAM", "320 KB SRAM", "ideal (tiled)"]);
     for p in [8usize, 16, 24, 32, 40] {
         let a = untiled_bytes(p, s, h, 240 * 1024) / base;
         let b = untiled_bytes(p, s, h, 320 * 1024) / base;
         // Tiling keeps the state windowed: traffic stays the KV stream.
         let ideal = (2 * s * h) as f64 / base;
-        table.row(vec![
-            p.to_string(),
-            format!("{a:.2}"),
-            format!("{b:.2}"),
-            format!("{ideal:.2}"),
-        ]);
+        table.row(vec![p.to_string(), format!("{a:.2}"), format!("{b:.2}"), format!("{ideal:.2}")]);
     }
     println!("{}", table.render());
     let blow_up = untiled_bytes(32, s, h, 240 * 1024) / untiled_bytes(8, s, h, 240 * 1024);

@@ -36,7 +36,11 @@ fn main() {
 
     let vpu = Vpu::default();
     let mut table = Table::new(vec![
-        "Bc", "LTR max-updates", "HT max-updates", "LTR rescale ops", "HT rescale ops",
+        "Bc",
+        "LTR max-updates",
+        "HT max-updates",
+        "LTR rescale ops",
+        "HT rescale ops",
         "op reduction",
     ]);
     for bc in [8usize, 16, 32] {

@@ -50,10 +50,8 @@ fn main() {
         let mut mem_row = vec![m.name.to_string()];
         for d in &designs {
             let (_, o) = run_baseline(&w, d.as_ref());
-            comp_row.push(format!(
-                "{:.2}",
-                o.stats.total_ops().equivalent_adds() as f64 / dense_comp
-            ));
+            comp_row
+                .push(format!("{:.2}", o.stats.total_ops().equivalent_adds() as f64 / dense_comp));
             mem_row.push(format!(
                 "{:.2}",
                 o.stats.total_traffic().dram_total_bytes() as f64 / dense_mem

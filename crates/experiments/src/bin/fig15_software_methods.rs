@@ -11,23 +11,27 @@ use pade_workload::{model, task};
 /// PADE's sparsity level: execution share of dense cost (bit-serial ops in
 /// MAC equivalents) — it has no prediction term.
 fn pade_sparsity_level(r: &pade_core::accelerator::PadeRunResult, w: &Workload) -> f64 {
-    let dense = (2 * w.trace.queries().rows() * w.trace.keys().rows() * w.trace.keys().cols())
-        as f64
-        * 8.0;
+    let dense =
+        (2 * w.trace.queries().rows() * w.trace.keys().rows() * w.trace.keys().cols()) as f64 * 8.0;
     (r.stats.ops.equivalent_adds() as f64) / dense
 }
 
-fn row_for(name: &str, level: f64, fidelity: f64, t: &pade_workload::task::TaskConfig) -> Vec<String> {
+fn row_for(
+    name: &str,
+    level: f64,
+    fidelity: f64,
+    t: &pade_workload::task::TaskConfig,
+) -> Vec<String> {
     // ROUGE-1 baseline 40.0 (Dolly-class) for presentation.
     let score = predict_metric(t, 40.0, fidelity);
     vec![name.into(), format!("1/{:.0}", (1.0 / level.max(1e-3)).round()), format!("{score:.1}")]
 }
 
 fn main() {
-    for (title, t) in [("Fig. 15(a) Dolly (15k)", task::dolly()), (
-        "Fig. 15(b) InfiniteBench (214k)",
-        task::infinitebench(),
-    )] {
+    for (title, t) in [
+        ("Fig. 15(a) Dolly (15k)", task::dolly()),
+        ("Fig. 15(b) InfiniteBench (214k)", task::infinitebench()),
+    ] {
         banner("Fig. 15", title);
         let w = Workload::new(model::llama2_7b(), t, 900 + t.seq_len as u64);
         let s = w.sim_seq;
@@ -45,9 +49,10 @@ fn main() {
             table.row(vec!["".into(), "".into(), "".into()]);
         }
         // PADE at its two operating points.
-        for (label, cfg) in
-            [("PADE (standard)", PadeConfig::standard()), ("PADE (aggressive)", PadeConfig::aggressive())]
-        {
+        for (label, cfg) in [
+            ("PADE (standard)", PadeConfig::standard()),
+            ("PADE (aggressive)", PadeConfig::aggressive()),
+        ] {
             let (r, _) = run_pade(&w, cfg);
             let mut row = row_for(label, pade_sparsity_level(&r, &w), r.fidelity, &t);
             row.push(format!("keep={:.3}", r.stats.keep_ratio()));

@@ -17,9 +17,8 @@ fn main() {
     let b_mmlu = table2_baseline("Llama2-7B", "MMLU").expect("baseline").int8;
     let b_mbpp = table2_baseline("Llama2-7B", "MBPP").expect("baseline").int8;
 
-    let mut table = Table::new(vec![
-        "alpha", "acc MMLU", "acc MBPP", "sparsity MMLU", "sparsity MBPP",
-    ]);
+    let mut table =
+        Table::new(vec!["alpha", "acc MMLU", "acc MBPP", "sparsity MMLU", "sparsity MBPP"]);
     for alpha in [0.8f32, 0.7, 0.6, 0.5, 0.4, 0.3] {
         let cfg = PadeConfig { alpha, ..PadeConfig::standard() };
         let (r1, _) = run_pade(&w_mmlu, cfg.clone());

@@ -16,7 +16,11 @@ fn main() {
     let mut table = Table::new(vec!["sub-group", "norm area", "norm power"]);
     for g in sizes {
         let (a, p) = gsat_cost(g);
-        table.row(vec![g.to_string(), format!("{:.2}", a / max_area), format!("{:.2}", p / max_power)]);
+        table.row(vec![
+            g.to_string(),
+            format!("{:.2}", a / max_area),
+            format!("{:.2}", p / max_power),
+        ]);
     }
     println!("{}", table.render());
     println!("Optimal point: sub-group = 8 (the adopted configuration).");

@@ -10,7 +10,8 @@ use pade_workload::{model, task};
 
 fn main() {
     banner("Fig. 18(a)", "PADE latency breakdown (computation / memory / bit shift)");
-    let mut table = Table::new(vec!["task", "compute", "mem stalls", "imbalance", "bit-shift ops share"]);
+    let mut table =
+        Table::new(vec!["task", "compute", "mem stalls", "imbalance", "bit-shift ops share"]);
     for t in [task::dolly(), task::wikilingua()] {
         let w = Workload::new(model::llama2_7b(), t, 2000 + t.seq_len as u64);
         let (r, _) = run_pade(&w, PadeConfig::standard());
@@ -31,9 +32,7 @@ fn main() {
     println!("reduction from bit-level early termination.");
 
     banner("Fig. 18(b)", "Latency and energy efficiency vs H100 (baseline: dense FA3)");
-    let mut table = Table::new(vec![
-        "model", "variant", "norm latency", "efficiency gain",
-    ]);
+    let mut table = Table::new(vec!["model", "variant", "norm latency", "efficiency gain"]);
     let pairs = vec![
         (model::llama2_7b(), task::wikilingua()),
         (model::llama3_8b(), task::wikilingua()),
@@ -95,11 +94,7 @@ fn main() {
         times(geomean(&lat_std) * area),
         times(geomean(&lat_agg) * area),
     );
-    println!(
-        "Energy efficiency gain: {} / {}",
-        times(geomean(&eff_std)),
-        times(geomean(&eff_agg)),
-    );
+    println!("Energy efficiency gain: {} / {}", times(geomean(&eff_std)), times(geomean(&eff_agg)),);
     println!("Paper: 5.8x/7.4x latency and 28.2x/31.1x efficiency; GPU-side");
     println!("BUI-GF alone gains only ~1.3x (8% latency) — the datapath cannot");
     println!("exploit bit-level early termination.");

@@ -26,13 +26,7 @@ fn main() {
     }
     println!("{}", table.render());
     let (fusion_area, fusion_power) = m.fusion_overhead();
-    println!(
-        "Stage-fusion overhead: scoreboard + decision unit = {} area;",
-        pct(fusion_area)
-    );
-    println!(
-        "BUI generator + BUI-GF modules = {} power (paper: 5.8% / 12.1%).",
-        pct(fusion_power)
-    );
+    println!("Stage-fusion overhead: scoreboard + decision unit = {} area;", pct(fusion_area));
+    println!("BUI generator + BUI-GF modules = {} power (paper: 5.8% / 12.1%).", pct(fusion_power));
     println!("Peak energy efficiency: {:.2} TOPS/W (paper: 11.36 TOPS/W).", m.peak_tops_per_watt());
 }

@@ -23,7 +23,12 @@ fn main() {
         (model::pvt(), task::imagenet(), "PVT (3k)"),
     ];
     let mut table = Table::new(vec![
-        "workload", "design", "speedup vs SpAtten*", "energy vs PADE", "DRAM %", "buffer %",
+        "workload",
+        "design",
+        "speedup vs SpAtten*",
+        "energy vs PADE",
+        "DRAM %",
+        "buffer %",
         "compute %",
     ]);
     let mut speedups: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
@@ -61,9 +66,13 @@ fn main() {
                 pct(buf),
                 pct(comp),
             ]);
-            speedups.entry(Box::leak(name.clone().into_boxed_str())).or_default()
+            speedups
+                .entry(Box::leak(name.clone().into_boxed_str()))
+                .or_default()
                 .push(pade.seconds.recip() / o.seconds.recip());
-            savings.entry(Box::leak(name.clone().into_boxed_str())).or_default()
+            savings
+                .entry(Box::leak(name.clone().into_boxed_str()))
+                .or_default()
                 .push(o.energy.total_pj() / pade.energy.total_pj());
         }
         let (dram, buf, comp) = breakdown(&pade);

@@ -12,18 +12,13 @@ use pade_workload::{model, task};
 
 fn breakdown(u: &UtilizationCounter) -> (f64, f64, f64) {
     let t = (u.busy_cycles() + u.intra_stalls() + u.inter_stalls()).max(1) as f64;
-    (
-        u.busy_cycles() as f64 / t,
-        u.intra_stalls() as f64 / t,
-        u.inter_stalls() as f64 / t,
-    )
+    (u.busy_cycles() as f64 / t, u.intra_stalls() as f64 / t, u.inter_stalls() as f64 / t)
 }
 
 fn main() {
     banner("Fig. 23(a)", "PE efficiency breakdown vs lane count: BitWave vs PADE");
-    let mut table = Table::new(vec![
-        "task", "lanes", "design", "useful", "intra-PE stall", "inter-PE stall",
-    ]);
+    let mut table =
+        Table::new(vec!["task", "lanes", "design", "useful", "intra-PE stall", "inter-PE stall"]);
     for t in [task::mmlu(), task::dolly()] {
         let w = Workload::new(model::llama2_7b(), t, 2500 + t.seq_len as u64);
         for lanes in [4usize, 8, 16, 32] {
@@ -57,9 +52,8 @@ fn main() {
     println!("(paper: ~30% higher PE utilization).");
 
     banner("Fig. 23(b)", "DRAM access, speedup, bandwidth utilization: layout study");
-    let mut table = Table::new(vec![
-        "task", "design", "norm DRAM access", "speedup", "BW utilization",
-    ]);
+    let mut table =
+        Table::new(vec!["task", "design", "norm DRAM access", "speedup", "BW utilization"]);
     for t in [task::mmlu(), task::wikitext2()] {
         let w = Workload::new(model::llama2_7b(), t, 2600 + t.seq_len as u64);
         let (dense_r, dense_o) = run_pade(&w, PadeConfig::dense_baseline());

@@ -5,7 +5,9 @@
 use pade_core::config::PadeConfig;
 use pade_energy::gpu::GpuPhase;
 use pade_experiments::report::{banner, times, Table};
-use pade_experiments::runner::{gpu_outcome, h100, pade_end_to_end, GpuMode, Workload, DECODE_STEPS, GPU_BATCH};
+use pade_experiments::runner::{
+    gpu_outcome, h100, pade_end_to_end, GpuMode, Workload, DECODE_STEPS, GPU_BATCH,
+};
 use pade_workload::{model, task};
 
 /// Non-attention transformer work (QKV projections + FFN) per request:
@@ -28,7 +30,11 @@ fn other_phase(w: &Workload) -> GpuPhase {
 fn main() {
     banner("Fig. 24(b)(c)", "GPU-only vs GPU+PADE end-to-end latency");
     let mut table = Table::new(vec![
-        "task", "GPU-only", "GPU+PADE w/o DL conv", "GPU+PADE w DL conv", "speedup (w DL)",
+        "task",
+        "GPU-only",
+        "GPU+PADE w/o DL conv",
+        "GPU+PADE w DL conv",
+        "speedup (w DL)",
     ]);
     for t in [task::dolly(), task::infinitebench(), task::niah()] {
         let w = Workload::new(model::llama2_7b(), t, 2800 + (t.seq_len % 8999) as u64);

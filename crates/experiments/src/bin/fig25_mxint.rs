@@ -14,13 +14,21 @@ fn main() {
     let q_real: Vec<f32> = (0..64)
         .map(|i| {
             let base = ((i * 13) % 17) as f32 - 8.0;
-            if i < 32 { base * 0.1 } else { base * 0.8 }
+            if i < 32 {
+                base * 0.1
+            } else {
+                base * 0.8
+            }
         })
         .collect();
     let k_real: Vec<f32> = (0..64)
         .map(|i| {
             let base = ((i * 7) % 19) as f32 - 9.0;
-            if i < 32 { base * 0.05 } else { base * 0.4 }
+            if i < 32 {
+                base * 0.05
+            } else {
+                base * 0.4
+            }
         })
         .collect();
     let q = MxVector::quantize(&q_real, 32, 8).expect("Q quantizes");
@@ -29,13 +37,15 @@ fn main() {
     let bui = MxBui::new(&q, &k_scales);
     let exact = f64::from(mx_dot(&q, &k).expect("same structure"));
 
-    println!("group scales: ΔQ = {:?}", (0..q.groups()).map(|g| q.group_scale(g)).collect::<Vec<_>>());
+    println!(
+        "group scales: ΔQ = {:?}",
+        (0..q.groups()).map(|g| q.group_scale(g)).collect::<Vec<_>>()
+    );
     println!("              ΔK = {k_scales:?}");
     println!("exact real dot product: {exact:.3}\n");
 
-    let mut table = Table::new(vec![
-        "planes known", "lower bound", "upper bound", "width", "contains exact",
-    ]);
+    let mut table =
+        Table::new(vec!["planes known", "lower bound", "upper bound", "width", "contains exact"]);
     for r in 0..8u32 {
         let partials: Vec<i64> = (0..q.groups())
             .map(|g| {

@@ -20,12 +20,9 @@ fn main() {
     t.seq_len = 2048;
     let mut base_sofa = 0.0f64;
     let mut base_pade = 0.0f64;
-    for (name, flattened, bits) in [
-        ("PTQ 8", false, 8u32),
-        ("QAT 8", true, 8),
-        ("PTQ 4", false, 4),
-        ("QAT 4", true, 4),
-    ] {
+    for (name, flattened, bits) in
+        [("PTQ 8", false, 8u32), ("QAT 8", true, 8), ("PTQ 4", false, 4), ("QAT 4", true, 4)]
+    {
         let mut w = Workload::new(model::llama2_7b(), t, 3000);
         if flattened || bits != 8 {
             w.trace = AttentionTrace::generate(&TraceConfig {
@@ -63,16 +60,20 @@ fn main() {
 
     banner("Fig. 26(b)", "Long-sequence decoding energy breakdown (S = 4k/8k/16k)");
     let mut table = Table::new(vec![
-        "S", "design", "norm energy", "DRAM share", "buffer share", "compute share",
+        "S",
+        "design",
+        "norm energy",
+        "DRAM share",
+        "buffer share",
+        "compute share",
     ]);
     let m = model::llama2_7b();
     let mut dense4k = 0.0f64;
     for s in [4096usize, 8192, 16384] {
         let sim_seq = s.min(8192);
-        for (name, cfg) in [
-            ("Dense", PadeConfig::dense_baseline()),
-            ("PADE", PadeConfig::standard()),
-        ] {
+        for (name, cfg) in
+            [("Dense", PadeConfig::dense_baseline()), ("PADE", PadeConfig::standard())]
+        {
             let trace = AttentionTrace::generate(&TraceConfig {
                 seq_len: sim_seq,
                 head_dim: m.head_dim,
@@ -86,8 +87,7 @@ fn main() {
             if s > sim_seq {
                 // Linear per-key extrapolation.
                 let f = s as f64 / sim_seq as f64;
-                stats.traffic.dram_read_bytes =
-                    (stats.traffic.dram_read_bytes as f64 * f) as u64;
+                stats.traffic.dram_read_bytes = (stats.traffic.dram_read_bytes as f64 * f) as u64;
                 stats.ops.bit_serial_acc = (stats.ops.bit_serial_acc as f64 * f) as u64;
                 stats.ops.int8_mac = (stats.ops.int8_mac as f64 * f) as u64;
             }

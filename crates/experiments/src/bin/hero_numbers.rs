@@ -4,7 +4,9 @@
 use pade_baselines::{dota, sanger, sofa, Accelerator};
 use pade_core::config::PadeConfig;
 use pade_experiments::report::{banner, times, Table};
-use pade_experiments::runner::{gpu_outcome, pade_end_to_end, run_baseline, run_pade, GpuMode, Workload};
+use pade_experiments::runner::{
+    gpu_outcome, pade_end_to_end, run_baseline, run_pade, GpuMode, Workload,
+};
 use pade_linalg::metrics::geomean;
 use pade_workload::{model, task};
 
@@ -63,11 +65,7 @@ fn main() {
         times(geomean(&speedup_gpu) * area),
         "7.43x".into(),
     ]);
-    table.row(vec![
-        "energy efficiency vs H100".into(),
-        times(geomean(&eff_gpu)),
-        "31.1x".into(),
-    ]);
+    table.row(vec!["energy efficiency vs H100".into(), times(geomean(&eff_gpu)), "31.1x".into()]);
     table.row(vec![
         "energy saving vs Sanger".into(),
         times(geomean(&energy_vs["Sanger"])),

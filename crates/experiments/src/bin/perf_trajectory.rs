@@ -1,0 +1,34 @@
+//! Perf-trajectory entry point: runs the `pade-bench` quick matrix and
+//! renders it as an experiments table, so the harness rides along with
+//! the figure reproductions (`run_all`). The full matrix and the
+//! `BENCH_<n>.json` trajectory files come from the `pade-bench` binary:
+//!
+//! ```text
+//! cargo run --release -p pade-bench --bin pade-bench
+//! ```
+
+use pade_bench::run_matrix;
+use pade_experiments::report::{banner, times, Table};
+
+fn main() {
+    banner("Perf", "Sequential seed path vs parallel engine (quick matrix)");
+    let mut table =
+        Table::new(vec!["shape", "blocks", "seq wall (ms)", "par wall (ms)", "speedup", "cycles"]);
+    for r in run_matrix(true) {
+        assert!(r.bit_identical);
+        table.row(vec![
+            r.spec.id(),
+            r.blocks.to_string(),
+            format!("{:.2}", r.seq_wall_s * 1e3),
+            format!("{:.2}", r.par_wall_s * 1e3),
+            times(r.speedup),
+            r.simulated_cycles.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "both paths produce bit-identical retained sets, counters and cycles;\n\
+         regenerate the repo-root trajectory file with:\n\
+         cargo run --release -p pade-bench --bin pade-bench"
+    );
+}

@@ -31,6 +31,7 @@ const BINS: &[&str] = &[
     "ext_distributed",
     "ext_decode_session",
     "ext_calibration_ablation",
+    "perf_trajectory",
 ];
 
 fn print_table_iii() {
@@ -39,7 +40,12 @@ fn print_table_iii() {
     println!("\n================================================================");
     println!("Table III: PADE hardware configuration");
     println!("================================================================");
-    println!("QK-PU: {} PE rows x {} bit-wise lanes ({} total)", c.pe_rows, c.lanes_per_row, c.total_lanes());
+    println!(
+        "QK-PU: {} PE rows x {} bit-wise lanes ({} total)",
+        c.pe_rows,
+        c.lanes_per_row,
+        c.total_lanes()
+    );
     println!("  GSAT: {}-input, sub-groups of {}", c.gsat_width, c.subgroup);
     println!("  Scoreboard: {} entries x 45 bit", c.scoreboard_entries);
     println!("V-PU: {}x{} INT8 systolic array + FP16 APM + RARS", c.vpu_rows, c.vpu_cols);

@@ -17,8 +17,8 @@ fn model_by_name(name: &str) -> pade_workload::model::ModelConfig {
 fn main() {
     banner("Table II", "Accuracy across models and tasks (S: standard, A: aggressive)");
     let mut table = Table::new(vec![
-        "model", "task", "metric", "MXINT8*", "FP16*", "INT8*", "PADE(S)", "paper S",
-        "PADE(A)", "paper A", "keep S", "keep A",
+        "model", "task", "metric", "MXINT8*", "FP16*", "INT8*", "PADE(S)", "paper S", "PADE(A)",
+        "paper A", "keep S", "keep A",
     ]);
     let _ = task::mmlu();
     for (model_name, tasks) in table2_layout() {

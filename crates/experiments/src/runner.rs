@@ -233,13 +233,13 @@ pub fn gpu_phase(w: &Workload, mode: GpuMode) -> GpuPhase {
     // size. Everything is per-batch here; the caller amortizes.
     let prefill_ops =
         (2.0 * 2.0 * s * s * h * heads * exec_scale + detect_ops * heads) * layers * batch;
-    let decode_ops =
-        2.0 * 2.0 * s * h * heads * DECODE_STEPS as f64 * batch * exec_scale * layers;
+    let decode_ops = 2.0 * 2.0 * s * h * heads * DECODE_STEPS as f64 * batch * exec_scale * layers;
     let prefill_bytes = (3.0 * s * h * (heads + kv_heads) / 2.0
         + if flash { 0.0 } else { 2.0 * 2.0 * s * s * heads })
         * layers
         * batch;
-    let kv_bytes_per_step = 2.0 * s * h * kv_heads * batch * if keep < 1.0 { keep + 0.25 } else { 1.0 };
+    let kv_bytes_per_step =
+        2.0 * s * h * kv_heads * batch * if keep < 1.0 { keep + 0.25 } else { 1.0 };
     let decode_bytes = kv_bytes_per_step * DECODE_STEPS as f64 * layers;
     let kernels = layers * (if flash { 1.0 } else { 3.0 }) * (1.0 + DECODE_STEPS as f64 / 8.0);
 
@@ -276,13 +276,8 @@ pub fn pade_end_to_end(w: &Workload, config: &PadeConfig) -> (f64, f64, PadeRunR
         seed: 17,
     });
     let decode_block = PadeAccelerator::new(config.clone()).run_trace(&decode_trace);
-    let mut decode_scaled = scale_to_model(
-        &decode_block.stats,
-        &w.model,
-        w.task.seq_len,
-        1,
-        Some(DECODE_STEPS),
-    );
+    let mut decode_scaled =
+        scale_to_model(&decode_block.stats, &w.model, w.task.seq_len, 1, Some(DECODE_STEPS));
     let extra = w.seq_scale();
     if extra > 1.0 {
         scale_stats_f(&mut decode_scaled, extra);

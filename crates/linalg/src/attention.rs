@@ -31,9 +31,53 @@ use crate::{softmax_in_place, MatF32};
 /// ```
 #[must_use]
 pub fn dense_attention(q: &MatF32, k: &MatF32, v: &MatF32, scale: f32) -> MatF32 {
+    let mut scores = MatF32::zeros(0, 0);
+    let mut out = MatF32::zeros(0, 0);
+    dense_attention_into(q, k, v, scale, &mut scores, &mut out);
+    out
+}
+
+/// [`dense_attention`] into caller-owned buffers: `scores` holds the
+/// intermediate `Q·Kᵀ` (resized in place), `out` the final result. Reusing
+/// both across calls makes the hot loop allocation-free.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn dense_attention_into(
+    q: &MatF32,
+    k: &MatF32,
+    v: &MatF32,
+    scale: f32,
+    scores: &mut MatF32,
+    out: &mut MatF32,
+) {
     assert_eq!(q.cols(), k.cols(), "Q and K must share the hidden dimension");
     assert_eq!(k.rows(), v.rows(), "one V row per key");
-    let mut scores = q.matmul_nt(k);
+    q.matmul_nt_into(k, scores);
+    out.reset_zeroed(q.rows(), v.cols());
+    for i in 0..q.rows() {
+        let row = scores.row_mut(i);
+        for s in row.iter_mut() {
+            *s *= scale;
+        }
+        softmax_in_place(row);
+        let out_row = out.row_mut(i);
+        for (j, &w) in row.iter().enumerate() {
+            for (o, &x) in out_row.iter_mut().zip(v.row(j)) {
+                *o += w * x;
+            }
+        }
+    }
+}
+
+/// Naive reference attention — the oracle for the blocked and parallel
+/// kernels (goes through [`MatF32::matmul_nt_naive`]).
+#[must_use]
+pub fn dense_attention_naive(q: &MatF32, k: &MatF32, v: &MatF32, scale: f32) -> MatF32 {
+    assert_eq!(q.cols(), k.cols(), "Q and K must share the hidden dimension");
+    assert_eq!(k.rows(), v.rows(), "one V row per key");
+    let mut scores = q.matmul_nt_naive(k);
     let mut out = MatF32::zeros(q.rows(), v.cols());
     for i in 0..q.rows() {
         let row = scores.row_mut(i);
@@ -58,14 +102,22 @@ pub fn dense_attention(q: &MatF32, k: &MatF32, v: &MatF32, scale: f32) -> MatF32
 /// Panics if `Q.cols != K.cols`.
 #[must_use]
 pub fn attention_scores(q: &MatF32, k: &MatF32, scale: f32) -> MatF32 {
-    assert_eq!(q.cols(), k.cols(), "Q and K must share the hidden dimension");
-    let mut scores = q.matmul_nt(k);
-    for i in 0..scores.rows() {
-        for s in scores.row_mut(i).iter_mut() {
-            *s *= scale;
-        }
-    }
+    let mut scores = MatF32::zeros(0, 0);
+    attention_scores_into(q, k, scale, &mut scores);
     scores
+}
+
+/// [`attention_scores`] into a caller-owned buffer (resized in place).
+///
+/// # Panics
+///
+/// Panics if `Q.cols != K.cols`.
+pub fn attention_scores_into(q: &MatF32, k: &MatF32, scale: f32, scores: &mut MatF32) {
+    assert_eq!(q.cols(), k.cols(), "Q and K must share the hidden dimension");
+    q.matmul_nt_into(k, scores);
+    for s in scores.as_mut_slice() {
+        *s *= scale;
+    }
 }
 
 /// Attention for one query over a retained key subset: the softmax is

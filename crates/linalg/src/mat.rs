@@ -31,9 +31,7 @@ impl MatF32 {
     pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
-            for j in 0..cols {
-                data.push(f(i, j));
-            }
+            data.extend((0..cols).map(|j| f(i, j)));
         }
         Self { rows, cols, data }
     }
@@ -109,6 +107,21 @@ impl MatF32 {
         &self.data
     }
 
+    /// The flat row-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshapes this matrix to `rows × cols`, zeroing every element. The
+    /// allocation is reused when capacity allows — the building block of
+    /// the allocation-free `*_into` kernels.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `self · otherᵀ` — the score computation `Q·Kᵀ` when `other` holds keys
     /// as rows.
     ///
@@ -117,21 +130,70 @@ impl MatF32 {
     /// Panics if the inner dimensions differ.
     #[must_use]
     pub fn matmul_nt(&self, other: &MatF32) -> MatF32 {
+        let mut out = MatF32::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// Naive reference for `self · otherᵀ` — the oracle the blocked and
+    /// parallel kernels are property-tested against. Per-element `get`/
+    /// `set`, no blocking; kept intentionally simple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ.
+    #[must_use]
+    pub fn matmul_nt_naive(&self, other: &MatF32) -> MatF32 {
         assert_eq!(self.cols, other.cols, "inner dimensions must match for A·Bᵀ");
         let mut out = MatF32::zeros(self.rows, other.rows);
         for i in 0..self.rows {
-            let a = self.row(i);
             for j in 0..other.rows {
-                let b = other.row(j);
                 let mut acc = 0.0f32;
-                for (x, y) in a.iter().zip(b) {
-                    acc += x * y;
+                for k in 0..self.cols {
+                    acc += self.get(i, k) * other.get(j, k);
                 }
                 out.set(i, j, acc);
             }
         }
         out
     }
+
+    /// `self · otherᵀ` into a caller-owned output buffer (resized and
+    /// zeroed in place, reusing its allocation).
+    ///
+    /// The kernel is blocked over `other`'s rows so a tile of B stays hot
+    /// in cache while all of A streams past it, and works on row slices
+    /// only — no per-element bounds checks survive in the inner loop. Each
+    /// dot product accumulates in the same order as the naive oracle, so
+    /// results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ.
+    pub fn matmul_nt_into(&self, other: &MatF32, out: &mut MatF32) {
+        assert_eq!(self.cols, other.cols, "inner dimensions must match for A·Bᵀ");
+        out.reset_zeroed(self.rows, other.rows);
+        let n = other.rows;
+        for jb in (0..n).step_by(Self::MATMUL_BLOCK) {
+            let je = (jb + Self::MATMUL_BLOCK).min(n);
+            let b_tile = &other.data[jb * other.cols..je * other.cols];
+            for i in 0..self.rows {
+                let a = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * n + jb..i * n + je];
+                for (o, b) in out_row.iter_mut().zip(b_tile.chunks_exact(self.cols.max(1))) {
+                    let mut acc = 0.0f32;
+                    for (x, y) in a.iter().zip(b) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+        }
+    }
+
+    /// Rows-of-B tile size for [`MatF32::matmul_nt_into`]: 32 rows of up
+    /// to 256 f32 columns ≈ 32 KiB, sized for L1/L2 residency.
+    const MATMUL_BLOCK: usize = 32;
 }
 
 #[cfg(test)]

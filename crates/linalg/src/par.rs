@@ -1,0 +1,121 @@
+//! Row-parallel kernel variants (the `parallel` feature).
+//!
+//! Every kernel here fans independent output rows out across worker
+//! threads via `pade-par` and computes each row with exactly the same
+//! scalar loop as its sequential counterpart, in the same order. Because
+//! rows never interact, the results are **bit-identical** to the
+//! sequential kernels regardless of thread count — the property tests in
+//! `tests/properties.rs` pin this down.
+
+use crate::{softmax_in_place, MatF32};
+
+/// Row-parallel `A·Bᵀ`; bit-identical to [`MatF32::matmul_nt`].
+///
+/// # Panics
+///
+/// Panics if the inner dimensions differ.
+#[must_use]
+pub fn matmul_nt_par(a: &MatF32, b: &MatF32) -> MatF32 {
+    assert_eq!(a.cols(), b.cols(), "inner dimensions must match for A·Bᵀ");
+    let n = b.rows();
+    let mut out = MatF32::zeros(a.rows(), n);
+    pade_par::par_chunks_mut(out.as_mut_slice(), n.max(1), |i, out_row| {
+        let a_row = a.row(i);
+        for (o, j) in out_row.iter_mut().zip(0..n) {
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b.row(j)) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    });
+    out
+}
+
+/// Row-parallel dense attention; bit-identical to
+/// [`crate::attention::dense_attention`].
+///
+/// Each worker chunk carries one scratch score row reused across all of
+/// its rows, so the fan-out allocates one buffer per worker rather than
+/// per row (or an `S × S` score matrix).
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+#[must_use]
+pub fn dense_attention_par(q: &MatF32, k: &MatF32, v: &MatF32, scale: f32) -> MatF32 {
+    assert_eq!(q.cols(), k.cols(), "Q and K must share the hidden dimension");
+    assert_eq!(k.rows(), v.rows(), "one V row per key");
+    let h_out = v.cols();
+    let mut out = MatF32::zeros(q.rows(), h_out);
+    let rows_per_chunk = q.rows().div_ceil(pade_par::max_threads()).max(1);
+    pade_par::par_chunks_mut(out.as_mut_slice(), (rows_per_chunk * h_out).max(1), |c, rows| {
+        let mut scores = vec![0.0f32; k.rows()];
+        for (r, out_row) in rows.chunks_mut(h_out.max(1)).enumerate() {
+            let q_row = q.row(c * rows_per_chunk + r);
+            for (s, j) in scores.iter_mut().zip(0..k.rows()) {
+                let mut acc = 0.0f32;
+                for (x, y) in q_row.iter().zip(k.row(j)) {
+                    acc += x * y;
+                }
+                *s = acc * scale;
+            }
+            softmax_in_place(&mut scores);
+            for (j, &w) in scores.iter().enumerate() {
+                for (o, &x) in out_row.iter_mut().zip(v.row(j)) {
+                    *o += w * x;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Row-parallel in-place softmax over every row of `m`; bit-identical to
+/// applying [`softmax_in_place`] row by row.
+pub fn softmax_rows_par(m: &mut MatF32) {
+    let cols = m.cols();
+    pade_par::par_chunks_mut(m.as_mut_slice(), cols.max(1), |_i, row| {
+        softmax_in_place(row);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::dense_attention;
+
+    fn demo(rows: usize, keys: usize, dims: usize) -> (MatF32, MatF32, MatF32) {
+        let q = MatF32::from_fn(rows, dims, |i, j| ((i * 7 + j * 3) % 5) as f32 * 0.2 - 0.4);
+        let k = MatF32::from_fn(keys, dims, |i, j| ((i * 5 + j * 11) % 7) as f32 * 0.15 - 0.45);
+        let v = MatF32::from_fn(keys, dims, |i, j| ((i * 13 + j) % 9) as f32 * 0.1);
+        (q, k, v)
+    }
+
+    #[test]
+    fn par_matmul_is_bit_identical() {
+        let (q, k, _) = demo(17, 23, 8);
+        assert_eq!(matmul_nt_par(&q, &k).as_slice(), q.matmul_nt(&k).as_slice());
+    }
+
+    #[test]
+    fn par_attention_is_bit_identical() {
+        let (q, k, v) = demo(9, 31, 6);
+        assert_eq!(
+            dense_attention_par(&q, &k, &v, 0.37).as_slice(),
+            dense_attention(&q, &k, &v, 0.37).as_slice()
+        );
+    }
+
+    #[test]
+    fn par_softmax_rows_match_sequential() {
+        let (m0, _, _) = demo(13, 1, 10);
+        let mut a = m0.clone();
+        let mut b = m0;
+        softmax_rows_par(&mut a);
+        for i in 0..b.rows() {
+            softmax_in_place(b.row_mut(i));
+        }
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

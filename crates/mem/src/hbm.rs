@@ -54,8 +54,7 @@ impl HbmConfig {
     #[must_use]
     pub fn transfer_cycles(&self, bytes: u64) -> Cycle {
         let bursts = bytes.div_ceil(self.burst_bytes).max(1);
-        let cycles =
-            (bursts * self.burst_bytes) as f64 / self.bytes_per_cycle_per_channel();
+        let cycles = (bursts * self.burst_bytes) as f64 / self.bytes_per_cycle_per_channel();
         Cycle(cycles.ceil() as u64)
     }
 
@@ -131,7 +130,14 @@ impl HbmModel {
                 bus_free_at: Cycle::ZERO,
             })
             .collect();
-        Self { config, channels, traffic: TrafficCounts::default(), row_hits: 0, row_misses: 0, busy_cycles: 0 }
+        Self {
+            config,
+            channels,
+            traffic: TrafficCounts::default(),
+            row_hits: 0,
+            row_misses: 0,
+            busy_cycles: 0,
+        }
     }
 
     /// The configuration the model was built with.
@@ -215,8 +221,9 @@ impl HbmModel {
             return 0.0;
         }
         let moved = self.traffic.dram_total_bytes() as f64;
-        let peak =
-            self.config.bytes_per_cycle_per_channel() * self.config.channels as f64 * elapsed.0 as f64;
+        let peak = self.config.bytes_per_cycle_per_channel()
+            * self.config.channels as f64
+            * elapsed.0 as f64;
         (moved / peak).min(1.0)
     }
 

@@ -184,12 +184,7 @@ fn interleaved_layout_wins_at_row_scale() {
         rates.push(model.row_hit_rate());
         activations.push(model.traffic().dram_row_activations);
     }
-    assert!(
-        rates[0] > rates[1],
-        "interleaved hit rate {} must beat linear {}",
-        rates[0],
-        rates[1]
-    );
+    assert!(rates[0] > rates[1], "interleaved hit rate {} must beat linear {}", rates[0], rates[1]);
     assert!(
         activations[0] < activations[1],
         "interleaved activations {} must undercut linear {}",
@@ -210,8 +205,11 @@ fn serialized_channel_is_slower_than_spread() {
     for i in 0..16usize {
         let r = single.access(PhysLoc { channel: 0, bank: 0, row: i as u64 }, 256, Cycle::ZERO);
         t_single = t_single.max(r.complete);
-        let r =
-            spread.access(PhysLoc { channel: i % 4, bank: 0, row: (i / 4) as u64 }, 256, Cycle::ZERO);
+        let r = spread.access(
+            PhysLoc { channel: i % 4, bank: 0, row: (i / 4) as u64 },
+            256,
+            Cycle::ZERO,
+        );
         t_spread = t_spread.max(r.complete);
     }
     assert!(t_spread < t_single, "{t_spread:?} vs {t_single:?}");

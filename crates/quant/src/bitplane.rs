@@ -159,6 +159,37 @@ impl PlaneRow {
     pub fn payload_bits(&self) -> usize {
         self.len
     }
+
+    /// The packed 64-bit words backing the plane (bit `i` of the plane is
+    /// bit `i % 64` of word `i / 64`; bits past [`PlaneRow::len`] are
+    /// zero). Exposed so hot kernels can use word-level popcounts and
+    /// table lookups instead of per-bit [`PlaneRow::bit`] calls.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of set bits within positions `[start, end)` (clipped to the
+    /// plane length) — the word-level form of counting [`PlaneRow::bit`]
+    /// hits over a range.
+    #[must_use]
+    pub fn count_ones_in_range(&self, start: usize, end: usize) -> u32 {
+        let end = end.min(self.len);
+        if start >= end {
+            return 0;
+        }
+        let mut count = 0u32;
+        let mut pos = start;
+        while pos < end {
+            let word = self.words[pos / 64];
+            let offset = pos % 64;
+            let take = (64 - offset).min(end - pos);
+            let mask = if take == 64 { !0u64 } else { ((1u64 << take) - 1) << offset };
+            count += (word & mask).count_ones();
+            pos += take;
+        }
+        count
+    }
 }
 
 /// All bit planes of one token vector, MSB first.

@@ -84,8 +84,7 @@ impl Fp16 {
             let kept = significand >> shift;
             let rem = significand & ((1 << shift) - 1);
             let half = 1u32 << (shift - 1);
-            let rounded = kept
-                + u32::from(rem > half || (rem == half && kept & 1 == 1));
+            let rounded = kept + u32::from(rem > half || (rem == half && kept & 1 == 1));
             return Self(sign | rounded as u16);
         }
         // Normalized: narrow the mantissa 23 → 10 bits.
@@ -281,10 +280,8 @@ pub fn align_f32_row(values: &[f32], bits: u32) -> Result<AlignedRow, QuantError
     let scale = f32::powi(2.0, e - (bits as i32 - 1));
     let lo = -(1i32 << (bits - 1));
     let hi = (1i32 << (bits - 1)) - 1;
-    let codes = sanitized
-        .iter()
-        .map(|&x| ((x / scale).round() as i32).clamp(lo, hi) as i8)
-        .collect();
+    let codes =
+        sanitized.iter().map(|&x| ((x / scale).round() as i32).clamp(lo, hi) as i8).collect();
     Ok(AlignedRow { codes, scale, bits })
 }
 

@@ -131,7 +131,10 @@ impl QuantizedMatrix {
         params: QuantParams,
     ) -> Result<Self, QuantError> {
         if data.len() != rows * cols {
-            return Err(QuantError::DimensionMismatch { expected: rows * cols, actual: data.len() });
+            return Err(QuantError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Self { data, rows, cols, params })
     }

@@ -2,7 +2,9 @@
 //! accounting, event-queue time ordering, cycle/frequency arithmetic and
 //! statistic merging — the bookkeeping every higher-level result trusts.
 
-use pade_sim::{BoundedFifo, Cycle, EventQueue, Frequency, OpCounts, TrafficCounts, UtilizationCounter};
+use pade_sim::{
+    BoundedFifo, Cycle, EventQueue, Frequency, OpCounts, TrafficCounts, UtilizationCounter,
+};
 use proptest::prelude::*;
 
 proptest! {

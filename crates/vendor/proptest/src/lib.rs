@@ -1,0 +1,440 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! re-implements the subset of proptest the workspace's property tests
+//! use: the [`proptest!`] macro, [`Strategy`] implementations for integer
+//! and float ranges, tuples, [`Just`], `prop_oneof!`, `collection::vec`
+//! and `option::of`, plus `prop_assert!`/`prop_assert_eq!`/`prop_assume!`.
+//!
+//! Unlike upstream proptest there is no shrinking and no failure
+//! persistence: each test runs a fixed number of deterministic cases
+//! (default 32, overridable via `PROPTEST_CASES`). Failures therefore
+//! reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name` (FNV-mixed so distinct
+    /// tests see distinct streams).
+    #[must_use]
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h = 0xCBF29CE484222325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        Self { state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15) }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform_below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        (u128::from(self.next_u64()) * span) >> 64
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 32).
+#[must_use]
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32)
+}
+
+/// A source of values for one property-test argument.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.uniform_below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                (*self.start() as i128 + rng.uniform_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+macro_rules! float_strategy {
+    ($($t:ty, $unit:expr);*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * $unit(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.start() + (self.end() - self.start()) * $unit(rng)
+            }
+        }
+    )*};
+}
+float_strategy!(
+    f32, |rng: &mut TestRng| (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+    f64, |rng: &mut TestRng| (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+);
+
+/// Marker for types with a full-domain `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value over the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite, broadly distributed values (no NaN/inf: the tests here
+        // all assume finite inputs).
+        ((rng.next_u64() >> 40) as f32 / (1u64 << 23) as f32 - 1.0) * 1e3
+    }
+}
+
+/// Full-domain strategy, `any::<T>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Builds the full-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+);
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    choices: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from a non-empty choice list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    #[must_use]
+    pub fn new(choices: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Self { choices }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.uniform_below(self.choices.len() as u128) as usize;
+        self.choices[i].sample(rng)
+    }
+}
+
+/// Boxing helper for `prop_oneof!` (a method call, unlike an `as` cast,
+/// lets integer-literal inference unify across all choices).
+pub trait IntoBoxedStrategy {
+    /// Value type of the boxed strategy.
+    type Value;
+    /// Boxes the strategy.
+    fn boxed_strategy(self) -> Box<dyn Strategy<Value = Self::Value>>;
+}
+
+impl<S: Strategy + 'static> IntoBoxedStrategy for S {
+    type Value = S::Value;
+    fn boxed_strategy(self) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(self)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait LenSpec {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl LenSpec for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl LenSpec for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::sample(self, rng)
+        }
+    }
+
+    impl LenSpec for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::sample(self, rng)
+        }
+    }
+
+    /// `Vec` strategy with element strategy `element` and length `len`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Builds a `Vec` strategy.
+    pub fn vec<S: Strategy, L: LenSpec>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: LenSpec> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Option` strategy: `None` with probability 1/4.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Builds an `Option` strategy around `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// The property-test macro: each `#[test] fn name(arg in strategy, ...)`
+/// expands to a plain `#[test]` sampling its arguments for [`cases`]
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            // `#[test]` arrives through `$meta` (capturing it literally
+            // alongside doc attributes would make the grammar ambiguous).
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let mut __proptest_rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    // Closure so prop_assume! can skip a case via `return`.
+                    let mut __proptest_case = || $body;
+                    __proptest_case();
+                }
+            }
+        )+
+    };
+}
+
+/// Uniform choice macro over strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($choice:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $($crate::IntoBoxedStrategy::boxed_strategy($choice)),+
+        ])
+    };
+}
+
+/// Assertion inside a property (panics with the case's inputs on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its sampled inputs violate a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::{
+        any, cases, Any, Arbitrary, IntoBoxedStrategy, Just, OneOf, Strategy, TestRng,
+    };
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_cover_and_respect_bounds() {
+        let mut rng = TestRng::for_case("t", 0);
+        for _ in 0..1000 {
+            let v = (1i64..3000).sample(&mut rng);
+            assert!((1..3000).contains(&v));
+            let w = (2u32..=8).sample(&mut rng);
+            assert!((2..=8).contains(&w));
+            let f = (-8.0f32..8.0).sample(&mut rng);
+            assert!((-8.0..8.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_honors_length_spec() {
+        let mut rng = TestRng::for_case("t2", 1);
+        let s = collection::vec(any::<i8>(), 1..40);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..40).contains(&v.len()));
+        }
+        let fixed = collection::vec(0u64..10, 7usize);
+        assert_eq!(fixed.sample(&mut rng).len(), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_expands_and_runs(x in 0u32..10, flag in any::<bool>()) {
+            prop_assume!(x != 9);
+            prop_assert!(x < 9);
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_picks_listed_values(d in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)]) {
+            prop_assert!([1, 2, 4, 8].contains(&d));
+        }
+    }
+}

@@ -63,37 +63,67 @@ pub struct TaskConfig {
 /// Dolly long-form instruction following, S = 15k.
 #[must_use]
 pub fn dolly() -> TaskConfig {
-    TaskConfig { name: "Dolly", seq_len: 15 * 1024, metric: Metric::Rouge1, kind: TaskKind::Generation }
+    TaskConfig {
+        name: "Dolly",
+        seq_len: 15 * 1024,
+        metric: Metric::Rouge1,
+        kind: TaskKind::Generation,
+    }
 }
 
 /// WikiLingua multilingual summarization, S = 2k.
 #[must_use]
 pub fn wikilingua() -> TaskConfig {
-    TaskConfig { name: "Wikilingua", seq_len: 2048, metric: Metric::Rouge1, kind: TaskKind::Generation }
+    TaskConfig {
+        name: "Wikilingua",
+        seq_len: 2048,
+        metric: Metric::Rouge1,
+        kind: TaskKind::Generation,
+    }
 }
 
 /// MBPP code generation, S = 1k.
 #[must_use]
 pub fn mbpp() -> TaskConfig {
-    TaskConfig { name: "MBPP", seq_len: 1024, metric: Metric::AccuracyPct, kind: TaskKind::Generation }
+    TaskConfig {
+        name: "MBPP",
+        seq_len: 1024,
+        metric: Metric::AccuracyPct,
+        kind: TaskKind::Generation,
+    }
 }
 
 /// WikiText-2 language modeling, S = 2k.
 #[must_use]
 pub fn wikitext2() -> TaskConfig {
-    TaskConfig { name: "Wiki2", seq_len: 2048, metric: Metric::Perplexity, kind: TaskKind::LanguageModeling }
+    TaskConfig {
+        name: "Wiki2",
+        seq_len: 2048,
+        metric: Metric::Perplexity,
+        kind: TaskKind::LanguageModeling,
+    }
 }
 
 /// MMLU multiple-choice understanding, S = 0.5k.
 #[must_use]
 pub fn mmlu() -> TaskConfig {
-    TaskConfig { name: "MMLU", seq_len: 512, metric: Metric::AccuracyPct, kind: TaskKind::Reasoning }
+    TaskConfig {
+        name: "MMLU",
+        seq_len: 512,
+        metric: Metric::AccuracyPct,
+        kind: TaskKind::Reasoning,
+    }
 }
 
 /// WinoGrande commonsense reasoning, S = 0.25k.
 #[must_use]
 pub fn winogrande() -> TaskConfig {
-    TaskConfig { name: "Winog.", seq_len: 256, metric: Metric::AccuracyPct, kind: TaskKind::Reasoning }
+    TaskConfig {
+        name: "Winog.",
+        seq_len: 256,
+        metric: Metric::AccuracyPct,
+        kind: TaskKind::Reasoning,
+    }
 }
 
 /// ImageNet-1k classification (ViT patch sequences).
@@ -111,19 +141,34 @@ pub fn vtab() -> TaskConfig {
 /// PG-19 book-length modeling, S = 100k (Fig. 15(c)).
 #[must_use]
 pub fn pg19() -> TaskConfig {
-    TaskConfig { name: "PG-19", seq_len: 100_000, metric: Metric::Rouge1, kind: TaskKind::LongContext }
+    TaskConfig {
+        name: "PG-19",
+        seq_len: 100_000,
+        metric: Metric::Rouge1,
+        kind: TaskKind::LongContext,
+    }
 }
 
 /// InfiniteBench ultra-long context, S = 214k.
 #[must_use]
 pub fn infinitebench() -> TaskConfig {
-    TaskConfig { name: "InfiniteBench", seq_len: 214_000, metric: Metric::Rouge1, kind: TaskKind::LongContext }
+    TaskConfig {
+        name: "InfiniteBench",
+        seq_len: 214_000,
+        metric: Metric::Rouge1,
+        kind: TaskKind::LongContext,
+    }
 }
 
 /// Needle-in-a-haystack retrieval, S = 1M (Fig. 24(c)).
 #[must_use]
 pub fn niah() -> TaskConfig {
-    TaskConfig { name: "NIAH", seq_len: 1_000_000, metric: Metric::AccuracyPct, kind: TaskKind::LongContext }
+    TaskConfig {
+        name: "NIAH",
+        seq_len: 1_000_000,
+        metric: Metric::AccuracyPct,
+        kind: TaskKind::LongContext,
+    }
 }
 
 /// Baseline metric values of one (model, task) cell of Table II.

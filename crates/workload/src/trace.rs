@@ -241,11 +241,8 @@ impl AttentionTrace {
         let q = self.q.row(i);
         (0..self.k.rows())
             .map(|j| {
-                let dot: i32 = q
-                    .iter()
-                    .zip(self.k.row(j))
-                    .map(|(&a, &b)| i32::from(a) * i32::from(b))
-                    .sum();
+                let dot: i32 =
+                    q.iter().zip(self.k.row(j)).map(|(&a, &b)| i32::from(a) * i32::from(b)).sum();
                 dot as f32 * self.logit_scale
             })
             .collect()
@@ -345,10 +342,7 @@ mod tests {
             let logits = t.exact_logits(i);
             let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
             for (j, &logit) in logits.iter().enumerate().take(sink_count) {
-                assert!(
-                    logit > max - 6.0,
-                    "sink token {j} at {logit} vs max {max}"
-                );
+                assert!(logit > max - 6.0, "sink token {j} at {logit} vs max {max}");
             }
         }
     }
@@ -399,8 +393,7 @@ mod tests {
         let t = small(13);
         let logits = t.exact_logits(1);
         let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let retained: Vec<usize> =
-            (0..logits.len()).filter(|&j| logits[j] > max - 5.0).collect();
+        let retained: Vec<usize> = (0..logits.len()).filter(|&j| logits[j] > max - 5.0).collect();
         let mass = pade_linalg::metrics::retained_mass(&logits, &retained);
         assert!(mass > 0.9, "mass {mass}");
         assert!(retained.len() < logits.len() / 2, "retained {} keys", retained.len());

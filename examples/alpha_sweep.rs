@@ -15,7 +15,10 @@ fn main() {
         n_queries: 8,
         ..TraceConfig::small_demo()
     });
-    println!("{:>6} {:>9} {:>10} {:>10} {:>14}", "alpha", "margin", "keep", "fidelity", "planes/dense");
+    println!(
+        "{:>6} {:>9} {:>10} {:>10} {:>14}",
+        "alpha", "margin", "keep", "fidelity", "planes/dense"
+    );
     println!("{}", "-".repeat(53));
     for alpha in [1.0f32, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3] {
         let cfg = PadeConfig { alpha, ..PadeConfig::standard() };

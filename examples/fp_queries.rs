@@ -33,10 +33,8 @@ fn main() {
 
         // The query as the hardware would receive it: real-valued, then
         // ingested as IEEE half precision.
-        let q_fp16: Vec<f32> = q_int
-            .iter()
-            .map(|&c| Fp16::from_f32(f32::from(c) * q_scale).to_f32())
-            .collect();
+        let q_fp16: Vec<f32> =
+            q_int.iter().map(|&c| Fp16::from_f32(f32::from(c) * q_scale).to_f32()).collect();
         let aligned = align_f32_row(&q_fp16, 8).expect("8-bit alignment");
         let fp = run_multibit_row(
             aligned.codes(),

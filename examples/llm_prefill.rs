@@ -24,7 +24,10 @@ fn main() {
     });
     let tech = Tech::cmos28();
 
-    println!("{:<10} {:>8} {:>9} {:>12} {:>12} {:>10}", "design", "keep", "fidelity", "energy(uJ)", "pred share", "cycles");
+    println!(
+        "{:<10} {:>8} {:>9} {:>12} {:>12} {:>10}",
+        "design", "keep", "fidelity", "energy(uJ)", "pred share", "cycles"
+    );
     println!("{}", "-".repeat(66));
 
     let pade = PadeAccelerator::new(PadeConfig::standard()).run_trace(&trace);

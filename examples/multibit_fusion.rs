@@ -17,8 +17,7 @@ fn main() {
         ..TraceConfig::small_demo()
     });
     let config = PadeConfig::standard();
-    let queries: Vec<&[i8]> =
-        (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+    let queries: Vec<&[i8]> = (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
 
     println!("Multi-bit stage fusion on S = 1024 (8 query rows)");
     println!("d  rounds/key  decisions  kbits fetched  retained  sparsity");

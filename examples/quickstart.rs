@@ -38,7 +38,10 @@ fn main() {
     println!("DRAM row-buffer hits   : {:.1}%", result.row_hit_rate * 100.0);
 
     let energy = EnergyLedger::from_stats(&result.stats, &Tech::cmos28());
-    println!("energy                 : {:.2} uJ (predictor share: exactly 0)", energy.total_pj() * 1e-6);
+    println!(
+        "energy                 : {:.2} uJ (predictor share: exactly 0)",
+        energy.total_pj() * 1e-6
+    );
 
     // The guard guarantee: every pruned key sits at least α·radius logits
     // below its row maximum.

@@ -12,7 +12,10 @@ use pade::workload::profile::ScoreProfile;
 use pade::workload::trace::{AttentionTrace, TraceConfig};
 
 fn main() {
-    println!("{:<12} {:>6} {:>8} {:>10} {:>12} {:>12}", "model", "S", "keep", "fidelity", "QK cycles", "dense cyc");
+    println!(
+        "{:<12} {:>6} {:>8} {:>10} {:>12} {:>12}",
+        "model", "S", "keep", "fidelity", "QK cycles", "dense cyc"
+    );
     println!("{}", "-".repeat(64));
     for (name, s) in [("ViT-L/16", 576usize), ("PVT", 3072)] {
         let trace = AttentionTrace::generate(&TraceConfig {

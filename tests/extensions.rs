@@ -38,8 +38,12 @@ fn multibit_sweep_holds_block_level_invariants() {
         for (fine, coarse) in w[0].retained.iter().zip(&w[1].retained) {
             let fine_ids: Vec<usize> = fine.iter().map(|&(j, _)| j).collect();
             for &(j, _) in coarse {
-                assert!(fine_ids.contains(&j), "d={} kept {j} but d={} pruned it",
-                    w[1].digit_bits, w[0].digit_bits);
+                assert!(
+                    fine_ids.contains(&j),
+                    "d={} kept {j} but d={} pruned it",
+                    w[1].digit_bits,
+                    w[0].digit_bits
+                );
             }
         }
     }
@@ -48,10 +52,7 @@ fn multibit_sweep_holds_block_level_invariants() {
         for (row, kept) in r.retained.iter().enumerate() {
             let logits = t.exact_logits(row);
             let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-            let best = kept
-                .iter()
-                .map(|&(j, _)| logits[j])
-                .fold(f32::NEG_INFINITY, f32::max);
+            let best = kept.iter().map(|&(j, _)| logits[j]).fold(f32::NEG_INFINITY, f32::max);
             assert!((best - max).abs() < 1e-3, "d={} row {row}", r.digit_bits);
         }
     }
@@ -87,10 +88,7 @@ fn fp16_aligned_queries_match_int8_path() {
         // Retention agrees on the vast majority of keys.
         let inter = int8_ids.iter().filter(|j| fp_ids.contains(j)).count();
         let union = int8_ids.len() + fp_ids.len() - inter;
-        assert!(
-            inter as f64 / union.max(1) as f64 > 0.85,
-            "row {row}: overlap {inter}/{union}"
-        );
+        assert!(inter as f64 / union.max(1) as f64 > 0.85, "row {row}: overlap {inter}/{union}");
     }
 }
 

@@ -72,11 +72,7 @@ fn pade_is_predictor_free_and_baselines_are_not() {
     for design in [sanger(), dota(), sofa(), energon()] {
         let r = design.run(&trace);
         let l = EnergyLedger::from_stats(&r.stats, &tech);
-        assert!(
-            l.predictor.total_pj() > 0.0,
-            "{} must pay a predictor",
-            design.name()
-        );
+        assert!(l.predictor.total_pj() > 0.0, "{} must pay a predictor", design.name());
     }
 }
 
@@ -101,11 +97,7 @@ fn pade_beats_every_stage_splitting_design_on_energy_at_scale() {
         let r = design.run(&trace);
         let scaled = scale_to_model(&r.stats, &m, t.seq_len, 8, None);
         let e = EnergyLedger::from_stats(&scaled, &tech).total_pj();
-        assert!(
-            pade_e < e,
-            "PADE ({pade_e:.3e}) must beat {} ({e:.3e})",
-            design.name()
-        );
+        assert!(pade_e < e, "PADE ({pade_e:.3e}) must beat {} ({e:.3e})", design.name());
     }
 }
 

@@ -13,8 +13,7 @@ fn fig5a_msb_speculation_error_example() {
     let k = TokenPlanes::from_values(&[5, -5], 4);
     let est = plane_weight(0, 4) * k.plane(0).masked_sum(&[5, 5]);
     assert_eq!(est, -40);
-    let exact: i32 =
-        k.reconstruct().iter().zip([5, 5].iter()).map(|(a, b)| a * b).sum();
+    let exact: i32 = k.reconstruct().iter().zip([5, 5].iter()).map(|(a, b)| a * b).sum();
     assert_eq!(exact, 0);
 }
 

@@ -113,7 +113,9 @@ fn huge_radius_retains_everything() {
     for kept in &r.retained {
         assert_eq!(kept.len(), 64, "an unreachable threshold must retain all keys");
     }
-    assert_eq!(r.fidelity, 1.0);
+    // Full retention makes the output the dense attention result up to the
+    // fp rounding of the tiled online-softmax path.
+    assert!(r.fidelity > 1.0 - 1e-6, "fidelity {}", r.fidelity);
 }
 
 #[test]
