@@ -1,23 +1,29 @@
 //! `pade-bench` — the reproducible perf harness.
 //!
 //! ```text
-//! cargo run --release -p pade-bench --bin pade-bench            # full matrix -> BENCH_1.json
+//! cargo run --release -p pade-bench --bin pade-bench            # full QK matrix -> BENCH_1.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --quick # CI smoke (2 shapes, no file)
 //! cargo run --release -p pade-bench --bin pade-bench -- --out path/to.json
+//! cargo run --release -p pade-bench --bin pade-bench -- --scenario serve  # -> BENCH_2.json
 //! ```
 //!
-//! Runs the sequential seed engine and the parallel engine over the fixed
-//! shape matrix, hard-checks the results are bit-identical, prints a
-//! table, and (unless `--quick` without `--out`) writes the
-//! `BENCH_1.json` perf-trajectory file.
+//! The `qk` scenario (default) runs the sequential seed engine and the
+//! parallel engine over the fixed shape matrix, hard-checks the results
+//! are bit-identical, prints a table, and (unless `--quick` without
+//! `--out`) writes the `BENCH_1.json` perf-trajectory file. The `serve`
+//! scenario replays seeded arrival traces through the `pade-serve`
+//! continuous-batching loop against a one-request-at-a-time baseline at
+//! several arrival rates and writes `BENCH_2.json`.
 
 use std::path::PathBuf;
 
+use pade_bench::serve::{run_serve_matrix, write_serve_json};
 use pade_bench::{run_matrix, write_json};
 
 fn main() {
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
+    let mut scenario = String::from("qk");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,8 +35,14 @@ fn main() {
                 });
                 out = Some(PathBuf::from(path));
             }
+            "--scenario" => {
+                scenario = args.next().unwrap_or_else(|| {
+                    eprintln!("--scenario requires qk or serve");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
-                println!("usage: pade-bench [--quick] [--out FILE.json]");
+                println!("usage: pade-bench [--quick] [--scenario qk|serve] [--out FILE.json]");
                 return;
             }
             other => {
@@ -40,6 +52,18 @@ fn main() {
         }
     }
 
+    let mode = if quick { "quick" } else { "full" };
+    match scenario.as_str() {
+        "qk" => run_qk_scenario(quick, mode, out),
+        "serve" => run_serve_scenario(quick, mode, out),
+        other => {
+            eprintln!("unknown scenario: {other} (expected qk or serve)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_qk_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
     println!(
         "pade-bench: sequential seed path vs parallel engine ({} worker threads)\n",
         pade_par::max_threads()
@@ -68,8 +92,47 @@ fn main() {
         (None, true) => None,
     };
     if let Some(path) = path {
-        let mode = if quick { "quick" } else { "full" };
         write_json(&path, &results, mode).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+}
+
+fn run_serve_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
+    println!(
+        "pade-bench serve: continuous batching vs one-request-at-a-time ({} worker threads)\n",
+        pade_par::max_threads()
+    );
+    println!(
+        "{:<11} {:>9} {:>12} {:>12} {:>12} {:>12} {:>15} {:>8}",
+        "rate", "gap cyc", "b.p50", "b.p95", "b.p99", "solo p99", "Mtok/s b/s", "gain"
+    );
+    let sweep = run_serve_matrix(quick);
+    for r in &sweep.results {
+        println!(
+            "{:<11} {:>9.0} {:>12} {:>12} {:>12} {:>12} {:>7.1}/{:<7.1} {:>7.2}x",
+            r.rate.label,
+            r.rate.mean_interarrival_cycles,
+            r.batched.p50_cycles,
+            r.batched.p95_cycles,
+            r.batched.p99_cycles,
+            r.solo.p99_cycles,
+            r.batched.tokens_per_s / 1e6,
+            r.solo.tokens_per_s / 1e6,
+            r.throughput_gain
+        );
+    }
+    println!("\nall requests byte-identical across batched, solo and seed-oracle runs");
+
+    let path = match (&out, quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some(PathBuf::from("BENCH_2.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = path {
+        write_serve_json(&path, &sweep, mode).unwrap_or_else(|e| {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         });

@@ -16,10 +16,15 @@
 //!
 //! The criterion-style micro benches live in `benches/` (`kernels.rs`,
 //! `end_to_end.rs`, `extensions.rs`); this module is the end-to-end,
-//! machine-readable harness.
+//! machine-readable harness. The [`serve`] module adds the serving
+//! scenario (`pade-bench --scenario serve`): continuous batching vs a
+//! one-request-at-a-time baseline over seeded arrival traces, recorded to
+//! `BENCH_2.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod serve;
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -185,7 +190,7 @@ fn json_escape(s: &str) -> String {
 
 /// The `<n>` of a `BENCH_<n>.json` file name, so the trajectory metadata
 /// tracks the file it lives in; defaults to 1 for non-trajectory paths.
-fn bench_id_from_path(path: &std::path::Path) -> u32 {
+pub(crate) fn bench_id_from_path(path: &std::path::Path) -> u32 {
     path.file_stem()
         .and_then(|s| s.to_str())
         .and_then(|s| s.strip_prefix("BENCH_"))

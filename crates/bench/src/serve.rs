@@ -1,0 +1,337 @@
+//! The `serve` scenario: continuous batching vs one-request-at-a-time.
+//!
+//! [`run_serve_matrix`] replays the same seeded arrival trace through the
+//! `pade-serve` loop twice per arrival rate — [`ScheduleMode::Batched`]
+//! and the [`ScheduleMode::Solo`] baseline — at two or more rates
+//! (moderate and saturated), hard-checks that every request's outputs are
+//! byte-identical across both schedules **and** against solo
+//! `run_qk_block_reference` oracle runs, and records latency percentiles,
+//! simulated tokens/s and queue statistics. [`write_serve_json`]
+//! serializes the sweep to the `BENCH_<n>.json` trajectory schema
+//! (`BENCH_2.json` records the first serving PR).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use pade_serve::scheduler::ScheduleMode;
+use pade_serve::server::{serve, ServeConfig, ServeReport};
+use pade_serve::{output_bytes, reference_outputs};
+use pade_workload::trace::{generate_arrivals, ArrivalConfig, RequestArrival};
+
+/// One arrival rate of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSpec {
+    /// Stable label, e.g. `"moderate"`.
+    pub label: &'static str,
+    /// Mean inter-arrival gap in core cycles.
+    pub mean_interarrival_cycles: f64,
+}
+
+/// The latency/throughput digest of one schedule mode at one rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeSummary {
+    /// Median latency in cycles.
+    pub p50_cycles: u64,
+    /// 95th-percentile latency in cycles.
+    pub p95_cycles: u64,
+    /// 99th-percentile latency in cycles.
+    pub p99_cycles: u64,
+    /// Mean latency in cycles.
+    pub mean_cycles: f64,
+    /// Simulated tokens per second at the 800 MHz core clock.
+    pub tokens_per_s: f64,
+    /// Makespan in cycles.
+    pub makespan_cycles: u64,
+    /// Time-weighted mean requests in system.
+    pub queue_depth_mean: f64,
+    /// Time-weighted mean engine-slot occupancy.
+    pub occupancy_mean: f64,
+    /// Host wall-clock seconds of the serve run.
+    pub wall_s: f64,
+}
+
+impl ModeSummary {
+    fn from_report(report: &ServeReport, wall_s: f64) -> Self {
+        let s = &report.summary;
+        Self {
+            p50_cycles: s.latency.p50.0,
+            p95_cycles: s.latency.p95.0,
+            p99_cycles: s.latency.p99.0,
+            mean_cycles: s.latency.mean,
+            tokens_per_s: s.tokens_per_s,
+            makespan_cycles: s.makespan.0,
+            queue_depth_mean: s.queue_depth_mean,
+            occupancy_mean: s.occupancy_mean,
+            wall_s,
+        }
+    }
+}
+
+/// Measured outcome of one arrival rate.
+#[derive(Debug, Clone)]
+pub struct ServeScenarioResult {
+    /// The rate.
+    pub rate: RateSpec,
+    /// Requests served.
+    pub n_requests: usize,
+    /// Query-row tokens served.
+    pub tokens: u64,
+    /// Continuous batching.
+    pub batched: ModeSummary,
+    /// One-request-at-a-time baseline.
+    pub solo: ModeSummary,
+    /// `batched.tokens_per_s / solo.tokens_per_s`.
+    pub throughput_gain: f64,
+    /// Whether every request's outputs were byte-identical across batched
+    /// serving, solo serving and the solo seed-oracle runs (hard-checked;
+    /// a mismatch panics before this is ever recorded false).
+    pub bit_identical: bool,
+}
+
+/// The workload behind the sweep: `quick` trims context, request count
+/// and rate count for CI smoke runs.
+#[must_use]
+pub fn serve_workload(quick: bool) -> (ArrivalConfig, Vec<RateSpec>) {
+    if quick {
+        let base = ArrivalConfig {
+            n_requests: 6,
+            decode_steps: 2,
+            prefill_rows: 8,
+            seq_len: 256,
+            seed: 2026,
+            ..ArrivalConfig::small_demo()
+        };
+        let rates = vec![
+            RateSpec { label: "moderate", mean_interarrival_cycles: 2_000.0 },
+            RateSpec { label: "saturated", mean_interarrival_cycles: 400.0 },
+        ];
+        return (base, rates);
+    }
+    let base = ArrivalConfig {
+        n_requests: 24,
+        decode_steps: 8,
+        prefill_rows: 16,
+        seq_len: 1024,
+        seed: 2026,
+        ..ArrivalConfig::small_demo()
+    };
+    let rates = vec![
+        RateSpec { label: "moderate", mean_interarrival_cycles: 4_000.0 },
+        RateSpec { label: "saturated", mean_interarrival_cycles: 1_000.0 },
+        RateSpec { label: "overload", mean_interarrival_cycles: 500.0 },
+    ];
+    (base, rates)
+}
+
+/// Checks that every request's batched outputs equal its solo outputs and
+/// its solo seed-oracle (`run_qk_block_reference`) outputs, byte for
+/// byte.
+///
+/// # Panics
+///
+/// Panics on any divergence — bit-identity is a hard invariant, not a
+/// metric.
+fn check_bit_identity(
+    arrivals: &[RequestArrival],
+    config: &ServeConfig,
+    batched: &ServeReport,
+    solo: &ServeReport,
+) {
+    assert_eq!(batched.completions.len(), arrivals.len());
+    pade_serve::assert_outputs_identical(batched, solo);
+    for completion in &batched.completions {
+        let oracle = reference_outputs(&arrivals[completion.id], &config.engine);
+        assert!(
+            completion.output_bytes() == output_bytes(&oracle),
+            "request {}: batched output diverged from the solo seed oracle",
+            completion.id
+        );
+    }
+}
+
+/// Runs one arrival rate through both schedules and cross-checks outputs.
+#[must_use]
+pub fn run_serve_rate(
+    base: &ArrivalConfig,
+    rate: &RateSpec,
+    config: &ServeConfig,
+) -> ServeScenarioResult {
+    let arrivals = generate_arrivals(&ArrivalConfig {
+        mean_interarrival_cycles: rate.mean_interarrival_cycles,
+        ..*base
+    });
+
+    let start = Instant::now();
+    let batched = serve(config, &arrivals, ScheduleMode::Batched);
+    let batched_wall = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let solo = serve(config, &arrivals, ScheduleMode::Solo);
+    let solo_wall = start.elapsed().as_secs_f64();
+
+    check_bit_identity(&arrivals, config, &batched, &solo);
+
+    ServeScenarioResult {
+        rate: *rate,
+        n_requests: arrivals.len(),
+        tokens: batched.summary.tokens,
+        batched: ModeSummary::from_report(&batched, batched_wall),
+        solo: ModeSummary::from_report(&solo, solo_wall),
+        throughput_gain: batched.summary.tokens_per_s
+            / solo.summary.tokens_per_s.max(f64::MIN_POSITIVE),
+        bit_identical: true,
+    }
+}
+
+/// A finished serve sweep: the workload it actually ran and the per-rate
+/// results. Carrying the workload here keeps the JSON metadata tied to
+/// the measurements instead of being re-derived at write time.
+#[derive(Debug, Clone)]
+pub struct ServeSweep {
+    /// The arrival workload every rate was generated from (the rate rows
+    /// override only `mean_interarrival_cycles`).
+    pub workload: ArrivalConfig,
+    /// One entry per arrival rate.
+    pub results: Vec<ServeScenarioResult>,
+}
+
+/// Runs the serve sweep under the standard serving configuration.
+#[must_use]
+pub fn run_serve_matrix(quick: bool) -> ServeSweep {
+    let (base, rates) = serve_workload(quick);
+    let config = ServeConfig::standard();
+    let results = rates.iter().map(|rate| run_serve_rate(&base, rate, &config)).collect();
+    ServeSweep { workload: base, results }
+}
+
+fn write_mode(f: &mut std::fs::File, name: &str, m: &ModeSummary) -> std::io::Result<()> {
+    writeln!(f, "      \"{name}\": {{")?;
+    writeln!(f, "        \"p50_cycles\": {},", m.p50_cycles)?;
+    writeln!(f, "        \"p95_cycles\": {},", m.p95_cycles)?;
+    writeln!(f, "        \"p99_cycles\": {},", m.p99_cycles)?;
+    writeln!(f, "        \"mean_cycles\": {:.1},", m.mean_cycles)?;
+    writeln!(f, "        \"tokens_per_s_sim\": {:.1},", m.tokens_per_s)?;
+    writeln!(f, "        \"makespan_cycles\": {},", m.makespan_cycles)?;
+    writeln!(f, "        \"queue_depth_mean\": {:.3},", m.queue_depth_mean)?;
+    writeln!(f, "        \"occupancy_mean\": {:.3},", m.occupancy_mean)?;
+    writeln!(f, "        \"wall_s\": {:.6}", m.wall_s)?;
+    write!(f, "      }}")?;
+    Ok(())
+}
+
+/// Serializes a serve sweep to the `BENCH_<n>.json` trajectory schema.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_serve_json(
+    path: &std::path::Path,
+    sweep: &ServeSweep,
+    mode: &str,
+) -> std::io::Result<()> {
+    let base = &sweep.workload;
+    let results = &sweep.results;
+    let config = ServeConfig::standard();
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench_id\": {},", crate::bench_id_from_path(path))?;
+    writeln!(f, "  \"tool\": \"pade-bench\",")?;
+    writeln!(f, "  \"scenario\": \"serve\",")?;
+    writeln!(f, "  \"mode\": \"{mode}\",")?;
+    writeln!(f, "  \"worker_threads\": {},", pade_par::max_threads())?;
+    writeln!(
+        f,
+        "  \"paths\": {{\"batched\": \"pade-serve continuous batching \
+         (FCFS, {} slots, {} max batch tokens)\", \"baseline\": \
+         \"one-request-at-a-time FCFS\"}},",
+        config.engine_slots, config.max_batch_tokens
+    )?;
+    writeln!(
+        f,
+        "  \"workload\": {{\"n_requests\": {}, \"seq_len\": {}, \"decode_steps\": {}, \
+         \"prefill_rows\": {}, \"decode_fraction\": {:.2}, \"seed\": {}}},",
+        base.n_requests,
+        base.seq_len,
+        base.decode_steps,
+        base.prefill_rows,
+        base.decode_fraction,
+        base.seed
+    )?;
+    writeln!(f, "  \"rates\": [")?;
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"label\": \"{}\",", r.rate.label)?;
+        writeln!(f, "      \"mean_interarrival_cycles\": {:.0},", r.rate.mean_interarrival_cycles)?;
+        writeln!(f, "      \"n_requests\": {},", r.n_requests)?;
+        writeln!(f, "      \"tokens\": {},", r.tokens)?;
+        write_mode(&mut f, "batched", &r.batched)?;
+        writeln!(f, ",")?;
+        write_mode(&mut f, "solo", &r.solo)?;
+        writeln!(f, ",")?;
+        writeln!(f, "      \"throughput_gain\": {:.3},", r.throughput_gain)?;
+        writeln!(f, "      \"bit_identical\": {}", r.bit_identical)?;
+        writeln!(f, "    }}{comma}")?;
+    }
+    writeln!(f, "  ],")?;
+    let headline = results
+        .iter()
+        .max_by(|a, b| a.throughput_gain.total_cmp(&b.throughput_gain))
+        .expect("at least one rate");
+    writeln!(
+        f,
+        "  \"headline\": {{\"rate\": \"{}\", \"throughput_gain\": {:.3}, \
+         \"batched_p99_cycles\": {}, \"solo_p99_cycles\": {}, \"bit_identical\": {}}}",
+        headline.rate.label,
+        headline.throughput_gain,
+        headline.batched.p99_cycles,
+        headline.solo.p99_cycles,
+        headline.bit_identical
+    )?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_serve_matrix_checks_identity_and_dominance() {
+        let sweep = run_serve_matrix(true);
+        let results = &sweep.results;
+        assert_eq!(sweep.workload.n_requests, results[0].n_requests);
+        assert_eq!(results.len(), 2);
+        for r in results {
+            assert!(r.bit_identical);
+            assert!(
+                r.throughput_gain >= 1.0,
+                "batched must not lose to solo at {}: {}",
+                r.rate.label,
+                r.throughput_gain
+            );
+            assert!(r.batched.p50_cycles <= r.batched.p99_cycles);
+            assert!(r.tokens > 0);
+        }
+        // Saturation amplifies the batching gain.
+        assert!(results[1].throughput_gain >= results[0].throughput_gain);
+    }
+
+    #[test]
+    fn serve_json_is_well_formed_enough() {
+        let sweep = run_serve_matrix(true);
+        let path = std::env::temp_dir().join("pade_serve_bench_test.json");
+        write_serve_json(&path, &sweep, "quick").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert_eq!(text.matches("\"throughput_gain\"").count(), 3); // 2 rates + headline
+        assert!(text.contains("\"p99_cycles\""));
+        assert!(text.contains("\"scenario\": \"serve\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn full_matrix_sweeps_at_least_two_rates() {
+        let (_, rates) = serve_workload(false);
+        assert!(rates.len() >= 2);
+    }
+}

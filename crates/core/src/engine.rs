@@ -16,6 +16,7 @@
 //! breakdown behind Fig. 23(a).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use pade_mem::{HbmModel, KeyLayout, SramBuffer};
 use pade_quant::BitPlaneMatrix;
@@ -420,6 +421,115 @@ pub fn run_qk_blocks_par(
 ) -> Vec<QkBlockResult> {
     let blocks: Vec<&[&[i8]]> = queries.chunks(config.pe_rows).collect();
     pade_par::par_map(&blocks, |block| run_qk_block(config, block, keys, logit_scale))
+}
+
+/// A key bit-plane tensor shared across blocks, sessions and worker
+/// threads without cloning.
+///
+/// The serving front end (`pade-serve`) decomposes each request's KV
+/// cache into bit planes **once** at admission and then dispatches many
+/// engine blocks (prefill chunks, decode steps) against the same
+/// immutable planes; `Arc` makes that sharing explicit and keeps the
+/// plane memory alive exactly as long as any in-flight block needs it.
+pub type SharedKeyPlanes = Arc<BitPlaneMatrix>;
+
+/// [`run_qk_block`] over an [`Arc`]-shared key tensor.
+///
+/// Delegates to [`run_qk_block`]; results are identical. Exists so
+/// session-style callers holding [`SharedKeyPlanes`] don't have to spell
+/// the double deref at every call site.
+///
+/// # Panics
+///
+/// As [`run_qk_block`].
+#[must_use]
+pub fn run_qk_block_shared(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &SharedKeyPlanes,
+    logit_scale: f32,
+) -> QkBlockResult {
+    run_qk_block(config, queries, keys, logit_scale)
+}
+
+/// [`run_qk_blocks`] over an [`Arc`]-shared key tensor.
+///
+/// # Panics
+///
+/// As [`run_qk_blocks`].
+#[must_use]
+pub fn run_qk_blocks_shared(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &SharedKeyPlanes,
+    logit_scale: f32,
+) -> Vec<QkBlockResult> {
+    run_qk_blocks(config, queries, keys, logit_scale)
+}
+
+/// [`run_qk_blocks_par`] over an [`Arc`]-shared key tensor: worker
+/// threads borrow the one plane allocation instead of the caller cloning
+/// key planes per block.
+///
+/// # Panics
+///
+/// As [`run_qk_blocks_par`].
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn run_qk_blocks_par_shared(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &SharedKeyPlanes,
+    logit_scale: f32,
+) -> Vec<QkBlockResult> {
+    run_qk_blocks_par(config, queries, keys, logit_scale)
+}
+
+/// One engine block of a heterogeneous batch: its query rows, the
+/// [`Arc`]-shared key planes it attends over and the logit scale mapping
+/// its integer scores.
+///
+/// Unlike [`run_qk_blocks`], a batch may mix blocks from *different*
+/// requests with different key tensors — the unit of work the serving
+/// layer's iteration-level scheduler dispatches.
+#[derive(Debug, Clone)]
+pub struct QkBatchJob<'a> {
+    /// Query rows of this block (at most `config.pe_rows`).
+    pub queries: Vec<&'a [i8]>,
+    /// Shared, immutable key bit planes (cheap to clone: one refcount).
+    pub keys: SharedKeyPlanes,
+    /// Logit scale of this block's operands.
+    pub logit_scale: f32,
+}
+
+/// Runs a heterogeneous batch of engine blocks sequentially.
+///
+/// Each job simulates its own HBM/SRAM instances (exactly as
+/// [`run_qk_blocks`] does per block), so `results[i]` is **bit-identical**
+/// to running job `i` alone through [`run_qk_block`] — and therefore to
+/// the seed oracle [`run_qk_block_reference`]. Batching changes wall-clock
+/// and scheduling, never outputs; this is the property the serving
+/// layer's bit-identity tests pin down.
+///
+/// # Panics
+///
+/// As [`run_qk_block`], per job.
+#[must_use]
+pub fn run_qk_batch(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlockResult> {
+    jobs.iter().map(|job| run_qk_block(config, &job.queries, &job.keys, job.logit_scale)).collect()
+}
+
+/// Parallel variant of [`run_qk_batch`]: jobs fan out across worker
+/// threads and are merged back in job order, bit-identical to the
+/// sequential loop regardless of thread count.
+///
+/// # Panics
+///
+/// As [`run_qk_block`], per job.
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn run_qk_batch_par(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlockResult> {
+    pade_par::par_map(jobs, |job| run_qk_block(config, &job.queries, &job.keys, job.logit_scale))
 }
 
 /// The seed's hash-map-based implementation, kept verbatim as the
@@ -995,6 +1105,98 @@ mod tests {
         let seq = run_qk_blocks(&config, &queries, &keys, trace.logit_scale());
         let par = run_qk_blocks_par(&config, &queries, &keys, trace.logit_scale());
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn shared_plane_entries_match_borrowed_entries() {
+        let trace = small_trace();
+        let config = PadeConfig::standard();
+        let keys: SharedKeyPlanes = Arc::new(
+            BitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), config.bits)
+                .unwrap(),
+        );
+        let queries: Vec<&[i8]> =
+            (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+        let scale = trace.logit_scale();
+        assert_eq!(
+            run_qk_block_shared(&config, &queries, &keys, scale),
+            run_qk_block(&config, &queries, &keys, scale)
+        );
+        assert_eq!(
+            run_qk_blocks_shared(&config, &queries, &keys, scale),
+            run_qk_blocks(&config, &queries, &keys, scale)
+        );
+        // The Arc is genuinely shared, not cloned per call.
+        assert_eq!(Arc::strong_count(&keys), 1);
+    }
+
+    #[test]
+    fn mixed_key_batch_is_bit_identical_to_solo_blocks() {
+        // Two requests with different key tensors batched together must
+        // each produce exactly the result of running alone — through the
+        // optimized engine AND the seed oracle.
+        let config = PadeConfig::standard();
+        let traces: Vec<AttentionTrace> = [3u64, 4]
+            .iter()
+            .map(|&seed| {
+                AttentionTrace::generate(&TraceConfig {
+                    seed,
+                    ..pade_workload::trace::TraceConfig::small_demo()
+                })
+            })
+            .collect();
+        let keys: Vec<SharedKeyPlanes> = traces
+            .iter()
+            .map(|t| {
+                Arc::new(
+                    BitPlaneMatrix::from_rows(t.keys().as_slice(), t.keys().cols(), config.bits)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let jobs: Vec<QkBatchJob> = traces
+            .iter()
+            .zip(&keys)
+            .map(|(t, k)| QkBatchJob {
+                queries: (0..t.queries().rows()).map(|i| t.queries().row(i)).collect(),
+                keys: Arc::clone(k),
+                logit_scale: t.logit_scale(),
+            })
+            .collect();
+        let batch = run_qk_batch(&config, &jobs);
+        assert_eq!(batch.len(), 2);
+        for (i, job) in jobs.iter().enumerate() {
+            let solo = run_qk_block(&config, &job.queries, &job.keys, job.logit_scale);
+            assert_eq!(batch[i], solo, "job {i} diverged from its solo run");
+            let oracle = run_qk_block_reference(&config, &job.queries, &job.keys, job.logit_scale);
+            assert_eq!(batch[i], oracle, "job {i} diverged from the seed oracle");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_batch_matches_sequential_batch() {
+        let config = PadeConfig::standard();
+        let traces: Vec<AttentionTrace> = (0..4u64)
+            .map(|seed| {
+                AttentionTrace::generate(&TraceConfig {
+                    seed,
+                    ..pade_workload::trace::TraceConfig::small_demo()
+                })
+            })
+            .collect();
+        let jobs: Vec<QkBatchJob> = traces
+            .iter()
+            .map(|t| QkBatchJob {
+                queries: (0..t.queries().rows()).map(|i| t.queries().row(i)).collect(),
+                keys: Arc::new(
+                    BitPlaneMatrix::from_rows(t.keys().as_slice(), t.keys().cols(), config.bits)
+                        .unwrap(),
+                ),
+                logit_scale: t.logit_scale(),
+            })
+            .collect();
+        assert_eq!(run_qk_batch(&config, &jobs), run_qk_batch_par(&config, &jobs));
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Iteration-level batch forming: FCFS with an engine-slot and
+//! max-batch-tokens cap.
+//!
+//! The scheduler is deliberately minimal and deterministic. Active
+//! sessions are kept in admission (FCFS) order; each iteration every
+//! session may contribute at most **one** block — the iteration-level
+//! scheduling of continuous-batching servers, which is what lets a short
+//! decode request make progress between the chunks of a long prefill
+//! instead of queueing behind all of it. Selection walks the FCFS order
+//! and stops at the first session that would exceed either cap, so there
+//! is no head-of-line bypass and the formed batch is a pure function of
+//! the queue state.
+
+use crate::session::Session;
+
+/// How the server schedules work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// Continuous batching: up to `engine_slots` blocks from distinct
+    /// sessions per iteration, FCFS, capped by `max_batch_tokens`.
+    Batched,
+    /// One-request-at-a-time baseline: the head-of-queue session runs a
+    /// single block per iteration; later requests wait for it to finish.
+    Solo,
+}
+
+impl ScheduleMode {
+    /// Stable label for reports and JSON.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScheduleMode::Batched => "batched",
+            ScheduleMode::Solo => "solo",
+        }
+    }
+}
+
+/// Scheduling limits of one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerLimits {
+    /// Engine instances stepping in lockstep — the per-iteration block cap.
+    pub engine_slots: usize,
+    /// Cap on summed query-row tokens per iteration. The head block is
+    /// always admitted even if it alone exceeds the cap (a server must
+    /// never deadlock on an oversized request).
+    pub max_batch_tokens: usize,
+}
+
+/// Picks the sessions (by index into `active`, which must be FCFS-ordered
+/// and contain no finished sessions) whose next blocks form this
+/// iteration's batch.
+///
+/// Returns an empty vector only when `active` is empty.
+#[must_use]
+pub fn form_batch(active: &[Session], mode: ScheduleMode, limits: &SchedulerLimits) -> Vec<usize> {
+    debug_assert!(active.iter().all(|s| !s.is_finished()));
+    match mode {
+        ScheduleMode::Solo => {
+            if active.is_empty() {
+                Vec::new()
+            } else {
+                vec![0]
+            }
+        }
+        ScheduleMode::Batched => {
+            let slots = limits.engine_slots.max(1);
+            let mut chosen = Vec::new();
+            let mut tokens = 0usize;
+            for (i, session) in active.iter().enumerate() {
+                if chosen.len() >= slots {
+                    break;
+                }
+                let cost = session.next_block_tokens();
+                if !chosen.is_empty() && tokens + cost > limits.max_batch_tokens {
+                    break; // strict FCFS: no bypass past a blocked head
+                }
+                chosen.push(i);
+                tokens += cost;
+            }
+            chosen
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_core::config::PadeConfig;
+    use pade_sim::Cycle;
+    use pade_workload::trace::{generate_arrivals, ArrivalConfig};
+
+    fn sessions(n: usize) -> Vec<Session> {
+        let config = PadeConfig::standard();
+        generate_arrivals(&ArrivalConfig { n_requests: n, ..ArrivalConfig::small_demo() })
+            .iter()
+            .map(|spec| Session::admit(spec, &config, Cycle::ZERO))
+            .collect()
+    }
+
+    #[test]
+    fn solo_picks_only_the_head() {
+        let active = sessions(4);
+        let limits = SchedulerLimits { engine_slots: 8, max_batch_tokens: 1024 };
+        assert_eq!(form_batch(&active, ScheduleMode::Solo, &limits), vec![0]);
+    }
+
+    #[test]
+    fn batched_fills_slots_in_fcfs_order() {
+        let active = sessions(5);
+        let limits = SchedulerLimits { engine_slots: 3, max_batch_tokens: 1024 };
+        assert_eq!(form_batch(&active, ScheduleMode::Batched, &limits), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn token_cap_truncates_without_bypass() {
+        let active = sessions(5);
+        let head_cost = active[0].next_block_tokens();
+        // A cap equal to the head's cost admits exactly the head, even if a
+        // later (cheaper) block would still fit under the cap.
+        let limits = SchedulerLimits { engine_slots: 8, max_batch_tokens: head_cost };
+        assert_eq!(form_batch(&active, ScheduleMode::Batched, &limits), vec![0]);
+    }
+
+    #[test]
+    fn oversized_head_is_still_admitted() {
+        let active = sessions(3);
+        let limits = SchedulerLimits { engine_slots: 8, max_batch_tokens: 0 };
+        assert_eq!(form_batch(&active, ScheduleMode::Batched, &limits), vec![0]);
+    }
+
+    #[test]
+    fn empty_queue_forms_no_batch() {
+        let limits = SchedulerLimits { engine_slots: 4, max_batch_tokens: 64 };
+        assert!(form_batch(&[], ScheduleMode::Batched, &limits).is_empty());
+        assert!(form_batch(&[], ScheduleMode::Solo, &limits).is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! The deterministic continuous-batching serve loop.
+//!
+//! [`serve`] replays a seeded arrival trace against a modeled PADE device
+//! with `engine_slots` QK-PU instances stepping in lockstep iterations:
+//!
+//! 1. **admit** every request whose arrival time has passed (FCFS),
+//! 2. **form** a batch — at most one block per active session, capped by
+//!    slots and max-batch-tokens ([`form_batch`]),
+//! 3. **dispatch** the blocks through the engine
+//!    ([`run_qk_batch`]/[`run_qk_batch_par`]); the iteration advances the
+//!    clock by the *slowest* block in the batch (lockstep slots),
+//! 4. **retire** finished sessions, recording completion time and
+//!    latency.
+//!
+//! Every step is a pure function of the arrival trace and the
+//! configuration — no wall clock, no unordered maps — so two runs with
+//! the same seed produce identical completion orders and identical
+//! per-request output bytes. And because each block simulates its own
+//! memory system, batched outputs are **bit-identical** to running every
+//! request alone through the seed oracle (property-tested in `tests/`).
+
+use std::collections::VecDeque;
+
+use pade_core::config::PadeConfig;
+use pade_core::engine::{run_qk_batch, run_qk_batch_par, QkBatchJob, QkBlockResult};
+use pade_sim::{Cycle, Frequency};
+use pade_workload::trace::{RequestArrival, RequestKind};
+
+use crate::metrics::{MetricsSummary, ServeMetrics};
+use crate::scheduler::{form_batch, ScheduleMode, SchedulerLimits};
+use crate::session::{output_bytes, Session};
+
+/// Configuration of one serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Engine (accelerator) configuration shared by every block.
+    pub engine: PadeConfig,
+    /// Parallel QK-PU instances the device steps in lockstep (the batched
+    /// mode's per-iteration block cap; solo mode always uses one).
+    pub engine_slots: usize,
+    /// Cap on summed query-row tokens per iteration.
+    pub max_batch_tokens: usize,
+    /// Dispatch batches across worker threads ([`run_qk_batch_par`])
+    /// instead of a sequential loop. Results are bit-identical either
+    /// way; this only changes host wall-clock.
+    pub parallel_dispatch: bool,
+}
+
+impl ServeConfig {
+    /// The standard serving device: 4 lockstep engine slots, a 64-token
+    /// iteration cap, threaded dispatch.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            engine: PadeConfig::standard(),
+            engine_slots: 4,
+            max_batch_tokens: 64,
+            parallel_dispatch: true,
+        }
+    }
+}
+
+/// One completed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Request id from the arrival trace.
+    pub id: usize,
+    /// What the request asked for.
+    pub kind: RequestKind,
+    /// Arrival time from the trace.
+    pub arrival: Cycle,
+    /// Admission time (first scheduler look at or after arrival).
+    pub admitted: Cycle,
+    /// Completion time.
+    pub finished: Cycle,
+    /// Query-row tokens executed.
+    pub tokens: u64,
+    /// Per-block engine results, in block order.
+    pub results: Vec<QkBlockResult>,
+}
+
+impl Completion {
+    /// End-to-end latency (completion − arrival).
+    #[must_use]
+    pub fn latency(&self) -> Cycle {
+        self.finished - self.arrival
+    }
+
+    /// Canonical byte serialization of the request's retained outputs.
+    #[must_use]
+    pub fn output_bytes(&self) -> Vec<u8> {
+        output_bytes(&self.results)
+    }
+}
+
+/// The result of one serve run.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// The schedule mode that produced this report.
+    pub mode: ScheduleMode,
+    /// Completions in completion order (ties broken FCFS).
+    pub completions: Vec<Completion>,
+    /// Metric digest (latency percentiles, queue depth, occupancy,
+    /// tokens/s at the 800 MHz core clock).
+    pub summary: MetricsSummary,
+    /// The raw collectors, for callers composing further statistics.
+    pub metrics: ServeMetrics,
+}
+
+impl ServeReport {
+    /// Completion ids in completion order — the scheduler-determinism
+    /// fingerprint.
+    #[must_use]
+    pub fn completion_order(&self) -> Vec<usize> {
+        self.completions.iter().map(|c| c.id).collect()
+    }
+}
+
+/// Asserts that two serve runs of the same arrival trace produced
+/// byte-identical per-request outputs — the batching-never-changes-
+/// outputs invariant, checked by the CLI and the bench scenario alike.
+///
+/// # Panics
+///
+/// Panics if the reports cover different request sets or any request's
+/// output bytes diverge.
+pub fn assert_outputs_identical(a: &ServeReport, b: &ServeReport) {
+    let by_id = |r: &ServeReport| {
+        let mut v: Vec<(usize, Vec<u8>)> =
+            r.completions.iter().map(|c| (c.id, c.output_bytes())).collect();
+        v.sort_by_key(|&(id, _)| id);
+        v
+    };
+    let (a, b) = (by_id(a), by_id(b));
+    assert_eq!(
+        a.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        b.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        "reports cover different request sets"
+    );
+    for ((id, x), (_, y)) in a.iter().zip(&b) {
+        assert!(x == y, "request {id}: outputs diverged between the two schedules");
+    }
+}
+
+/// Replays `arrivals` through the serve loop under `mode`.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is empty or the engine configuration is invalid.
+#[must_use]
+pub fn serve(config: &ServeConfig, arrivals: &[RequestArrival], mode: ScheduleMode) -> ServeReport {
+    assert!(!arrivals.is_empty(), "at least one request required");
+    config.engine.validate();
+    let limits = SchedulerLimits {
+        engine_slots: config.engine_slots.max(1),
+        max_batch_tokens: config.max_batch_tokens,
+    };
+
+    // FCFS admission order: arrival time, then id (stable for equal times).
+    let mut pending: Vec<&RequestArrival> = arrivals.iter().collect();
+    pending.sort_by_key(|r| (r.arrival_cycle, r.id));
+    let mut pending: VecDeque<&RequestArrival> = pending.into();
+
+    let mut active: Vec<Session> = Vec::new();
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut metrics = ServeMetrics::new();
+    let mut now = Cycle::ZERO;
+
+    loop {
+        // Admit everything that has arrived.
+        while pending.front().is_some_and(|r| r.arrival_cycle <= now.0) {
+            let spec = pending.pop_front().expect("front checked");
+            active.push(Session::admit(spec, &config.engine, now));
+        }
+        if active.is_empty() {
+            match pending.front() {
+                // Idle: jump to the next arrival. All gauges drop to zero
+                // over the gap — an idle device has no occupancy.
+                Some(next) => {
+                    metrics.queue_depth.set(now, 0.0);
+                    metrics.occupancy.set(now, 0.0);
+                    metrics.batch_tokens.set(now, 0.0);
+                    now = Cycle(next.arrival_cycle);
+                    continue;
+                }
+                None => break,
+            }
+        }
+        metrics.queue_depth.set(now, active.len() as f64);
+
+        // Form and dispatch this iteration's batch.
+        let chosen = form_batch(&active, mode, &limits);
+        debug_assert!(!chosen.is_empty());
+        let jobs: Vec<QkBatchJob<'_>> = chosen.iter().map(|&i| active[i].next_job()).collect();
+        let batch_tokens: usize = jobs.iter().map(|j| j.queries.len()).sum();
+        let results: Vec<QkBlockResult> = if config.parallel_dispatch {
+            run_qk_batch_par(&config.engine, &jobs)
+        } else {
+            run_qk_batch(&config.engine, &jobs)
+        };
+        drop(jobs);
+
+        let slots = if mode == ScheduleMode::Solo { 1 } else { limits.engine_slots };
+        metrics.occupancy.set(now, chosen.len() as f64 / slots as f64);
+        metrics.batch_tokens.set(now, batch_tokens as f64);
+        let duration =
+            results.iter().map(|r| r.cycles).max().expect("non-empty batch has a duration");
+        metrics.iterations += 1;
+        now += duration;
+
+        for (&i, result) in chosen.iter().zip(results) {
+            metrics.ops.merge(&result.ops);
+            metrics.traffic.merge(&result.traffic);
+            metrics.engine_cycles += result.cycles.0;
+            active[i].absorb(result);
+        }
+
+        // Retire finished sessions in FCFS order.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].is_finished() {
+                let session = active.remove(i);
+                let arrival = Cycle(session.spec().arrival_cycle);
+                metrics.latency.record(now - arrival);
+                metrics.tokens += session.tokens();
+                completions.push(Completion {
+                    id: session.spec().id,
+                    kind: session.spec().kind,
+                    arrival,
+                    admitted: session.admitted(),
+                    finished: now,
+                    tokens: session.tokens(),
+                    results: session.into_results(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    metrics.queue_depth.set(now, 0.0);
+    metrics.occupancy.set(now, 0.0);
+    metrics.batch_tokens.set(now, 0.0);
+    let summary = metrics.summarize(now, Frequency::default());
+    ServeReport { mode, completions, summary, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_workload::trace::{generate_arrivals, ArrivalConfig};
+
+    fn arrivals() -> Vec<RequestArrival> {
+        generate_arrivals(&ArrivalConfig::small_demo())
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once() {
+        let arrivals = arrivals();
+        let report = serve(&ServeConfig::standard(), &arrivals, ScheduleMode::Batched);
+        assert_eq!(report.completions.len(), arrivals.len());
+        let mut ids = report.completion_order();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..arrivals.len()).collect::<Vec<_>>());
+        for c in &report.completions {
+            assert!(c.finished.0 >= c.arrival.0);
+            assert!(c.admitted.0 >= c.arrival.0);
+            assert_eq!(c.tokens, c.kind.tokens() as u64);
+        }
+    }
+
+    #[test]
+    fn batched_makespan_never_exceeds_solo() {
+        let arrivals = arrivals();
+        let config = ServeConfig::standard();
+        let batched = serve(&config, &arrivals, ScheduleMode::Batched);
+        let solo = serve(&config, &arrivals, ScheduleMode::Solo);
+        assert!(
+            batched.summary.makespan <= solo.summary.makespan,
+            "batched {} vs solo {}",
+            batched.summary.makespan,
+            solo.summary.makespan
+        );
+        assert!(batched.summary.tokens_per_s >= solo.summary.tokens_per_s);
+        assert_eq!(batched.summary.tokens, solo.summary.tokens);
+    }
+
+    #[test]
+    fn metrics_cover_the_whole_run() {
+        let report = serve(&ServeConfig::standard(), &arrivals(), ScheduleMode::Batched);
+        let s = &report.summary;
+        assert_eq!(s.latency.count, report.completions.len());
+        assert!(s.latency.p50 <= s.latency.p95 && s.latency.p95 <= s.latency.p99);
+        assert!(s.queue_depth_max >= 1.0);
+        assert!(s.occupancy_mean > 0.0 && s.occupancy_mean <= 1.0);
+        assert!(s.iterations > 0);
+        assert!(report.metrics.ops.bit_serial_acc > 0);
+        assert!(report.metrics.traffic.dram_read_bytes > 0);
+        // Batching overlaps blocks, so summed engine time exceeds the time
+        // the device spends busy (makespan minus idle arrival gaps).
+        assert!(report.metrics.engine_cycles > 0);
+    }
+
+    #[test]
+    fn sequential_and_threaded_dispatch_agree() {
+        let arrivals = arrivals();
+        let threaded = serve(&ServeConfig::standard(), &arrivals, ScheduleMode::Batched);
+        let sequential = serve(
+            &ServeConfig { parallel_dispatch: false, ..ServeConfig::standard() },
+            &arrivals,
+            ScheduleMode::Batched,
+        );
+        assert_eq!(threaded.completion_order(), sequential.completion_order());
+        for (a, b) in threaded.completions.iter().zip(&sequential.completions) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn solo_serves_strictly_one_request_at_a_time() {
+        let arrivals = arrivals();
+        let report = serve(&ServeConfig::standard(), &arrivals, ScheduleMode::Solo);
+        // Under solo FCFS, completion order is arrival order.
+        let mut by_arrival: Vec<&RequestArrival> = arrivals.iter().collect();
+        by_arrival.sort_by_key(|r| (r.arrival_cycle, r.id));
+        assert_eq!(report.completion_order(), by_arrival.iter().map(|r| r.id).collect::<Vec<_>>());
+        assert!(report.summary.occupancy_mean <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,269 @@
+//! Session lifecycle: one admitted request, its operands and its engine
+//! blocks.
+//!
+//! A session is created at admission: the request's synthetic operand
+//! trace is generated and its key tensor decomposed into bit planes
+//! **once**, then held behind [`SharedKeyPlanes`] so every block the
+//! scheduler dispatches — and every worker thread running one — borrows
+//! the same immutable plane allocation instead of rebuilding it per call.
+//!
+//! Blocks are the scheduling quantum: a prefill request of `R` rows
+//! yields `⌈R / pe_rows⌉` blocks (exactly the chunking of
+//! [`pade_core::engine::run_qk_blocks`]), a decode request of `T` steps
+//! yields `T` single-row blocks. Because each block simulates its own
+//! HBM/SRAM instances, the session's outputs are bit-identical to running
+//! the same request alone — the property `tests/` pins against the seed
+//! oracle [`run_qk_block_reference`].
+//!
+//! [`run_qk_block_reference`]: pade_core::engine::run_qk_block_reference
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use pade_core::config::PadeConfig;
+use pade_core::engine::{QkBatchJob, QkBlockResult, SharedKeyPlanes};
+use pade_quant::BitPlaneMatrix;
+use pade_sim::Cycle;
+use pade_workload::trace::{AttentionTrace, RequestArrival, RequestKind};
+
+/// One admitted request with its operands, shared key planes and progress.
+#[derive(Debug)]
+pub struct Session {
+    spec: RequestArrival,
+    trace: AttentionTrace,
+    keys: SharedKeyPlanes,
+    rows_per_block: usize,
+    blocks_total: usize,
+    next_block: usize,
+    results: Vec<QkBlockResult>,
+    admitted: Cycle,
+}
+
+impl Session {
+    /// Admits a request at time `admitted`: generates its operand trace
+    /// and decomposes the key tensor into shared bit planes (once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's trace cannot be decomposed under
+    /// `config.bits`.
+    #[must_use]
+    pub fn admit(spec: &RequestArrival, config: &PadeConfig, admitted: Cycle) -> Self {
+        let trace = AttentionTrace::generate(&spec.trace);
+        let keys: SharedKeyPlanes = Arc::new(
+            BitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), config.bits)
+                .expect("request key tensor decomposes into bit planes"),
+        );
+        let (rows_per_block, blocks_total) = match spec.kind {
+            // Prefill chunks by PE-row height, exactly as run_qk_blocks.
+            RequestKind::Prefill { rows } => (config.pe_rows, rows.div_ceil(config.pe_rows)),
+            // Decode: one query row per step.
+            RequestKind::Decode { steps } => (1, steps),
+        };
+        Self {
+            spec: *spec,
+            trace,
+            keys,
+            rows_per_block,
+            blocks_total,
+            next_block: 0,
+            results: Vec::with_capacity(blocks_total),
+            admitted,
+        }
+    }
+
+    /// The admitted request.
+    #[must_use]
+    pub fn spec(&self) -> &RequestArrival {
+        &self.spec
+    }
+
+    /// Admission time (≥ the request's arrival time).
+    #[must_use]
+    pub fn admitted(&self) -> Cycle {
+        self.admitted
+    }
+
+    /// Engine blocks this request decomposes into.
+    #[must_use]
+    pub fn blocks_total(&self) -> usize {
+        self.blocks_total
+    }
+
+    /// Blocks already executed.
+    #[must_use]
+    pub fn blocks_done(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether every block has been executed.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.results.len() == self.blocks_total
+    }
+
+    /// Query rows (≙ tokens) this request executes in total.
+    #[must_use]
+    pub fn tokens(&self) -> u64 {
+        self.spec.kind.tokens() as u64
+    }
+
+    /// The query-row range of block `block`.
+    fn block_rows(&self, block: usize) -> Range<usize> {
+        let total = self.spec.kind.tokens();
+        let lo = block * self.rows_per_block;
+        lo..((lo + self.rows_per_block).min(total))
+    }
+
+    /// Query-row (token) cost of the next block — the unit the scheduler's
+    /// max-batch-tokens cap counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is finished.
+    #[must_use]
+    pub fn next_block_tokens(&self) -> usize {
+        assert!(!self.is_finished(), "finished session has no next block");
+        self.block_rows(self.next_block).len()
+    }
+
+    /// The next block as a dispatchable engine job borrowing this
+    /// session's operands and sharing its key planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is finished.
+    #[must_use]
+    pub fn next_job(&self) -> QkBatchJob<'_> {
+        assert!(!self.is_finished(), "finished session has no next job");
+        let rows = self.block_rows(self.next_block);
+        QkBatchJob {
+            queries: rows.map(|i| self.trace.queries().row(i)).collect(),
+            keys: Arc::clone(&self.keys),
+            logit_scale: self.trace.logit_scale(),
+        }
+    }
+
+    /// Records the result of the block handed out by the last
+    /// [`next_job`](Self::next_job) call.
+    pub fn absorb(&mut self, result: QkBlockResult) {
+        debug_assert!(!self.is_finished());
+        self.next_block += 1;
+        self.results.push(result);
+    }
+
+    /// Per-block engine results, in block order.
+    #[must_use]
+    pub fn results(&self) -> &[QkBlockResult] {
+        &self.results
+    }
+
+    /// Consumes the session into its per-block results.
+    #[must_use]
+    pub fn into_results(self) -> Vec<QkBlockResult> {
+        self.results
+    }
+}
+
+/// Serializes per-block retained outputs into a canonical byte string —
+/// the "per-request output bytes" the bit-identity property compares.
+///
+/// Layout per block, little-endian: for each query row a `u32` pair count
+/// followed by `(u32 token, i64 score)` pairs in token order.
+#[must_use]
+pub fn output_bytes(results: &[QkBlockResult]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for block in results {
+        for row in &block.retained {
+            out.extend_from_slice(&u32::try_from(row.len()).expect("row fits u32").to_le_bytes());
+            for &(token, score) in row {
+                out.extend_from_slice(&u32::try_from(token).expect("token fits u32").to_le_bytes());
+                out.extend_from_slice(&score.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Runs every block of `spec` alone through the seed oracle
+/// [`run_qk_block_reference`] — the ground truth the batched server's
+/// per-request outputs must match byte for byte.
+///
+/// [`run_qk_block_reference`]: pade_core::engine::run_qk_block_reference
+#[must_use]
+pub fn reference_outputs(spec: &RequestArrival, config: &PadeConfig) -> Vec<QkBlockResult> {
+    let session = Session::admit(spec, config, Cycle::ZERO);
+    (0..session.blocks_total())
+        .map(|b| {
+            let rows = session.block_rows(b);
+            let queries: Vec<&[i8]> = rows.map(|i| session.trace.queries().row(i)).collect();
+            pade_core::engine::run_qk_block_reference(
+                config,
+                &queries,
+                &session.keys,
+                session.trace.logit_scale(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_workload::trace::{generate_arrivals, ArrivalConfig};
+
+    fn specs() -> Vec<RequestArrival> {
+        generate_arrivals(&ArrivalConfig::small_demo())
+    }
+
+    #[test]
+    fn prefill_chunks_by_pe_rows_and_decode_by_step() {
+        let config = PadeConfig::standard();
+        for spec in specs() {
+            let s = Session::admit(&spec, &config, Cycle::ZERO);
+            match spec.kind {
+                RequestKind::Prefill { rows } => {
+                    assert_eq!(s.blocks_total(), rows.div_ceil(config.pe_rows));
+                    assert_eq!(s.next_block_tokens(), rows.min(config.pe_rows));
+                }
+                RequestKind::Decode { steps } => {
+                    assert_eq!(s.blocks_total(), steps);
+                    assert_eq!(s.next_block_tokens(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_blocks_cover_every_query_row_once() {
+        let config = PadeConfig::standard();
+        let spec = specs().into_iter().find(|s| s.kind.tokens() > config.pe_rows).unwrap();
+        let session = Session::admit(&spec, &config, Cycle::ZERO);
+        let mut covered = Vec::new();
+        for b in 0..session.blocks_total() {
+            covered.extend(session.block_rows(b));
+        }
+        assert_eq!(covered, (0..spec.kind.tokens()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn key_planes_are_shared_not_cloned() {
+        let config = PadeConfig::standard();
+        let session = Session::admit(&specs()[0], &config, Cycle::ZERO);
+        let job_a = session.next_job();
+        let job_b = session.next_job();
+        assert!(Arc::ptr_eq(&job_a.keys, &job_b.keys));
+        assert_eq!(Arc::strong_count(&session.keys), 3);
+    }
+
+    #[test]
+    fn output_bytes_round_trip_distinguish_results() {
+        let config = PadeConfig::standard();
+        let all = specs();
+        let a = reference_outputs(&all[0], &config);
+        let b = reference_outputs(&all[1], &config);
+        assert_eq!(output_bytes(&a), output_bytes(&a));
+        assert_ne!(output_bytes(&a), output_bytes(&b));
+        assert!(!output_bytes(&a).is_empty());
+    }
+}

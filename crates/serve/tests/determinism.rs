@@ -1,0 +1,133 @@
+//! Serving-layer guarantees, property-tested:
+//!
+//! 1. **Scheduler determinism** — the serve loop is a pure function of
+//!    (seed, configuration): same seed + same arrival trace ⇒ identical
+//!    completion order and identical per-request output bytes, run after
+//!    run.
+//! 2. **Batched-vs-solo bit-identity** — batching is a scheduling
+//!    decision, never a numerical one: every request served in a busy
+//!    continuous batch produces byte-identical retained outputs to the
+//!    same request run alone through the seed oracle
+//!    `run_qk_block_reference`.
+
+use pade_serve::scheduler::ScheduleMode;
+use pade_serve::server::{serve, Completion, ServeConfig, ServeReport};
+use pade_serve::{output_bytes, reference_outputs};
+use pade_workload::trace::{generate_arrivals, ArrivalConfig};
+use proptest::prelude::*;
+
+/// A small, fast workload: tiny contexts, a handful of requests.
+fn workload(seed: u64, n_requests: usize, mean_gap: f64) -> ArrivalConfig {
+    ArrivalConfig {
+        n_requests,
+        mean_interarrival_cycles: mean_gap,
+        decode_steps: 2,
+        prefill_rows: 10, // not a pe_rows multiple: exercises ragged blocks
+        seq_len: 128,
+        seed,
+        ..ArrivalConfig::small_demo()
+    }
+}
+
+fn by_id(report: &ServeReport) -> Vec<&Completion> {
+    let mut v: Vec<&Completion> = report.completions.iter().collect();
+    v.sort_by_key(|c| c.id);
+    v
+}
+
+proptest! {
+    /// Same seed + same arrival trace ⇒ identical completion order and
+    /// identical per-request output bytes, across repeated runs and
+    /// across sequential vs threaded dispatch.
+    #[test]
+    fn serve_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        n in 2usize..5,
+        saturated in any::<bool>(),
+        slots in 1usize..5,
+    ) {
+        let gap = if saturated { 400.0 } else { 4_000.0 };
+        let arrivals = generate_arrivals(&workload(seed, n, gap));
+        let config = ServeConfig {
+            engine_slots: slots,
+            ..ServeConfig::standard()
+        };
+        let a = serve(&config, &arrivals, ScheduleMode::Batched);
+        let b = serve(&config, &arrivals, ScheduleMode::Batched);
+        let c = serve(
+            &ServeConfig { parallel_dispatch: false, ..config },
+            &arrivals,
+            ScheduleMode::Batched,
+        );
+        prop_assert_eq!(a.completion_order(), b.completion_order());
+        prop_assert_eq!(a.completion_order(), c.completion_order());
+        prop_assert_eq!(a.summary, b.summary);
+        for ((x, y), z) in a.completions.iter().zip(&b.completions).zip(&c.completions) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.finished, y.finished);
+            prop_assert_eq!(x.output_bytes(), y.output_bytes());
+            prop_assert_eq!(x.output_bytes(), z.output_bytes());
+        }
+    }
+
+    /// Batched serving, solo serving and the solo seed oracle all produce
+    /// byte-identical per-request outputs — under load (deep queues, full
+    /// batches) as well as at low rates.
+    #[test]
+    fn batched_outputs_match_solo_oracle_bytes(
+        seed in any::<u64>(),
+        n in 2usize..4,
+        saturated in any::<bool>(),
+    ) {
+        let gap = if saturated { 300.0 } else { 3_000.0 };
+        let arrivals = generate_arrivals(&workload(seed, n, gap));
+        let config = ServeConfig::standard();
+        let batched = serve(&config, &arrivals, ScheduleMode::Batched);
+        let solo = serve(&config, &arrivals, ScheduleMode::Solo);
+        prop_assert_eq!(batched.completions.len(), arrivals.len());
+        for (b, s) in by_id(&batched).iter().zip(by_id(&solo)) {
+            prop_assert_eq!(b.id, s.id);
+            prop_assert_eq!(b.output_bytes(), s.output_bytes());
+        }
+        for completion in by_id(&batched) {
+            let spec = &arrivals[completion.id];
+            prop_assert_eq!(spec.id, completion.id);
+            let oracle = reference_outputs(spec, &config.engine);
+            prop_assert_eq!(
+                completion.output_bytes(),
+                output_bytes(&oracle),
+                "request {} diverged from its solo run_qk_block_reference run",
+                completion.id
+            );
+        }
+    }
+
+    /// Throughput dominance: continuous batching never completes the same
+    /// trace later than one-request-at-a-time.
+    #[test]
+    fn batched_never_slower_than_solo(seed in any::<u64>(), n in 2usize..5) {
+        let arrivals = generate_arrivals(&workload(seed, n, 500.0));
+        let config = ServeConfig::standard();
+        let batched = serve(&config, &arrivals, ScheduleMode::Batched);
+        let solo = serve(&config, &arrivals, ScheduleMode::Solo);
+        prop_assert!(batched.summary.makespan <= solo.summary.makespan);
+        prop_assert!(batched.summary.tokens_per_s >= solo.summary.tokens_per_s);
+    }
+}
+
+/// A saturated many-request run exercises deep queues, the token cap and
+/// multi-iteration sessions at once; the completion order must still be a
+/// permutation of the ids and FCFS-compatible per arrival time.
+#[test]
+fn saturated_run_completes_everything_deterministically() {
+    let arrivals = generate_arrivals(&workload(2026, 12, 300.0));
+    let config = ServeConfig { engine_slots: 3, max_batch_tokens: 12, ..ServeConfig::standard() };
+    let a = serve(&config, &arrivals, ScheduleMode::Batched);
+    let b = serve(&config, &arrivals, ScheduleMode::Batched);
+    assert_eq!(a.completion_order(), b.completion_order());
+    let mut ids = a.completion_order();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..arrivals.len()).collect::<Vec<_>>());
+    assert_eq!(a.summary.latency.count, arrivals.len());
+    assert!(a.summary.queue_depth_max >= 2.0, "saturation must build a queue");
+}

@@ -1,0 +1,315 @@
+//! Serving-side statistics: latency percentiles and time-weighted gauges.
+//!
+//! The serving front end (`pade-serve`) measures distributions rather than
+//! single runs: per-request latencies want percentiles (p50/p95/p99 are
+//! the numbers an SLO is written against), and queue depth or batch
+//! occupancy want *time-weighted* means — a queue that is deep for one
+//! cycle and empty for a million must not average to "half full".
+//!
+//! Both collectors are deterministic: they hold exact samples / exact
+//! step functions, no reservoir sampling and no clock reads.
+
+use crate::Cycle;
+
+/// Exact-sample latency collector with nearest-rank percentiles.
+///
+/// # Example
+///
+/// ```
+/// use pade_sim::{Cycle, LatencyStats};
+///
+/// let mut lat = LatencyStats::new();
+/// for c in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+///     lat.record(Cycle(c));
+/// }
+/// let s = lat.summary();
+/// assert_eq!(s.p50, Cycle(50));
+/// assert_eq!(s.p99, Cycle(100));
+/// assert_eq!(s.max, Cycle(100));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+/// The percentile digest of a [`LatencyStats`] collector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: usize,
+    /// Median latency.
+    pub p50: Cycle,
+    /// 95th-percentile latency.
+    pub p95: Cycle,
+    /// 99th-percentile latency.
+    pub p99: Cycle,
+    /// Arithmetic mean latency.
+    pub mean: f64,
+    /// Largest recorded latency.
+    pub max: Cycle,
+}
+
+impl LatencySummary {
+    /// The all-zero summary of an empty collector.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            p50: Cycle::ZERO,
+            p95: Cycle::ZERO,
+            p99: Cycle::ZERO,
+            mean: 0.0,
+            max: Cycle::ZERO,
+        }
+    }
+}
+
+impl LatencyStats {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Cycle) {
+        self.samples.push(latency.0);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`); [`Cycle::ZERO`] when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or not finite.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Cycle {
+        if self.samples.is_empty() {
+            assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+            return Cycle::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        nearest_rank(&sorted, p)
+    }
+
+    /// Mean latency; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest sample; [`Cycle::ZERO`] when empty.
+    #[must_use]
+    pub fn max(&self) -> Cycle {
+        Cycle(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// The p50/p95/p99/mean/max digest (the samples are sorted once and
+    /// shared by all three ranks).
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::empty();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        LatencySummary {
+            count: sorted.len(),
+            p50: nearest_rank(&sorted, 50.0),
+            p95: nearest_rank(&sorted, 95.0),
+            p99: nearest_rank(&sorted, 99.0),
+            mean: sorted.iter().map(|&s| s as f64).sum::<f64>() / sorted.len() as f64,
+            max: Cycle(*sorted.last().expect("non-empty")),
+        }
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// Nearest-rank percentile over pre-sorted samples: the smallest value
+/// with at least `p`% of the mass at or below it.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or `sorted` is empty.
+fn nearest_rank(sorted: &[u64], p: f64) -> Cycle {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Cycle(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+/// Time-weighted gauge: a step function of simulation time (queue depth,
+/// batch occupancy, active sessions) integrated exactly.
+///
+/// Values hold from the cycle they are set until the next `set`; the mean
+/// is the integral divided by elapsed time.
+///
+/// # Example
+///
+/// ```
+/// use pade_sim::{Cycle, TimeWeightedGauge};
+///
+/// let mut g = TimeWeightedGauge::new();
+/// g.set(Cycle(0), 4.0);
+/// g.set(Cycle(10), 0.0); // deep for 10 cycles...
+/// // ...then empty for 990.
+/// assert!((g.mean(Cycle(1000)) - 0.04).abs() < 1e-12);
+/// assert_eq!(g.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeWeightedGauge {
+    first_time: u64,
+    last_time: u64,
+    last_value: f64,
+    integral: f64,
+    max: f64,
+    started: bool,
+}
+
+impl TimeWeightedGauge {
+    /// A gauge with no observations yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `value` at time `now`. Times must be
+    /// non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous observation.
+    pub fn set(&mut self, now: Cycle, value: f64) {
+        if self.started {
+            assert!(now.0 >= self.last_time, "gauge time went backwards");
+            self.integral += self.last_value * (now.0 - self.last_time) as f64;
+        } else {
+            self.first_time = now.0;
+            self.started = true;
+        }
+        self.last_time = now.0;
+        self.last_value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Time-weighted mean over `[first set, end]`; `0.0` before any
+    /// observation or on an empty interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the last observation (same monotonicity
+    /// contract as [`set`](Self::set) — an earlier `end` would divide the
+    /// full integral by a shorter span and silently inflate the mean).
+    #[must_use]
+    pub fn mean(&self, end: Cycle) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        assert!(end.0 >= self.last_time, "gauge time went backwards");
+        if end.0 == self.first_time {
+            return 0.0;
+        }
+        let tail = self.last_value * (end.0 - self.last_time) as f64;
+        (self.integral + tail) / (end.0 - self.first_time) as f64
+    }
+
+    /// Largest value ever set; `0.0` before any observation.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut lat = LatencyStats::new();
+        for c in 1..=100u64 {
+            lat.record(Cycle(c));
+        }
+        assert_eq!(lat.percentile(50.0), Cycle(50));
+        assert_eq!(lat.percentile(95.0), Cycle(95));
+        assert_eq!(lat.percentile(99.0), Cycle(99));
+        assert_eq!(lat.percentile(100.0), Cycle(100));
+        assert_eq!(lat.percentile(0.0), Cycle(1));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let lat = LatencyStats::new();
+        assert!(lat.is_empty());
+        let s = lat.summary();
+        assert_eq!(s, LatencySummary::empty());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut lat = LatencyStats::new();
+        lat.record(Cycle(42));
+        let s = lat.summary();
+        assert_eq!(s.p50, Cycle(42));
+        assert_eq!(s.p99, Cycle(42));
+        assert_eq!(s.max, Cycle(42));
+        assert!((s.mean - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_pools_samples() {
+        let mut a = LatencyStats::new();
+        a.record(Cycle(10));
+        let mut b = LatencyStats::new();
+        b.record(Cycle(30));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.max(), Cycle(30));
+        assert!((a.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_integrates_step_function() {
+        let mut g = TimeWeightedGauge::new();
+        g.set(Cycle(0), 2.0);
+        g.set(Cycle(10), 6.0);
+        g.set(Cycle(20), 0.0);
+        // 2·10 + 6·10 + 0·80 over 100 cycles = 0.8.
+        assert!((g.mean(Cycle(100)) - 0.8).abs() < 1e-12);
+        assert_eq!(g.max(), 6.0);
+    }
+
+    #[test]
+    fn gauge_before_any_observation_is_zero() {
+        let g = TimeWeightedGauge::new();
+        assert_eq!(g.mean(Cycle(100)), 0.0);
+        assert_eq!(g.max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn gauge_rejects_time_travel() {
+        let mut g = TimeWeightedGauge::new();
+        g.set(Cycle(10), 1.0);
+        g.set(Cycle(5), 2.0);
+    }
+}

@@ -12,7 +12,10 @@
 //!   workload-balance studies (Fig. 23(a)),
 //! * [`RunStats`] / [`OpCounts`] / [`TrafficCounts`] — the common result
 //!   record every accelerator run produces; `pade-energy` turns these event
-//!   counts into energy.
+//!   counts into energy,
+//! * [`LatencyStats`] / [`TimeWeightedGauge`] — serving-side distribution
+//!   collectors (per-request latency percentiles, time-weighted queue
+//!   depth and batch occupancy) used by `pade-serve`.
 //!
 //! # Example
 //!
@@ -35,10 +38,12 @@ mod counters;
 mod cycle;
 mod event;
 mod fifo;
+mod latency;
 mod stats;
 
 pub use counters::UtilizationCounter;
 pub use cycle::{Cycle, Frequency};
 pub use event::EventQueue;
 pub use fifo::{BoundedFifo, FifoFullError};
+pub use latency::{LatencyStats, LatencySummary, TimeWeightedGauge};
 pub use stats::{OpCounts, RunStats, TrafficCounts};

@@ -296,6 +296,148 @@ impl AttentionTrace {
     }
 }
 
+/// What one served request asks the attention engine to do.
+///
+/// The serving layer (`pade-serve`) and the `serve` scenario of
+/// `pade-bench` both consume these; the variants mirror the two phases of
+/// LLM inference the paper models (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Prompt ingestion: `rows` query rows over the full context.
+    Prefill {
+        /// Query rows the request brings (the prompt chunk height).
+        rows: usize,
+    },
+    /// Token generation: `steps` single-row decode steps, each over the
+    /// session's cached context.
+    Decode {
+        /// Tokens to generate.
+        steps: usize,
+    },
+}
+
+impl RequestKind {
+    /// Query rows (≙ produced/ingested tokens) this request executes.
+    #[must_use]
+    pub fn tokens(&self) -> usize {
+        match *self {
+            RequestKind::Prefill { rows } => rows,
+            RequestKind::Decode { steps } => steps,
+        }
+    }
+}
+
+/// Configuration of a synthetic request-arrival trace.
+///
+/// Arrivals follow a seeded Poisson-like process: inter-arrival gaps are
+/// exponentially distributed with the configured mean, drawn from a
+/// [`StdRng`] — **no wall clock and no global RNG**, so equal seeds give
+/// byte-identical traces on every run and machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalConfig {
+    /// Number of requests to generate.
+    pub n_requests: usize,
+    /// Mean inter-arrival gap in core cycles (1 / arrival rate).
+    pub mean_interarrival_cycles: f64,
+    /// Fraction of requests that are decode sessions (the rest prefill).
+    pub decode_fraction: f64,
+    /// Tokens generated by each decode request.
+    pub decode_steps: usize,
+    /// Query rows carried by each prefill request.
+    pub prefill_rows: usize,
+    /// Context length every request attends over.
+    pub seq_len: usize,
+    /// Per-head hidden dimension.
+    pub head_dim: usize,
+    /// Quantization bit width.
+    pub bits: u32,
+    /// Score structure of the per-request operand traces.
+    pub profile: ScoreProfile,
+    /// RNG seed; equal seeds produce identical arrival traces.
+    pub seed: u64,
+}
+
+impl ArrivalConfig {
+    /// A small deterministic configuration for examples and tests.
+    #[must_use]
+    pub fn small_demo() -> Self {
+        Self {
+            n_requests: 8,
+            mean_interarrival_cycles: 20_000.0,
+            decode_fraction: 0.5,
+            decode_steps: 4,
+            prefill_rows: 16,
+            seq_len: 256,
+            head_dim: 64,
+            bits: 8,
+            profile: ScoreProfile::standard(),
+            seed: 7,
+        }
+    }
+}
+
+/// One request of an arrival trace: when it arrives, what it asks for and
+/// the (seeded) operand trace it executes against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestArrival {
+    /// Request id, dense from 0 in arrival order.
+    pub id: usize,
+    /// Arrival time in core cycles.
+    pub arrival_cycle: u64,
+    /// Decode or prefill, with its size.
+    pub kind: RequestKind,
+    /// Per-request operand trace configuration (seed derived from the
+    /// arrival seed and the id, so requests are distinct but reproducible).
+    pub trace: TraceConfig,
+}
+
+/// Generates a seeded, reproducible arrival trace.
+///
+/// Inter-arrival gaps are `⌈-mean · ln(1-U)⌉` cycles with `U` uniform in
+/// `[0, 1)` (inverse-CDF exponential sampling), so the process is
+/// Poisson-like but fully deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `n_requests` is zero, the mean gap is not positive/finite,
+/// or `decode_fraction` is outside `[0, 1]`.
+#[must_use]
+pub fn generate_arrivals(config: &ArrivalConfig) -> Vec<RequestArrival> {
+    assert!(config.n_requests > 0, "at least one request required");
+    assert!(
+        config.mean_interarrival_cycles > 0.0 && config.mean_interarrival_cycles.is_finite(),
+        "mean inter-arrival gap must be positive and finite"
+    );
+    assert!((0.0..=1.0).contains(&config.decode_fraction), "decode fraction must lie in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA55E_55ED_5EED_0001);
+    let mut now = 0u64;
+    let mut out = Vec::with_capacity(config.n_requests);
+    for id in 0..config.n_requests {
+        let u: f64 = rng.gen::<f64>().min(1.0 - 1e-12);
+        let gap = (-config.mean_interarrival_cycles * (1.0 - u).ln()).ceil() as u64;
+        now += gap;
+        let kind = if rng.gen::<f64>() < config.decode_fraction {
+            RequestKind::Decode { steps: config.decode_steps.max(1) }
+        } else {
+            RequestKind::Prefill { rows: config.prefill_rows.max(1) }
+        };
+        let trace = TraceConfig {
+            seq_len: config.seq_len,
+            head_dim: config.head_dim,
+            n_queries: kind.tokens(),
+            profile: config.profile,
+            bits: config.bits,
+            seed: config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(id as u64)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        };
+        out.push(RequestArrival { id, arrival_cycle: now, kind, trace });
+    }
+    out
+}
+
 /// Removes the components of `v` lying in the span of `basis` (which must
 /// be orthonormal).
 fn project_out(v: &mut [f32], basis: &[Vec<f32>]) {
@@ -410,5 +552,73 @@ mod tests {
     fn int4_traces_generate() {
         let t = AttentionTrace::generate(&TraceConfig { bits: 4, ..TraceConfig::small_demo() });
         assert!(t.queries().as_slice().iter().all(|&x| (-8..=7).contains(&x)));
+    }
+
+    #[test]
+    fn arrival_trace_is_deterministic_per_seed() {
+        let cfg = ArrivalConfig::small_demo();
+        let a = generate_arrivals(&cfg);
+        let b = generate_arrivals(&cfg);
+        assert_eq!(a, b);
+        let c = generate_arrivals(&ArrivalConfig { seed: 8, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrival_times_are_monotone_and_ids_dense() {
+        let arrivals =
+            generate_arrivals(&ArrivalConfig { n_requests: 64, ..ArrivalConfig::small_demo() });
+        assert_eq!(arrivals.len(), 64);
+        for (i, r) in arrivals.iter().enumerate() {
+            assert_eq!(r.id, i);
+            if i > 0 {
+                assert!(r.arrival_cycle >= arrivals[i - 1].arrival_cycle);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_gap_tracks_the_configured_rate() {
+        let cfg = ArrivalConfig {
+            n_requests: 512,
+            mean_interarrival_cycles: 10_000.0,
+            ..ArrivalConfig::small_demo()
+        };
+        let arrivals = generate_arrivals(&cfg);
+        let span = arrivals.last().unwrap().arrival_cycle as f64;
+        let mean = span / arrivals.len() as f64;
+        assert!(
+            (mean / cfg.mean_interarrival_cycles - 1.0).abs() < 0.25,
+            "empirical mean gap {mean} vs configured {}",
+            cfg.mean_interarrival_cycles
+        );
+    }
+
+    #[test]
+    fn decode_fraction_shapes_the_mix() {
+        let all_decode = generate_arrivals(&ArrivalConfig {
+            n_requests: 32,
+            decode_fraction: 1.0,
+            ..ArrivalConfig::small_demo()
+        });
+        assert!(all_decode.iter().all(|r| matches!(r.kind, RequestKind::Decode { .. })));
+        let all_prefill = generate_arrivals(&ArrivalConfig {
+            n_requests: 32,
+            decode_fraction: 0.0,
+            ..ArrivalConfig::small_demo()
+        });
+        assert!(all_prefill.iter().all(|r| matches!(r.kind, RequestKind::Prefill { .. })));
+    }
+
+    #[test]
+    fn per_request_traces_are_distinct_but_reproducible() {
+        let arrivals = generate_arrivals(&ArrivalConfig::small_demo());
+        assert_ne!(arrivals[0].trace.seed, arrivals[1].trace.seed);
+        for r in &arrivals {
+            assert_eq!(r.trace.n_queries, r.kind.tokens());
+            let a = AttentionTrace::generate(&r.trace);
+            let b = AttentionTrace::generate(&r.trace);
+            assert_eq!(a.keys().as_slice(), b.keys().as_slice());
+        }
     }
 }
