@@ -5,6 +5,7 @@
 //! cargo run --release -p pade-bench --bin pade-bench -- --quick # CI smoke (2 shapes, no file)
 //! cargo run --release -p pade-bench --bin pade-bench -- --out path/to.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario serve  # -> BENCH_2.json
+//! cargo run --release -p pade-bench --bin pade-bench -- --scenario decode-growth  # -> BENCH_3.json
 //! ```
 //!
 //! The `qk` scenario (default) runs the sequential seed engine and the
@@ -13,10 +14,13 @@
 //! `--out`) writes the `BENCH_1.json` perf-trajectory file. The `serve`
 //! scenario replays seeded arrival traces through the `pade-serve`
 //! continuous-batching loop against a one-request-at-a-time baseline at
-//! several arrival rates and writes `BENCH_2.json`.
+//! several arrival rates and writes `BENCH_2.json`. The `decode-growth`
+//! scenario times growable-cache KV appends against per-step full
+//! re-decomposition and writes `BENCH_3.json`.
 
 use std::path::PathBuf;
 
+use pade_bench::decode_growth::{run_growth_matrix, write_growth_json};
 use pade_bench::serve::{run_serve_matrix, write_serve_json};
 use pade_bench::{run_matrix, write_json};
 
@@ -37,12 +41,15 @@ fn main() {
             }
             "--scenario" => {
                 scenario = args.next().unwrap_or_else(|| {
-                    eprintln!("--scenario requires qk or serve");
+                    eprintln!("--scenario requires qk, serve or decode-growth");
                     std::process::exit(2);
                 });
             }
             "--help" | "-h" => {
-                println!("usage: pade-bench [--quick] [--scenario qk|serve] [--out FILE.json]");
+                println!(
+                    "usage: pade-bench [--quick] [--scenario qk|serve|decode-growth] \
+                     [--out FILE.json]"
+                );
                 return;
             }
             other => {
@@ -56,10 +63,46 @@ fn main() {
     match scenario.as_str() {
         "qk" => run_qk_scenario(quick, mode, out),
         "serve" => run_serve_scenario(quick, mode, out),
+        "decode-growth" => run_growth_scenario(quick, mode, out),
         other => {
-            eprintln!("unknown scenario: {other} (expected qk or serve)");
+            eprintln!("unknown scenario: {other} (expected qk, serve or decode-growth)");
             std::process::exit(2);
         }
+    }
+}
+
+fn run_growth_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
+    println!("pade-bench decode-growth: cache appends vs per-step re-decomposition\n");
+    println!(
+        "{:<22} {:>7} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "shape", "steps", "append", "redecomp", "speedup", "tok inc", "tok full"
+    );
+    let results = run_growth_matrix(quick);
+    for r in &results {
+        println!(
+            "{:<22} {:>7} {:>11.4}s {:>11.4}s {:>8.2}x {:>12} {:>12}",
+            r.spec.id(),
+            r.spec.steps,
+            r.incremental_wall_s,
+            r.redecompose_wall_s,
+            r.speedup,
+            r.tokens_decomposed_incremental,
+            r.tokens_decomposed_full
+        );
+    }
+    println!("\nall checked steps bit-identical across append, re-decompose and seed oracle");
+
+    let path = match (&out, quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some(PathBuf::from("BENCH_3.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = path {
+        write_growth_json(&path, &results, mode).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
     }
 }
 

@@ -19,11 +19,15 @@
 //! machine-readable harness. The [`serve`] module adds the serving
 //! scenario (`pade-bench --scenario serve`): continuous batching vs a
 //! one-request-at-a-time baseline over seeded arrival traces, recorded to
-//! `BENCH_2.json`.
+//! `BENCH_2.json`. The [`decode_growth`] module adds the KV-growth
+//! scenario (`pade-bench --scenario decode-growth`): incremental
+//! per-step plane appends vs full re-decomposition, recorded to
+//! `BENCH_3.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decode_growth;
 pub mod serve;
 
 use std::io::Write as _;

@@ -19,7 +19,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use pade_mem::{HbmModel, KeyLayout, SramBuffer};
-use pade_quant::BitPlaneMatrix;
+use pade_quant::{BitPlaneMatrix, KeyCacheSnapshot, PlaneSource};
 use pade_sim::{Cycle, EventQueue, OpCounts, TrafficCounts, UtilizationCounter};
 
 use crate::bitserial::{plane_contribution, plane_contribution_lut, q_sum, BsMode, QRowLut};
@@ -86,13 +86,8 @@ enum PlaneState {
 /// `queries[r]` is the r-th query row (all rows share the key tensor);
 /// `logit_scale` maps integer scores to logits for the guard margin.
 ///
-/// This is the allocation-lean hot path: the shared K-buffer state lives
-/// in a flat `Vec` indexed by `(token, plane)` instead of a hash map, each
-/// query row gets a [`QRowLut`] built once and borrowed read-only by all
-/// of the row's lanes, and per-plane GSAT bookkeeping runs through the
-/// single-sweep [`Gsat::absorb_stats`]. Results are bit-identical to
-/// [`run_qk_block_reference`] (property-tested below): the restructuring
-/// only changes *how* the same integers are computed.
+/// Delegates to the generic [`run_qk_block_on`]; see there for the
+/// allocation-lean hot-path details.
 ///
 /// # Panics
 ///
@@ -103,6 +98,34 @@ pub fn run_qk_block(
     config: &PadeConfig,
     queries: &[&[i8]],
     keys: &BitPlaneMatrix,
+    logit_scale: f32,
+) -> QkBlockResult {
+    run_qk_block_on(config, queries, keys, logit_scale)
+}
+
+/// The optimized engine over any [`PlaneSource`] — a from-scratch
+/// [`BitPlaneMatrix`], an `Arc`-shared tensor or a chunked
+/// [`KeyCacheSnapshot`] of a growable per-session cache.
+///
+/// This is the allocation-lean hot path: the shared K-buffer state lives
+/// in a flat `Vec` indexed by `(token, plane)` instead of a hash map, each
+/// query row gets a [`QRowLut`] built once and borrowed read-only by all
+/// of the row's lanes, and per-plane GSAT bookkeeping runs through the
+/// single-sweep [`Gsat::absorb_stats`]. Results are bit-identical to
+/// [`run_qk_block_reference`] (property-tested below): the restructuring
+/// only changes *how* the same integers are computed, and the storage
+/// behind `keys` never reaches the arithmetic — only the per-token
+/// [`TokenPlanes`](pade_quant::TokenPlanes) do.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty, exceeds `config.pe_rows`, or any row's
+/// length differs from the key dimension.
+#[must_use]
+pub fn run_qk_block_on<K: PlaneSource + ?Sized>(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &K,
     logit_scale: f32,
 ) -> QkBlockResult {
     config.validate();
@@ -396,9 +419,24 @@ pub fn run_qk_blocks(
     keys: &BitPlaneMatrix,
     logit_scale: f32,
 ) -> Vec<QkBlockResult> {
+    run_qk_blocks_on(config, queries, keys, logit_scale)
+}
+
+/// [`run_qk_blocks`] over any [`PlaneSource`].
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the key dimension.
+#[must_use]
+pub fn run_qk_blocks_on<K: PlaneSource + ?Sized>(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &K,
+    logit_scale: f32,
+) -> Vec<QkBlockResult> {
     queries
         .chunks(config.pe_rows)
-        .map(|block| run_qk_block(config, block, keys, logit_scale))
+        .map(|block| run_qk_block_on(config, block, keys, logit_scale))
         .collect()
 }
 
@@ -419,8 +457,73 @@ pub fn run_qk_blocks_par(
     keys: &BitPlaneMatrix,
     logit_scale: f32,
 ) -> Vec<QkBlockResult> {
+    run_qk_blocks_par_on(config, queries, keys, logit_scale)
+}
+
+/// [`run_qk_blocks_par`] over any [`PlaneSource`].
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the key dimension.
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn run_qk_blocks_par_on<K: PlaneSource + Sync + ?Sized>(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &K,
+    logit_scale: f32,
+) -> Vec<QkBlockResult> {
     let blocks: Vec<&[&[i8]]> = queries.chunks(config.pe_rows).collect();
-    pade_par::par_map(&blocks, |block| run_qk_block(config, block, keys, logit_scale))
+    pade_par::par_map(&blocks, |block| run_qk_block_on(config, block, keys, logit_scale))
+}
+
+/// [`run_qk_block`] over a [`KeyCacheSnapshot`] — one engine block against
+/// the frozen prefix of a growable per-session key cache (prefix planes +
+/// fresh tail), without materializing a contiguous tensor.
+///
+/// # Panics
+///
+/// As [`run_qk_block`].
+#[must_use]
+pub fn run_qk_block_cached(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &KeyCacheSnapshot,
+    logit_scale: f32,
+) -> QkBlockResult {
+    run_qk_block_on(config, queries, keys, logit_scale)
+}
+
+/// [`run_qk_blocks`] over a [`KeyCacheSnapshot`].
+///
+/// # Panics
+///
+/// As [`run_qk_blocks`].
+#[must_use]
+pub fn run_qk_blocks_cached(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &KeyCacheSnapshot,
+    logit_scale: f32,
+) -> Vec<QkBlockResult> {
+    run_qk_blocks_on(config, queries, keys, logit_scale)
+}
+
+/// [`run_qk_blocks_par`] over a [`KeyCacheSnapshot`]: worker threads
+/// borrow the snapshot's `Arc`-shared chunks instead of cloning planes.
+///
+/// # Panics
+///
+/// As [`run_qk_blocks_par`].
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn run_qk_blocks_cached_par(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &KeyCacheSnapshot,
+    logit_scale: f32,
+) -> Vec<QkBlockResult> {
+    run_qk_blocks_par_on(config, queries, keys, logit_scale)
 }
 
 /// A key bit-plane tensor shared across blocks, sessions and worker
@@ -485,19 +588,87 @@ pub fn run_qk_blocks_par_shared(
     run_qk_blocks_par(config, queries, keys, logit_scale)
 }
 
+/// The key planes one batched engine block attends over: either a whole
+/// [`Arc`]-shared tensor (decomposed once at admission, the prefill path)
+/// or a [`KeyCacheSnapshot`] of a growable per-session cache (the
+/// multi-step decode path, where each step appends one token).
+///
+/// Both variants are cheap to clone (refcounts, not planes) and read
+/// through [`PlaneSource`], so the engine is oblivious to which one a
+/// scheduler hands it.
+#[derive(Debug, Clone)]
+pub enum KeySource {
+    /// A whole, immutable key tensor shared behind an [`Arc`].
+    Planes(SharedKeyPlanes),
+    /// A frozen prefix of a [`GrowableKeyCache`](pade_quant::GrowableKeyCache).
+    Cache(KeyCacheSnapshot),
+}
+
+impl PlaneSource for KeySource {
+    fn tokens(&self) -> usize {
+        match self {
+            KeySource::Planes(p) => PlaneSource::tokens(p),
+            KeySource::Cache(c) => c.tokens(),
+        }
+    }
+    fn dims(&self) -> usize {
+        match self {
+            KeySource::Planes(p) => PlaneSource::dims(p),
+            KeySource::Cache(c) => c.dims(),
+        }
+    }
+    fn bits(&self) -> u32 {
+        match self {
+            KeySource::Planes(p) => PlaneSource::bits(p),
+            KeySource::Cache(c) => c.bits(),
+        }
+    }
+    fn token(&self, j: usize) -> &pade_quant::TokenPlanes {
+        match self {
+            KeySource::Planes(p) => PlaneSource::token(p, j),
+            KeySource::Cache(c) => c.token(j),
+        }
+    }
+    fn plane_bytes(&self) -> usize {
+        match self {
+            KeySource::Planes(p) => PlaneSource::plane_bytes(p),
+            KeySource::Cache(c) => c.plane_bytes(),
+        }
+    }
+}
+
+impl From<SharedKeyPlanes> for KeySource {
+    fn from(planes: SharedKeyPlanes) -> Self {
+        KeySource::Planes(planes)
+    }
+}
+
+impl From<BitPlaneMatrix> for KeySource {
+    fn from(planes: BitPlaneMatrix) -> Self {
+        KeySource::Planes(Arc::new(planes))
+    }
+}
+
+impl From<KeyCacheSnapshot> for KeySource {
+    fn from(snapshot: KeyCacheSnapshot) -> Self {
+        KeySource::Cache(snapshot)
+    }
+}
+
 /// One engine block of a heterogeneous batch: its query rows, the
-/// [`Arc`]-shared key planes it attends over and the logit scale mapping
-/// its integer scores.
+/// [`KeySource`] it attends over and the logit scale mapping its integer
+/// scores.
 ///
 /// Unlike [`run_qk_blocks`], a batch may mix blocks from *different*
-/// requests with different key tensors — the unit of work the serving
-/// layer's iteration-level scheduler dispatches.
+/// requests with different key tensors — and mix whole shared tensors
+/// with growable-cache snapshots — the unit of work the serving layer's
+/// iteration-level scheduler dispatches.
 #[derive(Debug, Clone)]
 pub struct QkBatchJob<'a> {
     /// Query rows of this block (at most `config.pe_rows`).
     pub queries: Vec<&'a [i8]>,
-    /// Shared, immutable key bit planes (cheap to clone: one refcount).
-    pub keys: SharedKeyPlanes,
+    /// Key planes of this block (cheap to clone: refcounts only).
+    pub keys: KeySource,
     /// Logit scale of this block's operands.
     pub logit_scale: f32,
 }
@@ -516,7 +687,9 @@ pub struct QkBatchJob<'a> {
 /// As [`run_qk_block`], per job.
 #[must_use]
 pub fn run_qk_batch(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlockResult> {
-    jobs.iter().map(|job| run_qk_block(config, &job.queries, &job.keys, job.logit_scale)).collect()
+    jobs.iter()
+        .map(|job| run_qk_block_on(config, &job.queries, &job.keys, job.logit_scale))
+        .collect()
 }
 
 /// Parallel variant of [`run_qk_batch`]: jobs fan out across worker
@@ -529,7 +702,7 @@ pub fn run_qk_batch(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlock
 #[cfg(feature = "parallel")]
 #[must_use]
 pub fn run_qk_batch_par(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlockResult> {
-    pade_par::par_map(jobs, |job| run_qk_block(config, &job.queries, &job.keys, job.logit_scale))
+    pade_par::par_map(jobs, |job| run_qk_block_on(config, &job.queries, &job.keys, job.logit_scale))
 }
 
 /// The seed's hash-map-based implementation, kept verbatim as the
@@ -1159,16 +1332,16 @@ mod tests {
             .zip(&keys)
             .map(|(t, k)| QkBatchJob {
                 queries: (0..t.queries().rows()).map(|i| t.queries().row(i)).collect(),
-                keys: Arc::clone(k),
+                keys: Arc::clone(k).into(),
                 logit_scale: t.logit_scale(),
             })
             .collect();
         let batch = run_qk_batch(&config, &jobs);
         assert_eq!(batch.len(), 2);
         for (i, job) in jobs.iter().enumerate() {
-            let solo = run_qk_block(&config, &job.queries, &job.keys, job.logit_scale);
+            let solo = run_qk_block(&config, &job.queries, &keys[i], job.logit_scale);
             assert_eq!(batch[i], solo, "job {i} diverged from its solo run");
-            let oracle = run_qk_block_reference(&config, &job.queries, &job.keys, job.logit_scale);
+            let oracle = run_qk_block_reference(&config, &job.queries, &keys[i], job.logit_scale);
             assert_eq!(batch[i], oracle, "job {i} diverged from the seed oracle");
         }
     }
@@ -1189,14 +1362,48 @@ mod tests {
             .iter()
             .map(|t| QkBatchJob {
                 queries: (0..t.queries().rows()).map(|i| t.queries().row(i)).collect(),
-                keys: Arc::new(
-                    BitPlaneMatrix::from_rows(t.keys().as_slice(), t.keys().cols(), config.bits)
-                        .unwrap(),
-                ),
+                keys: BitPlaneMatrix::from_rows(t.keys().as_slice(), t.keys().cols(), config.bits)
+                    .unwrap()
+                    .into(),
                 logit_scale: t.logit_scale(),
             })
             .collect();
         assert_eq!(run_qk_batch(&config, &jobs), run_qk_batch_par(&config, &jobs));
+    }
+
+    #[test]
+    fn cache_snapshot_runs_bit_identical_to_from_scratch() {
+        // Grow a cache token by token (the decode path), snapshot it, and
+        // run the engine over the snapshot: outputs must be byte-identical
+        // to a from-scratch decomposition — and to the seed oracle.
+        let trace = small_trace();
+        let config = PadeConfig::standard();
+        let dims = trace.keys().cols();
+        let mut cache = pade_quant::GrowableKeyCache::new(dims, config.bits, 48).unwrap();
+        for j in 0..trace.keys().rows() {
+            cache.append_token(trace.keys().row(j)).unwrap();
+        }
+        let snap = cache.snapshot();
+        let scratch =
+            BitPlaneMatrix::from_rows(trace.keys().as_slice(), dims, config.bits).unwrap();
+        let queries: Vec<&[i8]> =
+            (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+        let scale = trace.logit_scale();
+        let cached = run_qk_block_cached(&config, &queries, &snap, scale);
+        assert_eq!(cached, run_qk_block(&config, &queries, &scratch, scale));
+        assert_eq!(cached, run_qk_block_reference(&config, &queries, &scratch, scale));
+        assert_eq!(
+            run_qk_blocks_cached(&config, &queries, &snap, scale),
+            run_qk_blocks(&config, &queries, &scratch, scale)
+        );
+        // A KeySource wrapping the snapshot reads the same planes.
+        let source = KeySource::from(snap.clone());
+        assert_eq!(run_qk_block_on(&config, &queries, &source, scale), cached);
+        #[cfg(feature = "parallel")]
+        assert_eq!(
+            run_qk_blocks_cached_par(&config, &queries, &snap, scale),
+            run_qk_blocks(&config, &queries, &scratch, scale)
+        );
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Crate-level property tests for the mergeable `(m, l, O)` partial
+//! attention states: merge is associative and commutative (up to fp
+//! rounding), the empty state is a two-sided identity, and any sharding +
+//! reduction tree reproduces single-chip batch softmax attention — the
+//! algebra every multi-chip reduction in `pade-dist` rests on.
+
+use pade_dist::partial::{reduce_states, PartialAttention};
+use pade_testutil::vec_f32;
+use proptest::prelude::*;
+
+fn state(dims: usize, scores: &[f32], seed: u64) -> (PartialAttention, Vec<Vec<f32>>) {
+    let values: Vec<Vec<f32>> =
+        (0..scores.len()).map(|i| vec_f32(dims, seed ^ (i as u64 + 1), 1.0)).collect();
+    let refs: Vec<&[f32]> = values.iter().map(Vec::as_slice).collect();
+    (PartialAttention::from_scores(dims, scores, &refs), values)
+}
+
+fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+}
+
+proptest! {
+    /// Associativity: `(a ⊕ b) ⊕ c` ≈ `a ⊕ (b ⊕ c)` for states over
+    /// disjoint key sets — the property that makes *any* reduction tree
+    /// over the fabric legal.
+    #[test]
+    fn merge_is_associative(
+        dims in 1usize..8,
+        na in 0usize..12,
+        nb in 0usize..12,
+        nc in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        let sa = vec_f32(na, seed, 6.0);
+        let sb = vec_f32(nb, seed ^ 0xA, 6.0);
+        let sc = vec_f32(nc, seed ^ 0xB, 6.0);
+        let (a, _) = state(dims, &sa, seed.wrapping_mul(3));
+        let (b, _) = state(dims, &sb, seed.wrapping_mul(5));
+        let (c, _) = state(dims, &sc, seed.wrapping_mul(7));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert!(
+            close(&left.finalize(), &right.finalize(), 1e-4),
+            "associativity violated: {:?} vs {:?}",
+            left.finalize(),
+            right.finalize()
+        );
+    }
+
+    /// Commutativity: `a ⊕ b` ≈ `b ⊕ a`.
+    #[test]
+    fn merge_is_commutative(
+        dims in 1usize..8,
+        na in 0usize..12,
+        nb in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        let (a, _) = state(dims, &vec_f32(na, seed, 6.0), seed ^ 1);
+        let (b, _) = state(dims, &vec_f32(nb, seed ^ 2, 6.0), seed ^ 3);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert!(close(&ab.finalize(), &ba.finalize(), 1e-4));
+    }
+
+    /// The empty state is a two-sided identity, and merging preserves the
+    /// running max and denominator of the combined key set.
+    #[test]
+    fn empty_state_is_identity(dims in 1usize..8, n in 1usize..16, seed in any::<u64>()) {
+        let (s, _) = state(dims, &vec_f32(n, seed, 5.0), seed ^ 9);
+        let mut right = s.clone();
+        right.merge(&PartialAttention::new(dims));
+        prop_assert_eq!(&right, &s);
+        let mut left = PartialAttention::new(dims);
+        left.merge(&s);
+        prop_assert!(close(&left.finalize(), &s.finalize(), 1e-6));
+        prop_assert!((left.denom() - s.denom()).abs() < 1e-5);
+        prop_assert_eq!(left.running_max(), s.running_max());
+    }
+
+    /// Any contiguous sharding reduced left-to-right equals the unsharded
+    /// batch state over the same keys.
+    #[test]
+    fn sharded_reduction_matches_unsharded(
+        dims in 1usize..8,
+        n in 1usize..40,
+        parts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let scores = vec_f32(n, seed, 6.0);
+        let values: Vec<Vec<f32>> =
+            (0..n).map(|i| vec_f32(dims, seed ^ (i as u64 + 1), 1.0)).collect();
+        let refs: Vec<&[f32]> = values.iter().map(Vec::as_slice).collect();
+        let whole = PartialAttention::from_scores(dims, &scores, &refs);
+        let chunk = n.div_ceil(parts);
+        let shards: Vec<PartialAttention> = scores
+            .chunks(chunk)
+            .zip(refs.chunks(chunk))
+            .map(|(s, v)| PartialAttention::from_scores(dims, s, v))
+            .collect();
+        let reduced = reduce_states(dims, &shards);
+        prop_assert!(close(&reduced.finalize(), &whole.finalize(), 1e-4));
+        prop_assert!((reduced.denom() - whole.denom()).abs() / whole.denom().max(1e-6) < 1e-4);
+    }
+}

@@ -7,19 +7,11 @@ use pade_linalg::metrics::{
     cosine_similarity, geomean, relative_l2_error, retained_mass, topk_recall,
 };
 use pade_linalg::{softmax, MatF32, OnlineSoftmax};
+use pade_testutil::vec_f32;
 use proptest::prelude::*;
 
-fn vec_f32(n: usize, seed: u64, span: f32) -> Vec<f32> {
-    (0..n)
-        .map(|i| {
-            let h = seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
-            ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 2.0 * span
-        })
-        .collect()
-}
-
 fn mat(rows: usize, cols: usize, seed: u64, span: f32) -> MatF32 {
-    MatF32::from_vec(vec_f32(rows * cols, seed, span), rows, cols)
+    pade_testutil::mat_f32(rows, cols, seed, span)
 }
 
 proptest! {

@@ -1,0 +1,68 @@
+//! The ordered fork-join shim's core contract: results come back in
+//! submission order, identical to the sequential loop, **regardless of
+//! worker count**. Every `parallel`-feature bit-identity claim in the
+//! workspace reduces to these properties.
+
+use pade_testutil::mix;
+use proptest::prelude::*;
+
+/// Sweeps explicit worker counts via `PADE_THREADS`. All env twiddling
+/// lives in this one test so concurrently-running tests in this binary
+/// never observe a half-set variable (the other tests here are
+/// thread-count-agnostic by the very property this file proves).
+#[test]
+fn results_are_in_submission_order_for_every_worker_count() {
+    let sizes = [0usize, 1, 2, 7, 64, 257, 1000];
+    let expected: Vec<Vec<u64>> =
+        sizes.iter().map(|&n| (0..n).map(|i| mix(42, i)).collect()).collect();
+    for workers in ["1", "2", "3", "5", "8", "64"] {
+        std::env::set_var("PADE_THREADS", workers);
+        assert_eq!(pade_par::max_threads(), workers.parse::<usize>().unwrap());
+        for (&n, want) in sizes.iter().zip(&expected) {
+            // par_map_indexed over a range.
+            let got = pade_par::par_map_indexed(n, |i| mix(42, i));
+            assert_eq!(&got, want, "par_map_indexed n={n} workers={workers}");
+            // par_map over a slice.
+            let items: Vec<usize> = (0..n).collect();
+            let got = pade_par::par_map(&items, |&i| mix(42, i));
+            assert_eq!(&got, want, "par_map n={n} workers={workers}");
+            // par_chunks_mut writes every element exactly once, in place.
+            let mut data = vec![0u64; n];
+            pade_par::par_chunks_mut(&mut data, 13, |idx, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = mix(42, idx * 13 + k);
+                }
+            });
+            assert_eq!(&data, want, "par_chunks_mut n={n} workers={workers}");
+        }
+        let (a, b) = pade_par::join(|| mix(1, 2), || mix(3, 4));
+        assert_eq!((a, b), (mix(1, 2), mix(3, 4)), "join workers={workers}");
+    }
+    std::env::remove_var("PADE_THREADS");
+}
+
+proptest! {
+    /// Under the ambient thread budget, the parallel map is exactly the
+    /// sequential map for arbitrary sizes and seeds.
+    #[test]
+    fn par_map_equals_sequential_map(n in 0usize..1200, seed in any::<u64>()) {
+        let want: Vec<u64> = (0..n).map(|i| mix(seed, i)).collect();
+        prop_assert_eq!(pade_par::par_map_indexed(n, |i| mix(seed, i)), want);
+    }
+
+    /// Chunked parallel mutation covers each index exactly once for any
+    /// chunk length.
+    #[test]
+    fn par_chunks_mut_touches_each_index_once(
+        n in 0usize..800,
+        chunk_len in 1usize..64,
+    ) {
+        let mut counts = vec![0u32; n];
+        pade_par::par_chunks_mut(&mut counts, chunk_len, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+        prop_assert!(counts.iter().all(|&c| c == 1));
+    }
+}

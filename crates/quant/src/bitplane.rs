@@ -332,6 +332,69 @@ impl BitPlaneMatrix {
         Ok(Self { tokens, bits, dims })
     }
 
+    /// Builds a matrix from already-decomposed token planes — the sealing
+    /// step of a [`GrowableKeyCache`](crate::GrowableKeyCache) chunk, and
+    /// the cheap path for callers that already hold [`TokenPlanes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedWidth`] for a width outside `2..=8`
+    /// and [`QuantError::DimensionMismatch`] when any token's shape differs
+    /// from `dims`/`bits`.
+    pub fn from_tokens(
+        tokens: Vec<TokenPlanes>,
+        dims: usize,
+        bits: u32,
+    ) -> Result<Self, QuantError> {
+        if !(2..=8).contains(&bits) {
+            return Err(QuantError::UnsupportedWidth { bits });
+        }
+        if dims == 0 {
+            return Err(QuantError::DimensionMismatch { expected: 1, actual: 0 });
+        }
+        for t in &tokens {
+            if t.dims() != dims || t.bits() != bits {
+                return Err(QuantError::DimensionMismatch { expected: dims, actual: t.dims() });
+            }
+        }
+        Ok(Self { tokens, bits, dims })
+    }
+
+    /// Decomposes and appends more token rows in place. Existing tokens are
+    /// untouched — indices of already-stored tokens never change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::DimensionMismatch`] when `data.len()` is not a
+    /// multiple of this matrix's `dims` (no rows are appended in that case).
+    pub fn append_rows(&mut self, data: &[i8]) -> Result<(), QuantError> {
+        if !data.len().is_multiple_of(self.dims) {
+            return Err(QuantError::DimensionMismatch { expected: self.dims, actual: data.len() });
+        }
+        self.tokens.reserve(data.len() / self.dims);
+        for row in data.chunks(self.dims) {
+            self.tokens.push(TokenPlanes::try_from_values(row, self.bits)?);
+        }
+        Ok(())
+    }
+
+    /// Appends one already-decomposed token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::DimensionMismatch`] when the token's shape
+    /// differs from this matrix's `dims`/`bits`.
+    pub fn push_token(&mut self, token: TokenPlanes) -> Result<(), QuantError> {
+        if token.dims() != self.dims || token.bits() != self.bits {
+            return Err(QuantError::DimensionMismatch {
+                expected: self.dims,
+                actual: token.dims(),
+            });
+        }
+        self.tokens.push(token);
+        Ok(())
+    }
+
     /// Number of tokens (rows).
     #[must_use]
     pub fn tokens(&self) -> usize {

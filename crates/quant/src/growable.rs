@@ -1,0 +1,393 @@
+//! Growable per-session key plane caches.
+//!
+//! PADE's predictor-free filtering re-reads the same key bit planes on
+//! every decode step, so a serving stack must *grow* a session's plane
+//! tensor incrementally instead of re-decomposing the whole prefix each
+//! step — the cross-stage reuse that stage fusion exploits across the
+//! time axis. The storage here is **chunked and append-only**:
+//!
+//! * sealed chunks are immutable [`BitPlaneMatrix`] blocks of exactly
+//!   `chunk_tokens` tokens, held behind [`Arc`] — appending never moves,
+//!   reallocates or invalidates a sealed chunk, so every snapshot handed
+//!   to an in-flight engine block stays valid (and cheap: one refcount
+//!   per chunk) while the session keeps growing;
+//! * the open tail collects freshly appended [`TokenPlanes`] until it
+//!   reaches `chunk_tokens` and is sealed.
+//!
+//! [`GrowableKeyCache::snapshot`] freezes the current prefix into a
+//! [`KeyCacheSnapshot`]: the sealed chunks by reference plus the tail
+//! copied into one short chunk. A snapshot implements [`PlaneSource`], so
+//! the engine runs over it exactly as over a from-scratch
+//! [`BitPlaneMatrix`] — and because appends decompose each token with the
+//! same [`TokenPlanes::try_from_values`] that
+//! [`BitPlaneMatrix::from_rows`] uses, N incremental appends produce
+//! **byte-identical** engine outputs to a from-scratch decomposition of
+//! the same N tokens (property-tested in `tests/properties.rs` and
+//! `pade-core`'s suite).
+
+use std::sync::Arc;
+
+use crate::bitplane::{BitPlaneMatrix, TokenPlanes};
+use crate::QuantError;
+
+/// Read-only access to a key tensor's bit planes, however they are stored.
+///
+/// Implemented by the monolithic [`BitPlaneMatrix`], by [`Arc`]-shared
+/// tensors and by chunked [`KeyCacheSnapshot`]s; the engine's hot path is
+/// generic over this trait, so optimized storage never forks the kernel.
+pub trait PlaneSource {
+    /// Number of tokens (rows).
+    fn tokens(&self) -> usize;
+    /// Number of hidden dimensions per token.
+    fn dims(&self) -> usize;
+    /// Bit width of the decomposition.
+    fn bits(&self) -> u32;
+    /// All planes of token `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.tokens()`.
+    fn token(&self, j: usize) -> &TokenPlanes;
+    /// Bytes occupied by a single bit plane of a single token, rounded up
+    /// to whole bytes (what one OOE bit-plane fetch transfers).
+    fn plane_bytes(&self) -> usize {
+        self.dims().div_ceil(8)
+    }
+}
+
+impl PlaneSource for BitPlaneMatrix {
+    fn tokens(&self) -> usize {
+        BitPlaneMatrix::tokens(self)
+    }
+    fn dims(&self) -> usize {
+        BitPlaneMatrix::dims(self)
+    }
+    fn bits(&self) -> u32 {
+        BitPlaneMatrix::bits(self)
+    }
+    fn token(&self, j: usize) -> &TokenPlanes {
+        BitPlaneMatrix::token(self, j)
+    }
+    fn plane_bytes(&self) -> usize {
+        BitPlaneMatrix::plane_bytes(self)
+    }
+}
+
+impl<K: PlaneSource + ?Sized> PlaneSource for &K {
+    fn tokens(&self) -> usize {
+        (**self).tokens()
+    }
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+    fn bits(&self) -> u32 {
+        (**self).bits()
+    }
+    fn token(&self, j: usize) -> &TokenPlanes {
+        (**self).token(j)
+    }
+    fn plane_bytes(&self) -> usize {
+        (**self).plane_bytes()
+    }
+}
+
+impl<K: PlaneSource + ?Sized> PlaneSource for Arc<K> {
+    fn tokens(&self) -> usize {
+        (**self).tokens()
+    }
+    fn dims(&self) -> usize {
+        (**self).dims()
+    }
+    fn bits(&self) -> u32 {
+        (**self).bits()
+    }
+    fn token(&self, j: usize) -> &TokenPlanes {
+        (**self).token(j)
+    }
+    fn plane_bytes(&self) -> usize {
+        (**self).plane_bytes()
+    }
+}
+
+/// Append-only, chunked bit-plane storage for one session's key cache.
+///
+/// # Example
+///
+/// ```
+/// use pade_quant::{BitPlaneMatrix, GrowableKeyCache, PlaneSource};
+///
+/// let rows: Vec<i8> = vec![5, -5, 7, -8, 1, 2];
+/// let mut cache = GrowableKeyCache::new(2, 4, 2).unwrap();
+/// cache.append_rows(&rows).unwrap();
+/// let snap = cache.snapshot();
+/// let scratch = BitPlaneMatrix::from_rows(&rows, 2, 4).unwrap();
+/// assert_eq!(snap.tokens(), 3);
+/// for j in 0..3 {
+///     assert_eq!(snap.token(j), scratch.token(j));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GrowableKeyCache {
+    dims: usize,
+    bits: u32,
+    chunk_tokens: usize,
+    sealed: Vec<Arc<BitPlaneMatrix>>,
+    tail: Vec<TokenPlanes>,
+}
+
+impl GrowableKeyCache {
+    /// An empty cache for `dims`-wide, `bits`-bit tokens, sealing chunks of
+    /// `chunk_tokens` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedWidth`] for a width outside `2..=8`
+    /// and [`QuantError::DimensionMismatch`] for `dims == 0` or
+    /// `chunk_tokens == 0`.
+    pub fn new(dims: usize, bits: u32, chunk_tokens: usize) -> Result<Self, QuantError> {
+        if !(2..=8).contains(&bits) {
+            return Err(QuantError::UnsupportedWidth { bits });
+        }
+        if dims == 0 || chunk_tokens == 0 {
+            return Err(QuantError::DimensionMismatch { expected: 1, actual: 0 });
+        }
+        Ok(Self { dims, bits, chunk_tokens, sealed: Vec::new(), tail: Vec::new() })
+    }
+
+    /// Number of hidden dimensions per token.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Bit width of the decomposition.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Tokens per sealed chunk.
+    #[must_use]
+    pub fn chunk_tokens(&self) -> usize {
+        self.chunk_tokens
+    }
+
+    /// Total tokens appended so far.
+    #[must_use]
+    pub fn tokens(&self) -> usize {
+        self.sealed.len() * self.chunk_tokens + self.tail.len()
+    }
+
+    /// Number of sealed (immutable, `Arc`-shared) chunks.
+    #[must_use]
+    pub fn sealed_chunks(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Decomposes and appends one token's values — the per-decode-step
+    /// growth operation. Cost is `O(dims · bits)` regardless of how many
+    /// tokens the cache already holds; no existing chunk is touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::DimensionMismatch`] when `values.len()`
+    /// differs from the cache width.
+    pub fn append_token(&mut self, values: &[i8]) -> Result<(), QuantError> {
+        if values.len() != self.dims {
+            return Err(QuantError::DimensionMismatch {
+                expected: self.dims,
+                actual: values.len(),
+            });
+        }
+        self.tail.push(TokenPlanes::try_from_values(values, self.bits)?);
+        if self.tail.len() == self.chunk_tokens {
+            let chunk = std::mem::take(&mut self.tail);
+            let sealed = BitPlaneMatrix::from_tokens(chunk, self.dims, self.bits)
+                .expect("tail tokens share the cache shape by construction");
+            self.sealed.push(Arc::new(sealed));
+        }
+        Ok(())
+    }
+
+    /// Appends a row-major block of tokens (e.g. the prompt prefix at
+    /// admission).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::DimensionMismatch`] when `data.len()` is not a
+    /// multiple of the cache width (no rows are appended in that case).
+    pub fn append_rows(&mut self, data: &[i8]) -> Result<(), QuantError> {
+        if !data.len().is_multiple_of(self.dims) {
+            return Err(QuantError::DimensionMismatch { expected: self.dims, actual: data.len() });
+        }
+        for row in data.chunks(self.dims) {
+            self.append_token(row)?;
+        }
+        Ok(())
+    }
+
+    /// Freezes the current prefix into an immutable snapshot: sealed
+    /// chunks by reference (one `Arc` clone each), the open tail copied
+    /// into one short chunk. Later appends never invalidate a snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> KeyCacheSnapshot {
+        let mut chunks = self.sealed.clone();
+        if !self.tail.is_empty() {
+            let tail = BitPlaneMatrix::from_tokens(self.tail.clone(), self.dims, self.bits)
+                .expect("tail tokens share the cache shape by construction");
+            chunks.push(Arc::new(tail));
+        }
+        KeyCacheSnapshot {
+            chunks,
+            chunk_tokens: self.chunk_tokens,
+            tokens: self.tokens(),
+            dims: self.dims,
+            bits: self.bits,
+        }
+    }
+}
+
+/// An immutable view of a [`GrowableKeyCache`] prefix: the sealed chunks
+/// plus a frozen copy of the tail, addressable as one contiguous token
+/// range through [`PlaneSource`].
+///
+/// Cloning a snapshot clones `Arc`s, not planes, so dispatching one to
+/// many engine blocks or worker threads is cheap.
+#[derive(Debug, Clone)]
+pub struct KeyCacheSnapshot {
+    chunks: Vec<Arc<BitPlaneMatrix>>,
+    chunk_tokens: usize,
+    tokens: usize,
+    dims: usize,
+    bits: u32,
+}
+
+impl KeyCacheSnapshot {
+    /// Number of storage chunks behind the snapshot.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The `i`-th backing chunk (sealed chunks first, frozen tail last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.chunks()`.
+    #[must_use]
+    pub fn chunk(&self, i: usize) -> &Arc<BitPlaneMatrix> {
+        &self.chunks[i]
+    }
+
+    /// Copies the snapshot into one contiguous [`BitPlaneMatrix`] — the
+    /// from-scratch form, for equality checks and tests.
+    #[must_use]
+    pub fn materialize(&self) -> BitPlaneMatrix {
+        let tokens: Vec<TokenPlanes> =
+            (0..self.tokens).map(|j| PlaneSource::token(self, j).clone()).collect();
+        BitPlaneMatrix::from_tokens(tokens, self.dims, self.bits)
+            .expect("snapshot chunks share one shape")
+    }
+}
+
+impl PlaneSource for KeyCacheSnapshot {
+    fn tokens(&self) -> usize {
+        self.tokens
+    }
+    fn dims(&self) -> usize {
+        self.dims
+    }
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+    fn token(&self, j: usize) -> &TokenPlanes {
+        assert!(j < self.tokens, "token {j} out of bounds ({} tokens)", self.tokens);
+        self.chunks[j / self.chunk_tokens].token(j % self.chunk_tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize, dims: usize, seed: u64) -> Vec<i8> {
+        (0..n * dims)
+            .map(|i| {
+                let h = seed
+                    .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                (h >> 40) as u8 as i8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn appends_match_from_scratch_decomposition() {
+        let dims = 9;
+        let data = rows(23, dims, 3);
+        let mut cache = GrowableKeyCache::new(dims, 8, 4).unwrap();
+        for row in data.chunks(dims) {
+            cache.append_token(row).unwrap();
+        }
+        let scratch = BitPlaneMatrix::from_rows(&data, dims, 8).unwrap();
+        let snap = cache.snapshot();
+        assert_eq!(PlaneSource::tokens(&snap), 23);
+        assert_eq!(snap.materialize(), scratch);
+        for j in 0..23 {
+            assert_eq!(PlaneSource::token(&snap, j), scratch.token(j), "token {j}");
+        }
+    }
+
+    #[test]
+    fn sealed_chunks_survive_later_appends() {
+        let dims = 4;
+        let mut cache = GrowableKeyCache::new(dims, 8, 2).unwrap();
+        cache.append_rows(&rows(4, dims, 7)).unwrap();
+        let early = cache.snapshot();
+        assert_eq!(cache.sealed_chunks(), 2);
+        cache.append_rows(&rows(6, dims, 11)).unwrap();
+        let late = cache.snapshot();
+        // The early snapshot still reads the same planes, and the sealed
+        // chunks are literally shared, not copied.
+        assert_eq!(PlaneSource::tokens(&early), 4);
+        assert_eq!(PlaneSource::tokens(&late), 10);
+        for i in 0..2 {
+            assert!(Arc::ptr_eq(early.chunk(i), late.chunk(i)), "chunk {i} must be shared");
+        }
+        for j in 0..4 {
+            assert_eq!(PlaneSource::token(&early, j), PlaneSource::token(&late, j));
+        }
+    }
+
+    #[test]
+    fn tail_snapshot_is_frozen_against_growth() {
+        let dims = 3;
+        let mut cache = GrowableKeyCache::new(dims, 8, 8).unwrap();
+        cache.append_rows(&rows(3, dims, 1)).unwrap();
+        let snap = cache.snapshot();
+        cache.append_rows(&rows(2, dims, 2)).unwrap();
+        assert_eq!(PlaneSource::tokens(&snap), 3);
+        assert_eq!(cache.tokens(), 5);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(GrowableKeyCache::new(4, 1, 8).is_err());
+        assert!(GrowableKeyCache::new(4, 9, 8).is_err());
+        assert!(GrowableKeyCache::new(0, 8, 8).is_err());
+        assert!(GrowableKeyCache::new(4, 8, 0).is_err());
+        let mut cache = GrowableKeyCache::new(4, 8, 8).unwrap();
+        assert!(cache.append_token(&[1, 2, 3]).is_err());
+        assert!(cache.append_rows(&[1, 2, 3, 4, 5]).is_err());
+        assert_eq!(cache.tokens(), 0);
+    }
+
+    #[test]
+    fn empty_cache_snapshots_to_zero_tokens() {
+        let cache = GrowableKeyCache::new(4, 8, 8).unwrap();
+        let snap = cache.snapshot();
+        assert_eq!(PlaneSource::tokens(&snap), 0);
+        assert_eq!(snap.chunks(), 0);
+        assert_eq!(PlaneSource::plane_bytes(&snap), 1);
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`uncertainty_span`] — the residual magnitude `U_r` of all *unknown*
 //!   planes after round `r`, the quantity the Bit-wise Uncertainty Interval
 //!   (BUI) of the paper is built on,
+//! * [`GrowableKeyCache`] / [`KeyCacheSnapshot`] / [`PlaneSource`] —
+//!   chunked, append-only per-session plane storage for multi-step decode:
+//!   one token decomposed per step, sealed chunks `Arc`-shared across
+//!   snapshots, byte-identical to a from-scratch decomposition,
 //! * [`mxint`] — the MXINT micro-scaling format (32-element groups) used by
 //!   the paper's Fig. 25 extension,
 //! * [`DigitPlanes`] / [`DigitPlaneMatrix`] — multi-bit (digit-serial)
@@ -38,6 +42,7 @@ mod bitplane;
 mod digitplane;
 mod error;
 pub mod fp;
+mod growable;
 pub mod mxint;
 mod params;
 
@@ -47,4 +52,5 @@ pub use digitplane::{
     DigitPlanes, DigitRow,
 };
 pub use error::QuantError;
+pub use growable::{GrowableKeyCache, KeyCacheSnapshot, PlaneSource};
 pub use params::{quantize_matrix, quantize_matrix_clipped, QuantParams, QuantizedMatrix};

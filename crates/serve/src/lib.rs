@@ -8,10 +8,14 @@
 //! same device — not isolated kernels. This crate supplies that front
 //! end:
 //!
-//! * [`session::Session`] — request lifecycle with the key tensor
-//!   decomposed into bit planes once per request and shared via
+//! * [`session::Session`] — request lifecycle. Prefill requests decompose
+//!   their key tensor into bit planes once and share them via
 //!   [`Arc`](std::sync::Arc) across every dispatched block and worker
-//!   thread ([`pade_core::engine::SharedKeyPlanes`]),
+//!   thread ([`pade_core::engine::SharedKeyPlanes`]); decode requests run
+//!   autoregressive multi-step decode over a growable per-session KV
+//!   plane cache ([`pade_quant::GrowableKeyCache`]) — each completed step
+//!   appends one token's planes and the next step attends over the grown
+//!   prefix through a chunked, `Arc`-shared snapshot,
 //! * [`scheduler`] — FCFS iteration-level batch forming under an
 //!   engine-slot and max-batch-tokens cap,
 //! * [`server::serve`] — the admission → batch → dispatch → completion

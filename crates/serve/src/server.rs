@@ -40,6 +40,10 @@ pub struct ServeConfig {
     pub engine_slots: usize,
     /// Cap on summed query-row tokens per iteration.
     pub max_batch_tokens: usize,
+    /// Tokens per sealed chunk of a decode session's growable KV plane
+    /// cache (storage granularity only — outputs are byte-identical for
+    /// any positive value).
+    pub kv_chunk_tokens: usize,
     /// Dispatch batches across worker threads ([`run_qk_batch_par`])
     /// instead of a sequential loop. Results are bit-identical either
     /// way; this only changes host wall-clock.
@@ -55,6 +59,7 @@ impl ServeConfig {
             engine: PadeConfig::standard(),
             engine_slots: 4,
             max_batch_tokens: 64,
+            kv_chunk_tokens: 64,
             parallel_dispatch: true,
         }
     }
@@ -170,7 +175,7 @@ pub fn serve(config: &ServeConfig, arrivals: &[RequestArrival], mode: ScheduleMo
         // Admit everything that has arrived.
         while pending.front().is_some_and(|r| r.arrival_cycle <= now.0) {
             let spec = pending.pop_front().expect("front checked");
-            active.push(Session::admit(spec, &config.engine, now));
+            active.push(Session::admit(spec, &config.engine, config.kv_chunk_tokens.max(1), now));
         }
         if active.is_empty() {
             match pending.front() {

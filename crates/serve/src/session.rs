@@ -1,19 +1,29 @@
 //! Session lifecycle: one admitted request, its operands and its engine
 //! blocks.
 //!
-//! A session is created at admission: the request's synthetic operand
-//! trace is generated and its key tensor decomposed into bit planes
-//! **once**, then held behind [`SharedKeyPlanes`] so every block the
-//! scheduler dispatches — and every worker thread running one — borrows
-//! the same immutable plane allocation instead of rebuilding it per call.
+//! A session is created at admission. **Prefill** requests generate their
+//! synthetic operand trace and decompose the key tensor into bit planes
+//! **once**, held behind [`SharedKeyPlanes`] so every block the scheduler
+//! dispatches — and every worker thread running one — borrows the same
+//! immutable plane allocation. **Decode** requests instead run
+//! autoregressive multi-step decode over a growable per-session KV plane
+//! cache ([`GrowableKeyCache`]): the prompt prefix is decomposed into the
+//! cache at admission, each completed step appends the key of the token
+//! it just generated (one `O(H·bits)` decomposition, never a re-scan of
+//! the prefix), and the next step attends over the grown prefix through a
+//! cheap [`KeyCacheSnapshot`](pade_quant::KeyCacheSnapshot). The growth
+//! schedule lives in [`RequestKind::context_len`], shared with the
+//! from-scratch oracle below.
 //!
 //! Blocks are the scheduling quantum: a prefill request of `R` rows
 //! yields `⌈R / pe_rows⌉` blocks (exactly the chunking of
 //! [`pade_core::engine::run_qk_blocks`]), a decode request of `T` steps
 //! yields `T` single-row blocks. Because each block simulates its own
-//! HBM/SRAM instances, the session's outputs are bit-identical to running
-//! the same request alone — the property `tests/` pins against the seed
-//! oracle [`run_qk_block_reference`].
+//! HBM/SRAM instances — and because incremental appends decompose tokens
+//! exactly as [`BitPlaneMatrix::from_rows`] does — the session's outputs
+//! are bit-identical to running the same request alone over from-scratch
+//! decompositions: the property `tests/` pins against the seed oracle
+//! [`run_qk_block_reference`].
 //!
 //! [`run_qk_block_reference`]: pade_core::engine::run_qk_block_reference
 
@@ -21,17 +31,27 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use pade_core::config::PadeConfig;
-use pade_core::engine::{QkBatchJob, QkBlockResult, SharedKeyPlanes};
-use pade_quant::BitPlaneMatrix;
+use pade_core::engine::{KeySource, QkBatchJob, QkBlockResult, SharedKeyPlanes};
+use pade_quant::{BitPlaneMatrix, GrowableKeyCache};
 use pade_sim::Cycle;
 use pade_workload::trace::{AttentionTrace, RequestArrival, RequestKind};
 
-/// One admitted request with its operands, shared key planes and progress.
+/// How a session stores its key planes.
+#[derive(Debug)]
+enum SessionKeys {
+    /// Whole context decomposed once at admission (prefill).
+    Shared(SharedKeyPlanes),
+    /// Growable per-session cache, appended to after every completed
+    /// decode step.
+    Grown(GrowableKeyCache),
+}
+
+/// One admitted request with its operands, key planes and progress.
 #[derive(Debug)]
 pub struct Session {
     spec: RequestArrival,
     trace: AttentionTrace,
-    keys: SharedKeyPlanes,
+    keys: SessionKeys,
     rows_per_block: usize,
     blocks_total: usize,
     next_block: usize,
@@ -41,24 +61,47 @@ pub struct Session {
 
 impl Session {
     /// Admits a request at time `admitted`: generates its operand trace
-    /// and decomposes the key tensor into shared bit planes (once).
+    /// and prepares its key planes — the whole context for prefill, the
+    /// prompt prefix of a growable cache (sealing `kv_chunk_tokens`-token
+    /// chunks) for decode.
     ///
     /// # Panics
     ///
     /// Panics if the request's trace cannot be decomposed under
-    /// `config.bits`.
+    /// `config.bits` or `kv_chunk_tokens` is zero.
     #[must_use]
-    pub fn admit(spec: &RequestArrival, config: &PadeConfig, admitted: Cycle) -> Self {
+    pub fn admit(
+        spec: &RequestArrival,
+        config: &PadeConfig,
+        kv_chunk_tokens: usize,
+        admitted: Cycle,
+    ) -> Self {
         let trace = AttentionTrace::generate(&spec.trace);
-        let keys: SharedKeyPlanes = Arc::new(
-            BitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), config.bits)
-                .expect("request key tensor decomposes into bit planes"),
-        );
         let (rows_per_block, blocks_total) = match spec.kind {
             // Prefill chunks by PE-row height, exactly as run_qk_blocks.
             RequestKind::Prefill { rows } => (config.pe_rows, rows.div_ceil(config.pe_rows)),
             // Decode: one query row per step.
             RequestKind::Decode { steps } => (1, steps),
+        };
+        let keys = match spec.kind {
+            RequestKind::Prefill { .. } => SessionKeys::Shared(Arc::new(
+                BitPlaneMatrix::from_rows(
+                    trace.keys().as_slice(),
+                    trace.keys().cols(),
+                    config.bits,
+                )
+                .expect("request key tensor decomposes into bit planes"),
+            )),
+            RequestKind::Decode { .. } => {
+                let mut cache =
+                    GrowableKeyCache::new(trace.keys().cols(), config.bits, kv_chunk_tokens)
+                        .expect("request key tensor decomposes into bit planes");
+                let base = spec.kind.context_len(trace.keys().rows(), 0);
+                cache
+                    .append_rows(trace.key_prefix(base))
+                    .expect("prompt prefix decomposes into the cache");
+                SessionKeys::Grown(cache)
+            }
         };
         Self {
             spec: *spec,
@@ -108,6 +151,16 @@ impl Session {
         self.spec.kind.tokens() as u64
     }
 
+    /// Key tokens currently resident in this session's planes (grows step
+    /// by step for decode sessions, constant for prefill).
+    #[must_use]
+    pub fn cached_key_tokens(&self) -> usize {
+        match &self.keys {
+            SessionKeys::Shared(planes) => planes.tokens(),
+            SessionKeys::Grown(cache) => cache.tokens(),
+        }
+    }
+
     /// The query-row range of block `block`.
     fn block_rows(&self, block: usize) -> Range<usize> {
         let total = self.spec.kind.tokens();
@@ -128,7 +181,9 @@ impl Session {
     }
 
     /// The next block as a dispatchable engine job borrowing this
-    /// session's operands and sharing its key planes.
+    /// session's operands and sharing its key planes: prefill blocks carry
+    /// the `Arc`-shared whole tensor, decode blocks a snapshot of the
+    /// grown prefix.
     ///
     /// # Panics
     ///
@@ -137,19 +192,36 @@ impl Session {
     pub fn next_job(&self) -> QkBatchJob<'_> {
         assert!(!self.is_finished(), "finished session has no next job");
         let rows = self.block_rows(self.next_block);
+        let keys = match &self.keys {
+            SessionKeys::Shared(planes) => KeySource::Planes(Arc::clone(planes)),
+            SessionKeys::Grown(cache) => KeySource::Cache(cache.snapshot()),
+        };
         QkBatchJob {
             queries: rows.map(|i| self.trace.queries().row(i)).collect(),
-            keys: Arc::clone(&self.keys),
+            keys,
             logit_scale: self.trace.logit_scale(),
         }
     }
 
     /// Records the result of the block handed out by the last
-    /// [`next_job`](Self::next_job) call.
+    /// [`next_job`](Self::next_job) call. For decode sessions the
+    /// completed step appends its generated token's key planes, so the
+    /// next step attends over the grown prefix.
     pub fn absorb(&mut self, result: QkBlockResult) {
         debug_assert!(!self.is_finished());
         self.next_block += 1;
         self.results.push(result);
+        if let SessionKeys::Grown(cache) = &mut self.keys {
+            if self.next_block < self.blocks_total {
+                let target = self.spec.kind.context_len(self.trace.keys().rows(), self.next_block);
+                while cache.tokens() < target {
+                    let row = cache.tokens();
+                    cache
+                        .append_token(self.trace.keys().row(row))
+                        .expect("generated key row decomposes into the cache");
+                }
+            }
+        }
     }
 
     /// Per-block engine results, in block order.
@@ -186,23 +258,44 @@ pub fn output_bytes(results: &[QkBlockResult]) -> Vec<u8> {
 }
 
 /// Runs every block of `spec` alone through the seed oracle
-/// [`run_qk_block_reference`] — the ground truth the batched server's
-/// per-request outputs must match byte for byte.
+/// [`run_qk_block_reference`], re-decomposing the key prefix from scratch
+/// with [`BitPlaneMatrix::from_rows`] at every block — the ground truth
+/// the batched server's per-request outputs (and the growable caches'
+/// incremental appends) must match byte for byte.
 ///
 /// [`run_qk_block_reference`]: pade_core::engine::run_qk_block_reference
 #[must_use]
 pub fn reference_outputs(spec: &RequestArrival, config: &PadeConfig) -> Vec<QkBlockResult> {
-    let session = Session::admit(spec, config, Cycle::ZERO);
-    (0..session.blocks_total())
+    let trace = AttentionTrace::generate(&spec.trace);
+    let (rows_per_block, blocks_total) = match spec.kind {
+        RequestKind::Prefill { rows } => (config.pe_rows, rows.div_ceil(config.pe_rows)),
+        RequestKind::Decode { steps } => (1, steps),
+    };
+    let total = spec.kind.tokens();
+    let decompose_prefix = |prefix: usize| {
+        BitPlaneMatrix::from_rows(trace.key_prefix(prefix), trace.keys().cols(), config.bits)
+            .expect("key prefix decomposes into bit planes")
+    };
+    // Prefill blocks all attend the same full context — decompose once;
+    // decode steps attend a growing prefix — re-decompose per step.
+    let whole = match spec.kind {
+        RequestKind::Prefill { .. } => Some(decompose_prefix(trace.keys().rows())),
+        RequestKind::Decode { .. } => None,
+    };
+    (0..blocks_total)
         .map(|b| {
-            let rows = session.block_rows(b);
-            let queries: Vec<&[i8]> = rows.map(|i| session.trace.queries().row(i)).collect();
-            pade_core::engine::run_qk_block_reference(
-                config,
-                &queries,
-                &session.keys,
-                session.trace.logit_scale(),
-            )
+            let grown;
+            let keys = match &whole {
+                Some(k) => k,
+                None => {
+                    grown = decompose_prefix(spec.kind.context_len(trace.keys().rows(), b));
+                    &grown
+                }
+            };
+            let lo = b * rows_per_block;
+            let queries: Vec<&[i8]> =
+                (lo..(lo + rows_per_block).min(total)).map(|i| trace.queries().row(i)).collect();
+            pade_core::engine::run_qk_block_reference(config, &queries, keys, trace.logit_scale())
         })
         .collect()
 }
@@ -210,7 +303,11 @@ pub fn reference_outputs(spec: &RequestArrival, config: &PadeConfig) -> Vec<QkBl
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pade_core::engine::run_qk_batch;
+    use pade_quant::PlaneSource;
     use pade_workload::trace::{generate_arrivals, ArrivalConfig};
+
+    const KV_CHUNK: usize = 64;
 
     fn specs() -> Vec<RequestArrival> {
         generate_arrivals(&ArrivalConfig::small_demo())
@@ -220,7 +317,7 @@ mod tests {
     fn prefill_chunks_by_pe_rows_and_decode_by_step() {
         let config = PadeConfig::standard();
         for spec in specs() {
-            let s = Session::admit(&spec, &config, Cycle::ZERO);
+            let s = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
             match spec.kind {
                 RequestKind::Prefill { rows } => {
                     assert_eq!(s.blocks_total(), rows.div_ceil(config.pe_rows));
@@ -238,7 +335,7 @@ mod tests {
     fn session_blocks_cover_every_query_row_once() {
         let config = PadeConfig::standard();
         let spec = specs().into_iter().find(|s| s.kind.tokens() > config.pe_rows).unwrap();
-        let session = Session::admit(&spec, &config, Cycle::ZERO);
+        let session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
         let mut covered = Vec::new();
         for b in 0..session.blocks_total() {
             covered.extend(session.block_rows(b));
@@ -247,13 +344,62 @@ mod tests {
     }
 
     #[test]
-    fn key_planes_are_shared_not_cloned() {
+    fn prefill_key_planes_are_shared_not_cloned() {
         let config = PadeConfig::standard();
-        let session = Session::admit(&specs()[0], &config, Cycle::ZERO);
+        let spec =
+            specs().into_iter().find(|s| matches!(s.kind, RequestKind::Prefill { .. })).unwrap();
+        let session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
         let job_a = session.next_job();
         let job_b = session.next_job();
-        assert!(Arc::ptr_eq(&job_a.keys, &job_b.keys));
-        assert_eq!(Arc::strong_count(&session.keys), 3);
+        match (&job_a.keys, &job_b.keys) {
+            (KeySource::Planes(a), KeySource::Planes(b)) => assert!(Arc::ptr_eq(a, b)),
+            other => panic!("prefill jobs must carry shared planes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_prefix_grows_one_key_per_completed_step() {
+        let config = PadeConfig::standard();
+        let spec =
+            specs().into_iter().find(|s| matches!(s.kind, RequestKind::Decode { .. })).unwrap();
+        let seq_len = spec.trace.seq_len;
+        let mut session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
+        let mut prefixes = Vec::new();
+        while !session.is_finished() {
+            let step = session.blocks_done();
+            assert_eq!(session.cached_key_tokens(), spec.kind.context_len(seq_len, step));
+            let job = session.next_job();
+            match &job.keys {
+                KeySource::Cache(snap) => prefixes.push(snap.tokens()),
+                other => panic!("decode jobs must carry cache snapshots, got {other:?}"),
+            }
+            let result = run_qk_batch(&config, &[job]).pop().unwrap();
+            session.absorb(result);
+        }
+        // One more key per step; the final step attends over the full
+        // prefix minus the token it is itself generating.
+        let expect: Vec<usize> =
+            (0..spec.kind.tokens()).map(|t| spec.kind.context_len(seq_len, t)).collect();
+        assert_eq!(prefixes, expect);
+        assert_eq!(*prefixes.last().unwrap(), seq_len - 1);
+        for w in prefixes.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "prefix grows by exactly one key per step");
+        }
+    }
+
+    #[test]
+    fn decode_session_matches_growing_oracle() {
+        let config = PadeConfig::standard();
+        let spec =
+            specs().into_iter().find(|s| matches!(s.kind, RequestKind::Decode { .. })).unwrap();
+        let mut session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
+        while !session.is_finished() {
+            let job = session.next_job();
+            let result = run_qk_batch(&config, &[job]).pop().unwrap();
+            session.absorb(result);
+        }
+        let oracle = reference_outputs(&spec, &config);
+        assert_eq!(output_bytes(session.results()), output_bytes(&oracle));
     }
 
     #[test]

@@ -102,6 +102,32 @@ proptest! {
         }
     }
 
+    /// The growable KV cache's chunk size is a storage knob, never a
+    /// numerical one: any positive `kv_chunk_tokens` yields byte-identical
+    /// per-request outputs (chunk boundaries land differently, token
+    /// planes do not change).
+    #[test]
+    fn kv_chunk_size_never_changes_outputs(
+        seed in any::<u64>(),
+        n in 2usize..4,
+        chunk in 1usize..9,
+    ) {
+        let arrivals = generate_arrivals(&ArrivalConfig {
+            decode_fraction: 1.0, // all decode: every session grows its cache
+            ..workload(seed, n, 600.0)
+        });
+        let base = serve(&ServeConfig::standard(), &arrivals, ScheduleMode::Batched);
+        let odd = serve(
+            &ServeConfig { kv_chunk_tokens: chunk, ..ServeConfig::standard() },
+            &arrivals,
+            ScheduleMode::Batched,
+        );
+        prop_assert_eq!(base.completion_order(), odd.completion_order());
+        for (a, b) in by_id(&base).iter().zip(by_id(&odd)) {
+            prop_assert_eq!(a.output_bytes(), b.output_bytes());
+        }
+    }
+
     /// Throughput dominance: continuous batching never completes the same
     /// trace later than one-request-at-a-time.
     #[test]

@@ -1,0 +1,128 @@
+//! Edge-case pins for the serving-side statistics: nearest-rank
+//! percentiles at n=0/n=1/n=2 and exact ranks at n=100, and the
+//! time-weighted gauge over zero-duration windows. These are the numbers
+//! SLO tables are written against, so each is pinned exactly rather than
+//! approximately.
+
+use pade_sim::{Cycle, LatencyStats, LatencySummary, TimeWeightedGauge};
+
+#[test]
+fn empty_collector_is_all_zero() {
+    let lat = LatencyStats::new();
+    assert!(lat.is_empty());
+    assert_eq!(lat.len(), 0);
+    for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+        assert_eq!(lat.percentile(p), Cycle::ZERO, "p{p}");
+    }
+    assert_eq!(lat.mean(), 0.0);
+    assert_eq!(lat.max(), Cycle::ZERO);
+    assert_eq!(lat.summary(), LatencySummary::empty());
+    assert_eq!(lat.summary().count, 0);
+}
+
+#[test]
+fn single_sample_is_every_percentile() {
+    let mut lat = LatencyStats::new();
+    lat.record(Cycle(7));
+    for p in [0.0, 1.0, 50.0, 95.0, 99.0, 100.0] {
+        assert_eq!(lat.percentile(p), Cycle(7), "p{p}");
+    }
+    let s = lat.summary();
+    assert_eq!((s.count, s.p50, s.p95, s.p99, s.max), (1, Cycle(7), Cycle(7), Cycle(7), Cycle(7)));
+    assert!((s.mean - 7.0).abs() < 1e-12);
+}
+
+#[test]
+fn two_samples_split_at_the_median_rank() {
+    let mut lat = LatencyStats::new();
+    lat.record(Cycle(30));
+    lat.record(Cycle(10));
+    // Nearest rank: ⌈p/100 · 2⌉ → p50 hits the first sorted sample, p51+
+    // the second; p0 clamps to rank 1.
+    assert_eq!(lat.percentile(0.0), Cycle(10));
+    assert_eq!(lat.percentile(50.0), Cycle(10));
+    assert_eq!(lat.percentile(51.0), Cycle(30));
+    assert_eq!(lat.percentile(95.0), Cycle(30));
+    assert_eq!(lat.percentile(99.0), Cycle(30));
+    assert_eq!(lat.percentile(100.0), Cycle(30));
+    let s = lat.summary();
+    assert_eq!((s.p50, s.p95, s.p99), (Cycle(10), Cycle(30), Cycle(30)));
+    assert!((s.mean - 20.0).abs() < 1e-12);
+}
+
+#[test]
+fn hundred_samples_pin_exact_ranks() {
+    let mut lat = LatencyStats::new();
+    // Insert in reverse so percentile sorting is actually exercised.
+    for c in (1..=100u64).rev() {
+        lat.record(Cycle(c));
+    }
+    assert_eq!(lat.percentile(1.0), Cycle(1));
+    assert_eq!(lat.percentile(50.0), Cycle(50));
+    assert_eq!(lat.percentile(95.0), Cycle(95));
+    assert_eq!(lat.percentile(99.0), Cycle(99));
+    assert_eq!(lat.percentile(99.1), Cycle(100));
+    assert_eq!(lat.percentile(100.0), Cycle(100));
+    // Fractional ranks round *up* (smallest value covering p% of mass).
+    assert_eq!(lat.percentile(0.5), Cycle(1));
+    assert_eq!(lat.percentile(50.5), Cycle(51));
+}
+
+#[test]
+fn summary_and_percentile_agree_after_merge() {
+    let mut a = LatencyStats::new();
+    let mut b = LatencyStats::new();
+    for c in 1..=50u64 {
+        a.record(Cycle(c));
+    }
+    for c in 51..=100u64 {
+        b.record(Cycle(c));
+    }
+    a.merge(&b);
+    let s = a.summary();
+    assert_eq!(s.count, 100);
+    assert_eq!(s.p50, a.percentile(50.0));
+    assert_eq!(s.p95, a.percentile(95.0));
+    assert_eq!(s.p99, a.percentile(99.0));
+    assert_eq!(s.max, Cycle(100));
+}
+
+#[test]
+fn gauge_zero_duration_window_is_zero_mean() {
+    // A gauge set and read at the same instant spans no time: the mean is
+    // defined as 0, not NaN or the last value.
+    let mut g = TimeWeightedGauge::new();
+    g.set(Cycle(5), 3.0);
+    assert_eq!(g.mean(Cycle(5)), 0.0);
+    assert_eq!(g.max(), 3.0);
+}
+
+#[test]
+fn gauge_same_cycle_reset_contributes_nothing() {
+    // Two sets at the same cycle: the first value holds for zero cycles,
+    // so only the second shapes the integral; max still sees both.
+    let mut g = TimeWeightedGauge::new();
+    g.set(Cycle(0), 100.0);
+    g.set(Cycle(0), 2.0);
+    assert!((g.mean(Cycle(10)) - 2.0).abs() < 1e-12);
+    assert_eq!(g.max(), 100.0);
+}
+
+#[test]
+fn gauge_trailing_zero_width_tail_is_free() {
+    let mut g = TimeWeightedGauge::new();
+    g.set(Cycle(0), 4.0);
+    g.set(Cycle(10), 0.0);
+    // Reading exactly at the last observation adds a zero-width tail.
+    assert!((g.mean(Cycle(10)) - 4.0).abs() < 1e-12);
+    // And a later read integrates the (zero) tail value over the gap.
+    assert!((g.mean(Cycle(40)) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn gauge_never_observed_reads_zero_everywhere() {
+    let g = TimeWeightedGauge::new();
+    assert_eq!(g.mean(Cycle(0)), 0.0);
+    assert_eq!(g.mean(Cycle(1_000_000)), 0.0);
+    assert_eq!(g.max(), 0.0);
+}

@@ -210,6 +210,18 @@ impl AttentionTrace {
         &self.k
     }
 
+    /// Row-major slice of the first `tokens` quantized key rows — the key
+    /// prefix a partially-grown decode session attends over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens > seq_len`.
+    #[must_use]
+    pub fn key_prefix(&self, tokens: usize) -> &[i8] {
+        assert!(tokens <= self.k.rows(), "prefix of {tokens} tokens exceeds the context");
+        &self.k.as_slice()[..tokens * self.k.cols()]
+    }
+
     /// Quantized values (`S × H`).
     #[must_use]
     pub fn values(&self) -> &QuantizedMatrix {
@@ -323,6 +335,30 @@ impl RequestKind {
         match *self {
             RequestKind::Prefill { rows } => rows,
             RequestKind::Decode { steps } => steps,
+        }
+    }
+
+    /// Key-prefix length block `step` of this request attends over, given
+    /// a `seq_len`-token operand trace.
+    ///
+    /// Prefill chunks always see the full context. Decode sessions grow
+    /// autoregressively: the prompt prefix is the first `seq_len − steps`
+    /// keys (at least one), and each completed step appends the next key
+    /// row — the token the step just "generated" — so step `t` attends
+    /// over `base + t` tokens. The final step (`t = steps − 1`) therefore
+    /// attends `seq_len − 1` tokens: the key of the token it is itself
+    /// generating is never attended (the result is clamped to `seq_len`
+    /// only for out-of-range `step`). This single definition is shared by
+    /// the serving layer's growable caches, the from-scratch oracle and
+    /// the `decode-growth` bench scenario, so all three stay aligned.
+    #[must_use]
+    pub fn context_len(&self, seq_len: usize, step: usize) -> usize {
+        match *self {
+            RequestKind::Prefill { .. } => seq_len,
+            RequestKind::Decode { steps } => {
+                let base = seq_len.saturating_sub(steps).max(1);
+                (base + step).min(seq_len)
+            }
         }
     }
 }
@@ -552,6 +588,31 @@ mod tests {
     fn int4_traces_generate() {
         let t = AttentionTrace::generate(&TraceConfig { bits: 4, ..TraceConfig::small_demo() });
         assert!(t.queries().as_slice().iter().all(|&x| (-8..=7).contains(&x)));
+    }
+
+    #[test]
+    fn decode_context_grows_one_token_per_step_to_full_length() {
+        let kind = RequestKind::Decode { steps: 4 };
+        let s = 256;
+        assert_eq!(kind.context_len(s, 0), 252);
+        assert_eq!(kind.context_len(s, 1), 253);
+        assert_eq!(kind.context_len(s, 3), 255);
+        // Clamped past the final step and never below one token.
+        assert_eq!(kind.context_len(s, 99), s);
+        assert_eq!(RequestKind::Decode { steps: 8 }.context_len(4, 0), 1);
+        assert_eq!(RequestKind::Decode { steps: 8 }.context_len(4, 2), 3);
+        // Prefill chunks always see the whole context.
+        assert_eq!(RequestKind::Prefill { rows: 16 }.context_len(s, 0), s);
+        assert_eq!(RequestKind::Prefill { rows: 16 }.context_len(s, 5), s);
+    }
+
+    #[test]
+    fn key_prefix_slices_leading_rows() {
+        let t = small(6);
+        let h = t.config().head_dim;
+        assert_eq!(t.key_prefix(3), &t.keys().as_slice()[..3 * h]);
+        assert_eq!(t.key_prefix(0), &[] as &[i8]);
+        assert_eq!(t.key_prefix(t.config().seq_len).len(), t.config().seq_len * h);
     }
 
     #[test]
