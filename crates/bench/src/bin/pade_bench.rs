@@ -6,6 +6,7 @@
 //! cargo run --release -p pade-bench --bin pade-bench -- --out path/to.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario serve  # -> BENCH_2.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario decode-growth  # -> BENCH_3.json
+//! cargo run --release -p pade-bench --bin pade-bench -- --scenario prefix-cache  # -> BENCH_4.json
 //! ```
 //!
 //! The `qk` scenario (default) runs the sequential seed engine and the
@@ -16,11 +17,16 @@
 //! continuous-batching loop against a one-request-at-a-time baseline at
 //! several arrival rates and writes `BENCH_2.json`. The `decode-growth`
 //! scenario times growable-cache KV appends against per-step full
-//! re-decomposition and writes `BENCH_3.json`.
+//! re-decomposition and writes `BENCH_3.json`. The `prefix-cache`
+//! scenario times `pade-cache` cross-request prefix sharing against
+//! from-scratch decomposition of every prompt (cold / shared-prefix /
+//! multi-turn, plus an eviction-under-budget sweep) and writes
+//! `BENCH_4.json`.
 
 use std::path::PathBuf;
 
 use pade_bench::decode_growth::{run_growth_matrix, write_growth_json};
+use pade_bench::prefix_cache::{run_prefix_cache_matrix, write_prefix_cache_json};
 use pade_bench::serve::{run_serve_matrix, write_serve_json};
 use pade_bench::{run_matrix, write_json};
 
@@ -41,14 +47,14 @@ fn main() {
             }
             "--scenario" => {
                 scenario = args.next().unwrap_or_else(|| {
-                    eprintln!("--scenario requires qk, serve or decode-growth");
+                    eprintln!("--scenario requires qk, serve, decode-growth or prefix-cache");
                     std::process::exit(2);
                 });
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: pade-bench [--quick] [--scenario qk|serve|decode-growth] \
-                     [--out FILE.json]"
+                    "usage: pade-bench [--quick] \
+                     [--scenario qk|serve|decode-growth|prefix-cache] [--out FILE.json]"
                 );
                 return;
             }
@@ -64,10 +70,65 @@ fn main() {
         "qk" => run_qk_scenario(quick, mode, out),
         "serve" => run_serve_scenario(quick, mode, out),
         "decode-growth" => run_growth_scenario(quick, mode, out),
+        "prefix-cache" => run_prefix_cache_scenario(quick, mode, out),
         other => {
-            eprintln!("unknown scenario: {other} (expected qk, serve or decode-growth)");
+            eprintln!(
+                "unknown scenario: {other} (expected qk, serve, decode-growth or prefix-cache)"
+            );
             std::process::exit(2);
         }
+    }
+}
+
+fn run_prefix_cache_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
+    println!("pade-bench prefix-cache: shared prefix index vs from-scratch decomposition\n");
+    println!(
+        "{:<28} {:>5} {:>12} {:>12} {:>9} {:>10} {:>10} {:>8}",
+        "variant", "reqs", "cached", "scratch", "speedup", "hit tok", "dec tok", "resumes"
+    );
+    let sweep = run_prefix_cache_matrix(quick);
+    for r in &sweep.results {
+        println!(
+            "{:<28} {:>5} {:>11.4}s {:>11.4}s {:>8.2}x {:>10} {:>10} {:>8}",
+            r.spec.id(),
+            r.n_requests,
+            r.cached_wall_s,
+            r.scratch_wall_s,
+            r.speedup,
+            r.hit_tokens,
+            r.decomposed_tokens,
+            r.session_resumes
+        );
+    }
+    println!("\nbudget sweep (shared-prefix variant):");
+    println!("{:<16} {:>10} {:>10} {:>14}", "budget bytes", "evictions", "hit tok", "peak bytes");
+    for b in &sweep.budget_points {
+        let budget = if b.budget_bytes == u64::MAX {
+            "unlimited".to_string()
+        } else {
+            b.budget_bytes.to_string()
+        };
+        println!(
+            "{budget:<16} {:>10} {:>10} {:>14}",
+            b.evictions, b.hit_tokens, b.peak_resident_bytes
+        );
+    }
+    println!(
+        "\nall caches bit-identical to from-scratch planes; checked engine outputs match \
+         the seed oracle"
+    );
+
+    let path = match (&out, quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some(PathBuf::from("BENCH_4.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = path {
+        write_prefix_cache_json(&path, &sweep, mode).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
     }
 }
 

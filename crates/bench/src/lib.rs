@@ -22,12 +22,17 @@
 //! `BENCH_2.json`. The [`decode_growth`] module adds the KV-growth
 //! scenario (`pade-bench --scenario decode-growth`): incremental
 //! per-step plane appends vs full re-decomposition, recorded to
-//! `BENCH_3.json`.
+//! `BENCH_3.json`. The [`prefix_cache`] module adds the cross-request
+//! prefix-sharing scenario (`pade-bench --scenario prefix-cache`):
+//! `pade-cache` attach/detach vs from-scratch decomposition of every
+//! prompt, with an eviction-under-budget sweep, recorded to
+//! `BENCH_4.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decode_growth;
+pub mod prefix_cache;
 pub mod serve;
 
 use std::io::Write as _;

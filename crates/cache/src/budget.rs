@@ -1,0 +1,61 @@
+//! Byte-accounted cache memory budgets.
+
+/// A cap on the bytes of decomposed key planes the cache manager may keep
+/// resident (shared prefix index plus stored session caches, deduplicated
+/// by chunk identity).
+///
+/// The budget is enforced after every attach/detach by LRU-evicting
+/// unreferenced sealed chunks (and, when those run out, idle stored
+/// sessions). Chunks leased by a live session are never eviction
+/// candidates, so a sufficiently small budget can be *exceeded* while the
+/// leases are outstanding — a budget must never free memory a session is
+/// still reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheBudget {
+    max_bytes: u64,
+}
+
+impl CacheBudget {
+    /// A budget of `max_bytes` resident plane bytes.
+    #[must_use]
+    pub const fn bytes(max_bytes: u64) -> Self {
+        Self { max_bytes }
+    }
+
+    /// No cap: nothing is ever evicted.
+    #[must_use]
+    pub const fn unlimited() -> Self {
+        Self { max_bytes: u64::MAX }
+    }
+
+    /// The cap in bytes (`u64::MAX` when unlimited).
+    #[must_use]
+    pub const fn max_bytes(self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Whether this budget never evicts.
+    #[must_use]
+    pub const fn is_unlimited(self) -> bool {
+        self.max_bytes == u64::MAX
+    }
+}
+
+impl Default for CacheBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_accessors_round_trip() {
+        assert_eq!(CacheBudget::bytes(4096).max_bytes(), 4096);
+        assert!(!CacheBudget::bytes(4096).is_unlimited());
+        assert!(CacheBudget::unlimited().is_unlimited());
+        assert_eq!(CacheBudget::default(), CacheBudget::unlimited());
+    }
+}

@@ -1,0 +1,645 @@
+//! The cache manager: attach/detach orchestration over the prefix index,
+//! the session store and the byte budget.
+
+use std::collections::HashMap;
+#[cfg(test)]
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use pade_quant::{BitPlaneMatrix, GrowableKeyCache, QuantError};
+
+use crate::budget::CacheBudget;
+use crate::index::PrefixIndex;
+use crate::store::SessionStore;
+
+/// Shape and budget of one [`KvCacheManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Hidden dimensions per key token.
+    pub dims: usize,
+    /// Bit width of the decomposition.
+    pub bits: u32,
+    /// Tokens per sealed chunk — the sharing granularity, aligned with
+    /// the serving layer's `kv_chunk_tokens`. Output-invariant: any
+    /// positive value yields byte-identical planes, only the hit
+    /// alignment changes.
+    pub chunk_tokens: usize,
+    /// Resident-byte budget enforced after every attach/detach.
+    pub budget: CacheBudget,
+}
+
+impl CacheConfig {
+    /// A configuration with an unlimited budget.
+    #[must_use]
+    pub fn new(dims: usize, bits: u32, chunk_tokens: usize) -> Self {
+        Self { dims, bits, chunk_tokens, budget: CacheBudget::unlimited() }
+    }
+
+    /// The same configuration under a byte budget.
+    #[must_use]
+    pub fn with_budget(self, budget: CacheBudget) -> Self {
+        Self { budget, ..self }
+    }
+}
+
+/// Running counters of one manager. Hit/decomposed tokens partition every
+/// attached prompt token: `hit_tokens` were served from resident planes
+/// (index chunks or a resumed session cache) and skipped decomposition
+/// entirely; `decomposed_tokens` paid the full bit-plane decomposition.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Attach calls.
+    pub lookups: u64,
+    /// Prompt tokens served from resident planes (no decomposition).
+    pub hit_tokens: u64,
+    /// Prompt tokens decomposed at attach.
+    pub decomposed_tokens: u64,
+    /// Sealed chunks inserted into the shared index.
+    pub inserted_chunks: u64,
+    /// Attaches resumed from the session store.
+    pub session_resumes: u64,
+    /// Sealed chunks evicted from the index.
+    pub evicted_chunks: u64,
+    /// Stored sessions evicted.
+    pub evicted_sessions: u64,
+    /// Resident bytes actually freed by eviction.
+    pub evicted_bytes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of attached prompt tokens served without decomposition.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hit_tokens + self.decomposed_tokens;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_tokens as f64 / total as f64
+        }
+    }
+}
+
+/// A live session's claim on the index chunks it reads. Returned by
+/// [`KvCacheManager::attach`] and surrendered through
+/// [`KvCacheManager::detach`]; while outstanding, the leased chunks are
+/// exempt from eviction. Deliberately neither `Clone` nor `Copy` — one
+/// lease, one release.
+#[derive(Debug, Default)]
+pub struct CacheLease {
+    pub(crate) path: Vec<u128>,
+}
+
+impl CacheLease {
+    /// Index chunks this lease pins.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// The result of attaching a prompt: a growable cache covering the whole
+/// prompt, plus what it cost.
+#[derive(Debug)]
+pub struct Attached {
+    /// The session's key-plane cache: resolved prefix chunks by `Arc`
+    /// (zero decomposition), the unseen suffix freshly decomposed. The
+    /// session appends decode-step tokens to it and snapshots per step
+    /// exactly as with a privately-built [`GrowableKeyCache`].
+    pub cache: GrowableKeyCache,
+    /// The eviction-exemption lease over the index chunks the cache
+    /// borrows; pass back to [`KvCacheManager::detach`].
+    pub lease: CacheLease,
+    /// Prompt tokens served from resident planes.
+    pub hit_tokens: usize,
+    /// Prompt tokens decomposed by this attach.
+    pub decomposed_tokens: usize,
+    /// Whether the attach resumed the session's stored cache instead of
+    /// walking the shared index.
+    pub resumed_session: bool,
+}
+
+/// Deduplicated resident-byte accounting, maintained incrementally: a
+/// chunk held by the index node *and* any number of stored caches is
+/// billed once, and the running total is `O(1)` to read — eviction loops
+/// and the serving layer's residency gauge must not pay a full scan per
+/// step. Keyed on `Arc` pointer identity; an entry only exists while at
+/// least one manager-side holder keeps the allocation alive, so
+/// addresses cannot be reused under a live entry.
+#[derive(Debug, Default)]
+struct Residency {
+    /// Manager-side holder count and cached byte size per chunk
+    /// allocation.
+    holders: HashMap<usize, (usize, u64)>,
+    total: u64,
+}
+
+impl Residency {
+    fn track_chunk(&mut self, chunk: &Arc<BitPlaneMatrix>) {
+        let entry = self
+            .holders
+            .entry(Arc::as_ptr(chunk) as usize)
+            .or_insert_with(|| (0, chunk.resident_bytes() as u64));
+        if entry.0 == 0 {
+            self.total += entry.1;
+        }
+        entry.0 += 1;
+    }
+
+    fn untrack_chunk(&mut self, chunk: &Arc<BitPlaneMatrix>) {
+        let ptr = Arc::as_ptr(chunk) as usize;
+        let entry = self.holders.get_mut(&ptr).expect("untracking a chunk never tracked");
+        entry.0 -= 1;
+        if entry.0 == 0 {
+            self.total -= entry.1;
+            self.holders.remove(&ptr);
+        }
+    }
+
+    /// Bills a stored cache: its sealed chunks (deduplicated against the
+    /// index and other stored caches) plus its always-private open tail.
+    fn track_cache(&mut self, cache: &GrowableKeyCache) {
+        for chunk in cache.sealed_chunks() {
+            self.track_chunk(chunk);
+        }
+        self.total += cache.tail_resident_bytes() as u64;
+    }
+
+    fn untrack_cache(&mut self, cache: &GrowableKeyCache) {
+        for chunk in cache.sealed_chunks() {
+            self.untrack_chunk(chunk);
+        }
+        self.total -= cache.tail_resident_bytes() as u64;
+    }
+}
+
+/// The workspace-wide KV plane cache manager: cross-request prefix
+/// sharing (the index), cross-turn session persistence (the store) and a
+/// byte-accounted budget with LRU eviction.
+///
+/// Every operation is a pure function of the call sequence — hash-map
+/// iteration is only ever reduced with order-independent folds (min by a
+/// unique key, sums) — so equal request sequences produce equal hit and
+/// eviction sequences on every run.
+#[derive(Debug)]
+pub struct KvCacheManager {
+    config: CacheConfig,
+    index: PrefixIndex,
+    store: SessionStore,
+    residency: Residency,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl KvCacheManager {
+    /// A manager for `config`-shaped key planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`GrowableKeyCache::new`] shape errors for an invalid
+    /// width, zero dims or zero chunk size.
+    pub fn new(config: CacheConfig) -> Result<Self, QuantError> {
+        // Validate the shape once through the storage it governs.
+        GrowableKeyCache::new(config.dims, config.bits, config.chunk_tokens)?;
+        Ok(Self {
+            config,
+            index: PrefixIndex::new(),
+            store: SessionStore::new(),
+            residency: Residency::default(),
+            stats: CacheStats::default(),
+            tick: 0,
+        })
+    }
+
+    /// The manager's shape and budget.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Running counters.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Sealed chunks resident in the shared index.
+    #[must_use]
+    pub fn resident_chunks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Sessions resident in the session store.
+    #[must_use]
+    pub fn stored_sessions(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Bytes of decomposed planes this manager keeps alive, deduplicated
+    /// by chunk identity (a chunk referenced by the index *and* a stored
+    /// session is billed once). `O(1)`: maintained incrementally on every
+    /// publish, store and eviction.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.residency.total
+    }
+
+    /// The slow ground truth of [`resident_bytes`](Self::resident_bytes):
+    /// a full deduplicating scan over the index and every stored cache.
+    /// Test-only — the incremental accounting is asserted against it.
+    #[cfg(test)]
+    fn recompute_resident_bytes(&self) -> u64 {
+        let mut seen: HashSet<*const BitPlaneMatrix> = HashSet::new();
+        let mut total = 0u64;
+        for chunk in self.index.chunk_arcs() {
+            if seen.insert(Arc::as_ptr(chunk)) {
+                total += chunk.resident_bytes() as u64;
+            }
+        }
+        for cache in self.store.caches() {
+            for chunk in cache.sealed_chunks() {
+                if seen.insert(Arc::as_ptr(chunk)) {
+                    total += chunk.resident_bytes() as u64;
+                }
+            }
+            // The open tail is always private to the stored cache.
+            total += cache.tail_resident_bytes() as u64;
+        }
+        total
+    }
+
+    /// Resolves `ids` (whose decomposable key rows are `rows`, row-major
+    /// `ids.len() × dims`) into a growable plane cache for `session`,
+    /// decomposing only what no resident plane covers:
+    ///
+    /// 1. **Session resume** — when the store holds this session's grown
+    ///    cache and `ids` extends the ids it covers, the cache is taken
+    ///    out whole and only the extension is decomposed.
+    /// 2. **Prefix sharing** — otherwise the index is walked for the
+    ///    longest chunk-aligned cached prefix; hit chunks are adopted by
+    ///    `Arc`, the unseen suffix is decomposed, and every new *full*
+    ///    chunk is published to the index for later requests.
+    ///
+    /// The returned cache is byte-identical to a from-scratch
+    /// decomposition of `rows` (property-tested in `tests/`). The budget
+    /// is enforced before returning; the returned lease exempts the
+    /// borrowed index chunks from that and every later eviction pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::DimensionMismatch`] when `rows` is not
+    /// `ids.len() × dims`, and decomposition errors for rows that do not
+    /// fit the configured width.
+    pub fn attach(
+        &mut self,
+        session: u64,
+        ids: &[u32],
+        rows: &[i8],
+    ) -> Result<Attached, QuantError> {
+        if rows.len() != ids.len() * self.config.dims {
+            return Err(QuantError::DimensionMismatch {
+                expected: ids.len() * self.config.dims,
+                actual: rows.len(),
+            });
+        }
+        self.tick += 1;
+        self.stats.lookups += 1;
+        let dims = self.config.dims;
+
+        // 1. Session resume. The resumed cache leaves the store (its
+        // bytes now live with the session, not the manager), and the
+        // still-indexed prefix chunks it reads are leased so eviction
+        // honors the same exemption the prefix-sharing path gets.
+        if let Some((mut cache, covered)) = self.store.take_if_prefix(session, ids) {
+            self.residency.untrack_cache(&cache);
+            let resolved = self.index.resolve(&ids[..covered], self.config.chunk_tokens, self.tick);
+            self.index.acquire(&resolved.path);
+            cache.append_rows(&rows[covered * dims..])?;
+            self.stats.session_resumes += 1;
+            self.stats.hit_tokens += covered as u64;
+            self.stats.decomposed_tokens += (ids.len() - covered) as u64;
+            self.evict_to_budget();
+            return Ok(Attached {
+                cache,
+                lease: CacheLease { path: resolved.path },
+                hit_tokens: covered,
+                decomposed_tokens: ids.len() - covered,
+                resumed_session: true,
+            });
+        }
+
+        // 2. Prefix sharing through the index.
+        let chunk_tokens = self.config.chunk_tokens;
+        let resolved = self.index.resolve(ids, chunk_tokens, self.tick);
+        let mut path = resolved.path;
+        let mut sealed = resolved.chunks;
+        let hit_tokens = sealed.len() * chunk_tokens;
+        let mut parent = path.last().copied();
+        let full_chunks = ids.len() / chunk_tokens;
+        let mut indexable = true;
+        for c in sealed.len()..full_chunks {
+            let lo = c * chunk_tokens;
+            let hi = lo + chunk_tokens;
+            let planes = Arc::new(BitPlaneMatrix::from_rows(
+                &rows[lo * dims..hi * dims],
+                dims,
+                self.config.bits,
+            )?);
+            // A collision (or a broken parent chain after one) keeps the
+            // chunk private: still used by this session, never shared.
+            if indexable {
+                match self.index.insert(parent, &ids[lo..hi], Arc::clone(&planes), self.tick) {
+                    Some((key, resident, created)) => {
+                        if created {
+                            self.residency.track_chunk(&resident);
+                            self.stats.inserted_chunks += 1;
+                        }
+                        path.push(key);
+                        parent = Some(key);
+                        sealed.push(resident);
+                        continue;
+                    }
+                    None => indexable = false,
+                }
+            }
+            sealed.push(planes);
+        }
+        let mut cache =
+            GrowableKeyCache::from_chunks(sealed, dims, self.config.bits, chunk_tokens)?;
+        cache.append_rows(&rows[full_chunks * chunk_tokens * dims..])?;
+        let decomposed_tokens = ids.len() - hit_tokens;
+        self.index.acquire(&path);
+        self.stats.hit_tokens += hit_tokens as u64;
+        self.stats.decomposed_tokens += decomposed_tokens as u64;
+        self.evict_to_budget();
+        Ok(Attached {
+            cache,
+            lease: CacheLease { path },
+            hit_tokens,
+            decomposed_tokens,
+            resumed_session: false,
+        })
+    }
+
+    /// Surrenders a finished request's lease and stores its grown cache
+    /// for the session's next request. `ids` is the request's prompt id
+    /// sequence; the store records the leading `cache.tokens()` of them
+    /// (a decode session's final generated token is never appended, so
+    /// the cache may cover slightly fewer ids than the prompt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache covers more tokens than `ids` — the cache and
+    /// the prompt would disagree about what the planes mean.
+    pub fn detach(
+        &mut self,
+        session: u64,
+        ids: &[u32],
+        cache: GrowableKeyCache,
+        lease: CacheLease,
+    ) {
+        assert!(
+            cache.tokens() <= ids.len(),
+            "detached cache covers {} tokens but the prompt has {} ids",
+            cache.tokens(),
+            ids.len()
+        );
+        self.tick += 1;
+        self.index.release(&lease.path);
+        self.residency.track_cache(&cache);
+        if let Some(replaced) = self.store.insert(session, ids, cache, self.tick) {
+            self.residency.untrack_cache(&replaced);
+        }
+        self.evict_to_budget();
+    }
+
+    /// Releases a lease without storing anything (a session that will
+    /// never come back).
+    pub fn release(&mut self, lease: CacheLease) {
+        self.tick += 1;
+        self.index.release(&lease.path);
+        self.evict_to_budget();
+    }
+
+    /// Drops a stored session (e.g. an explicit end-of-conversation).
+    pub fn forget_session(&mut self, session: u64) {
+        if let Some(cache) = self.store.remove(session) {
+            self.residency.untrack_cache(&cache);
+        }
+    }
+
+    /// LRU-evicts until resident bytes fit the budget: idle stored
+    /// sessions first (each serves only its own session's next turn),
+    /// then unleased childless index chunks (each may serve every future
+    /// request — the more valuable asset, surrendered last). Stops early
+    /// when everything left is leased — the budget never frees planes a
+    /// live session reads.
+    fn evict_to_budget(&mut self) {
+        if self.config.budget.is_unlimited() {
+            return;
+        }
+        let max = self.config.budget.max_bytes();
+        while self.residency.total > max {
+            let before = self.residency.total;
+            if let Some(session) = self.store.lru_session() {
+                if let Some(cache) = self.store.remove(session) {
+                    self.residency.untrack_cache(&cache);
+                }
+                self.stats.evicted_sessions += 1;
+            } else if let Some(key) = self.index.lru_evictable() {
+                if let Some(chunk) = self.index.remove(key) {
+                    self.residency.untrack_chunk(&chunk);
+                }
+                self.stats.evicted_chunks += 1;
+            } else {
+                break;
+            }
+            // Evicting a holder frees bytes only when it was the chunk's
+            // last manager-side holder — the dedup accounting records
+            // exactly what was actually freed.
+            self.stats.evicted_bytes += before - self.residency.total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize, seed: u32) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed) % 1000).collect()
+    }
+
+    /// Deterministic rows for an id sequence (a stand-in for the
+    /// workload's token-key derivation; the manager only requires that
+    /// equal ids come with equal rows).
+    fn rows_for(ids: &[u32], dims: usize) -> Vec<i8> {
+        ids.iter()
+            .flat_map(|&id| {
+                (0..dims).map(move |d| {
+                    (u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (8 + (d % 8) * 4)) as u8
+                        as i8
+                })
+            })
+            .collect()
+    }
+
+    fn manager(chunk_tokens: usize) -> KvCacheManager {
+        KvCacheManager::new(CacheConfig::new(8, 8, chunk_tokens)).unwrap()
+    }
+
+    #[test]
+    fn second_request_hits_the_shared_prefix() {
+        let mut m = manager(4);
+        let shared = ids(16, 1);
+        let mut a_ids = shared.clone();
+        a_ids.extend(ids(6, 2));
+        let mut b_ids = shared.clone();
+        b_ids.extend(ids(6, 3));
+
+        let a = m.attach(1, &a_ids, &rows_for(&a_ids, 8)).unwrap();
+        assert_eq!((a.hit_tokens, a.decomposed_tokens), (0, 22));
+        // 22 tokens = 5 full chunks published + 2 tail tokens private.
+        assert_eq!(m.resident_chunks(), 5);
+
+        let b = m.attach(2, &b_ids, &rows_for(&b_ids, 8)).unwrap();
+        // The 16 shared tokens hit; chunk 5 diverges (a's suffix ids).
+        assert_eq!((b.hit_tokens, b.decomposed_tokens), (16, 6));
+        assert_eq!(b.lease.chunks(), 5);
+        assert!(!b.resumed_session);
+        // Hit planes are literally a's allocations.
+        assert!(Arc::ptr_eq(&b.cache.sealed_chunks()[0], &a.cache.sealed_chunks()[0]));
+    }
+
+    #[test]
+    fn attached_cache_matches_from_scratch_decomposition() {
+        for chunk in [1usize, 3, 4, 7] {
+            let mut m = manager(chunk);
+            let shared = ids(13, 5);
+            let mut p = shared.clone();
+            p.extend(ids(9, 6));
+            let rows = rows_for(&p, 8);
+            m.attach(1, &shared, &rows_for(&shared, 8)).unwrap();
+            let b = m.attach(2, &p, &rows).unwrap();
+            let scratch = BitPlaneMatrix::from_rows(&rows, 8, 8).unwrap();
+            assert_eq!(b.cache.snapshot().materialize(), scratch, "chunk_tokens {chunk}");
+        }
+    }
+
+    #[test]
+    fn session_resume_skips_the_covered_prefix() {
+        let mut m = manager(4);
+        let turn1 = ids(10, 7);
+        let a = m.attach(9, &turn1, &rows_for(&turn1, 8)).unwrap();
+        m.detach(9, &turn1, a.cache, a.lease);
+        assert_eq!(m.stored_sessions(), 1);
+
+        let mut turn2 = turn1.clone();
+        turn2.extend(ids(5, 8));
+        let b = m.attach(9, &turn2, &rows_for(&turn2, 8)).unwrap();
+        assert!(b.resumed_session);
+        assert_eq!((b.hit_tokens, b.decomposed_tokens), (10, 5));
+        assert_eq!(m.stored_sessions(), 0, "resume takes the entry out while live");
+        let scratch = BitPlaneMatrix::from_rows(&rows_for(&turn2, 8), 8, 8).unwrap();
+        assert_eq!(b.cache.snapshot().materialize(), scratch);
+    }
+
+    #[test]
+    fn eviction_honors_leases_and_frees_after_release() {
+        let mut m =
+            KvCacheManager::new(CacheConfig::new(8, 8, 4).with_budget(CacheBudget::bytes(0)))
+                .unwrap();
+        let p = ids(8, 11);
+        let a = m.attach(1, &p, &rows_for(&p, 8)).unwrap();
+        // Budget zero, but both chunks are leased: nothing freed.
+        assert_eq!(m.resident_chunks(), 2);
+        assert_eq!(m.stats().evicted_chunks, 0);
+        assert!(m.resident_bytes() > 0);
+
+        m.release(a.lease);
+        // Lease gone: the budget drains the index (leaf first, then its
+        // parent) and nothing is stored.
+        assert_eq!(m.resident_chunks(), 0);
+        assert_eq!(m.stats().evicted_chunks, 2);
+        assert_eq!(m.resident_bytes(), 0);
+
+        // A re-attach must now decompose from scratch.
+        let b = m.attach(2, &p, &rows_for(&p, 8)).unwrap();
+        assert_eq!((b.hit_tokens, b.decomposed_tokens), (0, 8));
+    }
+
+    #[test]
+    fn detach_under_zero_budget_evicts_the_stored_session() {
+        let mut m =
+            KvCacheManager::new(CacheConfig::new(8, 8, 4).with_budget(CacheBudget::bytes(0)))
+                .unwrap();
+        let p = ids(8, 13);
+        let a = m.attach(1, &p, &rows_for(&p, 8)).unwrap();
+        m.detach(1, &p, a.cache, a.lease);
+        assert_eq!(m.stored_sessions(), 0);
+        assert_eq!(m.resident_bytes(), 0);
+        assert!(m.stats().evicted_sessions >= 1);
+        assert!(m.stats().evicted_bytes > 0);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(KvCacheManager::new(CacheConfig::new(0, 8, 4)).is_err());
+        assert!(KvCacheManager::new(CacheConfig::new(8, 1, 4)).is_err());
+        assert!(KvCacheManager::new(CacheConfig::new(8, 8, 0)).is_err());
+        let mut m = manager(4);
+        assert!(m.attach(1, &[1, 2, 3], &[0; 7]).is_err());
+    }
+
+    #[test]
+    fn incremental_residency_matches_the_full_scan() {
+        let mut m =
+            KvCacheManager::new(CacheConfig::new(8, 8, 4).with_budget(CacheBudget::bytes(1_500)))
+                .unwrap();
+        // A busy mixed sequence: shared prefixes, resumes, replacements,
+        // evictions — the O(1) counter must track the slow dedup scan at
+        // every step.
+        let shared = ids(12, 21);
+        for turn in 0..3u64 {
+            for session in 0..4u64 {
+                let mut p = shared.clone();
+                p.extend(ids(3 + 2 * turn as usize, session as u32 ^ 0x55));
+                let attached = m.attach(session, &p, &rows_for(&p, 8)).unwrap();
+                assert_eq!(m.resident_bytes(), m.recompute_resident_bytes());
+                m.detach(session, &p, attached.cache, attached.lease);
+                assert_eq!(m.resident_bytes(), m.recompute_resident_bytes());
+            }
+        }
+        assert!(m.stats().evicted_sessions + m.stats().evicted_chunks > 0);
+        m.forget_session(0);
+        assert_eq!(m.resident_bytes(), m.recompute_resident_bytes());
+    }
+
+    #[test]
+    fn session_resume_leases_its_indexed_prefix() {
+        let mut m = manager(4);
+        let turn1 = ids(8, 31);
+        let a = m.attach(3, &turn1, &rows_for(&turn1, 8)).unwrap();
+        assert_eq!(a.lease.chunks(), 2);
+        m.detach(3, &turn1, a.cache, a.lease);
+        let mut turn2 = turn1.clone();
+        turn2.extend(ids(4, 32));
+        let b = m.attach(3, &turn2, &rows_for(&turn2, 8)).unwrap();
+        assert!(b.resumed_session);
+        // The resumed session leases the prefix chunks still in the
+        // index, so they enjoy the same eviction exemption as a
+        // prefix-sharing attach.
+        assert_eq!(b.lease.chunks(), 2);
+        m.detach(3, &turn2, b.cache, b.lease);
+    }
+
+    #[test]
+    fn hit_rate_partitions_attached_tokens() {
+        let mut m = manager(4);
+        let p = ids(8, 17);
+        m.attach(1, &p, &rows_for(&p, 8)).unwrap();
+        m.attach(2, &p, &rows_for(&p, 8)).unwrap();
+        let s = m.stats();
+        assert_eq!(s.hit_tokens + s.decomposed_tokens, 16);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

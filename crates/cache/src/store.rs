@@ -1,0 +1,140 @@
+//! Per-session cache persistence between a session's requests.
+//!
+//! A multi-turn session's turn `k+1` prompt extends its turn-`k` context,
+//! so the grown [`GrowableKeyCache`] the session finished turn `k` with
+//! is the perfect starting point for turn `k+1`: resume it and only the
+//! new turn's suffix needs decomposing. The store keys on the workload's
+//! session id and remembers the exact token ids the stored cache covers —
+//! resumption happens only when the new prompt really extends them, so a
+//! session that rewrites history simply falls back to the shared index.
+
+use std::collections::HashMap;
+
+use pade_quant::GrowableKeyCache;
+
+#[derive(Debug)]
+struct StoredSession {
+    /// Token ids covered by `cache`, exactly `cache.tokens()` of them.
+    ids: Vec<u32>,
+    cache: GrowableKeyCache,
+    last_use: u64,
+}
+
+/// Keeps each session's grown cache alive between that session's
+/// requests, with deterministic LRU eviction under a memory budget.
+#[derive(Debug, Default)]
+pub struct SessionStore {
+    sessions: HashMap<u64, StoredSession>,
+}
+
+impl SessionStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stored sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no sessions are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Takes the stored cache of `session` when `ids` extends (or equals)
+    /// the token ids the cache covers; otherwise the entry stays put (a
+    /// non-extending prompt is a different conversation, not a resume).
+    /// Returns the cache and the number of tokens it already holds.
+    pub(crate) fn take_if_prefix(
+        &mut self,
+        session: u64,
+        ids: &[u32],
+    ) -> Option<(GrowableKeyCache, usize)> {
+        let entry = self.sessions.get(&session)?;
+        let covered = entry.ids.len();
+        if covered > ids.len() || entry.ids != ids[..covered] {
+            return None;
+        }
+        let entry = self.sessions.remove(&session).expect("entry just read");
+        Some((entry.cache, covered))
+    }
+
+    /// Stores (or replaces) a session's grown cache covering exactly the
+    /// leading `cache.tokens()` ids of `ids`, returning the replaced
+    /// cache (if any) so the caller can unbill it.
+    pub(crate) fn insert(
+        &mut self,
+        session: u64,
+        ids: &[u32],
+        cache: GrowableKeyCache,
+        tick: u64,
+    ) -> Option<GrowableKeyCache> {
+        debug_assert!(cache.tokens() <= ids.len());
+        let covered = ids[..cache.tokens()].to_vec();
+        self.sessions
+            .insert(session, StoredSession { ids: covered, cache, last_use: tick })
+            .map(|e| e.cache)
+    }
+
+    /// The least-recently-used stored session (ties on `last_use` break
+    /// on the session id, so the choice is deterministic).
+    pub(crate) fn lru_session(&self) -> Option<u64> {
+        self.sessions.iter().min_by_key(|(&id, e)| (e.last_use, id)).map(|(&id, _)| id)
+    }
+
+    /// Drops a stored session, returning its cache for byte accounting.
+    pub(crate) fn remove(&mut self, session: u64) -> Option<GrowableKeyCache> {
+        self.sessions.remove(&session).map(|e| e.cache)
+    }
+
+    /// Iterates the stored caches (for the slow test-only residency
+    /// recomputation).
+    #[cfg(test)]
+    pub(crate) fn caches(&self) -> impl Iterator<Item = &GrowableKeyCache> {
+        self.sessions.values().map(|e| &e.cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grown(ids: &[u32]) -> GrowableKeyCache {
+        let mut cache = GrowableKeyCache::new(4, 8, 2).unwrap();
+        for &id in ids {
+            cache.append_token(&[(id % 100) as i8, 1, -2, 3]).unwrap();
+        }
+        cache
+    }
+
+    #[test]
+    fn resume_requires_an_extending_prompt() {
+        let mut store = SessionStore::new();
+        store.insert(7, &[1, 2, 3], grown(&[1, 2, 3]), 1);
+        // A rewritten history does not resume (and the entry survives).
+        assert!(store.take_if_prefix(7, &[1, 9, 3, 4]).is_none());
+        assert!(store.take_if_prefix(8, &[1, 2, 3, 4]).is_none());
+        assert_eq!(store.len(), 1);
+        // An extending prompt takes the cache out.
+        let (cache, covered) = store.take_if_prefix(7, &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!((cache.tokens(), covered), (3, 3));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn lru_session_is_deterministic() {
+        let mut store = SessionStore::new();
+        store.insert(3, &[1], grown(&[1]), 5);
+        store.insert(1, &[2], grown(&[2]), 5);
+        store.insert(2, &[3], grown(&[3]), 9);
+        // Equal ticks: the smaller session id wins the tie.
+        assert_eq!(store.lru_session(), Some(1));
+        store.remove(1);
+        assert_eq!(store.lru_session(), Some(3));
+    }
+}

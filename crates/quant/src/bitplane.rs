@@ -169,6 +169,12 @@ impl PlaneRow {
         &self.words
     }
 
+    /// Heap bytes held by the packed words backing this plane.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
     /// Number of set bits within positions `[start, end)` (clipped to the
     /// plane length) — the word-level form of counting [`PlaneRow::bit`]
     /// hits over a range.
@@ -281,6 +287,13 @@ impl TokenPlanes {
     #[must_use]
     pub fn plane(&self, r: u32) -> &PlaneRow {
         &self.planes[r as usize]
+    }
+
+    /// Heap bytes held by this token's packed plane words — the unit the
+    /// serving-side cache budget bills per token.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.planes.iter().map(PlaneRow::resident_bytes).sum()
     }
 
     /// Reassembles the original integers from the planes — the identity of
@@ -428,6 +441,16 @@ impl BitPlaneMatrix {
     #[must_use]
     pub fn plane_bytes(&self) -> usize {
         self.dims.div_ceil(8)
+    }
+
+    /// Heap bytes held by all packed plane words of this matrix — what a
+    /// cache manager bills for keeping the decomposed tensor resident.
+    /// Every token stores `bits` planes of `⌈dims/64⌉` words, so this is
+    /// pure arithmetic (a budget check must stay off the hot path's
+    /// critical cost).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.tokens.len() * self.bits as usize * self.dims.div_ceil(64) * std::mem::size_of::<u64>()
     }
 }
 

@@ -154,6 +154,47 @@ impl GrowableKeyCache {
         Ok(Self { dims, bits, chunk_tokens, sealed: Vec::new(), tail: Vec::new() })
     }
 
+    /// A cache pre-populated with already-sealed chunks — the reuse path
+    /// of a prefix-sharing cache manager: chunks resolved from a shared
+    /// index are adopted by `Arc` clone (no decomposition, no copy) and
+    /// the cache keeps growing past them with
+    /// [`append_token`](Self::append_token)/[`append_rows`](Self::append_rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same shape errors as [`GrowableKeyCache::new`], plus —
+    /// per offending field, so the diagnostic names the actual mismatch —
+    /// [`QuantError::DimensionMismatch`] when any chunk's token count is
+    /// not exactly `chunk_tokens` (sealed chunks are full by
+    /// construction; a short chunk would silently corrupt token
+    /// addressing) or its `dims` differ, and
+    /// [`QuantError::UnsupportedWidth`] carrying the chunk's width when
+    /// its `bits` differ from the cache's.
+    pub fn from_chunks(
+        chunks: Vec<Arc<BitPlaneMatrix>>,
+        dims: usize,
+        bits: u32,
+        chunk_tokens: usize,
+    ) -> Result<Self, QuantError> {
+        let mut cache = Self::new(dims, bits, chunk_tokens)?;
+        for chunk in &chunks {
+            if chunk.tokens() != chunk_tokens {
+                return Err(QuantError::DimensionMismatch {
+                    expected: chunk_tokens,
+                    actual: chunk.tokens(),
+                });
+            }
+            if chunk.dims() != dims {
+                return Err(QuantError::DimensionMismatch { expected: dims, actual: chunk.dims() });
+            }
+            if chunk.bits() != bits {
+                return Err(QuantError::UnsupportedWidth { bits: chunk.bits() });
+            }
+        }
+        cache.sealed = chunks;
+        Ok(cache)
+    }
+
     /// Number of hidden dimensions per token.
     #[must_use]
     pub fn dims(&self) -> usize {
@@ -178,10 +219,37 @@ impl GrowableKeyCache {
         self.sealed.len() * self.chunk_tokens + self.tail.len()
     }
 
-    /// Number of sealed (immutable, `Arc`-shared) chunks.
+    /// The sealed (immutable, `Arc`-shared) chunks, oldest first. Exposed
+    /// so a cache manager can refcount, deduplicate and bill chunks
+    /// without reaching into the storage internals; cloning an element
+    /// clones an `Arc`, never planes.
     #[must_use]
-    pub fn sealed_chunks(&self) -> usize {
-        self.sealed.len()
+    pub fn sealed_chunks(&self) -> &[Arc<BitPlaneMatrix>] {
+        &self.sealed
+    }
+
+    /// Tokens still in the open (unsealed) tail.
+    #[must_use]
+    pub fn tail_tokens(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Heap bytes held by the packed plane words of every resident token
+    /// (sealed chunks plus the open tail) — the quantity a byte-accounted
+    /// cache budget bills for this cache.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        let sealed: usize = self.sealed.iter().map(|c| c.resident_bytes()).sum();
+        sealed + self.tail_resident_bytes()
+    }
+
+    /// Heap bytes of the open tail alone — the part of
+    /// [`resident_bytes`](Self::resident_bytes) never shared with other
+    /// caches, so a deduplicating accountant bills it unconditionally.
+    /// `O(tail_tokens)`, bounded by one chunk.
+    #[must_use]
+    pub fn tail_resident_bytes(&self) -> usize {
+        self.tail.iter().map(TokenPlanes::resident_bytes).sum()
     }
 
     /// Decomposes and appends one token's values — the per-decode-step
@@ -279,6 +347,16 @@ impl KeyCacheSnapshot {
         &self.chunks[i]
     }
 
+    /// Heap bytes held by the packed plane words behind the snapshot
+    /// (every backing chunk, including the frozen tail). Chunks shared
+    /// with other snapshots or a cache manager are billed here too — the
+    /// deduplicated accounting lives in the manager, which sees the
+    /// `Arc` identities via [`KeyCacheSnapshot::chunk`].
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.resident_bytes()).sum()
+    }
+
     /// Copies the snapshot into one contiguous [`BitPlaneMatrix`] — the
     /// from-scratch form, for equality checks and tests.
     #[must_use]
@@ -344,7 +422,7 @@ mod tests {
         let mut cache = GrowableKeyCache::new(dims, 8, 2).unwrap();
         cache.append_rows(&rows(4, dims, 7)).unwrap();
         let early = cache.snapshot();
-        assert_eq!(cache.sealed_chunks(), 2);
+        assert_eq!(cache.sealed_chunks().len(), 2);
         cache.append_rows(&rows(6, dims, 11)).unwrap();
         let late = cache.snapshot();
         // The early snapshot still reads the same planes, and the sealed
@@ -380,6 +458,56 @@ mod tests {
         assert!(cache.append_token(&[1, 2, 3]).is_err());
         assert!(cache.append_rows(&[1, 2, 3, 4, 5]).is_err());
         assert_eq!(cache.tokens(), 0);
+    }
+
+    #[test]
+    fn from_chunks_adopts_sealed_chunks_without_copying() {
+        let dims = 4;
+        let data = rows(8, dims, 5);
+        let mut donor = GrowableKeyCache::new(dims, 8, 4).unwrap();
+        donor.append_rows(&data).unwrap();
+        let chunks: Vec<Arc<BitPlaneMatrix>> = donor.sealed_chunks().to_vec();
+        assert_eq!(chunks.len(), 2);
+
+        let mut adopted = GrowableKeyCache::from_chunks(chunks.clone(), dims, 8, 4).unwrap();
+        assert_eq!(adopted.tokens(), 8);
+        for (a, b) in adopted.sealed_chunks().iter().zip(&chunks) {
+            assert!(Arc::ptr_eq(a, b), "adoption must share, not copy");
+        }
+        // Growth continues past the adopted prefix with identical planes.
+        let extra = rows(3, dims, 9);
+        adopted.append_rows(&extra).unwrap();
+        let mut all = data.clone();
+        all.extend_from_slice(&extra);
+        let scratch = BitPlaneMatrix::from_rows(&all, dims, 8).unwrap();
+        assert_eq!(adopted.snapshot().materialize(), scratch);
+    }
+
+    #[test]
+    fn from_chunks_rejects_short_or_misshapen_chunks() {
+        let dims = 4;
+        let full = Arc::new(BitPlaneMatrix::from_rows(&rows(4, dims, 1), dims, 8).unwrap());
+        let short = Arc::new(BitPlaneMatrix::from_rows(&rows(3, dims, 1), dims, 8).unwrap());
+        let narrow = Arc::new(BitPlaneMatrix::from_rows(&rows(4, 3, 1), 3, 8).unwrap());
+        assert!(GrowableKeyCache::from_chunks(vec![full.clone()], dims, 8, 4).is_ok());
+        assert!(GrowableKeyCache::from_chunks(vec![short], dims, 8, 4).is_err());
+        assert!(GrowableKeyCache::from_chunks(vec![narrow], dims, 8, 4).is_err());
+        assert!(GrowableKeyCache::from_chunks(vec![full], dims, 4, 4).is_err());
+    }
+
+    #[test]
+    fn resident_bytes_bill_sealed_and_tail_tokens() {
+        let dims = 70usize; // 2 words per plane: exercises the div_ceil path
+        let bits = 8u32;
+        let per_token = bits as usize * dims.div_ceil(64) * 8;
+        let mut cache = GrowableKeyCache::new(dims, bits, 4).unwrap();
+        assert_eq!(cache.resident_bytes(), 0);
+        cache.append_rows(&rows(6, dims, 3)).unwrap();
+        assert_eq!(cache.tail_tokens(), 2);
+        assert_eq!(cache.resident_bytes(), 6 * per_token);
+        let snap = cache.snapshot();
+        assert_eq!(snap.resident_bytes(), 6 * per_token);
+        assert_eq!(snap.materialize().resident_bytes(), 6 * per_token);
     }
 
     #[test]

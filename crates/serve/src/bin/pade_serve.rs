@@ -6,6 +6,8 @@
 //! cargo run --release -p pade-serve --bin pade-serve -- --quick    # CI smoke (tiny trace)
 //! cargo run --release -p pade-serve --bin pade-serve -- \
 //!     --requests 32 --mean-gap 30000 --seq-len 1024 --slots 8
+//! cargo run --release -p pade-serve --bin pade-serve -- \
+//!     --shared-prefix --cache-budget 4000000                       # prefix-cache workload
 //! ```
 //!
 //! Every run serves the same arrival trace twice — continuous batching
@@ -13,15 +15,27 @@
 //! byte-identical per-request outputs, and prints both so the batching
 //! gain is always read against its baseline. Latencies are simulated
 //! cycles at the 800 MHz core clock.
+//!
+//! `--shared-prefix` switches to the multi-turn shared-prefix workload:
+//! requests carry prompt token-id sequences drawn from a seeded prefix
+//! pool and admission goes through the `pade-cache` prefix cache (hit /
+//! decomposed token counts, evictions and resident bytes are printed in
+//! the summary). `--no-prefix-cache` serves the same workload with the
+//! cache disabled — outputs are byte-identical either way.
 
 use std::process::exit;
 
+use pade_cache::CacheBudget;
 use pade_serve::scheduler::ScheduleMode;
 use pade_serve::server::{serve, ServeConfig, ServeReport};
-use pade_workload::trace::{generate_arrivals, ArrivalConfig};
+use pade_workload::prompt::{generate_shared_prefix_arrivals, SharedPrefixConfig};
+use pade_workload::trace::{generate_arrivals, ArrivalConfig, RequestArrival};
 
 struct Args {
     quick: bool,
+    shared_prefix: bool,
+    no_prefix_cache: bool,
+    cache_budget: Option<u64>,
     requests: Option<usize>,
     mean_gap: Option<f64>,
     seq_len: Option<usize>,
@@ -41,6 +55,9 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
+        shared_prefix: false,
+        no_prefix_cache: false,
+        cache_budget: None,
         requests: None,
         mean_gap: None,
         seq_len: None,
@@ -53,6 +70,9 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
+            "--shared-prefix" => args.shared_prefix = true,
+            "--no-prefix-cache" => args.no_prefix_cache = true,
+            "--cache-budget" => args.cache_budget = Some(parse("--cache-budget", it.next())),
             "--requests" => args.requests = Some(parse("--requests", it.next())),
             "--mean-gap" => args.mean_gap = Some(parse("--mean-gap", it.next())),
             "--seq-len" => args.seq_len = Some(parse("--seq-len", it.next())),
@@ -66,7 +86,8 @@ fn parse_args() -> Args {
             "--seed" => args.seed = Some(parse("--seed", it.next())),
             "--help" | "-h" => {
                 println!(
-                    "usage: pade-serve [--quick] [--requests N] [--mean-gap CYCLES] \
+                    "usage: pade-serve [--quick] [--shared-prefix] [--no-prefix-cache] \
+                     [--cache-budget BYTES] [--requests N] [--mean-gap CYCLES] \
                      [--seq-len S] [--slots K] [--max-batch-tokens T] \
                      [--decode-fraction F] [--seed X]"
                 );
@@ -97,8 +118,32 @@ fn print_report(report: &ServeReport, wall_s: f64) {
     );
 }
 
-fn main() {
-    let args = parse_args();
+fn print_cache_summary(report: &ServeReport) {
+    let s = &report.summary;
+    if s.cache_hit_tokens + s.cache_decomposed_tokens == 0 {
+        return;
+    }
+    println!(
+        "{} prefix cache: {} hit tokens / {} decomposed ({:.1}% hit rate), \
+         {} evictions, resident bytes mean {:.0} / peak {:.0}",
+        report.mode.label(),
+        s.cache_hit_tokens,
+        s.cache_decomposed_tokens,
+        s.cache_hit_rate * 100.0,
+        s.cache_evictions,
+        s.cache_resident_bytes_mean,
+        s.cache_resident_bytes_max
+    );
+}
+
+/// Out-of-range values get the same exit-code-2 usage error as unknown
+/// flags, not an assert backtrace from deeper in the stack.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    exit(2);
+}
+
+fn plain_workload(args: &Args) -> Vec<RequestArrival> {
     let workload = if args.quick {
         ArrivalConfig {
             n_requests: 6,
@@ -126,12 +171,6 @@ fn main() {
         seed: args.seed.unwrap_or(workload.seed),
         ..workload
     };
-    // Out-of-range values get the same exit-code-2 usage error as unknown
-    // flags, not an assert backtrace from deeper in the stack.
-    let usage_error = |msg: &str| -> ! {
-        eprintln!("{msg}");
-        exit(2);
-    };
     if workload.n_requests == 0 {
         usage_error("--requests must be at least 1");
     }
@@ -144,26 +183,102 @@ fn main() {
     if !(0.0..=1.0).contains(&workload.decode_fraction) {
         usage_error("--decode-fraction must lie in [0, 1]");
     }
+    println!(
+        "pade-serve: {} requests, mean gap {:.0} cyc, S={}",
+        workload.n_requests, workload.mean_interarrival_cycles, workload.seq_len,
+    );
+    generate_arrivals(&workload)
+}
+
+fn shared_prefix_workload(args: &Args) -> Vec<RequestArrival> {
+    // Reject flags this mode would otherwise silently ignore — a user
+    // benchmarking at a specific shape must not get numbers for a
+    // different workload than they asked for.
+    if args.seq_len.is_some() {
+        usage_error("--seq-len has no effect with --shared-prefix (prompt lengths come from the prefix pool)");
+    }
+    if args.decode_fraction.is_some() {
+        usage_error("--decode-fraction has no effect with --shared-prefix (the workload sets its own prefill fraction)");
+    }
+    let workload = if args.quick {
+        SharedPrefixConfig {
+            n_sessions: 4,
+            turns_per_session: 2,
+            shared_prefix_tokens: 64,
+            unique_suffix_tokens: 16,
+            turn_suffix_tokens: 16,
+            decode_steps: 2,
+            mean_interarrival_cycles: 1_000.0,
+            turn_gap_cycles: 100_000,
+            ..SharedPrefixConfig::small_demo()
+        }
+    } else {
+        SharedPrefixConfig {
+            n_sessions: 12,
+            turns_per_session: 2,
+            shared_prefix_tokens: 512,
+            unique_suffix_tokens: 64,
+            turn_suffix_tokens: 64,
+            decode_steps: 8,
+            mean_interarrival_cycles: 4_000.0,
+            ..SharedPrefixConfig::small_demo()
+        }
+    };
+    let workload = SharedPrefixConfig {
+        n_sessions: args.requests.unwrap_or(workload.n_sessions),
+        mean_interarrival_cycles: args.mean_gap.unwrap_or(workload.mean_interarrival_cycles),
+        seed: args.seed.unwrap_or(workload.seed),
+        ..workload
+    };
+    if workload.n_sessions == 0 {
+        usage_error("--requests must be at least 1");
+    }
+    if !(workload.mean_interarrival_cycles > 0.0 && workload.mean_interarrival_cycles.is_finite()) {
+        usage_error("--mean-gap must be a positive, finite cycle count");
+    }
+    println!(
+        "pade-serve: shared-prefix workload, {} sessions x {} turns, {} shared + {} unique tokens",
+        workload.n_sessions,
+        workload.turns_per_session,
+        workload.shared_prefix_tokens,
+        workload.unique_suffix_tokens,
+    );
+    generate_shared_prefix_arrivals(&workload)
+}
+
+fn main() {
+    let args = parse_args();
+    let arrivals =
+        if args.shared_prefix { shared_prefix_workload(&args) } else { plain_workload(&args) };
+    let prefix_cache = if args.no_prefix_cache {
+        if args.cache_budget.is_some() {
+            usage_error("--cache-budget conflicts with --no-prefix-cache");
+        }
+        None
+    } else {
+        Some(args.cache_budget.map_or(CacheBudget::unlimited(), CacheBudget::bytes))
+    };
     let config = ServeConfig {
         engine_slots: args.slots.unwrap_or(4).max(1),
         max_batch_tokens: args.max_batch_tokens.unwrap_or(64),
+        prefix_cache,
         ..ServeConfig::standard()
     };
 
     println!(
-        "pade-serve: {} requests, mean gap {:.0} cyc, S={}, {} slots, {} max batch tokens\n",
-        workload.n_requests,
-        workload.mean_interarrival_cycles,
-        workload.seq_len,
+        "device: {} slots, {} max batch tokens, prefix cache {}\n",
         config.engine_slots,
-        config.max_batch_tokens
+        config.max_batch_tokens,
+        match config.prefix_cache {
+            None => "off".to_string(),
+            Some(b) if b.is_unlimited() => "on (unlimited)".to_string(),
+            Some(b) => format!("on ({} byte budget)", b.max_bytes()),
+        }
     );
     println!(
         "{:<8} {:>9} {:>12} {:>12} {:>12} {:>13} {:>10} {:>10} {:>10}",
         "mode", "tokens", "p50 cyc", "p95 cyc", "p99 cyc", "Mtok/s sim", "queue", "occup", "wall"
     );
-
-    let arrivals = generate_arrivals(&workload);
 
     let start = std::time::Instant::now();
     let batched = serve(&config, &arrivals, ScheduleMode::Batched);
@@ -177,6 +292,10 @@ fn main() {
 
     // Bit-identity across schedules: batching must never change outputs.
     pade_serve::assert_outputs_identical(&batched, &solo);
+
+    println!();
+    print_cache_summary(&batched);
+    print_cache_summary(&solo);
 
     let gain = batched.summary.tokens_per_s / solo.summary.tokens_per_s.max(f64::MIN_POSITIVE);
     println!(

@@ -15,7 +15,13 @@
 //!   autoregressive multi-step decode over a growable per-session KV
 //!   plane cache ([`pade_quant::GrowableKeyCache`]) — each completed step
 //!   appends one token's planes and the next step attends over the grown
-//!   prefix through a chunked, `Arc`-shared snapshot,
+//!   prefix through a chunked, `Arc`-shared snapshot. Prompt-carrying
+//!   requests ([`RequestArrival::prompt`](pade_workload::trace::RequestArrival))
+//!   admit through the cross-request prefix cache
+//!   ([`pade_cache::KvCacheManager`], [`ServeConfig::prefix_cache`](server::ServeConfig)):
+//!   shared prompt prefixes and resumed multi-turn sessions skip
+//!   decomposition entirely, with hit/eviction/resident-byte stats in
+//!   the run's [`MetricsSummary`](metrics::MetricsSummary),
 //! * [`scheduler`] — FCFS iteration-level batch forming under an
 //!   engine-slot and max-batch-tokens cap,
 //! * [`server::serve`] — the admission → batch → dispatch → completion

@@ -7,6 +7,7 @@
 //! through [`OpCounts`]/[`TrafficCounts`] so the serving layer's numbers
 //! stay composable with the rest of the workspace (e.g. `pade-energy`).
 
+use pade_cache::CacheStats;
 use pade_sim::{
     Cycle, Frequency, LatencyStats, LatencySummary, OpCounts, TimeWeightedGauge, TrafficCounts,
 };
@@ -33,6 +34,13 @@ pub struct ServeMetrics {
     /// Simulated engine cycles summed over all blocks (Σ block latency;
     /// ≥ the makespan whenever batching overlaps blocks).
     pub engine_cycles: u64,
+    /// Prefix-cache counters (hit/decomposed tokens, evictions) copied
+    /// from the run's `KvCacheManager`; all zero when the cache is off
+    /// or the workload carries no prompts.
+    pub cache: CacheStats,
+    /// Bytes of decomposed planes the cache manager kept resident, over
+    /// time (stepped at every attach/detach).
+    pub cache_resident_bytes: TimeWeightedGauge,
 }
 
 /// The digest of a finished serve run.
@@ -56,6 +64,19 @@ pub struct MetricsSummary {
     pub makespan: Cycle,
     /// Tokens per simulated second at `clk`.
     pub tokens_per_s: f64,
+    /// Prompt tokens served from resident cache planes (no
+    /// decomposition).
+    pub cache_hit_tokens: u64,
+    /// Prompt tokens decomposed at admission.
+    pub cache_decomposed_tokens: u64,
+    /// Fraction of attached prompt tokens served without decomposition.
+    pub cache_hit_rate: f64,
+    /// Sealed chunks plus stored sessions evicted under the byte budget.
+    pub cache_evictions: u64,
+    /// Time-weighted mean resident bytes of the prefix cache.
+    pub cache_resident_bytes_mean: f64,
+    /// Peak resident bytes of the prefix cache.
+    pub cache_resident_bytes_max: f64,
 }
 
 impl ServeMetrics {
@@ -79,6 +100,12 @@ impl ServeMetrics {
             tokens: self.tokens,
             makespan: end,
             tokens_per_s: self.tokens as f64 / seconds,
+            cache_hit_tokens: self.cache.hit_tokens,
+            cache_decomposed_tokens: self.cache.decomposed_tokens,
+            cache_hit_rate: self.cache.hit_rate(),
+            cache_evictions: self.cache.evicted_chunks + self.cache.evicted_sessions,
+            cache_resident_bytes_mean: self.cache_resident_bytes.mean(end),
+            cache_resident_bytes_max: self.cache_resident_bytes.max(),
         }
     }
 }

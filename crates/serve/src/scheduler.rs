@@ -93,7 +93,7 @@ mod tests {
         let config = PadeConfig::standard();
         generate_arrivals(&ArrivalConfig { n_requests: n, ..ArrivalConfig::small_demo() })
             .iter()
-            .map(|spec| Session::admit(spec, &config, 64, Cycle::ZERO))
+            .map(|spec| Session::admit(spec, &config, 64, Cycle::ZERO, None))
             .collect()
     }
 

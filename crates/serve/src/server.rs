@@ -21,6 +21,7 @@
 
 use std::collections::VecDeque;
 
+use pade_cache::{CacheBudget, CacheConfig, KvCacheManager};
 use pade_core::config::PadeConfig;
 use pade_core::engine::{run_qk_batch, run_qk_batch_par, QkBatchJob, QkBlockResult};
 use pade_sim::{Cycle, Frequency};
@@ -48,11 +49,17 @@ pub struct ServeConfig {
     /// instead of a sequential loop. Results are bit-identical either
     /// way; this only changes host wall-clock.
     pub parallel_dispatch: bool,
+    /// Budget of the cross-request prefix cache, or `None` to disable
+    /// it. Only prompt-carrying requests (shared-prefix / multi-turn
+    /// workloads) consult the cache; outputs are byte-identical with the
+    /// cache on or off — the manager only changes *how* planes are
+    /// obtained, never what they contain.
+    pub prefix_cache: Option<CacheBudget>,
 }
 
 impl ServeConfig {
     /// The standard serving device: 4 lockstep engine slots, a 64-token
-    /// iteration cap, threaded dispatch.
+    /// iteration cap, threaded dispatch, an unbounded prefix cache.
     #[must_use]
     pub fn standard() -> Self {
         Self {
@@ -61,6 +68,7 @@ impl ServeConfig {
             max_batch_tokens: 64,
             kv_chunk_tokens: 64,
             parallel_dispatch: true,
+            prefix_cache: Some(CacheBudget::unlimited()),
         }
     }
 }
@@ -166,6 +174,23 @@ pub fn serve(config: &ServeConfig, arrivals: &[RequestArrival], mode: ScheduleMo
     pending.sort_by_key(|r| (r.arrival_cycle, r.id));
     let mut pending: VecDeque<&RequestArrival> = pending.into();
 
+    // The cross-request prefix cache, created only when it can ever be
+    // consulted (the workload carries prompts). All prompt-carrying
+    // arrivals must share one head_dim — the manager's chunk shape.
+    let mut cache_manager: Option<KvCacheManager> = config.prefix_cache.and_then(|budget| {
+        arrivals.iter().find(|r| r.prompt.is_some()).map(|first| {
+            KvCacheManager::new(
+                CacheConfig::new(
+                    first.trace.head_dim,
+                    config.engine.bits,
+                    config.kv_chunk_tokens.max(1),
+                )
+                .with_budget(budget),
+            )
+            .expect("the serve engine configuration is a valid cache shape")
+        })
+    });
+
     let mut active: Vec<Session> = Vec::new();
     let mut completions: Vec<Completion> = Vec::new();
     let mut metrics = ServeMetrics::new();
@@ -175,7 +200,16 @@ pub fn serve(config: &ServeConfig, arrivals: &[RequestArrival], mode: ScheduleMo
         // Admit everything that has arrived.
         while pending.front().is_some_and(|r| r.arrival_cycle <= now.0) {
             let spec = pending.pop_front().expect("front checked");
-            active.push(Session::admit(spec, &config.engine, config.kv_chunk_tokens.max(1), now));
+            active.push(Session::admit(
+                spec,
+                &config.engine,
+                config.kv_chunk_tokens.max(1),
+                now,
+                cache_manager.as_mut(),
+            ));
+            if let Some(manager) = &cache_manager {
+                metrics.cache_resident_bytes.set(now, manager.resident_bytes() as f64);
+            }
         }
         if active.is_empty() {
             match pending.front() {
@@ -224,7 +258,11 @@ pub fn serve(config: &ServeConfig, arrivals: &[RequestArrival], mode: ScheduleMo
         let mut i = 0;
         while i < active.len() {
             if active[i].is_finished() {
-                let session = active.remove(i);
+                let mut session = active.remove(i);
+                if let Some(manager) = cache_manager.as_mut() {
+                    session.detach_cache(manager);
+                    metrics.cache_resident_bytes.set(now, manager.resident_bytes() as f64);
+                }
                 let arrival = Cycle(session.spec().arrival_cycle);
                 metrics.latency.record(now - arrival);
                 metrics.tokens += session.tokens();
@@ -246,6 +284,10 @@ pub fn serve(config: &ServeConfig, arrivals: &[RequestArrival], mode: ScheduleMo
     metrics.queue_depth.set(now, 0.0);
     metrics.occupancy.set(now, 0.0);
     metrics.batch_tokens.set(now, 0.0);
+    if let Some(manager) = &cache_manager {
+        metrics.cache = *manager.stats();
+        metrics.cache_resident_bytes.set(now, manager.resident_bytes() as f64);
+    }
     let summary = metrics.summarize(now, Frequency::default());
     ServeReport { mode, completions, summary, metrics }
 }

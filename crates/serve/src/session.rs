@@ -30,6 +30,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
+use pade_cache::{CacheLease, KvCacheManager};
 use pade_core::config::PadeConfig;
 use pade_core::engine::{KeySource, QkBatchJob, QkBlockResult, SharedKeyPlanes};
 use pade_quant::{BitPlaneMatrix, GrowableKeyCache};
@@ -39,11 +40,17 @@ use pade_workload::trace::{AttentionTrace, RequestArrival, RequestKind};
 /// How a session stores its key planes.
 #[derive(Debug)]
 enum SessionKeys {
-    /// Whole context decomposed once at admission (prefill).
+    /// Whole context decomposed once at admission (prefill without a
+    /// cache manager).
     Shared(SharedKeyPlanes),
-    /// Growable per-session cache, appended to after every completed
-    /// decode step.
+    /// Growable per-session cache: decode sessions append to it after
+    /// every completed step; cache-managed sessions (decode *and*
+    /// prefill) receive it pre-populated from
+    /// [`KvCacheManager::attach`].
     Grown(GrowableKeyCache),
+    /// The cache was handed back to the manager at retirement
+    /// ([`Session::detach_cache`]); no further jobs exist.
+    Detached,
 }
 
 /// One admitted request with its operands, key planes and progress.
@@ -52,6 +59,15 @@ pub struct Session {
     spec: RequestArrival,
     trace: AttentionTrace,
     keys: SessionKeys,
+    /// Key rows derived from the prompt token ids (`seq_len × H`,
+    /// row-major) when the request carries a prompt; `None` means the
+    /// operand trace's keys are the key tensor, as before.
+    prompt_rows: Option<Vec<i8>>,
+    /// Lease over shared index chunks, surrendered at retirement.
+    lease: Option<CacheLease>,
+    /// Whether the key planes came from a cache manager (and must go
+    /// back to it through [`Session::detach_cache`]).
+    managed: bool,
     rows_per_block: usize,
     blocks_total: usize,
     next_block: usize,
@@ -65,48 +81,86 @@ impl Session {
     /// prompt prefix of a growable cache (sealing `kv_chunk_tokens`-token
     /// chunks) for decode.
     ///
+    /// Requests carrying a [`prompt`](RequestArrival::prompt) derive
+    /// their key rows from the prompt token ids instead of the operand
+    /// trace, and — when a [`KvCacheManager`] is supplied — attach
+    /// through it: the longest cached prefix (shared index or the
+    /// session's stored cache) is adopted without decomposition and only
+    /// the unseen suffix is decomposed. With `cache` absent the same
+    /// prompt-derived rows are decomposed from scratch, so outputs are
+    /// byte-identical with the manager on or off.
+    ///
     /// # Panics
     ///
     /// Panics if the request's trace cannot be decomposed under
-    /// `config.bits` or `kv_chunk_tokens` is zero.
+    /// `config.bits`, `kv_chunk_tokens` is zero, the prompt length
+    /// differs from the trace context, or the manager's shape differs
+    /// from the request's.
     #[must_use]
     pub fn admit(
         spec: &RequestArrival,
         config: &PadeConfig,
         kv_chunk_tokens: usize,
         admitted: Cycle,
+        cache: Option<&mut KvCacheManager>,
     ) -> Self {
         let trace = AttentionTrace::generate(&spec.trace);
+        let dims = trace.keys().cols();
+        let seq_len = trace.keys().rows();
         let (rows_per_block, blocks_total) = match spec.kind {
             // Prefill chunks by PE-row height, exactly as run_qk_blocks.
             RequestKind::Prefill { rows } => (config.pe_rows, rows.div_ceil(config.pe_rows)),
             // Decode: one query row per step.
             RequestKind::Decode { steps } => (1, steps),
         };
-        let keys = match spec.kind {
-            RequestKind::Prefill { .. } => SessionKeys::Shared(Arc::new(
-                BitPlaneMatrix::from_rows(
-                    trace.keys().as_slice(),
-                    trace.keys().cols(),
-                    config.bits,
-                )
-                .expect("request key tensor decomposes into bit planes"),
-            )),
-            RequestKind::Decode { .. } => {
-                let mut cache =
-                    GrowableKeyCache::new(trace.keys().cols(), config.bits, kv_chunk_tokens)
-                        .expect("request key tensor decomposes into bit planes");
-                let base = spec.kind.context_len(trace.keys().rows(), 0);
-                cache
-                    .append_rows(trace.key_prefix(base))
-                    .expect("prompt prefix decomposes into the cache");
-                SessionKeys::Grown(cache)
+        let prompt_rows: Option<Vec<i8>> = spec.prompt.as_ref().map(|p| {
+            assert_eq!(p.len(), seq_len, "prompt must carry one token id per key-context token");
+            p.key_rows(dims, config.bits)
+        });
+        // The key prefix a block attends: prompt-derived when a prompt is
+        // present, the operand trace's keys otherwise.
+        let key_prefix = |tokens: usize| -> &[i8] {
+            match &prompt_rows {
+                Some(rows) => &rows[..tokens * dims],
+                None => trace.key_prefix(tokens),
             }
         };
+        // Tokens resident at admission: the whole context for prefill,
+        // the step-0 prompt prefix for decode.
+        let base = spec.kind.context_len(seq_len, 0);
+        let mut lease = None;
+        let mut managed = false;
+        let keys = match (cache, &spec.prompt) {
+            (Some(manager), Some(prompt)) => {
+                let attached = manager
+                    .attach(spec.session, &prompt.ids()[..base], key_prefix(base))
+                    .expect("prompt key rows decompose under the manager's shape");
+                lease = Some(attached.lease);
+                managed = true;
+                SessionKeys::Grown(attached.cache)
+            }
+            _ => match spec.kind {
+                RequestKind::Prefill { .. } => SessionKeys::Shared(Arc::new(
+                    BitPlaneMatrix::from_rows(key_prefix(base), dims, config.bits)
+                        .expect("request key tensor decomposes into bit planes"),
+                )),
+                RequestKind::Decode { .. } => {
+                    let mut cache = GrowableKeyCache::new(dims, config.bits, kv_chunk_tokens)
+                        .expect("request key tensor decomposes into bit planes");
+                    cache
+                        .append_rows(key_prefix(base))
+                        .expect("prompt prefix decomposes into the cache");
+                    SessionKeys::Grown(cache)
+                }
+            },
+        };
         Self {
-            spec: *spec,
+            spec: spec.clone(),
             trace,
             keys,
+            prompt_rows,
+            lease,
+            managed,
             rows_per_block,
             blocks_total,
             next_block: 0,
@@ -152,12 +206,14 @@ impl Session {
     }
 
     /// Key tokens currently resident in this session's planes (grows step
-    /// by step for decode sessions, constant for prefill).
+    /// by step for decode sessions, constant for prefill; zero once the
+    /// cache has been detached back to its manager).
     #[must_use]
     pub fn cached_key_tokens(&self) -> usize {
         match &self.keys {
             SessionKeys::Shared(planes) => planes.tokens(),
             SessionKeys::Grown(cache) => cache.tokens(),
+            SessionKeys::Detached => 0,
         }
     }
 
@@ -195,6 +251,7 @@ impl Session {
         let keys = match &self.keys {
             SessionKeys::Shared(planes) => KeySource::Planes(Arc::clone(planes)),
             SessionKeys::Grown(cache) => KeySource::Cache(cache.snapshot()),
+            SessionKeys::Detached => unreachable!("detached sessions are finished"),
         };
         QkBatchJob {
             queries: rows.map(|i| self.trace.queries().row(i)).collect(),
@@ -213,15 +270,48 @@ impl Session {
         self.results.push(result);
         if let SessionKeys::Grown(cache) = &mut self.keys {
             if self.next_block < self.blocks_total {
+                let dims = self.trace.keys().cols();
                 let target = self.spec.kind.context_len(self.trace.keys().rows(), self.next_block);
                 while cache.tokens() < target {
                     let row = cache.tokens();
+                    let values = match &self.prompt_rows {
+                        Some(rows) => &rows[row * dims..(row + 1) * dims],
+                        None => self.trace.keys().row(row),
+                    };
                     cache
-                        .append_token(self.trace.keys().row(row))
+                        .append_token(values)
                         .expect("generated key row decomposes into the cache");
                 }
             }
         }
+    }
+
+    /// Hands a finished cache-managed session's grown planes back to the
+    /// manager: the lease over shared index chunks is surrendered and the
+    /// cache is stored for the session's next request (multi-turn
+    /// resume). A no-op for sessions that were not admitted through a
+    /// manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session still has blocks to run.
+    pub fn detach_cache(&mut self, manager: &mut KvCacheManager) {
+        assert!(self.is_finished(), "only finished sessions detach their caches");
+        if !self.managed {
+            return;
+        }
+        let SessionKeys::Grown(cache) = std::mem::replace(&mut self.keys, SessionKeys::Detached)
+        else {
+            unreachable!("managed sessions hold grown caches")
+        };
+        let prompt = self.spec.prompt.as_ref().expect("managed sessions carry prompts");
+        manager.detach(
+            self.spec.session,
+            prompt.ids(),
+            cache,
+            self.lease.take().unwrap_or_default(),
+        );
+        self.managed = false;
     }
 
     /// Per-block engine results, in block order.
@@ -261,19 +351,31 @@ pub fn output_bytes(results: &[QkBlockResult]) -> Vec<u8> {
 /// [`run_qk_block_reference`], re-decomposing the key prefix from scratch
 /// with [`BitPlaneMatrix::from_rows`] at every block — the ground truth
 /// the batched server's per-request outputs (and the growable caches'
-/// incremental appends) must match byte for byte.
+/// incremental appends, shared or private) must match byte for byte.
+/// Prompt-carrying requests re-derive their key rows from the prompt
+/// token ids, exactly as admission does, so the oracle never touches a
+/// cache of any kind.
 ///
 /// [`run_qk_block_reference`]: pade_core::engine::run_qk_block_reference
 #[must_use]
 pub fn reference_outputs(spec: &RequestArrival, config: &PadeConfig) -> Vec<QkBlockResult> {
     let trace = AttentionTrace::generate(&spec.trace);
+    let dims = trace.keys().cols();
     let (rows_per_block, blocks_total) = match spec.kind {
         RequestKind::Prefill { rows } => (config.pe_rows, rows.div_ceil(config.pe_rows)),
         RequestKind::Decode { steps } => (1, steps),
     };
     let total = spec.kind.tokens();
+    let prompt_rows: Option<Vec<i8>> = spec.prompt.as_ref().map(|p| {
+        assert_eq!(p.len(), trace.keys().rows(), "prompt must cover the whole key context");
+        p.key_rows(dims, config.bits)
+    });
     let decompose_prefix = |prefix: usize| {
-        BitPlaneMatrix::from_rows(trace.key_prefix(prefix), trace.keys().cols(), config.bits)
+        let rows = match &prompt_rows {
+            Some(rows) => &rows[..prefix * dims],
+            None => trace.key_prefix(prefix),
+        };
+        BitPlaneMatrix::from_rows(rows, dims, config.bits)
             .expect("key prefix decomposes into bit planes")
     };
     // Prefill blocks all attend the same full context — decompose once;
@@ -317,7 +419,7 @@ mod tests {
     fn prefill_chunks_by_pe_rows_and_decode_by_step() {
         let config = PadeConfig::standard();
         for spec in specs() {
-            let s = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
+            let s = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
             match spec.kind {
                 RequestKind::Prefill { rows } => {
                     assert_eq!(s.blocks_total(), rows.div_ceil(config.pe_rows));
@@ -335,7 +437,7 @@ mod tests {
     fn session_blocks_cover_every_query_row_once() {
         let config = PadeConfig::standard();
         let spec = specs().into_iter().find(|s| s.kind.tokens() > config.pe_rows).unwrap();
-        let session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
+        let session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
         let mut covered = Vec::new();
         for b in 0..session.blocks_total() {
             covered.extend(session.block_rows(b));
@@ -348,7 +450,7 @@ mod tests {
         let config = PadeConfig::standard();
         let spec =
             specs().into_iter().find(|s| matches!(s.kind, RequestKind::Prefill { .. })).unwrap();
-        let session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
+        let session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
         let job_a = session.next_job();
         let job_b = session.next_job();
         match (&job_a.keys, &job_b.keys) {
@@ -363,7 +465,7 @@ mod tests {
         let spec =
             specs().into_iter().find(|s| matches!(s.kind, RequestKind::Decode { .. })).unwrap();
         let seq_len = spec.trace.seq_len;
-        let mut session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
+        let mut session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
         let mut prefixes = Vec::new();
         while !session.is_finished() {
             let step = session.blocks_done();
@@ -392,7 +494,7 @@ mod tests {
         let config = PadeConfig::standard();
         let spec =
             specs().into_iter().find(|s| matches!(s.kind, RequestKind::Decode { .. })).unwrap();
-        let mut session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO);
+        let mut session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
         while !session.is_finished() {
             let job = session.next_job();
             let result = run_qk_batch(&config, &[job]).pop().unwrap();

@@ -10,9 +10,11 @@
 //!    same request run alone through the seed oracle
 //!    `run_qk_block_reference`.
 
+use pade_cache::CacheBudget;
 use pade_serve::scheduler::ScheduleMode;
 use pade_serve::server::{serve, Completion, ServeConfig, ServeReport};
 use pade_serve::{output_bytes, reference_outputs};
+use pade_workload::prompt::SharedPrefixConfig;
 use pade_workload::trace::{generate_arrivals, ArrivalConfig};
 use proptest::prelude::*;
 
@@ -33,6 +35,25 @@ fn by_id(report: &ServeReport) -> Vec<&Completion> {
     let mut v: Vec<&Completion> = report.completions.iter().collect();
     v.sort_by_key(|c| c.id);
     v
+}
+
+/// A small shared-prefix / multi-turn workload whose requests carry
+/// prompt token-id sequences (the prefix-cache serving regime).
+fn prompt_workload(seed: u64) -> SharedPrefixConfig {
+    SharedPrefixConfig {
+        n_sessions: 3,
+        turns_per_session: 2,
+        shared_prefix_tokens: 40,
+        unique_suffix_tokens: 12,
+        turn_suffix_tokens: 12,
+        decode_steps: 2,
+        prefill_rows: 6,
+        mean_interarrival_cycles: 2_000.0,
+        turn_gap_cycles: 50_000,
+        head_dim: 64,
+        seed,
+        ..SharedPrefixConfig::small_demo()
+    }
 }
 
 proptest! {
@@ -125,6 +146,52 @@ proptest! {
         prop_assert_eq!(base.completion_order(), odd.completion_order());
         for (a, b) in by_id(&base).iter().zip(by_id(&odd)) {
             prop_assert_eq!(a.output_bytes(), b.output_bytes());
+        }
+    }
+
+    /// The prefix cache is a storage decision, never a numerical one:
+    /// serving a shared-prefix / multi-turn workload with the cache on
+    /// (unlimited or tightly budgeted) or off yields identical completion
+    /// orders and byte-identical per-request outputs — and every request
+    /// matches its solo `run_qk_block_reference` oracle run, which
+    /// re-derives the prompt key rows from scratch and never touches a
+    /// cache.
+    #[test]
+    fn prefix_cache_on_or_off_never_changes_outputs(
+        seed in any::<u64>(),
+        chunk in 1usize..9,
+        tight in any::<bool>(),
+    ) {
+        let arrivals =
+            pade_workload::prompt::generate_shared_prefix_arrivals(&prompt_workload(seed));
+        let budget = if tight { CacheBudget::bytes(16 * 1024) } else { CacheBudget::unlimited() };
+        let base = ServeConfig { kv_chunk_tokens: chunk, ..ServeConfig::standard() };
+        let cached = serve(
+            &ServeConfig { prefix_cache: Some(budget), ..base.clone() },
+            &arrivals,
+            ScheduleMode::Batched,
+        );
+        let uncached = serve(
+            &ServeConfig { prefix_cache: None, ..base },
+            &arrivals,
+            ScheduleMode::Batched,
+        );
+        prop_assert_eq!(cached.completion_order(), uncached.completion_order());
+        for (a, b) in by_id(&cached).iter().zip(by_id(&uncached)) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.output_bytes(), b.output_bytes());
+        }
+        // The cache actually engaged: multi-turn shared prefixes must hit.
+        prop_assert!(cached.summary.cache_hit_tokens > 0);
+        prop_assert_eq!(uncached.summary.cache_hit_tokens, 0);
+        for completion in by_id(&cached) {
+            let oracle = reference_outputs(&arrivals[completion.id], &ServeConfig::standard().engine);
+            prop_assert_eq!(
+                completion.output_bytes(),
+                output_bytes(&oracle),
+                "request {} diverged from its solo seed-oracle run",
+                completion.id
+            );
         }
     }
 

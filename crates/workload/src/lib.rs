@@ -17,7 +17,10 @@
 //!
 //! [`model`] and [`task`] carry the architectural parameters and the
 //! Table II baseline metric values; [`quality`] maps measured output
-//! fidelity back onto task metrics.
+//! fidelity back onto task metrics. [`prompt`] adds prompt token-id
+//! sequences with a pure id→key-row derivation and the seeded
+//! shared-prefix / multi-turn arrival generator behind the `pade-cache`
+//! prefix-reuse serving regime.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 
 pub mod model;
 pub mod profile;
+pub mod prompt;
 pub mod quality;
 pub mod task;
 pub mod trace;

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::profile::ScoreProfile;
+use crate::prompt::PromptTokens;
 
 /// Number of distinct heavy-tail retrieval directions.
 const TAIL_FAMILIES: usize = 4;
@@ -414,7 +415,10 @@ impl ArrivalConfig {
 
 /// One request of an arrival trace: when it arrives, what it asks for and
 /// the (seeded) operand trace it executes against.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Cloning is cheap: the only non-`Copy` field is the `Arc`-shared
+/// [`PromptTokens`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestArrival {
     /// Request id, dense from 0 in arrival order.
     pub id: usize,
@@ -425,6 +429,16 @@ pub struct RequestArrival {
     /// Per-request operand trace configuration (seed derived from the
     /// arrival seed and the id, so requests are distinct but reproducible).
     pub trace: TraceConfig,
+    /// Session the request belongs to. Requests of one session arrive at
+    /// different times but share (and extend) a context; a prefix-sharing
+    /// cache manager keys its session store on this. Single-turn traces
+    /// use the request id, so every request is its own session.
+    pub session: u64,
+    /// Prompt token-id sequence covering the request's whole key context,
+    /// when the workload models token identity (shared-prefix / multi-turn
+    /// traces). `None` means the key tensor comes from the operand trace
+    /// alone, as in the plain [`generate_arrivals`] workloads.
+    pub prompt: Option<PromptTokens>,
 }
 
 /// Generates a seeded, reproducible arrival trace.
@@ -469,7 +483,14 @@ pub fn generate_arrivals(config: &ArrivalConfig) -> Vec<RequestArrival> {
                 .wrapping_add(id as u64)
                 .wrapping_mul(0xBF58_476D_1CE4_E5B9),
         };
-        out.push(RequestArrival { id, arrival_cycle: now, kind, trace });
+        out.push(RequestArrival {
+            id,
+            arrival_cycle: now,
+            kind,
+            trace,
+            session: id as u64,
+            prompt: None,
+        });
     }
     out
 }

@@ -16,7 +16,9 @@
 //! * [`baselines`] — Sanger, SpAtten, DOTA, Energon, SOFA, BitWave and the
 //!   software-only methods,
 //! * [`dist`] — the wafer-scale sequence-parallel extension (§VII):
-//!   mergeable online-softmax states, interconnect model, multi-chip runs.
+//!   mergeable online-softmax states, interconnect model, multi-chip runs,
+//! * [`cache`] — the cross-request prefix-sharing KV plane cache manager
+//!   (radix prefix index, session store, budgeted LRU eviction).
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub use pade_baselines as baselines;
+pub use pade_cache as cache;
 pub use pade_core as core;
 pub use pade_dist as dist;
 pub use pade_energy as energy;
