@@ -7,6 +7,7 @@
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario serve  # -> BENCH_2.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario decode-growth  # -> BENCH_3.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario prefix-cache  # -> BENCH_4.json
+//! cargo run --release -p pade-bench --bin pade-bench -- --scenario route  # -> BENCH_5.json
 //! ```
 //!
 //! The `qk` scenario (default) runs the sequential seed engine and the
@@ -21,12 +22,16 @@
 //! scenario times `pade-cache` cross-request prefix sharing against
 //! from-scratch decomposition of every prompt (cold / shared-prefix /
 //! multi-turn, plus an eviction-under-budget sweep) and writes
-//! `BENCH_4.json`.
+//! `BENCH_4.json`. The `route` scenario sweeps prefix-affinity vs
+//! round-robin vs least-loaded placement across 1/2/4/8 `pade-router`
+//! nodes (byte-identity against the single-node run and the seed oracle
+//! hard-checked) and writes `BENCH_5.json`.
 
 use std::path::PathBuf;
 
 use pade_bench::decode_growth::{run_growth_matrix, write_growth_json};
 use pade_bench::prefix_cache::{run_prefix_cache_matrix, write_prefix_cache_json};
+use pade_bench::route::{run_route_matrix, write_route_json};
 use pade_bench::serve::{run_serve_matrix, write_serve_json};
 use pade_bench::{run_matrix, write_json};
 
@@ -47,14 +52,16 @@ fn main() {
             }
             "--scenario" => {
                 scenario = args.next().unwrap_or_else(|| {
-                    eprintln!("--scenario requires qk, serve, decode-growth or prefix-cache");
+                    eprintln!(
+                        "--scenario requires qk, serve, decode-growth, prefix-cache or route"
+                    );
                     std::process::exit(2);
                 });
             }
             "--help" | "-h" => {
                 println!(
                     "usage: pade-bench [--quick] \
-                     [--scenario qk|serve|decode-growth|prefix-cache] [--out FILE.json]"
+                     [--scenario qk|serve|decode-growth|prefix-cache|route] [--out FILE.json]"
                 );
                 return;
             }
@@ -71,9 +78,11 @@ fn main() {
         "serve" => run_serve_scenario(quick, mode, out),
         "decode-growth" => run_growth_scenario(quick, mode, out),
         "prefix-cache" => run_prefix_cache_scenario(quick, mode, out),
+        "route" => run_route_scenario(quick, mode, out),
         other => {
             eprintln!(
-                "unknown scenario: {other} (expected qk, serve, decode-growth or prefix-cache)"
+                "unknown scenario: {other} (expected qk, serve, decode-growth, prefix-cache \
+                 or route)"
             );
             std::process::exit(2);
         }
@@ -125,6 +134,46 @@ fn run_prefix_cache_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
     };
     if let Some(path) = path {
         write_prefix_cache_json(&path, &sweep, mode).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+}
+
+fn run_route_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
+    println!("pade-bench route: prefix-affinity vs cache-blind placement across nodes\n");
+    println!(
+        "{:<6} {:<14} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>9}",
+        "nodes", "policy", "hit chk", "hit tok", "dec tok", "kv-prep", "p99 cyc", "imbal", "aff rt"
+    );
+    let sweep = run_route_matrix(quick);
+    for p in &sweep.points {
+        println!(
+            "{:<6} {:<14} {:>10} {:>10} {:>10} {:>11.4}s {:>12} {:>10.2} {:>9}",
+            p.n_nodes,
+            p.policy.label(),
+            p.hit_chunks,
+            p.hit_tokens,
+            p.decomposed_tokens,
+            p.kv_prep_wall_s,
+            p.p99_cycles,
+            p.load_imbalance,
+            p.session_affinity_routes + p.prefix_affinity_routes
+        );
+    }
+    println!(
+        "\nall fleet outputs byte-identical to the single-node run and the seed oracle; \
+         (m,l,O) shard merges bitwise-exact"
+    );
+
+    let path = match (&out, quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some(PathBuf::from("BENCH_5.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = path {
+        write_route_json(&path, &sweep, mode).unwrap_or_else(|e| {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         });

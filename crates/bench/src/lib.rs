@@ -26,14 +26,73 @@
 //! prefix-sharing scenario (`pade-bench --scenario prefix-cache`):
 //! `pade-cache` attach/detach vs from-scratch decomposition of every
 //! prompt, with an eviction-under-budget sweep, recorded to
-//! `BENCH_4.json`.
+//! `BENCH_4.json`. The [`route`] module adds the multi-node routing
+//! scenario (`pade-bench --scenario route`): prefix-affinity vs
+//! round-robin vs least-loaded placement across 1/2/4/8 `pade-router`
+//! nodes, recorded to `BENCH_5.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decode_growth;
 pub mod prefix_cache;
+pub mod route;
 pub mod serve;
+
+/// Shared KV-prep replay machinery for the cache-centric scenarios
+/// (`prefix_cache`, `route`): one prepared-operand representation and
+/// one attach/detach replay loop, so the two benches measure exactly
+/// the same admission protocol and cannot drift apart.
+pub(crate) mod prep {
+    use std::sync::Arc;
+
+    use pade_cache::{CacheConfig, KvCacheManager};
+    use pade_workload::trace::RequestArrival;
+
+    /// The prompt id/row operands of one request, precomputed so timed
+    /// replays pay neither trace generation nor key-row derivation.
+    pub(crate) struct PreparedRequest {
+        pub(crate) id: usize,
+        pub(crate) session: u64,
+        pub(crate) ids: Arc<[u32]>,
+        pub(crate) rows: Vec<i8>,
+    }
+
+    pub(crate) fn prepare(
+        arrivals: &[RequestArrival],
+        head_dim: usize,
+        bits: u32,
+    ) -> Vec<PreparedRequest> {
+        arrivals
+            .iter()
+            .map(|r| {
+                let prompt = r.prompt.as_ref().expect("cache workloads carry prompts");
+                PreparedRequest {
+                    id: r.id,
+                    session: r.session,
+                    ids: prompt.shared_ids(),
+                    rows: prompt.key_rows(head_dim, bits),
+                }
+            })
+            .collect()
+    }
+
+    /// Replays attach/detach over `requests` in order — the timed
+    /// KV-prep loop, kept free of accounting reads.
+    pub(crate) fn replay_manager<'a>(
+        requests: impl IntoIterator<Item = &'a PreparedRequest>,
+        config: CacheConfig,
+    ) -> KvCacheManager {
+        let mut manager = KvCacheManager::new(config).expect("bench cache shape is valid");
+        for req in requests {
+            let attached = manager
+                .attach(req.session, &req.ids, &req.rows)
+                .expect("bench prompt rows decompose");
+            manager.detach(req.session, Arc::clone(&req.ids), attached.cache, attached.lease);
+        }
+        manager
+    }
+}
 
 use std::io::Write as _;
 use std::time::Instant;

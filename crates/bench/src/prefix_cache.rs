@@ -30,7 +30,8 @@ use pade_core::config::PadeConfig;
 use pade_core::engine::{run_qk_block_cached, run_qk_block_reference};
 use pade_quant::BitPlaneMatrix;
 use pade_workload::prompt::{generate_shared_prefix_arrivals, SharedPrefixConfig};
-use pade_workload::trace::RequestArrival;
+
+use crate::prep::{prepare, PreparedRequest};
 
 /// One benchmarked prefix-cache workload variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,40 +234,13 @@ pub fn prefix_cache_matrix(quick: bool) -> Vec<PrefixCacheShapeSpec> {
     ]
 }
 
-/// The prompt id/row operands of one request, precomputed so neither
-/// timed path pays the key-row derivation.
-struct PreparedRequest {
-    session: u64,
-    ids: Vec<u32>,
-    rows: Vec<i8>,
-}
-
-fn prepare(arrivals: &[RequestArrival], head_dim: usize, bits: u32) -> Vec<PreparedRequest> {
-    arrivals
-        .iter()
-        .map(|r| {
-            let prompt = r.prompt.as_ref().expect("shared-prefix arrivals carry prompts");
-            PreparedRequest {
-                session: r.session,
-                ids: prompt.ids().to_vec(),
-                rows: prompt.key_rows(head_dim, bits),
-            }
-        })
-        .collect()
-}
-
-/// Replays attach/detach over `requests` — the timed KV-prep loop, kept
-/// free of accounting reads (an unlimited budget never consults
+/// Replays attach/detach over all of `requests` into one manager — the
+/// timed KV-prep loop (see [`crate::prep::replay_manager`]), kept free
+/// of accounting reads (an unlimited budget never consults
 /// `resident_bytes`, and with it resident growth is monotone, so the
 /// final residency *is* the peak).
 fn replay_manager(requests: &[PreparedRequest], config: CacheConfig) -> KvCacheManager {
-    let mut manager = KvCacheManager::new(config).expect("bench cache shape is valid");
-    for req in requests {
-        let attached =
-            manager.attach(req.session, &req.ids, &req.rows).expect("bench prompt rows decompose");
-        manager.detach(req.session, &req.ids, attached.cache, attached.lease);
-    }
-    manager
+    crate::prep::replay_manager(requests.iter(), config)
 }
 
 /// A deterministic query block for the engine identity checks.
@@ -345,7 +319,7 @@ pub fn run_prefix_cache_shape(
             );
             engine_checked_requests += 1;
         }
-        verify.detach(req.session, &req.ids, attached.cache, attached.lease);
+        verify.detach(req.session, std::sync::Arc::clone(&req.ids), attached.cache, attached.lease);
     }
     assert_eq!(
         (verify.stats().hit_tokens, verify.stats().decomposed_tokens),
@@ -410,7 +384,12 @@ pub fn run_budget_sweep(
                 "budget {}: cached planes diverged under eviction pressure",
                 budget.max_bytes()
             );
-            manager.detach(req.session, &req.ids, attached.cache, attached.lease);
+            manager.detach(
+                req.session,
+                std::sync::Arc::clone(&req.ids),
+                attached.cache,
+                attached.lease,
+            );
         }
         let stats = manager.stats();
         out.push(BudgetPointResult {

@@ -31,7 +31,7 @@ fn splitmix64(x: u64) -> u64 {
 
 /// 128-bit path-dependent key of a chunk: two independently-seeded 64-bit
 /// lanes folded over the parent key and the chunk's token ids.
-fn chunk_key(parent: Option<u128>, ids: &[u32]) -> u128 {
+pub(crate) fn chunk_key(parent: Option<u128>, ids: &[u32]) -> u128 {
     let (ph, pl) = match parent {
         Some(p) => ((p >> 64) as u64, p as u64),
         None => (0x7ADE_CA4E_0000_0001, 0x7ADE_CA4E_0000_0002),
@@ -120,6 +120,28 @@ impl PrefixIndex {
             }
         }
         out
+    }
+
+    /// Walks the longest cached chunk-aligned prefix of `ids` **without
+    /// mutating any LRU state**, returning the number of matched chunks.
+    /// This is the read-only probe behind hit-aware admission ordering: a
+    /// scheduler may consult it on every enqueue without perturbing the
+    /// eviction clock (probing must never change what gets evicted).
+    #[must_use]
+    pub fn peek_hit_chunks(&self, ids: &[u32], chunk_tokens: usize) -> usize {
+        let mut parent = None;
+        let mut matched = 0usize;
+        for chunk in ids.chunks_exact(chunk_tokens.max(1)) {
+            let key = chunk_key(parent, chunk);
+            match self.nodes.get(&key) {
+                Some(node) if node.parent == parent && *node.ids == *chunk => {
+                    matched += 1;
+                    parent = Some(key);
+                }
+                _ => break,
+            }
+        }
+        matched
     }
 
     /// Inserts a sealed chunk under `parent`, returning its key, the
@@ -218,6 +240,72 @@ impl PrefixIndex {
     pub(crate) fn chunk_arcs(&self) -> impl Iterator<Item = &Arc<BitPlaneMatrix>> {
         self.nodes.values().map(|n| &n.planes)
     }
+
+    /// Every resident node in a deterministic parent-before-child order
+    /// (depth first, then key), so a serializer can write them out and a
+    /// loader can re-insert them in file order with each parent already
+    /// resident. Hash-map iteration order never leaks: the sort key is
+    /// `(depth, key)`, both pure functions of the content.
+    pub(crate) fn export_nodes(&self) -> Vec<ExportedChunk<'_>> {
+        let depth_of = |mut key: u128| {
+            let mut depth = 0usize;
+            while let Some(node) = self.nodes.get(&key) {
+                match node.parent {
+                    Some(p) => {
+                        depth += 1;
+                        key = p;
+                    }
+                    None => break,
+                }
+            }
+            depth
+        };
+        let mut out: Vec<ExportedChunk<'_>> = self
+            .nodes
+            .iter()
+            .map(|(&key, node)| ExportedChunk {
+                key,
+                parent: node.parent,
+                depth: depth_of(key),
+                ids: &node.ids,
+                planes: &node.planes,
+            })
+            .collect();
+        out.sort_by_key(|c| (c.depth, c.key));
+        out
+    }
+}
+
+/// One resident index node, borrowed for serialization.
+pub(crate) struct ExportedChunk<'a> {
+    pub(crate) key: u128,
+    pub(crate) parent: Option<u128>,
+    pub(crate) depth: usize,
+    pub(crate) ids: &'a [u32],
+    pub(crate) planes: &'a Arc<BitPlaneMatrix>,
+}
+
+/// The deterministic 64-bit shard key of a prompt's leading chunks — the
+/// routing hash a cache-aware request router uses to co-locate requests
+/// that would share index chunks.
+///
+/// The key folds the same path-dependent [`chunk_key`] hash the
+/// [`PrefixIndex`] addresses its nodes with over the first
+/// `min(affinity_chunks, ⌊ids.len() / chunk_tokens⌋)` chunks, so two
+/// prompts map to the same shard key exactly when their leading indexed
+/// chunks would coincide. Returns `None` when the prompt is shorter than
+/// one full chunk (nothing indexable to share).
+#[must_use]
+pub fn prefix_shard_key(ids: &[u32], chunk_tokens: usize, affinity_chunks: usize) -> Option<u64> {
+    let chunk_tokens = chunk_tokens.max(1);
+    if ids.len() < chunk_tokens || affinity_chunks == 0 {
+        return None;
+    }
+    let mut parent = None;
+    for chunk in ids.chunks_exact(chunk_tokens).take(affinity_chunks) {
+        parent = Some(chunk_key(parent, chunk));
+    }
+    parent.map(|key| (key >> 64) as u64 ^ key as u64)
 }
 
 #[cfg(test)]
@@ -285,6 +373,64 @@ mod tests {
         assert_eq!(index.lru_evictable(), Some(a), "parent becomes evictable after its child");
         index.remove(a);
         assert!(index.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_resolve_without_touching_lru() {
+        let mut index = PrefixIndex::new();
+        let ids: Vec<u32> = (0..8).collect();
+        let a = index.insert(None, &ids[0..4], chunk_planes(&ids[0..4], 4), 1).unwrap().0;
+        index.insert(Some(a), &ids[4..8], chunk_planes(&ids[4..8], 4), 1).unwrap();
+        assert_eq!(index.peek_hit_chunks(&ids, 4), 2);
+        assert_eq!(index.peek_hit_chunks(&ids[..6], 4), 1);
+        assert_eq!(index.peek_hit_chunks(&[9, 9, 9, 9], 4), 0);
+        // A second index with a later LRU touch diverges from this one's
+        // eviction choice; peeking must not create such a divergence.
+        let before = index.lru_evictable();
+        let _ = index.peek_hit_chunks(&ids, 4);
+        assert_eq!(index.lru_evictable(), before);
+    }
+
+    #[test]
+    fn export_orders_parents_before_children() {
+        let mut index = PrefixIndex::new();
+        let ids: Vec<u32> = (0..12).collect();
+        let a = index.insert(None, &ids[0..4], chunk_planes(&ids[0..4], 4), 1).unwrap().0;
+        let b = index.insert(Some(a), &ids[4..8], chunk_planes(&ids[4..8], 4), 1).unwrap().0;
+        index.insert(Some(b), &ids[8..12], chunk_planes(&ids[8..12], 4), 1).unwrap();
+        index.insert(None, &[7, 7, 7, 7], chunk_planes(&[7, 7, 7, 7], 4), 2).unwrap();
+        let exported = index.export_nodes();
+        assert_eq!(exported.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for chunk in &exported {
+            if let Some(p) = chunk.parent {
+                assert!(seen.contains(&p), "parent must precede child in export order");
+            }
+            seen.insert(chunk.key);
+        }
+        assert_eq!(exported.iter().filter(|c| c.depth == 0).count(), 2);
+    }
+
+    #[test]
+    fn shard_key_tracks_leading_chunk_identity() {
+        let ids: Vec<u32> = (0..16).collect();
+        let same = prefix_shard_key(&ids, 4, 2);
+        assert!(same.is_some());
+        // Same leading chunks, different suffix: same shard key.
+        let mut longer = ids.clone();
+        longer.extend([99, 98, 97]);
+        assert_eq!(prefix_shard_key(&longer, 4, 2), same);
+        // Diverging inside the hashed window: different key.
+        let mut diverges = ids.clone();
+        diverges[5] = 1000;
+        assert_ne!(prefix_shard_key(&diverges, 4, 2), same);
+        // Diverging past the hashed window: same key.
+        let mut late = ids.clone();
+        late[15] = 1000;
+        assert_eq!(prefix_shard_key(&late, 4, 2), same);
+        // Shorter than one chunk: nothing indexable.
+        assert_eq!(prefix_shard_key(&ids[..3], 4, 2), None);
+        assert_eq!(prefix_shard_key(&ids, 4, 0), None);
     }
 
     #[test]

@@ -23,7 +23,16 @@
 //!   Chunks leased by live sessions are never eviction candidates.
 //! * [`KvCacheManager`] — ties the three together behind
 //!   [`attach`](KvCacheManager::attach)/[`detach`](KvCacheManager::detach)
-//!   and counts [`CacheStats`] (hit/decomposed tokens, evictions).
+//!   and counts [`CacheStats`] (hit/decomposed tokens, evictions). A
+//!   warm manager persists across serve runs through
+//!   [`save_to`](KvCacheManager::save_to)/[`load_from`](KvCacheManager::load_from)
+//!   (a versioned binary image, hand-rolled — no serde), and
+//!   [`predicted_hit_tokens`](KvCacheManager::predicted_hit_tokens) is
+//!   the read-only probe behind hit-aware admission ordering.
+//! * [`prefix_shard_key`] — the deterministic routing hash of a prompt's
+//!   leading chunks, folded with the same path-dependent key the index
+//!   addresses its nodes with; a multi-node router uses it to send
+//!   requests that would share chunks to the node that holds them.
 //!
 //! Two invariants make the manager safe to put on the serving path:
 //!
@@ -60,9 +69,10 @@
 mod budget;
 mod index;
 mod manager;
+mod persist;
 mod store;
 
 pub use budget::CacheBudget;
-pub use index::PrefixIndex;
+pub use index::{prefix_shard_key, PrefixIndex};
 pub use manager::{Attached, CacheConfig, CacheLease, CacheStats, KvCacheManager};
 pub use store::SessionStore;

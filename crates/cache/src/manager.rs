@@ -46,6 +46,12 @@ impl CacheConfig {
 /// attached prompt token: `hit_tokens` were served from resident planes
 /// (index chunks or a resumed session cache) and skipped decomposition
 /// entirely; `decomposed_tokens` paid the full bit-plane decomposition.
+///
+/// Every counter accumulates through [`u64::saturating_add`]: a run long
+/// enough to exhaust a `u64` pins at the maximum instead of wrapping —
+/// release builds already wrap silently on `+=`, and a wrapped counter
+/// would corrupt every derived rate, so saturation is the only honest
+/// overflow behavior for telemetry.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Attach calls.
@@ -126,7 +132,7 @@ pub struct Attached {
 /// least one manager-side holder keeps the allocation alive, so
 /// addresses cannot be reused under a live entry.
 #[derive(Debug, Default)]
-struct Residency {
+pub(crate) struct Residency {
     /// Manager-side holder count and cached byte size per chunk
     /// allocation.
     holders: HashMap<usize, (usize, u64)>,
@@ -134,7 +140,7 @@ struct Residency {
 }
 
 impl Residency {
-    fn track_chunk(&mut self, chunk: &Arc<BitPlaneMatrix>) {
+    pub(crate) fn track_chunk(&mut self, chunk: &Arc<BitPlaneMatrix>) {
         let entry = self
             .holders
             .entry(Arc::as_ptr(chunk) as usize)
@@ -157,7 +163,7 @@ impl Residency {
 
     /// Bills a stored cache: its sealed chunks (deduplicated against the
     /// index and other stored caches) plus its always-private open tail.
-    fn track_cache(&mut self, cache: &GrowableKeyCache) {
+    pub(crate) fn track_cache(&mut self, cache: &GrowableKeyCache) {
         for chunk in cache.sealed_chunks() {
             self.track_chunk(chunk);
         }
@@ -182,12 +188,12 @@ impl Residency {
 /// eviction sequences on every run.
 #[derive(Debug)]
 pub struct KvCacheManager {
-    config: CacheConfig,
-    index: PrefixIndex,
-    store: SessionStore,
-    residency: Residency,
-    stats: CacheStats,
-    tick: u64,
+    pub(crate) config: CacheConfig,
+    pub(crate) index: PrefixIndex,
+    pub(crate) store: SessionStore,
+    pub(crate) residency: Residency,
+    pub(crate) stats: CacheStats,
+    pub(crate) tick: u64,
 }
 
 impl KvCacheManager {
@@ -302,7 +308,7 @@ impl KvCacheManager {
             });
         }
         self.tick += 1;
-        self.stats.lookups += 1;
+        self.stats.lookups = self.stats.lookups.saturating_add(1);
         let dims = self.config.dims;
 
         // 1. Session resume. The resumed cache leaves the store (its
@@ -314,9 +320,10 @@ impl KvCacheManager {
             let resolved = self.index.resolve(&ids[..covered], self.config.chunk_tokens, self.tick);
             self.index.acquire(&resolved.path);
             cache.append_rows(&rows[covered * dims..])?;
-            self.stats.session_resumes += 1;
-            self.stats.hit_tokens += covered as u64;
-            self.stats.decomposed_tokens += (ids.len() - covered) as u64;
+            self.stats.session_resumes = self.stats.session_resumes.saturating_add(1);
+            self.stats.hit_tokens = self.stats.hit_tokens.saturating_add(covered as u64);
+            self.stats.decomposed_tokens =
+                self.stats.decomposed_tokens.saturating_add((ids.len() - covered) as u64);
             self.evict_to_budget();
             return Ok(Attached {
                 cache,
@@ -351,7 +358,8 @@ impl KvCacheManager {
                     Some((key, resident, created)) => {
                         if created {
                             self.residency.track_chunk(&resident);
-                            self.stats.inserted_chunks += 1;
+                            self.stats.inserted_chunks =
+                                self.stats.inserted_chunks.saturating_add(1);
                         }
                         path.push(key);
                         parent = Some(key);
@@ -368,8 +376,9 @@ impl KvCacheManager {
         cache.append_rows(&rows[full_chunks * chunk_tokens * dims..])?;
         let decomposed_tokens = ids.len() - hit_tokens;
         self.index.acquire(&path);
-        self.stats.hit_tokens += hit_tokens as u64;
-        self.stats.decomposed_tokens += decomposed_tokens as u64;
+        self.stats.hit_tokens = self.stats.hit_tokens.saturating_add(hit_tokens as u64);
+        self.stats.decomposed_tokens =
+            self.stats.decomposed_tokens.saturating_add(decomposed_tokens as u64);
         self.evict_to_budget();
         Ok(Attached {
             cache,
@@ -380,11 +389,29 @@ impl KvCacheManager {
         })
     }
 
+    /// Predicted prompt tokens an [`attach`](Self::attach) of `(session,
+    /// ids)` would serve from resident planes right now, **without
+    /// mutating anything** — no LRU touch, no lease, no stats. Mirrors
+    /// the attach preference order: a resumable stored session first,
+    /// the shared index walk otherwise. A hit-aware admission scheduler
+    /// may call this on every enqueue; because nothing is touched, the
+    /// probe can never change which chunks a later budget pass evicts.
+    #[must_use]
+    pub fn predicted_hit_tokens(&self, session: u64, ids: &[u32]) -> usize {
+        let covered = self.store.peek_covered(session, ids);
+        if covered > 0 {
+            return covered;
+        }
+        self.index.peek_hit_chunks(ids, self.config.chunk_tokens) * self.config.chunk_tokens
+    }
+
     /// Surrenders a finished request's lease and stores its grown cache
-    /// for the session's next request. `ids` is the request's prompt id
-    /// sequence; the store records the leading `cache.tokens()` of them
-    /// (a decode session's final generated token is never appended, so
-    /// the cache may cover slightly fewer ids than the prompt).
+    /// for the session's next request. `ids` is the request's full
+    /// `Arc`-shared prompt id sequence (the store shares the allocation,
+    /// never copies it); the store records the leading `cache.tokens()`
+    /// of them as covered (a decode session's final generated token is
+    /// never appended, so the cache may cover slightly fewer ids than
+    /// the prompt).
     ///
     /// # Panics
     ///
@@ -393,7 +420,7 @@ impl KvCacheManager {
     pub fn detach(
         &mut self,
         session: u64,
-        ids: &[u32],
+        ids: Arc<[u32]>,
         cache: GrowableKeyCache,
         lease: CacheLease,
     ) {
@@ -433,7 +460,7 @@ impl KvCacheManager {
     /// request — the more valuable asset, surrendered last). Stops early
     /// when everything left is leased — the budget never frees planes a
     /// live session reads.
-    fn evict_to_budget(&mut self) {
+    pub(crate) fn evict_to_budget(&mut self) {
         if self.config.budget.is_unlimited() {
             return;
         }
@@ -444,19 +471,20 @@ impl KvCacheManager {
                 if let Some(cache) = self.store.remove(session) {
                     self.residency.untrack_cache(&cache);
                 }
-                self.stats.evicted_sessions += 1;
+                self.stats.evicted_sessions = self.stats.evicted_sessions.saturating_add(1);
             } else if let Some(key) = self.index.lru_evictable() {
                 if let Some(chunk) = self.index.remove(key) {
                     self.residency.untrack_chunk(&chunk);
                 }
-                self.stats.evicted_chunks += 1;
+                self.stats.evicted_chunks = self.stats.evicted_chunks.saturating_add(1);
             } else {
                 break;
             }
             // Evicting a holder frees bytes only when it was the chunk's
             // last manager-side holder — the dedup accounting records
             // exactly what was actually freed.
-            self.stats.evicted_bytes += before - self.residency.total;
+            self.stats.evicted_bytes =
+                self.stats.evicted_bytes.saturating_add(before - self.residency.total);
         }
     }
 }
@@ -530,7 +558,7 @@ mod tests {
         let mut m = manager(4);
         let turn1 = ids(10, 7);
         let a = m.attach(9, &turn1, &rows_for(&turn1, 8)).unwrap();
-        m.detach(9, &turn1, a.cache, a.lease);
+        m.detach(9, turn1.clone().into(), a.cache, a.lease);
         assert_eq!(m.stored_sessions(), 1);
 
         let mut turn2 = turn1.clone();
@@ -574,7 +602,7 @@ mod tests {
                 .unwrap();
         let p = ids(8, 13);
         let a = m.attach(1, &p, &rows_for(&p, 8)).unwrap();
-        m.detach(1, &p, a.cache, a.lease);
+        m.detach(1, p.clone().into(), a.cache, a.lease);
         assert_eq!(m.stored_sessions(), 0);
         assert_eq!(m.resident_bytes(), 0);
         assert!(m.stats().evicted_sessions >= 1);
@@ -605,7 +633,7 @@ mod tests {
                 p.extend(ids(3 + 2 * turn as usize, session as u32 ^ 0x55));
                 let attached = m.attach(session, &p, &rows_for(&p, 8)).unwrap();
                 assert_eq!(m.resident_bytes(), m.recompute_resident_bytes());
-                m.detach(session, &p, attached.cache, attached.lease);
+                m.detach(session, p.clone().into(), attached.cache, attached.lease);
                 assert_eq!(m.resident_bytes(), m.recompute_resident_bytes());
             }
         }
@@ -620,7 +648,7 @@ mod tests {
         let turn1 = ids(8, 31);
         let a = m.attach(3, &turn1, &rows_for(&turn1, 8)).unwrap();
         assert_eq!(a.lease.chunks(), 2);
-        m.detach(3, &turn1, a.cache, a.lease);
+        m.detach(3, turn1.clone().into(), a.cache, a.lease);
         let mut turn2 = turn1.clone();
         turn2.extend(ids(4, 32));
         let b = m.attach(3, &turn2, &rows_for(&turn2, 8)).unwrap();
@@ -629,7 +657,32 @@ mod tests {
         // index, so they enjoy the same eviction exemption as a
         // prefix-sharing attach.
         assert_eq!(b.lease.chunks(), 2);
-        m.detach(3, &turn2, b.cache, b.lease);
+        m.detach(3, turn2.clone().into(), b.cache, b.lease);
+    }
+
+    #[test]
+    fn probe_predicts_attach_hits_without_mutation() {
+        let mut m = manager(4);
+        let p = ids(10, 41);
+        // Empty manager: nothing to hit.
+        assert_eq!(m.predicted_hit_tokens(1, &p), 0);
+        let a = m.attach(1, &p, &rows_for(&p, 8)).unwrap();
+        // Index path: 2 full chunks resident → 8 predicted hit tokens,
+        // exactly what a second attach then observes.
+        assert_eq!(m.predicted_hit_tokens(2, &p), 8);
+        let before_stats = *m.stats();
+        let probed = m.predicted_hit_tokens(2, &p);
+        assert_eq!(*m.stats(), before_stats, "probing never counts as a lookup");
+        let b = m.attach(2, &p, &rows_for(&p, 8)).unwrap();
+        assert_eq!(b.hit_tokens, probed);
+        // Store path: a detached session predicts its covered resume.
+        m.detach(1, p.clone().into(), a.cache, a.lease);
+        let mut turn2 = p.clone();
+        turn2.extend(ids(4, 42));
+        assert_eq!(m.predicted_hit_tokens(1, &turn2), 10);
+        let c = m.attach(1, &turn2, &rows_for(&turn2, 8)).unwrap();
+        assert!(c.resumed_session);
+        assert_eq!(c.hit_tokens, 10);
     }
 
     #[test]

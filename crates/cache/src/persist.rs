@@ -1,0 +1,413 @@
+//! Versioned binary persistence of a [`KvCacheManager`]'s warm state.
+//!
+//! A serve run ends with a prefix index full of decomposed shared
+//! prefixes and a session store full of resumable conversations — state
+//! that is expensive to rebuild and trivially derivable from nothing but
+//! token ids and key rows. [`KvCacheManager::save_to`] writes exactly
+//! that derivation input to a hand-rolled binary image (the environment
+//! has no serde): a magic + version header, the manager shape, every
+//! index chunk in parent-before-child order and every stored session.
+//! [`KvCacheManager::load_from`] replays the image through the ordinary
+//! insert/resolve machinery, so restored planes are **byte-identical** to
+//! the saved ones (decomposition is deterministic) and restored sessions
+//! re-adopt shared index chunks by `Arc` exactly as a live attach would —
+//! no double billing, same dedup.
+//!
+//! What is deliberately *not* persisted: leases (transient claims of live
+//! sessions — a saved manager must be quiescent), running [`CacheStats`]
+//! (a new run starts its own counters) and LRU clocks (restored entries
+//! are re-aged in file order, which is itself deterministic). The budget
+//! comes from the *loading* configuration, not the file, and is enforced
+//! once after the replay.
+//!
+//! [`CacheStats`]: crate::CacheStats
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use pade_quant::{BitPlaneMatrix, GrowableKeyCache};
+
+use crate::manager::{CacheConfig, KvCacheManager};
+
+/// File magic: `PADEKVC` + a format byte.
+const MAGIC: [u8; 8] = *b"PADEKVC\x01";
+/// Format version; bump on any layout change.
+const VERSION: u32 = 1;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u128(w: &mut impl Write, v: u128) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u128(r: &mut impl Read) -> io::Result<u128> {
+    let mut b = [0u8; 16];
+    r.read_exact(&mut b)?;
+    Ok(u128::from_le_bytes(b))
+}
+
+fn write_ids(w: &mut impl Write, ids: &[u32]) -> io::Result<()> {
+    for &id in ids {
+        write_u32(w, id)?;
+    }
+    Ok(())
+}
+
+fn read_ids(r: &mut impl Read, n: usize) -> io::Result<Vec<u32>> {
+    (0..n).map(|_| read_u32(r)).collect()
+}
+
+/// Reassembles the row-major i8 key rows a plane chunk was decomposed
+/// from — the derivation input the loader re-decomposes, byte-identically.
+fn chunk_rows(planes: &BitPlaneMatrix) -> Vec<i8> {
+    let mut rows = Vec::with_capacity(planes.tokens() * planes.dims());
+    for j in 0..planes.tokens() {
+        rows.extend(planes.token(j).reconstruct().into_iter().map(|v| v as i8));
+    }
+    rows
+}
+
+fn write_rows(w: &mut impl Write, rows: &[i8]) -> io::Result<()> {
+    // i8 → u8 is a bit-preserving cast; the reader mirrors it.
+    let bytes: Vec<u8> = rows.iter().map(|&v| v as u8).collect();
+    w.write_all(&bytes)
+}
+
+fn read_rows(r: &mut impl Read, n: usize) -> io::Result<Vec<i8>> {
+    // `n` derives from untrusted file counts: read in bounded chunks so
+    // a corrupt record degrades to an EOF error from the reads below,
+    // never a giant upfront allocation.
+    const CHUNK: usize = 1 << 16;
+    let mut bytes: Vec<u8> = Vec::with_capacity(n.min(CHUNK));
+    let mut remaining = n;
+    let mut buf = [0u8; CHUNK];
+    while remaining > 0 {
+        let take = remaining.min(CHUNK);
+        r.read_exact(&mut buf[..take])?;
+        bytes.extend_from_slice(&buf[..take]);
+        remaining -= take;
+    }
+    Ok(bytes.into_iter().map(|b| b as i8).collect())
+}
+
+impl KvCacheManager {
+    /// Writes the manager's warm state (prefix index + session store) to
+    /// `path` as a versioned binary image. The manager should be
+    /// quiescent — outstanding leases are not recorded and simply lapse
+    /// on restore.
+    ///
+    /// The write is atomic: the image is streamed to a `.tmp` sibling
+    /// and renamed over `path` only once fully flushed, so a crash or
+    /// full disk mid-save can never leave a truncated image that bricks
+    /// every later warm start (the loader treats corrupt files as
+    /// hard errors by design).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating, writing or renaming.
+    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension(match path.extension() {
+            Some(ext) => format!("{}.tmp", ext.to_string_lossy()),
+            None => "tmp".to_string(),
+        });
+        self.save_image(&tmp)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Streams the image to exactly `path` (the non-atomic inner write).
+    fn save_image(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&MAGIC)?;
+        write_u32(&mut w, VERSION)?;
+        write_u32(&mut w, u32::try_from(self.config.dims).map_err(|_| invalid("dims"))?)?;
+        write_u32(&mut w, self.config.bits)?;
+        write_u32(
+            &mut w,
+            u32::try_from(self.config.chunk_tokens).map_err(|_| invalid("chunk_tokens"))?,
+        )?;
+
+        // Index chunks, parents before children, parent referenced by its
+        // position in the file so the loader can re-chain as it reads.
+        let nodes = self.index.export_nodes();
+        write_u32(&mut w, u32::try_from(nodes.len()).map_err(|_| invalid("node count"))?)?;
+        let position_of: std::collections::HashMap<u128, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Ok((n.key, u32::try_from(i).map_err(|_| invalid("parent pos"))?)))
+            .collect::<io::Result<_>>()?;
+        for node in &nodes {
+            let parent_pos = match node.parent {
+                Some(p) => position_of[&p],
+                None => u32::MAX,
+            };
+            write_u32(&mut w, parent_pos)?;
+            write_u128(&mut w, node.key)?;
+            write_ids(&mut w, node.ids)?;
+            write_rows(&mut w, &chunk_rows(node.planes))?;
+        }
+
+        // Stored sessions, ascending session id.
+        let sessions = self.store.export_sessions();
+        write_u32(&mut w, u32::try_from(sessions.len()).map_err(|_| invalid("session count"))?)?;
+        for (session, ids, cache) in sessions {
+            write_u64(&mut w, session)?;
+            write_u32(&mut w, u32::try_from(ids.len()).map_err(|_| invalid("covered"))?)?;
+            write_ids(&mut w, ids)?;
+            write_rows(&mut w, &chunk_rows(&cache.snapshot().materialize()))?;
+        }
+        w.flush()
+    }
+
+    /// Loads a warm manager from `path`. The file's shape (dims, bits,
+    /// chunk tokens) must match `config` exactly — a cache image is only
+    /// meaningful for the decomposition it was built under; the budget is
+    /// taken from `config` and enforced once after the replay.
+    ///
+    /// Restored planes are byte-identical to the saved ones, and restored
+    /// sessions re-adopt still-indexed prefix chunks by `Arc` (the loader
+    /// resolves each session's covered ids against the restored index, so
+    /// the index/store sharing — and therefore deduplicated residency —
+    /// survives the round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] for a bad magic, an
+    /// unsupported version, a shape mismatch or internal inconsistency
+    /// (a chunk whose recomputed key differs from the recorded one), and
+    /// propagates I/O errors from reading `path`.
+    pub fn load_from(path: &Path, config: CacheConfig) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(invalid("not a PADE KV cache image"));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(invalid(format!("unsupported cache image version {version}")));
+        }
+        let dims = read_u32(&mut r)? as usize;
+        let bits = read_u32(&mut r)?;
+        let chunk_tokens = read_u32(&mut r)? as usize;
+        if dims != config.dims || bits != config.bits || chunk_tokens != config.chunk_tokens {
+            return Err(invalid(format!(
+                "cache image shape {dims}x{bits}b/{chunk_tokens} differs from configured \
+                 {}x{}b/{}",
+                config.dims, config.bits, config.chunk_tokens
+            )));
+        }
+        let mut manager = Self::new(config).map_err(|e| invalid(format!("invalid shape: {e}")))?;
+
+        // Replay the index chunks through the ordinary insert path; the
+        // recomputed content keys must reproduce the recorded ones.
+        let node_count = read_u32(&mut r)? as usize;
+        // The count is untrusted file data: cap the preallocation so a
+        // corrupt header degrades to an InvalidData/EOF error from the
+        // per-node reads below, never a giant allocation.
+        let mut keys: Vec<u128> = Vec::with_capacity(node_count.min(4096));
+        for pos in 0..node_count {
+            let parent_pos = read_u32(&mut r)?;
+            let recorded_key = read_u128(&mut r)?;
+            let ids = read_ids(&mut r, chunk_tokens)?;
+            let rows = read_rows(&mut r, chunk_tokens * dims)?;
+            let parent = match parent_pos {
+                u32::MAX => None,
+                p if (p as usize) < pos => Some(keys[p as usize]),
+                _ => return Err(invalid("cache image chunk references a later parent")),
+            };
+            let planes = Arc::new(
+                BitPlaneMatrix::from_rows(&rows, dims, bits)
+                    .map_err(|e| invalid(format!("cache image rows do not decompose: {e}")))?,
+            );
+            manager.tick += 1;
+            let (key, resident, created) = manager
+                .index
+                .insert(parent, &ids, planes, manager.tick)
+                .ok_or_else(|| invalid("cache image holds colliding chunks"))?;
+            if key != recorded_key {
+                return Err(invalid("cache image chunk key mismatch (corrupt image)"));
+            }
+            if created {
+                manager.residency.track_chunk(&resident);
+            }
+            keys.push(key);
+        }
+
+        // Replay stored sessions, re-adopting indexed prefix chunks.
+        let session_count = read_u32(&mut r)? as usize;
+        for _ in 0..session_count {
+            let session = read_u64(&mut r)?;
+            let covered = read_u32(&mut r)? as usize;
+            let ids = read_ids(&mut r, covered)?;
+            let rows = read_rows(&mut r, covered * dims)?;
+            manager.tick += 1;
+            let resolved = manager.index.resolve(&ids, chunk_tokens, manager.tick);
+            let shared_tokens = resolved.chunks.len() * chunk_tokens;
+            let mut cache =
+                GrowableKeyCache::from_chunks(resolved.chunks, dims, bits, chunk_tokens)
+                    .map_err(|e| invalid(format!("cache image session chunks malformed: {e}")))?;
+            cache
+                .append_rows(&rows[shared_tokens * dims..])
+                .map_err(|e| invalid(format!("cache image session rows do not decompose: {e}")))?;
+            manager.residency.track_cache(&cache);
+            if manager.store.insert(session, ids.into(), cache, manager.tick).is_some() {
+                return Err(invalid("cache image stores a session twice"));
+            }
+        }
+
+        manager.evict_to_budget();
+        Ok(manager)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::CacheBudget;
+
+    fn ids(n: usize, seed: u32) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(2654435761).wrapping_add(seed) % 1000).collect()
+    }
+
+    fn rows_for(ids: &[u32], dims: usize) -> Vec<i8> {
+        ids.iter()
+            .flat_map(|&id| {
+                (0..dims).map(move |d| {
+                    (u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (8 + (d % 8) * 4)) as u8
+                        as i8
+                })
+            })
+            .collect()
+    }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pade_cache_persist_{name}.bin"))
+    }
+
+    /// A manager with shared prefixes, a private (non-chunk-aligned)
+    /// tail, and a stored multi-turn session.
+    fn warm_manager() -> KvCacheManager {
+        let mut m = KvCacheManager::new(CacheConfig::new(8, 8, 4)).unwrap();
+        let shared = ids(12, 1);
+        for session in 0..3u64 {
+            let mut p = shared.clone();
+            p.extend(ids(5, 10 + session as u32));
+            let a = m.attach(session, &p, &rows_for(&p, 8)).unwrap();
+            m.detach(session, p.into(), a.cache, a.lease);
+        }
+        m
+    }
+
+    #[test]
+    fn round_trip_restores_hits_and_planes_byte_identically() {
+        let m = warm_manager();
+        let path = temp("round_trip");
+        m.save_to(&path).unwrap();
+        let restored = KvCacheManager::load_from(&path, *m.config()).unwrap();
+        assert_eq!(restored.resident_chunks(), m.resident_chunks());
+        assert_eq!(restored.stored_sessions(), m.stored_sessions());
+        assert_eq!(restored.resident_bytes(), m.resident_bytes(), "dedup must survive");
+
+        // A fresh prompt over the shared prefix hits the restored index
+        // exactly as it would the live one, and the planes are
+        // byte-identical to a from-scratch decomposition.
+        let mut live = warm_manager();
+        let mut restored = restored;
+        let mut p = ids(12, 1);
+        p.extend(ids(3, 99));
+        let rows = rows_for(&p, 8);
+        let a = live.attach(7, &p, &rows).unwrap();
+        let b = restored.attach(7, &p, &rows).unwrap();
+        assert_eq!((a.hit_tokens, a.decomposed_tokens), (b.hit_tokens, b.decomposed_tokens));
+        assert!(a.hit_tokens > 0);
+        assert_eq!(a.cache.snapshot().materialize(), b.cache.snapshot().materialize());
+        let scratch = BitPlaneMatrix::from_rows(&rows, 8, 8).unwrap();
+        assert_eq!(b.cache.snapshot().materialize(), scratch);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restored_sessions_resume_and_share_index_chunks() {
+        let m = warm_manager();
+        let path = temp("resume");
+        m.save_to(&path).unwrap();
+        let mut restored = KvCacheManager::load_from(&path, *m.config()).unwrap();
+        // Session 0's next turn extends its stored context: must resume.
+        let mut turn2 = ids(12, 1);
+        turn2.extend(ids(5, 10));
+        turn2.extend(ids(4, 50));
+        let a = restored.attach(0, &turn2, &rows_for(&turn2, 8)).unwrap();
+        assert!(a.resumed_session, "restored store must resume extended sessions");
+        assert!(a.hit_tokens >= 12);
+        let scratch = BitPlaneMatrix::from_rows(&rows_for(&turn2, 8), 8, 8).unwrap();
+        assert_eq!(a.cache.snapshot().materialize(), scratch);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_enforces_the_loading_budget() {
+        let m = warm_manager();
+        let path = temp("budget");
+        m.save_to(&path).unwrap();
+        let tight = (*m.config()).with_budget(CacheBudget::bytes(0));
+        let restored = KvCacheManager::load_from(&path, tight).unwrap();
+        assert_eq!(restored.resident_bytes(), 0, "zero budget drains the restored state");
+        assert_eq!(restored.resident_chunks(), 0);
+        assert_eq!(restored.stored_sessions(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shape_mismatch_and_corruption_are_rejected() {
+        let m = warm_manager();
+        let path = temp("reject");
+        m.save_to(&path).unwrap();
+        let other = CacheConfig::new(8, 8, 5);
+        assert!(KvCacheManager::load_from(&path, other).is_err(), "chunk shape must match");
+        // Truncate: mid-file EOF is an error, not a partial load.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(KvCacheManager::load_from(&path, *m.config()).is_err());
+        // Bad magic.
+        std::fs::write(&path, b"NOTACACHE").unwrap();
+        let err = KvCacheManager::load_from(&path, *m.config()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_manager_round_trips() {
+        let m = KvCacheManager::new(CacheConfig::new(4, 8, 2)).unwrap();
+        let path = temp("empty");
+        m.save_to(&path).unwrap();
+        let restored = KvCacheManager::load_from(&path, *m.config()).unwrap();
+        assert_eq!(restored.resident_chunks(), 0);
+        assert_eq!(restored.stored_sessions(), 0);
+        assert_eq!(restored.resident_bytes(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

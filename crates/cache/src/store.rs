@@ -7,15 +7,27 @@
 //! session id and remembers the exact token ids the stored cache covers —
 //! resumption happens only when the new prompt really extends them, so a
 //! session that rewrites history simply falls back to the shared index.
+//!
+//! Stored id sequences ride the caller's `Arc<[u32]>` (the serving layer
+//! hands in the request's `Arc`-shared prompt ids directly), so storing a
+//! session never copies its token ids — only the covered-length marker is
+//! per-entry state.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pade_quant::GrowableKeyCache;
 
 #[derive(Debug)]
 struct StoredSession {
-    /// Token ids covered by `cache`, exactly `cache.tokens()` of them.
-    ids: Vec<u32>,
+    /// The stored request's full prompt ids, `Arc`-shared with the
+    /// request that detached them (never copied in).
+    ids: Arc<[u32]>,
+    /// Leading ids actually covered by `cache` — exactly
+    /// `cache.tokens()` of them (a decode session's final generated token
+    /// is never appended, so the cache may cover fewer ids than the
+    /// prompt).
+    covered: usize,
     cache: GrowableKeyCache,
     last_use: u64,
 }
@@ -46,6 +58,23 @@ impl SessionStore {
         self.sessions.is_empty()
     }
 
+    /// Leading tokens of `ids` the stored cache of `session` would cover
+    /// on resume, without mutating anything — zero when the session is
+    /// absent or `ids` does not extend the stored context. The read-only
+    /// twin of [`take_if_prefix`](Self::take_if_prefix) for hit
+    /// prediction.
+    pub(crate) fn peek_covered(&self, session: u64, ids: &[u32]) -> usize {
+        match self.sessions.get(&session) {
+            Some(entry)
+                if entry.covered <= ids.len()
+                    && entry.ids[..entry.covered] == ids[..entry.covered] =>
+            {
+                entry.covered
+            }
+            _ => 0,
+        }
+    }
+
     /// Takes the stored cache of `session` when `ids` extends (or equals)
     /// the token ids the cache covers; otherwise the entry stays put (a
     /// non-extending prompt is a different conversation, not a resume).
@@ -56,8 +85,8 @@ impl SessionStore {
         ids: &[u32],
     ) -> Option<(GrowableKeyCache, usize)> {
         let entry = self.sessions.get(&session)?;
-        let covered = entry.ids.len();
-        if covered > ids.len() || entry.ids != ids[..covered] {
+        let covered = entry.covered;
+        if covered > ids.len() || entry.ids[..covered] != ids[..covered] {
             return None;
         }
         let entry = self.sessions.remove(&session).expect("entry just read");
@@ -66,18 +95,19 @@ impl SessionStore {
 
     /// Stores (or replaces) a session's grown cache covering exactly the
     /// leading `cache.tokens()` ids of `ids`, returning the replaced
-    /// cache (if any) so the caller can unbill it.
+    /// cache (if any) so the caller can unbill it. The `Arc` is shared,
+    /// never copied.
     pub(crate) fn insert(
         &mut self,
         session: u64,
-        ids: &[u32],
+        ids: Arc<[u32]>,
         cache: GrowableKeyCache,
         tick: u64,
     ) -> Option<GrowableKeyCache> {
         debug_assert!(cache.tokens() <= ids.len());
-        let covered = ids[..cache.tokens()].to_vec();
+        let covered = cache.tokens();
         self.sessions
-            .insert(session, StoredSession { ids: covered, cache, last_use: tick })
+            .insert(session, StoredSession { ids, covered, cache, last_use: tick })
             .map(|e| e.cache)
     }
 
@@ -90,6 +120,16 @@ impl SessionStore {
     /// Drops a stored session, returning its cache for byte accounting.
     pub(crate) fn remove(&mut self, session: u64) -> Option<GrowableKeyCache> {
         self.sessions.remove(&session).map(|e| e.cache)
+    }
+
+    /// Every stored session in ascending session-id order (deterministic
+    /// despite the hash-map storage), borrowed for serialization: the id,
+    /// the covered leading ids and the cache itself.
+    pub(crate) fn export_sessions(&self) -> Vec<(u64, &[u32], &GrowableKeyCache)> {
+        let mut out: Vec<(u64, &[u32], &GrowableKeyCache)> =
+            self.sessions.iter().map(|(&id, e)| (id, &e.ids[..e.covered], &e.cache)).collect();
+        out.sort_by_key(|&(id, _, _)| id);
+        out
     }
 
     /// Iterates the stored caches (for the slow test-only residency
@@ -115,7 +155,7 @@ mod tests {
     #[test]
     fn resume_requires_an_extending_prompt() {
         let mut store = SessionStore::new();
-        store.insert(7, &[1, 2, 3], grown(&[1, 2, 3]), 1);
+        store.insert(7, Arc::from(&[1u32, 2, 3][..]), grown(&[1, 2, 3]), 1);
         // A rewritten history does not resume (and the entry survives).
         assert!(store.take_if_prefix(7, &[1, 9, 3, 4]).is_none());
         assert!(store.take_if_prefix(8, &[1, 2, 3, 4]).is_none());
@@ -127,11 +167,36 @@ mod tests {
     }
 
     #[test]
+    fn peek_covered_predicts_resume_without_mutation() {
+        let mut store = SessionStore::new();
+        store.insert(7, Arc::from(&[1u32, 2, 3][..]), grown(&[1, 2, 3]), 1);
+        assert_eq!(store.peek_covered(7, &[1, 2, 3, 4]), 3);
+        assert_eq!(store.peek_covered(7, &[1, 2, 3]), 3);
+        assert_eq!(store.peek_covered(7, &[1, 9, 3]), 0, "rewritten history never resumes");
+        assert_eq!(store.peek_covered(7, &[1, 2]), 0, "shorter prompt never resumes");
+        assert_eq!(store.peek_covered(8, &[1, 2, 3]), 0, "unknown session");
+        assert_eq!(store.len(), 1, "peeking takes nothing out");
+    }
+
+    #[test]
+    fn stored_ids_share_the_callers_arc() {
+        let mut store = SessionStore::new();
+        let ids: Arc<[u32]> = Arc::from(&[5u32, 6, 7, 8][..]);
+        // The cache covers only 3 of the 4 ids (decode's final token).
+        store.insert(3, Arc::clone(&ids), grown(&[5, 6, 7]), 1);
+        // Two strong refs: the caller's and the store's — no copy was made.
+        assert_eq!(Arc::strong_count(&ids), 2);
+        let exported = store.export_sessions();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].1, &[5, 6, 7], "export covers only the cached prefix");
+    }
+
+    #[test]
     fn lru_session_is_deterministic() {
         let mut store = SessionStore::new();
-        store.insert(3, &[1], grown(&[1]), 5);
-        store.insert(1, &[2], grown(&[2]), 5);
-        store.insert(2, &[3], grown(&[3]), 9);
+        store.insert(3, Arc::from(&[1u32][..]), grown(&[1]), 5);
+        store.insert(1, Arc::from(&[2u32][..]), grown(&[2]), 5);
+        store.insert(2, Arc::from(&[3u32][..]), grown(&[3]), 9);
         // Equal ticks: the smaller session id wins the tie.
         assert_eq!(store.lru_session(), Some(1));
         store.remove(1);

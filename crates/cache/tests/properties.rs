@@ -99,7 +99,7 @@ proptest! {
 
         let mut m = manager(chunk, CacheBudget::unlimited());
         let a = m.attach(5, &t1, &rows_for(&t1)).unwrap();
-        m.detach(5, &t1, a.cache, a.lease);
+        m.detach(5, t1.clone().into(), a.cache, a.lease);
         let b = m.attach(5, &t2, &rows_for(&t2)).unwrap();
         prop_assert!(b.resumed_session);
         prop_assert_eq!((b.hit_tokens, b.decomposed_tokens), (turn1, extension));
@@ -145,8 +145,8 @@ proptest! {
             prop_assert!(attached.cache.snapshot().materialize() == scratch);
         }
 
-        m.detach(1, &a_ids, a.cache, a.lease);
-        m.detach(2, &b_ids, b.cache, b.lease);
+        m.detach(1, a_ids.clone().into(), a.cache, a.lease);
+        m.detach(2, b_ids.clone().into(), b.cache, b.lease);
         if budget == CacheBudget::bytes(0) {
             prop_assert_eq!(m.resident_chunks(), 0);
             prop_assert_eq!(m.stored_sessions(), 0);
@@ -182,7 +182,7 @@ proptest! {
                     let prompt = r.prompt.as_ref().unwrap();
                     let rows = prompt.key_rows(DIMS, BITS);
                     let attached = m.attach(r.session, prompt.ids(), &rows).unwrap();
-                    m.detach(r.session, prompt.ids(), attached.cache, attached.lease);
+                    m.detach(r.session, prompt.shared_ids(), attached.cache, attached.lease);
                     *m.stats()
                 })
                 .collect()
@@ -235,7 +235,7 @@ proptest! {
             prop_assert!(cached == oracle, "request {}: cache-on diverged from oracle", r.id);
             prop_assert!(off == oracle, "request {}: cache-off diverged from oracle", r.id);
 
-            m.detach(r.session, prompt.ids(), attached.cache, attached.lease);
+            m.detach(r.session, prompt.shared_ids(), attached.cache, attached.lease);
         }
     }
 }

@@ -1,0 +1,333 @@
+//! The router proper: one global clock, N serving nodes, one placement
+//! decision per arrival.
+//!
+//! The fleet replays a seeded arrival trace in **global arrival order**.
+//! For each arrival the router first advances every node's lockstep loop
+//! to the arrival's cycle (so load reads are consistent across nodes at
+//! that instant), then places the request:
+//!
+//! * [`RoutePolicy::Affinity`] — a returning session goes to its home
+//!   node (where its stored cache lives); a new session whose prompt's
+//!   leading chunks hash ([`prefix_shard_key`]) to a shard some node has
+//!   already ingested goes there (the decomposed chunks are resident);
+//!   anything else takes deterministic least-loaded placement and
+//!   *claims* its shard key for that node.
+//! * [`RoutePolicy::RoundRobin`] / [`RoutePolicy::LeastLoaded`] — the
+//!   cache-blind baselines.
+//!
+//! Placement changes **which node pays the KV-prep cost**, never what
+//! any request computes: per-request outputs are placement-independent
+//! (each block simulates its own memory system), so the fleet's merged
+//! outputs are byte-identical to a single-node run of the same trace at
+//! every node count and policy — the invariant `tests/` pins against
+//! the seed oracle.
+
+use std::collections::HashMap;
+
+use pade_cache::prefix_shard_key;
+use pade_serve::node::Node;
+use pade_serve::scheduler::ScheduleMode;
+use pade_serve::server::{Completion, ServeConfig, ServeReport};
+use pade_sim::Cycle;
+use pade_workload::trace::RequestArrival;
+
+use crate::metrics::{merge_node_reports, RouterSummary};
+use crate::policy::{RouteDecision, RoutePolicy, RouteReason};
+
+/// Configuration of one routed fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Per-node serving configurations — one entry per node. Usually
+    /// homogeneous ([`RouterConfig::homogeneous`]); heterogeneous fleets
+    /// (including degraded zero-slot nodes) are allowed and must not
+    /// deadlock.
+    pub nodes: Vec<ServeConfig>,
+    /// The placement policy.
+    pub policy: RoutePolicy,
+    /// Leading prompt chunks (of `kv_chunk_tokens` tokens each) hashed
+    /// into the affinity shard key. Small values cluster more
+    /// aggressively (every prompt sharing one system prompt maps to one
+    /// key); the default 1 clusters on the first chunk.
+    pub affinity_chunks: usize,
+}
+
+impl RouterConfig {
+    /// `n_nodes` identical nodes under `policy`.
+    ///
+    /// A configured [`cache_file`](ServeConfig::cache_file) is made
+    /// **per-node** (`<path>.node<k>`): each node owns its own cache
+    /// manager, so sharing one image path would have the last node to
+    /// finish silently overwrite every other node's warm state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    #[must_use]
+    pub fn homogeneous(node: ServeConfig, n_nodes: usize, policy: RoutePolicy) -> Self {
+        assert!(n_nodes > 0, "a fleet needs at least one node");
+        let nodes = (0..n_nodes)
+            .map(|k| {
+                let mut node = node.clone();
+                if let Some(path) = &node.cache_file {
+                    let mut file = path.as_os_str().to_os_string();
+                    file.push(format!(".node{k}"));
+                    node.cache_file = Some(file.into());
+                }
+                node
+            })
+            .collect();
+        Self { nodes, policy, affinity_chunks: 1 }
+    }
+}
+
+/// The result of one routed fleet run.
+#[derive(Debug)]
+pub struct RouterReport {
+    /// The placement policy that produced this report.
+    pub policy: RoutePolicy,
+    /// One routing decision per arrival, in arrival order — the
+    /// determinism fingerprint (equal seeds ⇒ equal decision logs).
+    pub decisions: Vec<RouteDecision>,
+    /// Per-node serve reports, in node order. Nodes that received no
+    /// requests report zero completions.
+    pub node_reports: Vec<ServeReport>,
+    /// The fleet-level digest.
+    pub summary: RouterSummary,
+}
+
+impl RouterReport {
+    /// All completions across the fleet, sorted by request id.
+    #[must_use]
+    pub fn completions_by_id(&self) -> Vec<&Completion> {
+        let mut out: Vec<&Completion> =
+            self.node_reports.iter().flat_map(|r| r.completions.iter()).collect();
+        out.sort_by_key(|c| c.id);
+        out
+    }
+
+    /// The node each request was placed on, indexed by request id.
+    #[must_use]
+    pub fn placement(&self) -> HashMap<usize, usize> {
+        self.decisions.iter().map(|d| (d.id, d.node)).collect()
+    }
+}
+
+/// Replays `arrivals` through an N-node fleet under `config.policy`,
+/// every node serving under `mode`.
+///
+/// # Panics
+///
+/// Panics if `arrivals` or `config.nodes` is empty, or any node's engine
+/// configuration is invalid.
+#[must_use]
+pub fn route(
+    config: &RouterConfig,
+    arrivals: &[RequestArrival],
+    mode: ScheduleMode,
+) -> RouterReport {
+    assert!(!arrivals.is_empty(), "at least one request required");
+    assert!(!config.nodes.is_empty(), "at least one node required");
+    // Each node saves its own cache image at finish; two nodes sharing
+    // one path would overwrite each other, destroying warm state.
+    for (i, a) in config.nodes.iter().enumerate() {
+        for b in &config.nodes[i + 1..] {
+            assert!(
+                a.cache_file.is_none() || a.cache_file != b.cache_file,
+                "two nodes share cache file {:?}; give each node its own path \
+                 (RouterConfig::homogeneous derives <path>.node<k> automatically)",
+                a.cache_file
+            );
+        }
+    }
+    let n = config.nodes.len();
+    let mut nodes: Vec<Node> = config.nodes.iter().map(|c| Node::new(c, mode)).collect();
+    // The shard-key granularity must match what the nodes' cache
+    // managers index, or affinity would cluster on boundaries no node
+    // shares chunks at — so an affinity fleet must agree on it.
+    let chunk_tokens = config.nodes[0].kv_chunk_tokens.max(1);
+    if config.policy == RoutePolicy::Affinity {
+        for (k, node) in config.nodes.iter().enumerate() {
+            assert!(
+                node.kv_chunk_tokens.max(1) == chunk_tokens,
+                "affinity routing needs one chunk granularity fleet-wide: node {k} indexes \
+                 {}-token chunks but the shard key hashes {}-token chunks",
+                node.kv_chunk_tokens.max(1),
+                chunk_tokens
+            );
+        }
+    }
+
+    let mut sorted: Vec<&RequestArrival> = arrivals.iter().collect();
+    sorted.sort_by_key(|r| (r.arrival_cycle, r.id));
+
+    let mut session_home: HashMap<u64, usize> = HashMap::new();
+    let mut prefix_home: HashMap<u64, usize> = HashMap::new();
+    let mut decisions: Vec<RouteDecision> = Vec::with_capacity(sorted.len());
+
+    for (i, spec) in sorted.iter().enumerate() {
+        let now = Cycle(spec.arrival_cycle);
+        for node in &mut nodes {
+            node.advance_to(now);
+        }
+        // Deterministic least-loaded: fewest in system, lowest id wins
+        // ties. The argmin is over a Vec walk, never hash-map order.
+        let least_loaded =
+            (0..n).min_by_key(|&k| (nodes[k].in_system(), k)).expect("fleet has at least one node");
+        // Shard-key hashing and home-map bookkeeping live entirely in
+        // the affinity arm: the cache-blind baselines never read them,
+        // and their timed route loop must not pay for them either.
+        let (target, reason) = match config.policy {
+            RoutePolicy::RoundRobin => (i % n, RouteReason::RoundRobin),
+            RoutePolicy::LeastLoaded => (least_loaded, RouteReason::LeastLoaded),
+            RoutePolicy::Affinity => {
+                let shard_key = spec
+                    .prompt
+                    .as_ref()
+                    .and_then(|p| prefix_shard_key(p.ids(), chunk_tokens, config.affinity_chunks));
+                let (target, reason) = if let Some(&home) = session_home.get(&spec.session) {
+                    (home, RouteReason::SessionAffinity)
+                } else if let Some(&home) = shard_key.and_then(|k| prefix_home.get(&k)) {
+                    (home, RouteReason::PrefixAffinity)
+                } else {
+                    (least_loaded, RouteReason::LeastLoaded)
+                };
+                session_home.insert(spec.session, target);
+                if let Some(key) = shard_key {
+                    // First claim wins: the node that first decomposes a
+                    // shard's chunks stays its home even if later load
+                    // pulls sessions elsewhere — moving the shard would
+                    // strand the planes.
+                    prefix_home.entry(key).or_insert(target);
+                }
+                (target, reason)
+            }
+        };
+        nodes[target].enqueue(spec);
+        decisions.push(RouteDecision { id: spec.id, session: spec.session, node: target, reason });
+    }
+
+    let node_reports: Vec<ServeReport> = nodes
+        .into_iter()
+        .map(|mut node| {
+            node.drain();
+            node.finish()
+        })
+        .collect();
+    let summary = merge_node_reports(&node_reports, &decisions);
+    RouterReport { policy: config.policy, decisions, node_reports, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pade_workload::prompt::{generate_multi_tenant_arrivals, MultiTenantConfig};
+
+    fn workload() -> Vec<RequestArrival> {
+        generate_multi_tenant_arrivals(&MultiTenantConfig::small_demo())
+    }
+
+    fn fleet(n: usize, policy: RoutePolicy) -> RouterConfig {
+        RouterConfig::homogeneous(
+            ServeConfig { kv_chunk_tokens: 32, ..ServeConfig::standard() },
+            n,
+            policy,
+        )
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once_across_the_fleet() {
+        let arrivals = workload();
+        for policy in [RoutePolicy::Affinity, RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded] {
+            let report = route(&fleet(3, policy), &arrivals, ScheduleMode::Batched);
+            let ids: Vec<usize> = report.completions_by_id().iter().map(|c| c.id).collect();
+            assert_eq!(ids, (0..arrivals.len()).collect::<Vec<_>>(), "{}", policy.label());
+            assert_eq!(report.decisions.len(), arrivals.len());
+            assert_eq!(report.summary.tokens, report.summary.node_tokens.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_and_affinity_keeps_sessions_home() {
+        let arrivals = workload();
+        let rr = route(&fleet(3, RoutePolicy::RoundRobin), &arrivals, ScheduleMode::Batched);
+        for (i, d) in rr.decisions.iter().enumerate() {
+            assert_eq!(d.node, i % 3);
+        }
+        let aff = route(&fleet(3, RoutePolicy::Affinity), &arrivals, ScheduleMode::Batched);
+        // All turns of one session land on one node.
+        let mut home: HashMap<u64, usize> = HashMap::new();
+        for d in &aff.decisions {
+            assert_eq!(*home.entry(d.session).or_insert(d.node), d.node);
+        }
+        // The multi-turn workload must exercise session affinity.
+        assert!(aff.summary.session_affinity_routes > 0);
+    }
+
+    #[test]
+    fn affinity_outhits_round_robin_at_two_nodes() {
+        let arrivals = workload();
+        let aff = route(&fleet(2, RoutePolicy::Affinity), &arrivals, ScheduleMode::Batched);
+        let rr = route(&fleet(2, RoutePolicy::RoundRobin), &arrivals, ScheduleMode::Batched);
+        assert!(
+            aff.summary.cache_hit_tokens >= rr.summary.cache_hit_tokens,
+            "affinity {} vs round-robin {} hit tokens",
+            aff.summary.cache_hit_tokens,
+            rr.summary.cache_hit_tokens
+        );
+        assert!(aff.summary.cache_decomposed_tokens <= rr.summary.cache_decomposed_tokens);
+    }
+
+    #[test]
+    fn homogeneous_fleets_get_per_node_cache_files() {
+        let node = ServeConfig {
+            cache_file: Some(std::path::PathBuf::from("/tmp/fleet.bin")),
+            ..ServeConfig::standard()
+        };
+        let fleet = RouterConfig::homogeneous(node, 3, RoutePolicy::Affinity);
+        let files: Vec<String> = fleet
+            .nodes
+            .iter()
+            .map(|n| n.cache_file.as_ref().unwrap().display().to_string())
+            .collect();
+        assert_eq!(files, ["/tmp/fleet.bin.node0", "/tmp/fleet.bin.node1", "/tmp/fleet.bin.node2"]);
+        // Without a cache file nothing is invented.
+        let plain = RouterConfig::homogeneous(ServeConfig::standard(), 2, RoutePolicy::Affinity);
+        assert!(plain.nodes.iter().all(|n| n.cache_file.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "share cache file")]
+    fn shared_cache_file_across_nodes_is_rejected() {
+        let node = ServeConfig {
+            cache_file: Some(std::path::PathBuf::from("/tmp/clobber.bin")),
+            ..ServeConfig::standard()
+        };
+        let fleet = RouterConfig {
+            nodes: vec![node.clone(), node],
+            policy: RoutePolicy::Affinity,
+            affinity_chunks: 1,
+        };
+        let _ = route(&fleet, &workload(), ScheduleMode::Batched);
+    }
+
+    #[test]
+    fn single_node_fleet_matches_plain_serve() {
+        let arrivals = workload();
+        let config = ServeConfig { kv_chunk_tokens: 32, ..ServeConfig::standard() };
+        let solo = pade_serve::server::serve(&config, &arrivals, ScheduleMode::Batched);
+        for policy in [RoutePolicy::Affinity, RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded] {
+            let fleet = route(
+                &RouterConfig::homogeneous(config.clone(), 1, policy),
+                &arrivals,
+                ScheduleMode::Batched,
+            );
+            assert_eq!(fleet.node_reports.len(), 1);
+            let node = &fleet.node_reports[0];
+            assert_eq!(node.completion_order(), solo.completion_order(), "{}", policy.label());
+            assert_eq!(node.summary, solo.summary, "{}", policy.label());
+            for (a, b) in node.completions.iter().zip(&solo.completions) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -35,7 +35,9 @@ struct Args {
     quick: bool,
     shared_prefix: bool,
     no_prefix_cache: bool,
+    hit_aware: bool,
     cache_budget: Option<u64>,
+    cache_file: Option<std::path::PathBuf>,
     requests: Option<usize>,
     mean_gap: Option<f64>,
     seq_len: Option<usize>,
@@ -57,7 +59,9 @@ fn parse_args() -> Args {
         quick: false,
         shared_prefix: false,
         no_prefix_cache: false,
+        hit_aware: false,
         cache_budget: None,
+        cache_file: None,
         requests: None,
         mean_gap: None,
         seq_len: None,
@@ -72,7 +76,12 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--shared-prefix" => args.shared_prefix = true,
             "--no-prefix-cache" => args.no_prefix_cache = true,
+            "--hit-aware" => args.hit_aware = true,
             "--cache-budget" => args.cache_budget = Some(parse("--cache-budget", it.next())),
+            "--cache-file" => {
+                args.cache_file =
+                    Some(std::path::PathBuf::from(parse::<String>("--cache-file", it.next())));
+            }
             "--requests" => args.requests = Some(parse("--requests", it.next())),
             "--mean-gap" => args.mean_gap = Some(parse("--mean-gap", it.next())),
             "--seq-len" => args.seq_len = Some(parse("--seq-len", it.next())),
@@ -87,9 +96,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: pade-serve [--quick] [--shared-prefix] [--no-prefix-cache] \
-                     [--cache-budget BYTES] [--requests N] [--mean-gap CYCLES] \
-                     [--seq-len S] [--slots K] [--max-batch-tokens T] \
-                     [--decode-fraction F] [--seed X]"
+                     [--hit-aware] [--cache-budget BYTES] [--cache-file PATH] \
+                     [--requests N] [--mean-gap CYCLES] [--seq-len S] [--slots K] \
+                     [--max-batch-tokens T] [--decode-fraction F] [--seed X]"
                 );
                 exit(0);
             }
@@ -254,6 +263,14 @@ fn main() {
         if args.cache_budget.is_some() {
             usage_error("--cache-budget conflicts with --no-prefix-cache");
         }
+        if args.cache_file.is_some() {
+            usage_error("--cache-file conflicts with --no-prefix-cache");
+        }
+        if args.hit_aware {
+            usage_error(
+                "--hit-aware conflicts with --no-prefix-cache (no cache, no hit prediction)",
+            );
+        }
         None
     } else {
         Some(args.cache_budget.map_or(CacheBudget::unlimited(), CacheBudget::bytes))
@@ -262,17 +279,25 @@ fn main() {
         engine_slots: args.slots.unwrap_or(4).max(1),
         max_batch_tokens: args.max_batch_tokens.unwrap_or(64),
         prefix_cache,
+        hit_aware: args.hit_aware,
+        cache_file: args.cache_file.clone(),
         ..ServeConfig::standard()
     };
 
     println!(
-        "device: {} slots, {} max batch tokens, prefix cache {}\n",
+        "device: {} slots, {} max batch tokens, prefix cache {}{}{}\n",
         config.engine_slots,
         config.max_batch_tokens,
         match config.prefix_cache {
             None => "off".to_string(),
             Some(b) if b.is_unlimited() => "on (unlimited)".to_string(),
             Some(b) => format!("on ({} byte budget)", b.max_bytes()),
+        },
+        if config.hit_aware { ", hit-aware admission" } else { "" },
+        match &config.cache_file {
+            Some(p) if p.exists() => format!(", warm cache file {}", p.display()),
+            Some(p) => format!(", cold cache file {}", p.display()),
+            None => String::new(),
         }
     );
     println!(

@@ -62,10 +62,12 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod node;
 pub mod scheduler;
 pub mod server;
 pub mod session;
 
+pub use node::Node;
 pub use scheduler::{ScheduleMode, SchedulerLimits};
 pub use server::{assert_outputs_identical, serve, Completion, ServeConfig, ServeReport};
 pub use session::{output_bytes, reference_outputs, Session};

@@ -1,0 +1,525 @@
+//! One serving node: the admission → batch → dispatch → retire loop of
+//! [`serve`](crate::server::serve), reified as a stepwise state machine.
+//!
+//! A [`Node`] owns everything a single PADE device needs to serve
+//! traffic — its engine slots, its FCFS (or hit-aware) admission queue,
+//! its active sessions, its own [`KvCacheManager`] and its metric
+//! collectors — and exposes the loop as three operations:
+//!
+//! * [`enqueue`](Node::enqueue) — hand the node a routed arrival,
+//! * [`advance_to`](Node::advance_to) — run lockstep iterations until the
+//!   node's clock reaches a target cycle (iterations are the lockstep
+//!   quantum: one that starts before the target may overrun it),
+//! * [`drain`](Node::drain) / [`finish`](Node::finish) — run to
+//!   completion and close the books into a [`ServeReport`].
+//!
+//! The single-node [`serve`](crate::server::serve) entry point is now a
+//! thin wrapper (enqueue everything, drain, finish); a multi-node router
+//! (`pade-router`) instead interleaves `enqueue`/`advance_to` across N
+//! nodes under a global clock, reading [`in_system`](Node::in_system)
+//! for least-loaded placement. Either way every step is a pure function
+//! of the enqueue sequence and the configuration — no wall clock, no
+//! unordered iteration — so equal inputs give byte-identical outputs.
+//!
+//! **Hit-aware admission** ([`ServeConfig::hit_aware`]): when several
+//! requests are ready at the same admission instant, FCFS order is a
+//! scheduling choice, not a correctness constraint — each request's
+//! outputs are placement-independent. With the flag set, ties among
+//! simultaneously-ready requests break by predicted prefix-cache hit
+//! tokens (probed **read-only** at the admission instant via
+//! [`KvCacheManager::predicted_hit_tokens`]), so hit-heavy requests admit
+//! first, adopt their shared chunks while those are hottest, and release
+//! engine slots sooner. Outputs are byte-identical with the flag on or
+//! off (property-tested in `tests/`); only completion *order* may change.
+//!
+//! **Warm cache files** ([`ServeConfig::cache_file`]): when set, the
+//! node's cache manager is loaded from the file at creation (if it
+//! exists) and saved back at [`finish`](Node::finish), so a later serve
+//! run starts with the prefix index and session store this run built.
+
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+
+use pade_cache::{CacheConfig, KvCacheManager};
+use pade_sim::{Cycle, Frequency};
+use pade_workload::trace::RequestArrival;
+
+use crate::metrics::ServeMetrics;
+use crate::scheduler::{form_batch, ScheduleMode, SchedulerLimits};
+use crate::server::{Completion, ServeConfig, ServeReport};
+use crate::session::Session;
+
+/// What one lockstep step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Dispatched a batch; the clock advanced by the slowest block.
+    Ran,
+    /// No active work: jumped the clock to the next queued arrival.
+    Jumped,
+    /// No active and no queued work: the node is fully drained.
+    Exhausted,
+}
+
+/// One serving node — scheduler, engine slots, KV cache manager and
+/// metrics — stepped in simulated lockstep cycles.
+#[derive(Debug)]
+pub struct Node {
+    config: ServeConfig,
+    mode: ScheduleMode,
+    limits: SchedulerLimits,
+    /// Created lazily at the first prompt-carrying enqueue (the manager's
+    /// chunk shape comes from that request's head_dim), warm-loaded from
+    /// [`ServeConfig::cache_file`] when the file exists.
+    cache_manager: Option<KvCacheManager>,
+    /// Routed arrivals not yet admitted, in `(arrival_cycle, id)` order.
+    pending: VecDeque<RequestArrival>,
+    active: Vec<Session>,
+    completions: Vec<Completion>,
+    metrics: ServeMetrics,
+    now: Cycle,
+}
+
+impl Node {
+    /// A fresh node for `config`, serving under `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine configuration is invalid.
+    #[must_use]
+    pub fn new(config: &ServeConfig, mode: ScheduleMode) -> Self {
+        config.engine.validate();
+        let limits = SchedulerLimits {
+            engine_slots: config.engine_slots.max(1),
+            max_batch_tokens: config.max_batch_tokens,
+        };
+        Self {
+            config: config.clone(),
+            mode,
+            limits,
+            cache_manager: None,
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            completions: Vec::new(),
+            metrics: ServeMetrics::new(),
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// The node's simulated clock.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Requests in the system — queued for admission or actively being
+    /// served. The load signal a least-loaded router reads at routing
+    /// time.
+    #[must_use]
+    pub fn in_system(&self) -> usize {
+        self.pending.len() + self.active.len()
+    }
+
+    /// Requests completed so far.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Whether the node has neither queued nor active work.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty() && self.active.is_empty()
+    }
+
+    /// The node's cache manager, if the workload has engaged it.
+    #[must_use]
+    pub fn cache_manager(&self) -> Option<&KvCacheManager> {
+        self.cache_manager.as_ref()
+    }
+
+    /// Hands the node a routed arrival. Arrivals may be enqueued in any
+    /// order; the queue keeps `(arrival_cycle, id)` order internally.
+    ///
+    /// When the configuration carries a prefix cache and the request a
+    /// prompt, the first such enqueue creates the node's manager (warm
+    /// from [`ServeConfig::cache_file`] if the file exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager cannot be created for the request's shape,
+    /// or an existing cache file fails to load (a corrupt or
+    /// mismatched image must not be silently discarded).
+    pub fn enqueue(&mut self, spec: &RequestArrival) {
+        if self.cache_manager.is_none() && spec.prompt.is_some() {
+            if let Some(budget) = self.config.prefix_cache {
+                let cache_config = CacheConfig::new(
+                    spec.trace.head_dim,
+                    self.config.engine.bits,
+                    self.config.kv_chunk_tokens.max(1),
+                )
+                .with_budget(budget);
+                let manager = match &self.config.cache_file {
+                    Some(path) if path.exists() => {
+                        Some(KvCacheManager::load_from(path, cache_config).unwrap_or_else(|e| {
+                            panic!("failed to load cache file {}: {e}", path.display())
+                        }))
+                    }
+                    _ => None,
+                };
+                self.cache_manager = Some(manager.unwrap_or_else(|| {
+                    KvCacheManager::new(cache_config)
+                        .expect("the serve engine configuration is a valid cache shape")
+                }));
+            }
+        }
+        // Insert keeping (arrival_cycle, id) order; the common cases —
+        // pre-sorted bulk enqueue and router-time-ordered delivery —
+        // append at the back.
+        let key = (spec.arrival_cycle, spec.id);
+        let at =
+            self.pending.iter().rposition(|q| (q.arrival_cycle, q.id) <= key).map_or(0, |i| i + 1);
+        self.pending.insert(at, spec.clone());
+    }
+
+    /// Admits every queued request whose arrival time has passed. FCFS by
+    /// `(arrival_cycle, id)`; under [`ServeConfig::hit_aware`] the
+    /// simultaneously-ready set reorders by predicted hit tokens first
+    /// (descending), so hit-heavy requests take engine slots before
+    /// cold ones that arrived earlier within the same ready window. The
+    /// prediction is probed **read-only at the admission instant** —
+    /// against the index state chunks decomposed earlier in this very
+    /// run have already reached — never at enqueue, where a cold-start
+    /// queue would predict zero for everyone and the tie-break would
+    /// silently degenerate to FCFS.
+    fn admit_ready(&mut self) {
+        let mut ready: Vec<RequestArrival> = Vec::new();
+        while self.pending.front().is_some_and(|q| q.arrival_cycle <= self.now.0) {
+            ready.push(self.pending.pop_front().expect("front checked"));
+        }
+        if self.config.hit_aware {
+            if let Some(manager) = &self.cache_manager {
+                // Cached keys: one index probe per request, not one per
+                // comparison.
+                ready.sort_by_cached_key(|q| {
+                    let predicted = q
+                        .prompt
+                        .as_ref()
+                        .map_or(0, |p| manager.predicted_hit_tokens(q.session, p.ids()));
+                    (Reverse(predicted), q.arrival_cycle, q.id)
+                });
+            }
+        }
+        for queued in ready {
+            self.active.push(Session::admit(
+                &queued,
+                &self.config.engine,
+                self.config.kv_chunk_tokens.max(1),
+                self.now,
+                self.cache_manager.as_mut(),
+            ));
+            if let Some(manager) = &self.cache_manager {
+                self.metrics.cache_resident_bytes.set(self.now, manager.resident_bytes() as f64);
+            }
+        }
+    }
+
+    /// One lockstep step: admit, then either dispatch a batch (advancing
+    /// the clock by the slowest block), jump to the next arrival (capped
+    /// at `jump_cap`, so a caller advancing to a target never has its
+    /// idle node leap past arrivals it has yet to deliver), or report
+    /// exhaustion.
+    fn step(&mut self, jump_cap: Option<Cycle>) -> Step {
+        self.admit_ready();
+        if self.active.is_empty() {
+            match self.pending.front() {
+                // Idle: jump to the next arrival. All gauges drop to zero
+                // over the gap — an idle device has no occupancy.
+                Some(next) => {
+                    self.metrics.queue_depth.set(self.now, 0.0);
+                    self.metrics.occupancy.set(self.now, 0.0);
+                    self.metrics.batch_tokens.set(self.now, 0.0);
+                    let mut to = Cycle(next.arrival_cycle);
+                    if let Some(cap) = jump_cap {
+                        to = to.min(cap);
+                    }
+                    self.now = to;
+                    return Step::Jumped;
+                }
+                None => return Step::Exhausted,
+            }
+        }
+        self.metrics.queue_depth.set(self.now, self.active.len() as f64);
+
+        // Form and dispatch this iteration's batch.
+        let chosen = form_batch(&self.active, self.mode, &self.limits);
+        debug_assert!(!chosen.is_empty());
+        let jobs: Vec<_> = chosen.iter().map(|&i| self.active[i].next_job()).collect();
+        let batch_tokens: usize = jobs.iter().map(|j| j.queries.len()).sum();
+        let results = if self.config.parallel_dispatch {
+            pade_core::engine::run_qk_batch_par(&self.config.engine, &jobs)
+        } else {
+            pade_core::engine::run_qk_batch(&self.config.engine, &jobs)
+        };
+        drop(jobs);
+
+        let slots = if self.mode == ScheduleMode::Solo { 1 } else { self.limits.engine_slots };
+        self.metrics.occupancy.set(self.now, chosen.len() as f64 / slots as f64);
+        self.metrics.batch_tokens.set(self.now, batch_tokens as f64);
+        let duration =
+            results.iter().map(|r| r.cycles).max().expect("non-empty batch has a duration");
+        self.metrics.iterations += 1;
+        self.now += duration;
+
+        for (&i, result) in chosen.iter().zip(results) {
+            self.metrics.ops.merge(&result.ops);
+            self.metrics.traffic.merge(&result.traffic);
+            self.metrics.engine_cycles += result.cycles.0;
+            self.active[i].absorb(result);
+        }
+
+        // Retire finished sessions in FCFS order.
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].is_finished() {
+                let mut session = self.active.remove(i);
+                if let Some(manager) = self.cache_manager.as_mut() {
+                    session.detach_cache(manager);
+                    self.metrics
+                        .cache_resident_bytes
+                        .set(self.now, manager.resident_bytes() as f64);
+                }
+                let arrival = Cycle(session.spec().arrival_cycle);
+                self.metrics.latency.record(self.now - arrival);
+                self.metrics.tokens += session.tokens();
+                self.completions.push(Completion {
+                    id: session.spec().id,
+                    kind: session.spec().kind,
+                    arrival,
+                    admitted: session.admitted(),
+                    finished: self.now,
+                    tokens: session.tokens(),
+                    results: session.into_results(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        Step::Ran
+    }
+
+    /// Runs lockstep iterations until the node's clock reaches `target`
+    /// or the node drains. A *dispatch* that starts before `target` may
+    /// overrun it — the iteration is the lockstep quantum — but an idle
+    /// node's jump is capped at `min(next arrival, target)`, so an idle
+    /// node never skips past `target` and arrivals a caller delivers at
+    /// or before it are admitted at the right clock.
+    pub fn advance_to(&mut self, target: Cycle) {
+        while self.now < target {
+            if self.step(Some(target)) == Step::Exhausted {
+                break;
+            }
+        }
+    }
+
+    /// Runs the node until every enqueued request has completed.
+    pub fn drain(&mut self) {
+        while self.step(None) != Step::Exhausted {}
+    }
+
+    /// Closes the books: zeroes the gauges at the final clock, copies the
+    /// cache stats, saves the warm cache image to
+    /// [`ServeConfig::cache_file`] (when set and the manager engaged) and
+    /// digests the metrics into a [`ServeReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node still has queued or active work (call
+    /// [`drain`](Node::drain) first), or the cache file cannot be
+    /// written.
+    #[must_use]
+    pub fn finish(mut self) -> ServeReport {
+        assert!(self.is_drained(), "finish() on a node with unserved requests");
+        self.metrics.queue_depth.set(self.now, 0.0);
+        self.metrics.occupancy.set(self.now, 0.0);
+        self.metrics.batch_tokens.set(self.now, 0.0);
+        if let Some(manager) = &self.cache_manager {
+            self.metrics.cache = *manager.stats();
+            self.metrics.cache_resident_bytes.set(self.now, manager.resident_bytes() as f64);
+            if let Some(path) = &self.config.cache_file {
+                manager.save_to(path).unwrap_or_else(|e| {
+                    panic!("failed to save cache file {}: {e}", path.display())
+                });
+            }
+        }
+        let summary = self.metrics.summarize(self.now, Frequency::default());
+        ServeReport {
+            mode: self.mode,
+            completions: self.completions,
+            summary,
+            metrics: self.metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::serve;
+    use pade_workload::prompt::{generate_shared_prefix_arrivals, SharedPrefixConfig};
+    use pade_workload::trace::{generate_arrivals, ArrivalConfig};
+
+    fn arrivals() -> Vec<RequestArrival> {
+        generate_arrivals(&ArrivalConfig::small_demo())
+    }
+
+    #[test]
+    fn incremental_enqueue_matches_bulk_serve() {
+        let arrivals = arrivals();
+        let config = ServeConfig::standard();
+        let bulk = serve(&config, &arrivals, ScheduleMode::Batched);
+
+        // Router-style delivery: advance to each arrival's cycle, then
+        // enqueue it — the node must end in exactly the same state.
+        let mut node = Node::new(&config, ScheduleMode::Batched);
+        let mut sorted: Vec<&RequestArrival> = arrivals.iter().collect();
+        sorted.sort_by_key(|r| (r.arrival_cycle, r.id));
+        for spec in sorted {
+            node.advance_to(Cycle(spec.arrival_cycle));
+            node.enqueue(spec);
+        }
+        node.drain();
+        let stepped = node.finish();
+        assert_eq!(stepped.completion_order(), bulk.completion_order());
+        assert_eq!(stepped.summary, bulk.summary);
+        for (a, b) in stepped.completions.iter().zip(&bulk.completions) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn out_of_order_enqueue_is_reordered() {
+        let arrivals = arrivals();
+        let config = ServeConfig::standard();
+        let bulk = serve(&config, &arrivals, ScheduleMode::Batched);
+        let mut node = Node::new(&config, ScheduleMode::Batched);
+        for spec in arrivals.iter().rev() {
+            node.enqueue(spec);
+        }
+        node.drain();
+        let report = node.finish();
+        assert_eq!(report.completion_order(), bulk.completion_order());
+    }
+
+    #[test]
+    fn zero_slot_node_still_drains() {
+        // A "failed" node modeled as zero engine slots: the scheduler
+        // clamps to one slot, so the node limps along instead of
+        // deadlocking.
+        let config = ServeConfig { engine_slots: 0, ..ServeConfig::standard() };
+        let arrivals = arrivals();
+        let mut node = Node::new(&config, ScheduleMode::Batched);
+        for spec in &arrivals {
+            node.enqueue(spec);
+        }
+        node.drain();
+        let report = node.finish();
+        assert_eq!(report.completions.len(), arrivals.len());
+    }
+
+    #[test]
+    fn empty_node_finishes_cleanly() {
+        let node = Node::new(&ServeConfig::standard(), ScheduleMode::Batched);
+        assert!(node.is_drained());
+        let report = node.finish();
+        assert!(report.completions.is_empty());
+        assert_eq!(report.summary.tokens, 0);
+    }
+
+    /// A hand-built decode arrival carrying an explicit prompt.
+    fn prompt_arrival(
+        id: usize,
+        arrival_cycle: u64,
+        ids: Vec<u32>,
+        steps: usize,
+    ) -> RequestArrival {
+        use pade_workload::prompt::PromptTokens;
+        use pade_workload::trace::{RequestKind, TraceConfig};
+        RequestArrival {
+            id,
+            arrival_cycle,
+            kind: RequestKind::Decode { steps },
+            trace: TraceConfig {
+                seq_len: ids.len(),
+                head_dim: 64,
+                n_queries: steps,
+                seed: 1000 + id as u64,
+                ..TraceConfig::small_demo()
+            },
+            session: id as u64,
+            prompt: Some(PromptTokens::new(ids)),
+        }
+    }
+
+    #[test]
+    fn hit_aware_admission_reorders_the_ready_set_by_predicted_hits() {
+        // Request 0 runs first and publishes its prompt's chunks to the
+        // index. While it runs, a COLD request (1) and a WARM request (2,
+        // sharing 0's prefix) arrive at the same cycle. FCFS admits 1
+        // before 2; hit-aware must flip them — the warm request's
+        // predicted hits are probed at the admission instant, against
+        // the chunks request 0 already decomposed this run.
+        let shared: Vec<u32> = (100..132).collect();
+        let mut warm = shared.clone();
+        warm.extend(200..208);
+        let cold: Vec<u32> = (900..940).collect();
+        let arrivals = vec![
+            prompt_arrival(0, 0, shared, 4),
+            prompt_arrival(1, 10, cold, 4),
+            prompt_arrival(2, 10, warm, 4),
+        ];
+        let base = ServeConfig {
+            engine_slots: 1, // serialize: admission order decides completion order
+            kv_chunk_tokens: 8,
+            ..ServeConfig::standard()
+        };
+        let fcfs = serve(&base, &arrivals, ScheduleMode::Batched);
+        let aware = serve(
+            &ServeConfig { hit_aware: true, ..base.clone() },
+            &arrivals,
+            ScheduleMode::Batched,
+        );
+        assert_eq!(fcfs.completion_order(), vec![0, 1, 2], "FCFS admits in (arrival, id) order");
+        assert_eq!(
+            aware.completion_order(),
+            vec![0, 2, 1],
+            "hit-aware must admit the warm request past the earlier-id cold one"
+        );
+        // A scheduling knob only: per-request outputs stay byte-identical.
+        crate::server::assert_outputs_identical(&fcfs, &aware);
+    }
+
+    #[test]
+    fn hit_aware_burst_workload_keeps_outputs_identical() {
+        // The broader shared-prefix burst: ordering may shuffle freely,
+        // outputs must not.
+        let workload = SharedPrefixConfig {
+            n_sessions: 4,
+            turns_per_session: 2,
+            pool_size: 2,
+            shared_prefix_tokens: 48,
+            unique_suffix_tokens: 8,
+            turn_suffix_tokens: 8,
+            decode_steps: 2,
+            mean_interarrival_cycles: 100.0, // a burst: everyone queues
+            turn_gap_cycles: 1_000,
+            ..SharedPrefixConfig::small_demo()
+        };
+        let arrivals = generate_shared_prefix_arrivals(&workload);
+        let base = ServeConfig { engine_slots: 1, kv_chunk_tokens: 16, ..ServeConfig::standard() };
+        let fcfs = serve(&base, &arrivals, ScheduleMode::Batched);
+        let aware =
+            serve(&ServeConfig { hit_aware: true, ..base }, &arrivals, ScheduleMode::Batched);
+        crate::server::assert_outputs_identical(&fcfs, &aware);
+        assert_eq!(fcfs.completions.len(), aware.completions.len());
+    }
+}

@@ -19,17 +19,18 @@
 //! memory system, batched outputs are **bit-identical** to running every
 //! request alone through the seed oracle (property-tested in `tests/`).
 
-use std::collections::VecDeque;
+use std::path::PathBuf;
 
-use pade_cache::{CacheBudget, CacheConfig, KvCacheManager};
+use pade_cache::CacheBudget;
 use pade_core::config::PadeConfig;
-use pade_core::engine::{run_qk_batch, run_qk_batch_par, QkBatchJob, QkBlockResult};
-use pade_sim::{Cycle, Frequency};
+use pade_core::engine::QkBlockResult;
+use pade_sim::Cycle;
 use pade_workload::trace::{RequestArrival, RequestKind};
 
 use crate::metrics::{MetricsSummary, ServeMetrics};
-use crate::scheduler::{form_batch, ScheduleMode, SchedulerLimits};
-use crate::session::{output_bytes, Session};
+use crate::node::Node;
+use crate::scheduler::ScheduleMode;
+use crate::session::output_bytes;
 
 /// Configuration of one serve run.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +56,20 @@ pub struct ServeConfig {
     /// cache on or off — the manager only changes *how* planes are
     /// obtained, never what they contain.
     pub prefix_cache: Option<CacheBudget>,
+    /// Break admission ties among simultaneously-ready requests by
+    /// predicted prefix-cache hit tokens (probed read-only at the
+    /// admission instant, so chunks decomposed earlier in the run count),
+    /// hit-heavy first. A scheduling knob only: per-request outputs are
+    /// byte-identical with the flag on or off (property-tested); only
+    /// completion order may change.
+    pub hit_aware: bool,
+    /// Persist the prefix cache manager across serve runs: load a warm
+    /// index/session-store image from this file at startup (when it
+    /// exists) and save the grown state back at the end of the run. The
+    /// image is a hand-rolled versioned binary (see `pade-cache`); a
+    /// missing file starts cold, a corrupt or shape-mismatched one
+    /// panics rather than silently serving cold.
+    pub cache_file: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -69,6 +84,8 @@ impl ServeConfig {
             kv_chunk_tokens: 64,
             parallel_dispatch: true,
             prefix_cache: Some(CacheBudget::unlimited()),
+            hit_aware: false,
+            cache_file: None,
         }
     }
 }
@@ -155,7 +172,10 @@ pub fn assert_outputs_identical(a: &ServeReport, b: &ServeReport) {
     }
 }
 
-/// Replays `arrivals` through the serve loop under `mode`.
+/// Replays `arrivals` through the serve loop under `mode` — a thin
+/// wrapper over one [`Node`]: enqueue everything in `(arrival_cycle,
+/// id)` order, drain, close the books. A multi-node deployment
+/// (`pade-router`) drives the same [`Node`] incrementally instead.
 ///
 /// # Panics
 ///
@@ -163,133 +183,15 @@ pub fn assert_outputs_identical(a: &ServeReport, b: &ServeReport) {
 #[must_use]
 pub fn serve(config: &ServeConfig, arrivals: &[RequestArrival], mode: ScheduleMode) -> ServeReport {
     assert!(!arrivals.is_empty(), "at least one request required");
-    config.engine.validate();
-    let limits = SchedulerLimits {
-        engine_slots: config.engine_slots.max(1),
-        max_batch_tokens: config.max_batch_tokens,
-    };
-
+    let mut node = Node::new(config, mode);
     // FCFS admission order: arrival time, then id (stable for equal times).
-    let mut pending: Vec<&RequestArrival> = arrivals.iter().collect();
-    pending.sort_by_key(|r| (r.arrival_cycle, r.id));
-    let mut pending: VecDeque<&RequestArrival> = pending.into();
-
-    // The cross-request prefix cache, created only when it can ever be
-    // consulted (the workload carries prompts). All prompt-carrying
-    // arrivals must share one head_dim — the manager's chunk shape.
-    let mut cache_manager: Option<KvCacheManager> = config.prefix_cache.and_then(|budget| {
-        arrivals.iter().find(|r| r.prompt.is_some()).map(|first| {
-            KvCacheManager::new(
-                CacheConfig::new(
-                    first.trace.head_dim,
-                    config.engine.bits,
-                    config.kv_chunk_tokens.max(1),
-                )
-                .with_budget(budget),
-            )
-            .expect("the serve engine configuration is a valid cache shape")
-        })
-    });
-
-    let mut active: Vec<Session> = Vec::new();
-    let mut completions: Vec<Completion> = Vec::new();
-    let mut metrics = ServeMetrics::new();
-    let mut now = Cycle::ZERO;
-
-    loop {
-        // Admit everything that has arrived.
-        while pending.front().is_some_and(|r| r.arrival_cycle <= now.0) {
-            let spec = pending.pop_front().expect("front checked");
-            active.push(Session::admit(
-                spec,
-                &config.engine,
-                config.kv_chunk_tokens.max(1),
-                now,
-                cache_manager.as_mut(),
-            ));
-            if let Some(manager) = &cache_manager {
-                metrics.cache_resident_bytes.set(now, manager.resident_bytes() as f64);
-            }
-        }
-        if active.is_empty() {
-            match pending.front() {
-                // Idle: jump to the next arrival. All gauges drop to zero
-                // over the gap — an idle device has no occupancy.
-                Some(next) => {
-                    metrics.queue_depth.set(now, 0.0);
-                    metrics.occupancy.set(now, 0.0);
-                    metrics.batch_tokens.set(now, 0.0);
-                    now = Cycle(next.arrival_cycle);
-                    continue;
-                }
-                None => break,
-            }
-        }
-        metrics.queue_depth.set(now, active.len() as f64);
-
-        // Form and dispatch this iteration's batch.
-        let chosen = form_batch(&active, mode, &limits);
-        debug_assert!(!chosen.is_empty());
-        let jobs: Vec<QkBatchJob<'_>> = chosen.iter().map(|&i| active[i].next_job()).collect();
-        let batch_tokens: usize = jobs.iter().map(|j| j.queries.len()).sum();
-        let results: Vec<QkBlockResult> = if config.parallel_dispatch {
-            run_qk_batch_par(&config.engine, &jobs)
-        } else {
-            run_qk_batch(&config.engine, &jobs)
-        };
-        drop(jobs);
-
-        let slots = if mode == ScheduleMode::Solo { 1 } else { limits.engine_slots };
-        metrics.occupancy.set(now, chosen.len() as f64 / slots as f64);
-        metrics.batch_tokens.set(now, batch_tokens as f64);
-        let duration =
-            results.iter().map(|r| r.cycles).max().expect("non-empty batch has a duration");
-        metrics.iterations += 1;
-        now += duration;
-
-        for (&i, result) in chosen.iter().zip(results) {
-            metrics.ops.merge(&result.ops);
-            metrics.traffic.merge(&result.traffic);
-            metrics.engine_cycles += result.cycles.0;
-            active[i].absorb(result);
-        }
-
-        // Retire finished sessions in FCFS order.
-        let mut i = 0;
-        while i < active.len() {
-            if active[i].is_finished() {
-                let mut session = active.remove(i);
-                if let Some(manager) = cache_manager.as_mut() {
-                    session.detach_cache(manager);
-                    metrics.cache_resident_bytes.set(now, manager.resident_bytes() as f64);
-                }
-                let arrival = Cycle(session.spec().arrival_cycle);
-                metrics.latency.record(now - arrival);
-                metrics.tokens += session.tokens();
-                completions.push(Completion {
-                    id: session.spec().id,
-                    kind: session.spec().kind,
-                    arrival,
-                    admitted: session.admitted(),
-                    finished: now,
-                    tokens: session.tokens(),
-                    results: session.into_results(),
-                });
-            } else {
-                i += 1;
-            }
-        }
+    let mut sorted: Vec<&RequestArrival> = arrivals.iter().collect();
+    sorted.sort_by_key(|r| (r.arrival_cycle, r.id));
+    for spec in sorted {
+        node.enqueue(spec);
     }
-
-    metrics.queue_depth.set(now, 0.0);
-    metrics.occupancy.set(now, 0.0);
-    metrics.batch_tokens.set(now, 0.0);
-    if let Some(manager) = &cache_manager {
-        metrics.cache = *manager.stats();
-        metrics.cache_resident_bytes.set(now, manager.resident_bytes() as f64);
-    }
-    let summary = metrics.summarize(now, Frequency::default());
-    ServeReport { mode, completions, summary, metrics }
+    node.drain();
+    node.finish()
 }
 
 #[cfg(test)]

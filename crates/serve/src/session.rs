@@ -305,9 +305,11 @@ impl Session {
             unreachable!("managed sessions hold grown caches")
         };
         let prompt = self.spec.prompt.as_ref().expect("managed sessions carry prompts");
+        // The store retains the id sequence; hand it the request's Arc
+        // instead of letting it copy the ids eagerly.
         manager.detach(
             self.spec.session,
-            prompt.ids(),
+            prompt.shared_ids(),
             cache,
             self.lease.take().unwrap_or_default(),
         );

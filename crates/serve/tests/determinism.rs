@@ -195,6 +195,46 @@ proptest! {
         }
     }
 
+    /// Hit-aware admission is a scheduling knob, never a numerical one:
+    /// reordering simultaneously-ready requests by predicted prefix hits
+    /// changes (at most) completion order — every request's output bytes
+    /// are identical with the flag on or off, and the flag never loses
+    /// or duplicates a request.
+    #[test]
+    fn hit_aware_admission_never_changes_outputs(
+        seed in any::<u64>(),
+        slots in 1usize..4,
+        saturated in any::<bool>(),
+    ) {
+        let mut workload = prompt_workload(seed);
+        if saturated {
+            // A burst: many requests ready at one admission instant, so
+            // the hit-aware tie-break actually reorders.
+            workload.mean_interarrival_cycles = 200.0;
+            workload.turn_gap_cycles = 2_000;
+        }
+        let arrivals = pade_workload::prompt::generate_shared_prefix_arrivals(&workload);
+        let base = ServeConfig { engine_slots: slots, ..ServeConfig::standard() };
+        let fcfs = serve(&base, &arrivals, ScheduleMode::Batched);
+        let aware = serve(
+            &ServeConfig { hit_aware: true, ..base.clone() },
+            &arrivals,
+            ScheduleMode::Batched,
+        );
+        // Same request set, byte-identical outputs per request.
+        pade_serve::assert_outputs_identical(&fcfs, &aware);
+        prop_assert_eq!(fcfs.completions.len(), arrivals.len());
+        prop_assert_eq!(aware.summary.tokens, fcfs.summary.tokens);
+        // And deterministic: the aware schedule reproduces itself.
+        let again = serve(
+            &ServeConfig { hit_aware: true, ..base },
+            &arrivals,
+            ScheduleMode::Batched,
+        );
+        prop_assert_eq!(aware.completion_order(), again.completion_order());
+        prop_assert_eq!(aware.summary, again.summary);
+    }
+
     /// Throughput dominance: continuous batching never completes the same
     /// trace later than one-request-at-a-time.
     #[test]
@@ -206,6 +246,50 @@ proptest! {
         prop_assert!(batched.summary.makespan <= solo.summary.makespan);
         prop_assert!(batched.summary.tokens_per_s >= solo.summary.tokens_per_s);
     }
+}
+
+/// A warm cache file changes KV-prep work, never outputs: a run that
+/// loads the index a previous run saved produces byte-identical
+/// per-request outputs while hitting on the very first request.
+#[test]
+fn cache_file_round_trip_preserves_outputs_and_warms_the_index() {
+    let arrivals = pade_workload::prompt::generate_shared_prefix_arrivals(&prompt_workload(2026));
+    let path = std::env::temp_dir().join("pade_serve_cache_file_test.bin");
+    let _ = std::fs::remove_file(&path);
+    // Chunk small enough that the 40-token pool prefixes actually seal
+    // indexable chunks (the standard 64-token chunk would leave this tiny
+    // workload's whole prompt in the private tail).
+    let warm_config = ServeConfig {
+        cache_file: Some(path.clone()),
+        kv_chunk_tokens: 16,
+        ..ServeConfig::standard()
+    };
+
+    // Cold run: builds and saves the index.
+    let cold = serve(&warm_config, &arrivals, ScheduleMode::Batched);
+    assert!(path.exists(), "the run must save its cache image");
+    assert!(cold.summary.cache_decomposed_tokens > 0);
+
+    // Warm run over the same trace: every pool prefix is already
+    // resident, so strictly more tokens hit — and outputs are identical.
+    let warm = serve(&warm_config, &arrivals, ScheduleMode::Batched);
+    pade_serve::assert_outputs_identical(&cold, &warm);
+    assert!(
+        warm.summary.cache_hit_tokens > cold.summary.cache_hit_tokens,
+        "warm {} vs cold {} hit tokens",
+        warm.summary.cache_hit_tokens,
+        cold.summary.cache_hit_tokens
+    );
+    assert_eq!(warm.completion_order(), cold.completion_order());
+
+    // And against a no-file baseline, byte-identical too.
+    let baseline = serve(
+        &ServeConfig { kv_chunk_tokens: 16, ..ServeConfig::standard() },
+        &arrivals,
+        ScheduleMode::Batched,
+    );
+    pade_serve::assert_outputs_identical(&warm, &baseline);
+    let _ = std::fs::remove_file(&path);
 }
 
 /// A saturated many-request run exercises deep queues, the token cap and

@@ -64,6 +64,14 @@ impl PromptTokens {
         &self.ids
     }
 
+    /// The underlying `Arc`-shared id allocation — for consumers that
+    /// retain the sequence beyond the request's lifetime (e.g. a cache
+    /// manager's session store) and must share it instead of copying it.
+    #[must_use]
+    pub fn shared_ids(&self) -> Arc<[u32]> {
+        Arc::clone(&self.ids)
+    }
+
     /// Number of token ids.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -298,6 +306,86 @@ pub fn generate_shared_prefix_arrivals(config: &SharedPrefixConfig) -> Vec<Reque
     arrivals
 }
 
+/// Configuration of a multi-tenant shared-prefix arrival trace: several
+/// tenants, each with its **own** pool of shared prompt prefixes.
+///
+/// This is the workload of a multi-node serving deployment: requests of
+/// one tenant share prefixes with each other but never with another
+/// tenant's, so a cache-aware router that co-locates a tenant's sessions
+/// concentrates their index hits on one node, while tenant-blind
+/// scattering (round-robin) decomposes every pool prefix once *per node*
+/// it lands on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiTenantConfig {
+    /// Number of tenants, each with a disjoint prefix pool.
+    pub tenants: usize,
+    /// Sessions per tenant.
+    pub sessions_per_tenant: usize,
+    /// The per-tenant workload shape (pool size, prefix/suffix lengths,
+    /// request mix, arrival rate). `n_sessions` is overridden by
+    /// [`sessions_per_tenant`](Self::sessions_per_tenant) and `seed` is
+    /// re-derived per tenant, so tenant pools never collide.
+    pub per_tenant: SharedPrefixConfig,
+    /// RNG seed; equal seeds produce identical arrival traces.
+    pub seed: u64,
+}
+
+impl MultiTenantConfig {
+    /// A small deterministic configuration for examples and tests.
+    #[must_use]
+    pub fn small_demo() -> Self {
+        Self {
+            tenants: 3,
+            sessions_per_tenant: 3,
+            per_tenant: SharedPrefixConfig::small_demo(),
+            seed: 7,
+        }
+    }
+
+    /// The tenant a generated [`RequestArrival::session`] belongs to
+    /// (the generator packs the tenant into the session id's high bits).
+    #[must_use]
+    pub fn tenant_of(session: u64) -> u64 {
+        session >> 32
+    }
+}
+
+/// Generates a seeded, reproducible multi-tenant shared-prefix arrival
+/// trace. Per tenant the trace is exactly a
+/// [`generate_shared_prefix_arrivals`] trace under a tenant-derived seed;
+/// tenants are interleaved in arrival order and session ids carry the
+/// tenant in their high 32 bits ([`MultiTenantConfig::tenant_of`]).
+///
+/// # Panics
+///
+/// Panics if `tenants` or `sessions_per_tenant` is zero, or the
+/// per-tenant configuration violates the
+/// [`generate_shared_prefix_arrivals`] preconditions.
+#[must_use]
+pub fn generate_multi_tenant_arrivals(config: &MultiTenantConfig) -> Vec<RequestArrival> {
+    assert!(config.tenants > 0, "at least one tenant required");
+    assert!(config.sessions_per_tenant > 0, "at least one session per tenant required");
+    let mut arrivals: Vec<RequestArrival> = Vec::new();
+    for tenant in 0..config.tenants as u64 {
+        let tenant_cfg = SharedPrefixConfig {
+            n_sessions: config.sessions_per_tenant,
+            seed: splitmix64(config.seed ^ (0x7E2A_27E0_0000_0000 | tenant)),
+            ..config.per_tenant
+        };
+        arrivals.extend(generate_shared_prefix_arrivals(&tenant_cfg).into_iter().map(|mut r| {
+            r.session |= tenant << 32;
+            r
+        }));
+    }
+    // Dense ids in global arrival order; ties break on the (unique per
+    // tenant×session) session id so the interleave is deterministic.
+    arrivals.sort_by_key(|r| (r.arrival_cycle, r.session));
+    for (id, r) in arrivals.iter_mut().enumerate() {
+        r.id = id;
+    }
+    arrivals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +469,68 @@ mod tests {
                 assert!(b.starts_with(a.ids()));
                 assert_eq!(b.len(), a.len() + cfg.turn_suffix_tokens);
                 assert!(w[1].arrival_cycle >= w[0].arrival_cycle + cfg.turn_gap_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_tenant_pools_are_disjoint_across_tenants() {
+        let cfg = MultiTenantConfig::small_demo();
+        let arrivals = generate_multi_tenant_arrivals(&cfg);
+        assert_eq!(
+            arrivals.len(),
+            cfg.tenants * cfg.sessions_per_tenant * cfg.per_tenant.turns_per_session
+        );
+        let prefix_len = cfg.per_tenant.shared_prefix_tokens;
+        // Same tenant: at least one pair shares a pool prefix (3 sessions
+        // over a 2-entry pool must collide). Different tenants: never.
+        let prefix = |r: &RequestArrival| r.prompt.as_ref().unwrap().ids()[..prefix_len].to_vec();
+        let mut same_tenant_share = false;
+        for a in &arrivals {
+            for b in &arrivals {
+                if a.session == b.session {
+                    continue;
+                }
+                let share = prefix(a) == prefix(b);
+                if MultiTenantConfig::tenant_of(a.session)
+                    == MultiTenantConfig::tenant_of(b.session)
+                {
+                    same_tenant_share |= share;
+                } else {
+                    assert!(!share, "tenant pools must be disjoint");
+                }
+            }
+        }
+        assert!(same_tenant_share, "a tenant's sessions must share pool prefixes");
+        // Dense ids, monotone arrivals, tenant recoverable from session.
+        for (i, r) in arrivals.iter().enumerate() {
+            assert_eq!(r.id, i);
+            if i > 0 {
+                assert!(r.arrival_cycle >= arrivals[i - 1].arrival_cycle);
+            }
+            assert!(MultiTenantConfig::tenant_of(r.session) < cfg.tenants as u64);
+        }
+    }
+
+    #[test]
+    fn multi_tenant_arrivals_are_deterministic_per_seed() {
+        let cfg = MultiTenantConfig::small_demo();
+        assert_eq!(generate_multi_tenant_arrivals(&cfg), generate_multi_tenant_arrivals(&cfg));
+        let other = generate_multi_tenant_arrivals(&MultiTenantConfig { seed: 8, ..cfg });
+        assert_ne!(generate_multi_tenant_arrivals(&cfg), other);
+    }
+
+    #[test]
+    fn multi_tenant_turns_extend_their_session_context() {
+        let cfg = MultiTenantConfig::small_demo();
+        let arrivals = generate_multi_tenant_arrivals(&cfg);
+        for s in arrivals.iter().map(|r| r.session).collect::<std::collections::BTreeSet<_>>() {
+            let mut turns: Vec<&RequestArrival> =
+                arrivals.iter().filter(|r| r.session == s).collect();
+            turns.sort_by_key(|r| r.arrival_cycle);
+            for w in turns.windows(2) {
+                let (a, b) = (w[0].prompt.as_ref().unwrap(), w[1].prompt.as_ref().unwrap());
+                assert!(b.starts_with(a.ids()), "turn k+1 must extend turn k");
             }
         }
     }

@@ -18,7 +18,11 @@
 //! * [`dist`] — the wafer-scale sequence-parallel extension (§VII):
 //!   mergeable online-softmax states, interconnect model, multi-chip runs,
 //! * [`cache`] — the cross-request prefix-sharing KV plane cache manager
-//!   (radix prefix index, session store, budgeted LRU eviction).
+//!   (radix prefix index, session store, budgeted LRU eviction, versioned
+//!   binary persistence across serve runs),
+//! * [`router`] — sharded multi-node serving: prefix-affinity request
+//!   routing over per-node KV plane caches, with round-robin and
+//!   least-loaded baselines and an `(m, l, O)` shard-merge proof.
 //!
 //! # Quickstart
 //!
@@ -47,5 +51,6 @@ pub use pade_energy as energy;
 pub use pade_linalg as linalg;
 pub use pade_mem as mem;
 pub use pade_quant as quant;
+pub use pade_router as router;
 pub use pade_sim as sim;
 pub use pade_workload as workload;
