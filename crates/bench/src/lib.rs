@@ -29,12 +29,17 @@
 //! `BENCH_4.json`. The [`route`] module adds the multi-node routing
 //! scenario (`pade-bench --scenario route`): prefix-affinity vs
 //! round-robin vs least-loaded placement across 1/2/4/8 `pade-router`
-//! nodes, recorded to `BENCH_5.json`.
+//! nodes, recorded to `BENCH_5.json`. The [`popcount`] module adds the
+//! popcount-kernel scenario (`pade-bench --scenario popcount`): bit-plane
+//! QK scoring via weighted `popcount(q_plane & k_plane)` vs the PR-1
+//! `QRowLut` byte-LUT path on a single worker thread, plus the fused
+//! multi-head dispatch vs a per-head loop, recorded to `BENCH_6.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decode_growth;
+pub mod popcount;
 pub mod prefix_cache;
 pub mod route;
 pub mod serve;

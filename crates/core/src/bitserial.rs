@@ -6,7 +6,7 @@
 //! whichever bit value is *rarer*, bounding the number of selected lanes by
 //! 50 % of the vector width and with it the PE load imbalance.
 
-use pade_quant::{plane_weight, PlaneRow};
+use pade_quant::{plane_weight, PlaneRow, TokenPlanes};
 
 /// Which bit value was treated as "sparse" (selected for accumulation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +164,106 @@ impl QRowLut {
     }
 }
 
+/// The query row itself decomposed into signed bit planes packed as `u64`
+/// words, so a bit-plane dot product collapses to weighted
+/// `popcount(q_plane & k_plane)` per plane.
+///
+/// Writing the query in `w`-bit two's complement,
+/// `q_i = Σ_r plane_weight(r, w) · q_i^r`, and substituting into the masked
+/// sum gives
+/// `Σ_{k_j=1} q_j = Σ_r plane_weight(r, w) · |{j : q_j^r = 1 ∧ k_j = 1}|`
+/// — each inner term one AND+`count_ones` sweep over the packed words.
+/// Integer addition is associative, so this equals [`PlaneRow::masked_sum`]
+/// and [`QRowLut::masked_sum`] *exactly*, not approximately.
+///
+/// The decomposition width is trimmed to the smallest `w ∈ 2..=8` that
+/// holds every query value, so a small-magnitude row costs proportionally
+/// fewer AND+popcount sweeps. Built once per query row and shared
+/// read-only by every lane (and, in the fused dispatch, every head) that
+/// scores with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QRowPlanes {
+    planes: Vec<PlaneRow>,
+    weights: Vec<i64>,
+    len: usize,
+}
+
+impl QRowPlanes {
+    /// Decomposes one query row at the minimal width holding all values.
+    #[must_use]
+    pub fn new(q: &[i8]) -> Self {
+        let mut width = 2u32;
+        for &v in q {
+            let mut w = 2u32;
+            while i32::from(v) < -(1i32 << (w - 1)) || i32::from(v) > (1i32 << (w - 1)) - 1 {
+                w += 1;
+            }
+            width = width.max(w);
+        }
+        let token = TokenPlanes::from_values(q, width);
+        let planes: Vec<PlaneRow> = (0..width).map(|r| token.plane(r).clone()).collect();
+        let weights = (0..width).map(|r| i64::from(plane_weight(r, width))).collect();
+        Self { planes, weights, len: q.len() }
+    }
+
+    /// Query width the planes were built for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for a zero-width query row.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of query bit planes (the trimmed decomposition width).
+    #[must_use]
+    pub fn planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// `Σ_{bit_i=1} q_i` over a packed key plane, as weighted AND+popcounts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane's width differs from the query row's.
+    #[must_use]
+    pub fn masked_sum(&self, plane: &PlaneRow) -> i64 {
+        assert_eq!(plane.len(), self.len, "query length must match plane length");
+        self.weights
+            .iter()
+            .zip(&self.planes)
+            .map(|(&w, qp)| w * i64::from(qp.and_popcount(plane)))
+            .sum()
+    }
+}
+
+/// Popcount variant of [`plane_contribution`]: same integer sums, same mode
+/// selection, but the accumulation is weighted `popcount(q_plane & k_plane)`
+/// via [`QRowPlanes::masked_sum`]. This is the engine's hot loop;
+/// [`plane_contribution`] stays as the oracle and [`plane_contribution_lut`]
+/// as the PR-1 byte-LUT path both are differential-tested against.
+#[must_use]
+pub fn plane_contribution_planes(
+    qp: &QRowPlanes,
+    plane: &PlaneRow,
+    r: u32,
+    bits: u32,
+    bidirectional: bool,
+) -> PlaneContribution {
+    let w = i64::from(plane_weight(r, bits));
+    let ones = plane.count_ones();
+    let zeros = plane.count_zeros();
+    let value = w * qp.masked_sum(plane);
+    if bidirectional && zeros < ones {
+        PlaneContribution { value, selected: zeros, mode: BsMode::Zeros }
+    } else {
+        PlaneContribution { value, selected: ones, mode: BsMode::Ones }
+    }
+}
+
 /// Table-driven variant of [`plane_contribution`]: numerically identical
 /// (same integer sums, same mode selection), but the accumulation runs
 /// through [`QRowLut::masked_sum`] instead of a per-bit scan. The engine's
@@ -194,7 +294,6 @@ pub fn plane_contribution_lut(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pade_quant::TokenPlanes;
     use proptest::prelude::*;
 
     #[test]
@@ -258,6 +357,76 @@ mod tests {
             let oracle = plane_contribution(&q, planes.plane(r), r, 8, qs, bidirectional);
             let fast = plane_contribution_lut(&lut, planes.plane(r), r, 8, bidirectional);
             prop_assert_eq!(oracle, fast);
+        }
+
+        #[test]
+        fn prop_popcount_contribution_matches_oracle_and_lut(
+            q in proptest::collection::vec(any::<i8>(), 1..150),
+            seed in any::<u64>(),
+            r_seed in any::<u64>(),
+            kbits_idx in 0usize..4,
+            bidirectional in any::<bool>(),
+        ) {
+            // Key widths sweep 2..=8; the plane index is reduced mod width.
+            let kbits = [2u32, 4, 7, 8][kbits_idx];
+            let r = (r_seed % u64::from(kbits)) as u32;
+            let lo = -(1i32 << (kbits - 1));
+            let hi = (1i32 << (kbits - 1)) - 1;
+            let k: Vec<i8> = q.iter().enumerate()
+                .map(|(i, _)| {
+                    let h = seed.wrapping_add((i as u64).wrapping_mul(0xD6E8FEB86659FD93));
+                    (lo + ((h >> 17) as i32).rem_euclid(hi - lo + 1)) as i8
+                })
+                .collect();
+            let planes = TokenPlanes::from_values(&k, kbits);
+            let lut = QRowLut::new(&q);
+            let qp = QRowPlanes::new(&q);
+            let qs = q_sum(&q);
+            let oracle = plane_contribution(&q, planes.plane(r), r, kbits, qs, bidirectional);
+            let via_lut = plane_contribution_lut(&lut, planes.plane(r), r, kbits, bidirectional);
+            let via_pop = plane_contribution_planes(&qp, planes.plane(r), r, kbits, bidirectional);
+            prop_assert_eq!(oracle, via_pop);
+            prop_assert_eq!(via_lut, via_pop);
+            prop_assert_eq!(
+                qp.masked_sum(planes.plane(r)),
+                i64::from(planes.plane(r).masked_sum(&q))
+            );
+        }
+
+        #[test]
+        fn prop_popcount_masked_sum_at_word_boundaries(
+            base in 0usize..3,
+            tail_idx in 0usize..3,
+            seed in any::<u64>(),
+        ) {
+            // len % 64 ∈ {0, 1, 63}: empty, minimal and nearly-full tail words.
+            let len = (base * 64 + [0usize, 1, 63][tail_idx]).max(1);
+            let q: Vec<i8> = (0..len)
+                .map(|i| (seed.wrapping_mul(i as u64 + 11) >> 23) as u8 as i8)
+                .collect();
+            let k: Vec<i8> = (0..len)
+                .map(|i| (seed.wrapping_mul(i as u64 + 29) >> 31) as u8 as i8)
+                .collect();
+            let planes = TokenPlanes::from_values(&k, 8);
+            let qp = QRowPlanes::new(&q);
+            let lut = QRowLut::new(&q);
+            for r in 0..8u32 {
+                let plane = planes.plane(r);
+                prop_assert_eq!(qp.masked_sum(plane), i64::from(plane.masked_sum(&q)));
+                prop_assert_eq!(qp.masked_sum(plane), i64::from(lut.masked_sum(plane)));
+            }
+        }
+
+        #[test]
+        fn prop_qrow_planes_width_is_trimmed(
+            q in proptest::collection::vec(-8i8..=7, 1..80),
+        ) {
+            // Values fitting 4-bit two's complement must never cost more
+            // than 4 planes.
+            let qp = QRowPlanes::new(&q);
+            prop_assert!(qp.planes() <= 4, "trimmed width {} for 4-bit data", qp.planes());
+            let planes = TokenPlanes::from_values(&vec![1i8; q.len()], 2);
+            prop_assert_eq!(qp.masked_sum(planes.plane(1)), q_sum(&q));
         }
 
         #[test]

@@ -22,11 +22,11 @@ use pade_mem::{HbmModel, KeyLayout, SramBuffer};
 use pade_quant::{BitPlaneMatrix, KeyCacheSnapshot, PlaneSource};
 use pade_sim::{Cycle, EventQueue, OpCounts, TrafficCounts, UtilizationCounter};
 
-use crate::bitserial::{plane_contribution, plane_contribution_lut, q_sum, BsMode, QRowLut};
+use crate::bitserial::{plane_contribution, plane_contribution_planes, q_sum, BsMode, QRowPlanes};
 use crate::bui::Bui;
 use crate::config::PadeConfig;
 use crate::filter::{Decision, GuardFilter};
-use crate::gsat::Gsat;
+use crate::gsat::{Gsat, PlaneAbsorb};
 use crate::scoreboard::Scoreboard;
 
 /// Result of one QK block (up to `pe_rows` query rows over all keys).
@@ -109,12 +109,15 @@ pub fn run_qk_block(
 ///
 /// This is the allocation-lean hot path: the shared K-buffer state lives
 /// in a flat `Vec` indexed by `(token, plane)` instead of a hash map, each
-/// query row gets a [`QRowLut`] built once and borrowed read-only by all
-/// of the row's lanes, and per-plane GSAT bookkeeping runs through the
-/// single-sweep [`Gsat::absorb_stats`]. Results are bit-identical to
-/// [`run_qk_block_reference`] (property-tested below): the restructuring
-/// only changes *how* the same integers are computed, and the storage
-/// behind `keys` never reaches the arithmetic — only the per-token
+/// query row is decomposed once into [`QRowPlanes`] so every plane
+/// absorption is weighted `popcount(q_plane & k_plane)` borrowed read-only
+/// by all of the row's lanes, and per-plane GSAT bookkeeping runs through
+/// the single-sweep [`Gsat::absorb_stats`], memoized per `(token, plane)`
+/// across the block's query rows (the stats are query-independent).
+/// Results are bit-identical to [`run_qk_block_reference`]
+/// (property-tested below): the restructuring only changes *how* the same
+/// integers are computed, and the storage behind `keys` never reaches the
+/// arithmetic — only the per-token
 /// [`TokenPlanes`](pade_quant::TokenPlanes) do.
 ///
 /// # Panics
@@ -128,7 +131,32 @@ pub fn run_qk_block_on<K: PlaneSource + ?Sized>(
     keys: &K,
     logit_scale: f32,
 ) -> QkBlockResult {
+    let qplanes: Vec<QRowPlanes> = queries.iter().map(|q| QRowPlanes::new(q)).collect();
+    let borrowed: Vec<&QRowPlanes> = qplanes.iter().collect();
+    run_qk_block_prepared(config, queries, &borrowed, keys, logit_scale)
+}
+
+/// [`run_qk_block_on`] with the per-row query decompositions already
+/// built. The fused dispatch uses this to share one decomposition across
+/// every head (and layer) scoring the same query rows; `qplanes[r]` must
+/// be the decomposition of `queries[r]`.
+///
+/// # Panics
+///
+/// As [`run_qk_block_on`]; additionally if `qplanes.len() != queries.len()`
+/// or any decomposition's width differs from its query row's.
+fn run_qk_block_prepared<K: PlaneSource + ?Sized>(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    qplanes: &[&QRowPlanes],
+    keys: &K,
+    logit_scale: f32,
+) -> QkBlockResult {
     config.validate();
+    assert_eq!(qplanes.len(), queries.len(), "one decomposition per query row");
+    for (q, qp) in queries.iter().zip(qplanes) {
+        assert_eq!(qp.len(), q.len(), "decomposition width must match its query row");
+    }
     assert!(!queries.is_empty(), "at least one query row required");
     assert!(queries.len() <= config.pe_rows, "more query rows than PE rows");
     for q in queries {
@@ -161,8 +189,10 @@ pub fn run_qk_block_on<K: PlaneSource + ?Sized>(
         })
         .collect();
     let buis: Vec<Bui> = queries.iter().map(|q| Bui::new(q, bits)).collect();
-    let luts: Vec<QRowLut> = queries.iter().map(|q| QRowLut::new(q)).collect();
     let mut retained: Vec<Vec<(usize, i64)>> = vec![Vec::new(); queries.len()];
+    // GSAT absorption stats are query-independent, so each `(token, plane)`
+    // is swept once and reused by every other query row of the block.
+    let mut gsat_memo: Vec<Option<PlaneAbsorb>> = vec![None; n_keys * bits as usize];
 
     for q in queries {
         q_sram.write(q.len() as u64);
@@ -279,8 +309,16 @@ pub fn run_qk_block_on<K: PlaneSource + ?Sized>(
                 let plane = keys.token(job.token).plane(job.plane);
                 k_sram.read(plane_sram_bytes);
                 let contrib =
-                    plane_contribution_lut(&luts[lane.row], plane, job.plane, bits, false);
-                let stats = gsat.absorb_stats(plane, config.enable_bs);
+                    plane_contribution_planes(qplanes[lane.row], plane, job.plane, bits, false);
+                let memo_slot = job.token * bits_us + job.plane as usize;
+                let stats = match gsat_memo[memo_slot] {
+                    Some(s) => s,
+                    None => {
+                        let s = gsat.absorb_stats(plane, config.enable_bs);
+                        gsat_memo[memo_slot] = Some(s);
+                        s
+                    }
+                };
                 let (cycles, selected) = (stats.cycles, stats.selected);
                 let balanced = stats.balanced;
                 lane.util.busy(balanced);
@@ -703,6 +741,113 @@ pub fn run_qk_batch(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlock
 #[must_use]
 pub fn run_qk_batch_par(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlockResult> {
     pade_par::par_map(jobs, |job| run_qk_block_on(config, &job.queries, &job.keys, job.logit_scale))
+}
+
+/// Every head (and, stacked across layers, every layer-head) of one token
+/// step, fused into a single kernel dispatch.
+///
+/// The serving layer's per-step work is `H` (or `L·H`) engine blocks that
+/// all score the *same* step's query rows against per-head key planes.
+/// Dispatching them one by one costs one scheduling round-trip — and one
+/// query bit-plane decomposition per row — per head. A fused job instead:
+///
+/// 1. decomposes every distinct query row **once** (rows are deduplicated
+///    by slice identity, so heads sharing a row — the multi-layer and
+///    grouped-query cases — share one [`QRowPlanes`]), and
+/// 2. fans all blocks of all heads out in **one** `pade-par` round-trip.
+///
+/// Results are byte-identical to running each head through
+/// [`run_qk_blocks`] on its own — fusion changes scheduling, never
+/// outputs.
+#[derive(Debug, Clone)]
+pub struct QkFusedJob<'a> {
+    /// One entry per head (or layer-head): its query rows, key planes and
+    /// logit scale. Unlike [`QkBatchJob`], entries may carry more than
+    /// `config.pe_rows` rows; each entry is chunked into engine blocks
+    /// exactly as [`run_qk_blocks`] would.
+    pub heads: Vec<QkBatchJob<'a>>,
+}
+
+/// One (head, block) unit of a fused dispatch: the head index, the
+/// block's query rows, and per-row indices into the shared
+/// [`QRowPlanes`] pool.
+type FusedUnit<'a> = (usize, &'a [&'a [i8]], Vec<usize>);
+
+/// Shared prepass of the fused dispatch: decompose every distinct query
+/// row once and hand each (head, block) unit borrowed decompositions.
+fn fused_prepass<'a>(
+    config: &PadeConfig,
+    job: &'a QkFusedJob<'a>,
+) -> (Vec<QRowPlanes>, Vec<FusedUnit<'a>>) {
+    let mut dedup: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut qplanes: Vec<QRowPlanes> = Vec::new();
+    let mut units: Vec<FusedUnit<'a>> = Vec::new();
+    for (head, entry) in job.heads.iter().enumerate() {
+        for block in entry.queries.chunks(config.pe_rows) {
+            let plane_ids = block
+                .iter()
+                .map(|q| {
+                    *dedup.entry((q.as_ptr() as usize, q.len())).or_insert_with(|| {
+                        qplanes.push(QRowPlanes::new(q));
+                        qplanes.len() - 1
+                    })
+                })
+                .collect();
+            units.push((head, block, plane_ids));
+        }
+    }
+    (qplanes, units)
+}
+
+/// Runs a fused multi-head job sequentially: one shared query-decomposition
+/// prepass, then every block of every head in submission order.
+///
+/// `results[h]` is byte-identical to
+/// `run_qk_blocks_on(config, &job.heads[h].queries, …)`.
+///
+/// # Panics
+///
+/// As [`run_qk_block`], per block.
+#[must_use]
+pub fn run_qk_fused(config: &PadeConfig, job: &QkFusedJob<'_>) -> Vec<Vec<QkBlockResult>> {
+    let (qplanes, units) = fused_prepass(config, job);
+    let mut results: Vec<Vec<QkBlockResult>> = job.heads.iter().map(|_| Vec::new()).collect();
+    for (head, block, plane_ids) in units {
+        let borrowed: Vec<&QRowPlanes> = plane_ids.iter().map(|&i| &qplanes[i]).collect();
+        let entry = &job.heads[head];
+        results[head].push(run_qk_block_prepared(
+            config,
+            block,
+            &borrowed,
+            &entry.keys,
+            entry.logit_scale,
+        ));
+    }
+    results
+}
+
+/// Parallel variant of [`run_qk_fused`]: all blocks of all heads fan out
+/// in **one** `pade-par` round-trip (instead of one spawn round per head),
+/// sharing the one query-decomposition prepass. Byte-identical to
+/// [`run_qk_fused`] and to the per-head loop regardless of thread count.
+///
+/// # Panics
+///
+/// As [`run_qk_block`], per block.
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn run_qk_fused_par(config: &PadeConfig, job: &QkFusedJob<'_>) -> Vec<Vec<QkBlockResult>> {
+    let (qplanes, units) = fused_prepass(config, job);
+    let flat = pade_par::par_map(&units, |(head, block, plane_ids)| {
+        let borrowed: Vec<&QRowPlanes> = plane_ids.iter().map(|&i| &qplanes[i]).collect();
+        let entry = &job.heads[*head];
+        (*head, run_qk_block_prepared(config, block, &borrowed, &entry.keys, entry.logit_scale))
+    });
+    let mut results: Vec<Vec<QkBlockResult>> = job.heads.iter().map(|_| Vec::new()).collect();
+    for (head, result) in flat {
+        results[head].push(result);
+    }
+    results
 }
 
 /// The seed's hash-map-based implementation, kept verbatim as the
@@ -1369,6 +1514,93 @@ mod tests {
             })
             .collect();
         assert_eq!(run_qk_batch(&config, &jobs), run_qk_batch_par(&config, &jobs));
+    }
+
+    /// A fused "token step": H heads sharing one set of query rows, each
+    /// head with its own key tensor (mixing whole tensors and growable
+    /// cache snapshots so both `KeySource` variants flow through the
+    /// fused path).
+    fn fused_fixture(n_heads: usize, n_queries: usize) -> (AttentionTrace, Vec<KeySource>, f32) {
+        let trace =
+            AttentionTrace::generate(&TraceConfig { n_queries, ..TraceConfig::small_demo() });
+        let config = PadeConfig::standard();
+        let dims = trace.keys().cols();
+        let sources: Vec<KeySource> = (0..n_heads)
+            .map(|h| {
+                // Per-head keys: rotate the key rows so heads differ.
+                let mut data = trace.keys().as_slice().to_vec();
+                data.rotate_left(h * dims);
+                if h % 2 == 0 {
+                    BitPlaneMatrix::from_rows(&data, dims, config.bits).unwrap().into()
+                } else {
+                    let mut cache =
+                        pade_quant::GrowableKeyCache::new(dims, config.bits, 48).unwrap();
+                    for row in data.chunks(dims) {
+                        cache.append_token(row).unwrap();
+                    }
+                    cache.snapshot().into()
+                }
+            })
+            .collect();
+        (trace, sources, 0.01)
+    }
+
+    #[test]
+    fn fused_dispatch_is_byte_identical_to_per_head_loop() {
+        let config = PadeConfig::standard();
+        // 12 query rows → two engine blocks per head under pe_rows = 8.
+        let (trace, sources, scale) = fused_fixture(3, 12);
+        let queries: Vec<&[i8]> =
+            (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+        let job = QkFusedJob {
+            heads: sources
+                .iter()
+                .map(|keys| QkBatchJob {
+                    queries: queries.clone(),
+                    keys: keys.clone(),
+                    logit_scale: scale,
+                })
+                .collect(),
+        };
+        let fused = run_qk_fused(&config, &job);
+        assert_eq!(fused.len(), sources.len());
+        for (h, keys) in sources.iter().enumerate() {
+            let solo = run_qk_blocks_on(&config, &queries, keys, scale);
+            assert_eq!(fused[h], solo, "head {h} diverged from its per-head loop");
+        }
+        #[cfg(feature = "parallel")]
+        assert_eq!(run_qk_fused_par(&config, &job), fused);
+    }
+
+    #[test]
+    fn fused_single_head_decode_step_matches_solo_block() {
+        // The decode shape: one query row, several heads, one block each.
+        let config = PadeConfig::standard();
+        let (trace, sources, scale) = fused_fixture(4, 1);
+        let row: Vec<&[i8]> = vec![trace.queries().row(0)];
+        let job = QkFusedJob {
+            heads: sources
+                .iter()
+                .map(|keys| QkBatchJob {
+                    queries: row.clone(),
+                    keys: keys.clone(),
+                    logit_scale: scale,
+                })
+                .collect(),
+        };
+        let fused = run_qk_fused(&config, &job);
+        for (h, keys) in sources.iter().enumerate() {
+            assert_eq!(fused[h].len(), 1);
+            let solo = run_qk_block_on(&config, &row, keys, scale);
+            assert_eq!(fused[h][0], solo, "head {h}");
+            let oracle = match keys {
+                KeySource::Planes(p) => run_qk_block_reference(&config, &row, p, scale),
+                KeySource::Cache(_) => solo.clone(),
+            };
+            assert_eq!(fused[h][0], oracle, "head {h} vs seed oracle");
+        }
+        #[cfg(feature = "parallel")]
+        assert_eq!(run_qk_fused_par(&config, &job), fused);
     }
 
     #[test]

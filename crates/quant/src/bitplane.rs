@@ -68,6 +68,11 @@ pub fn uncertainty_span(r: u32, bits: u32) -> i32 {
 pub struct PlaneRow {
     words: Vec<u64>,
     len: usize,
+    /// Population count of `words`, cached at construction so mode choices
+    /// (ones vs. zeros streaming) and popcount kernels never re-scan the
+    /// packed words. Derived from `words`, so the derived `PartialEq` stays
+    /// consistent.
+    ones: u32,
 }
 
 impl PlaneRow {
@@ -76,10 +81,12 @@ impl PlaneRow {
         let mut words = Vec::new();
         let mut len = 0usize;
         let mut current = 0u64;
+        let mut ones = 0u32;
         for (i, b) in bits.into_iter().enumerate() {
             let slot = i % 64;
             if slot == 0 && i != 0 {
                 words.push(current);
+                ones += current.count_ones();
                 current = 0;
             }
             if b {
@@ -89,8 +96,37 @@ impl PlaneRow {
         }
         if len > 0 {
             words.push(current);
+            ones += current.count_ones();
         }
-        Self { words, len }
+        let row = Self { words, len, ones };
+        row.debug_assert_tail_clear();
+        row
+    }
+
+    /// Asserts (debug builds only) that every padding bit past `len` in the
+    /// last packed word is zero. `popcount(q & k)` kernels rely on this:
+    /// tail garbage would silently corrupt word-level AND+popcount results
+    /// even though per-bit accessors mask it out.
+    #[inline]
+    fn debug_assert_tail_clear(&self) {
+        debug_assert!(
+            self.tail_is_clear(),
+            "PlaneRow tail word has garbage bits past len={}",
+            self.len
+        );
+    }
+
+    /// `true` when all padding bits beyond [`PlaneRow::len`] are zero — the
+    /// invariant word-level popcount kernels depend on. Always `true` for
+    /// rows built via [`PlaneRow::from_bits`]; exposed so tests can pin it.
+    #[must_use]
+    pub fn tail_is_clear(&self) -> bool {
+        let tail = self.len % 64;
+        if tail == 0 || self.words.is_empty() {
+            return true;
+        }
+        let last = self.words[self.words.len() - 1];
+        last & !((1u64 << tail) - 1) == 0
     }
 
     /// Number of dimensions covered by this plane.
@@ -116,10 +152,11 @@ impl PlaneRow {
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
-    /// Number of set bits (`1`s) in the plane.
+    /// Number of set bits (`1`s) in the plane. Cached at construction —
+    /// `O(1)`, never re-scans the packed words.
     #[must_use]
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        self.ones
     }
 
     /// Number of clear bits (`0`s) in the plane.
@@ -196,6 +233,60 @@ impl PlaneRow {
         }
         count
     }
+
+    /// Number of positions set in both `self` and `other`:
+    /// `popcount(self & other)`, computed word-by-word. This is the inner
+    /// loop of the popcount QK kernel — with both rows tail-clear (an
+    /// invariant of [`PlaneRow::from_bits`]) the result is exactly the
+    /// number of shared set bits within `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two rows cover different numbers of dimensions.
+    #[must_use]
+    pub fn and_popcount(&self, other: &PlaneRow) -> u32 {
+        assert_eq!(self.len, other.len, "plane lengths must match");
+        self.debug_assert_tail_clear();
+        other.debug_assert_tail_clear();
+        and_popcount_words(&self.words, &other.words)
+    }
+}
+
+/// `Σ popcount(a[i] & b[i])` over two equal-length word slices.
+///
+/// The default build keeps the obvious scalar loop; the `simd` feature
+/// switches to an unrolled form with independent accumulators so the
+/// optimizer can keep multiple popcounts in flight (and auto-vectorize
+/// where the target supports it). Both forms are exact and bit-identical.
+#[cfg(not(feature = "simd"))]
+#[must_use]
+pub fn and_popcount_words(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+}
+
+/// `Σ popcount(a[i] & b[i])` over two equal-length word slices (unrolled
+/// `simd`-feature build; see the non-`simd` doc for the contract).
+#[cfg(feature = "simd")]
+#[must_use]
+pub fn and_popcount_words(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0u32; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        acc[0] += (ca[0] & cb[0]).count_ones();
+        acc[1] += (ca[1] & cb[1]).count_ones();
+        acc[2] += (ca[2] & cb[2]).count_ones();
+        acc[3] += (ca[3] & cb[3]).count_ones();
+    }
+    let tail: u32 = chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .map(|(x, y)| (x & y).count_ones())
+        .sum();
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
 }
 
 /// All bit planes of one token vector, MSB first.
@@ -562,6 +653,43 @@ mod tests {
                 partial += plane_weight(r, 8) * planes.plane(r).masked_sum(&q);
             }
             prop_assert_eq!(partial, exact);
+        }
+
+        #[test]
+        fn prop_tail_bits_past_len_are_always_zero(
+            seed in any::<u64>(),
+            base in 0usize..4,
+            tail_idx in 0usize..3,
+        ) {
+            // Shapes with len % 64 ∈ {0, 1, 63} exercise empty, minimal and
+            // nearly-full tail words.
+            let len = base * 64 + [0usize, 1, 63][tail_idx];
+            let bits: Vec<bool> =
+                (0..len).map(|i| seed.wrapping_mul(i as u64 + 1).wrapping_add(i as u64).is_multiple_of(3)).collect();
+            let plane = PlaneRow::from_bits(bits.iter().copied());
+            prop_assert!(plane.tail_is_clear());
+            let expected_ones = bits.iter().filter(|&&b| b).count() as u32;
+            prop_assert_eq!(plane.count_ones(), expected_ones);
+            if len > 0 {
+                prop_assert_eq!(plane.count_zeros(), len as u32 - expected_ones);
+            }
+        }
+
+        #[test]
+        fn prop_and_popcount_matches_bitwise_intersection(
+            seed_a in any::<u64>(),
+            seed_b in any::<u64>(),
+            base in 0usize..3,
+            tail_idx in 0usize..3,
+        ) {
+            let len = base * 64 + [0usize, 1, 63][tail_idx];
+            let a_bits: Vec<bool> = (0..len).map(|i| seed_a.wrapping_mul(i as u64 + 3).is_multiple_of(2)).collect();
+            let b_bits: Vec<bool> = (0..len).map(|i| seed_b.wrapping_mul(i as u64 + 5).is_multiple_of(2)).collect();
+            let a = PlaneRow::from_bits(a_bits.iter().copied());
+            let b = PlaneRow::from_bits(b_bits.iter().copied());
+            let expect = a_bits.iter().zip(&b_bits).filter(|(x, y)| **x && **y).count() as u32;
+            prop_assert_eq!(a.and_popcount(&b), expect);
+            prop_assert_eq!(b.and_popcount(&a), expect);
         }
 
         #[test]

@@ -255,7 +255,25 @@ impl Node {
         debug_assert!(!chosen.is_empty());
         let jobs: Vec<_> = chosen.iter().map(|&i| self.active[i].next_job()).collect();
         let batch_tokens: usize = jobs.iter().map(|j| j.queries.len()).sum();
-        let results = if self.config.parallel_dispatch {
+        let results = if self.config.fused_dispatch {
+            // One fused multi-head dispatch per iteration: a shared query
+            // decomposition prepass and a single worker fan-out instead of
+            // one per block. Every job holds at most `pe_rows` rows, so
+            // each fused head yields exactly one block result.
+            let fused_job = pade_core::engine::QkFusedJob { heads: jobs.clone() };
+            let fused = if self.config.parallel_dispatch {
+                pade_core::engine::run_qk_fused_par(&self.config.engine, &fused_job)
+            } else {
+                pade_core::engine::run_qk_fused(&self.config.engine, &fused_job)
+            };
+            fused
+                .into_iter()
+                .map(|mut head| {
+                    debug_assert_eq!(head.len(), 1);
+                    head.remove(0)
+                })
+                .collect()
+        } else if self.config.parallel_dispatch {
             pade_core::engine::run_qk_batch_par(&self.config.engine, &jobs)
         } else {
             pade_core::engine::run_qk_batch(&self.config.engine, &jobs)

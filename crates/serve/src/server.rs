@@ -50,6 +50,14 @@ pub struct ServeConfig {
     /// instead of a sequential loop. Results are bit-identical either
     /// way; this only changes host wall-clock.
     pub parallel_dispatch: bool,
+    /// Fuse each iteration's blocks into one multi-head kernel dispatch
+    /// ([`run_qk_fused`](pade_core::engine::run_qk_fused)): one shared
+    /// query-decomposition prepass and — with
+    /// [`parallel_dispatch`](ServeConfig::parallel_dispatch) — one worker
+    /// fan-out per iteration instead of one per block. Results are
+    /// bit-identical with the flag on or off (property-tested); only host
+    /// wall-clock changes.
+    pub fused_dispatch: bool,
     /// Budget of the cross-request prefix cache, or `None` to disable
     /// it. Only prompt-carrying requests (shared-prefix / multi-turn
     /// workloads) consult the cache; outputs are byte-identical with the
@@ -83,6 +91,7 @@ impl ServeConfig {
             max_batch_tokens: 64,
             kv_chunk_tokens: 64,
             parallel_dispatch: true,
+            fused_dispatch: true,
             prefix_cache: Some(CacheBudget::unlimited()),
             hit_aware: false,
             cache_file: None,

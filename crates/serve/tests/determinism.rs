@@ -91,6 +91,39 @@ proptest! {
         }
     }
 
+    /// The fused multi-head dispatch is a scheduling change only: fused
+    /// on/off × sequential/threaded dispatch all produce byte-identical
+    /// completions in the same order.
+    #[test]
+    fn fused_dispatch_outputs_match_per_block_dispatch(
+        seed in any::<u64>(),
+        n in 2usize..5,
+        saturated in any::<bool>(),
+    ) {
+        let gap = if saturated { 400.0 } else { 4_000.0 };
+        let arrivals = generate_arrivals(&workload(seed, n, gap));
+        let base = ServeConfig::standard();
+        let combos = [
+            ServeConfig { fused_dispatch: true, parallel_dispatch: true, ..base.clone() },
+            ServeConfig { fused_dispatch: true, parallel_dispatch: false, ..base.clone() },
+            ServeConfig { fused_dispatch: false, parallel_dispatch: true, ..base.clone() },
+            ServeConfig { fused_dispatch: false, parallel_dispatch: false, ..base },
+        ];
+        let reports: Vec<_> = combos
+            .iter()
+            .map(|c| serve(c, &arrivals, ScheduleMode::Batched))
+            .collect();
+        for other in &reports[1..] {
+            prop_assert_eq!(reports[0].completion_order(), other.completion_order());
+            prop_assert_eq!(&reports[0].summary, &other.summary);
+            for (a, b) in reports[0].completions.iter().zip(&other.completions) {
+                prop_assert_eq!(a.id, b.id);
+                prop_assert_eq!(a.finished, b.finished);
+                prop_assert_eq!(a.output_bytes(), b.output_bytes());
+            }
+        }
+    }
+
     /// Batched serving, solo serving and the solo seed oracle all produce
     /// byte-identical per-request outputs — under load (deep queues, full
     /// batches) as well as at low rates.
