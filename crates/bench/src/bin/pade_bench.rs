@@ -9,6 +9,8 @@
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario prefix-cache  # -> BENCH_4.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario route  # -> BENCH_5.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario popcount  # -> BENCH_6.json
+//! cargo run --release -p pade-bench --features trace --bin pade-bench -- \
+//!     --scenario route --out BENCH_7.json --trace-out route_trace.json
 //! ```
 //!
 //! The `qk` scenario (default) runs the sequential seed engine and the
@@ -30,7 +32,13 @@
 //! bit-plane QK scoring via weighted `popcount(q_plane & k_plane)`
 //! against the PR-1 `QRowLut` byte-LUT path on a single worker thread,
 //! plus the fused multi-head dispatch against a per-head loop (all
-//! byte-identity hard-checked), and writes `BENCH_6.json`.
+//! byte-identity hard-checked), and writes `BENCH_6.json`. Under
+//! `--features trace` the `route` scenario also replays the workload
+//! with a `pade-trace` recorder attached (byte-checking that telemetry
+//! changes nothing), embeds the per-stage breakdown and tracing-overhead
+//! measurement in the JSON (`BENCH_7.json` records the observability
+//! PR), and with `--trace-out` writes the recorded stream as
+//! Chrome-trace JSON loadable in Perfetto or `chrome://tracing`.
 
 use std::path::PathBuf;
 
@@ -44,6 +52,7 @@ use pade_bench::{run_matrix, write_json};
 fn main() {
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut scenario = String::from("qk");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +64,13 @@ fn main() {
                     std::process::exit(2);
                 });
                 out = Some(PathBuf::from(path));
+            }
+            "--trace-out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path");
+                    std::process::exit(2);
+                });
+                trace_out = Some(PathBuf::from(path));
             }
             "--scenario" => {
                 scenario = args.next().unwrap_or_else(|| {
@@ -69,7 +85,7 @@ fn main() {
                 println!(
                     "usage: pade-bench [--quick] \
                      [--scenario qk|serve|decode-growth|prefix-cache|route|popcount] \
-                     [--out FILE.json]"
+                     [--out FILE.json] [--trace-out TRACE.json (route scenario)]"
                 );
                 return;
             }
@@ -80,13 +96,17 @@ fn main() {
         }
     }
 
+    if trace_out.is_some() && scenario != "route" {
+        eprintln!("--trace-out only applies to the route scenario; ignoring it");
+        trace_out = None;
+    }
     let mode = if quick { "quick" } else { "full" };
     match scenario.as_str() {
         "qk" => run_qk_scenario(quick, mode, out),
         "serve" => run_serve_scenario(quick, mode, out),
         "decode-growth" => run_growth_scenario(quick, mode, out),
         "prefix-cache" => run_prefix_cache_scenario(quick, mode, out),
-        "route" => run_route_scenario(quick, mode, out),
+        "route" => run_route_scenario(quick, mode, out, trace_out),
         "popcount" => run_popcount_scenario(quick, mode, out),
         other => {
             eprintln!(
@@ -150,7 +170,7 @@ fn run_prefix_cache_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
     }
 }
 
-fn run_route_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
+fn run_route_scenario(quick: bool, mode: &str, out: Option<PathBuf>, trace_out: Option<PathBuf>) {
     println!("pade-bench route: prefix-affinity vs cache-blind placement across nodes\n");
     println!(
         "{:<6} {:<14} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>9}",
@@ -175,6 +195,34 @@ fn run_route_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
         "\nall fleet outputs byte-identical to the single-node run and the seed oracle; \
          (m,l,O) shard merges bitwise-exact"
     );
+
+    let t = &sweep.trace;
+    if t.feature_enabled {
+        println!(
+            "\ntrace: {} events / {} spans across {} stages (traced replay byte-identical); \
+             overhead on {}: {:.2}% (untraced {:.4}s vs recorder {:.4}s)",
+            t.events,
+            t.spans,
+            t.stage_names.len(),
+            t.overhead_shape,
+            t.overhead_frac * 100.0,
+            t.untraced_wall_s,
+            t.recorder_wall_s
+        );
+        println!("trace stages: {}", t.stage_names.join(", "));
+    } else {
+        println!(
+            "\ntrace: built without the `trace` feature — breakdown empty, overhead 0% by \
+             construction (rebuild with --features trace to record stages)"
+        );
+    }
+    if let Some(path) = &trace_out {
+        pade_trace::save_chrome_trace(&t.snapshot, path).unwrap_or_else(|e| {
+            eprintln!("failed to write trace file {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote trace {}", path.display());
+    }
 
     let path = match (&out, quick) {
         (Some(p), _) => Some(p.clone()),

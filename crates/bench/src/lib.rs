@@ -177,7 +177,7 @@ pub fn default_matrix(quick: bool) -> Vec<ShapeSpec> {
     shapes
 }
 
-fn trace_for(spec: &ShapeSpec) -> AttentionTrace {
+pub(crate) fn trace_for(spec: &ShapeSpec) -> AttentionTrace {
     AttentionTrace::generate(&TraceConfig {
         seq_len: spec.seq_len,
         head_dim: spec.head_dim,
@@ -187,7 +187,7 @@ fn trace_for(spec: &ShapeSpec) -> AttentionTrace {
     })
 }
 
-fn time_best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+pub(crate) fn time_best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> (R, f64) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..iters.max(1) {
@@ -257,7 +257,7 @@ pub fn run_matrix(quick: bool) -> Vec<ShapeResult> {
     default_matrix(quick).iter().map(|spec| run_shape(spec, &config)).collect()
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 

@@ -26,22 +26,37 @@
 //! trajectory schema (`BENCH_5.json` records the routing PR): affinity
 //! must beat round-robin on aggregate prefix-hit chunks and KV-prep
 //! time at every node count ≥ 2.
+//!
+//! [`run_route_trace_profile`] additionally replays the workload with a
+//! `pade-trace` recorder attached (byte-checking that telemetry changes
+//! nothing), folds the recorded stream into a per-stage
+//! [`StageBreakdown`], and times the tracing overhead on the headline
+//! `prefill_s1024_h128` engine shape — the `"trace"` section of the
+//! trajectory file (`BENCH_7.json` records the observability PR).
 
 use std::collections::HashMap;
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use pade_cache::CacheConfig;
-use pade_router::{route, verify_partial_merge, RoutePolicy, RouterConfig, RouterReport};
+use pade_core::config::PadeConfig;
+use pade_core::engine::{run_qk_blocks_par, run_qk_blocks_par_traced};
+use pade_quant::BitPlaneMatrix;
+use pade_router::{
+    route, route_traced, verify_partial_merge, RoutePolicy, RouterConfig, RouterReport,
+};
 use pade_serve::scheduler::ScheduleMode;
 use pade_serve::server::{serve, ServeConfig};
 use pade_serve::{output_bytes, reference_outputs};
+use pade_trace::{track as trace_track, Recorder, StageBreakdown, TraceSnapshot, Tracer};
 use pade_workload::prompt::{
     generate_multi_tenant_arrivals, MultiTenantConfig, SharedPrefixConfig,
 };
 use pade_workload::trace::RequestArrival;
 
 use crate::prep::{prepare, PreparedRequest};
+use crate::{time_best_of, trace_for, ShapeSpec};
 
 /// The three policies every node count is swept over.
 const POLICIES: [RoutePolicy; 3] =
@@ -98,6 +113,127 @@ pub struct RouteSweep {
     pub chunk_tokens: usize,
     /// One entry per (node count, policy), node counts ascending.
     pub points: Vec<RoutePointResult>,
+    /// Stage attribution + tracing-overhead check of the traced replay.
+    pub trace: RouteTraceProfile,
+}
+
+/// Stage attribution and overhead check of the traced route replay —
+/// the `"trace"` section of the route `BENCH_<n>.json` trajectory.
+///
+/// Without the `trace` feature the recorder is compiled out:
+/// `feature_enabled` is false, the breakdown is empty, and the overhead
+/// is 0% by construction (the guarded telemetry folds away).
+#[derive(Debug, Clone)]
+pub struct RouteTraceProfile {
+    /// Whether the recorder was compiled in (`trace` feature).
+    pub feature_enabled: bool,
+    /// Events recorded by the traced affinity replay.
+    pub events: usize,
+    /// Spans recorded by the traced affinity replay.
+    pub spans: usize,
+    /// Distinct stage names observed across the replay, sorted.
+    pub stage_names: Vec<String>,
+    /// Per-stage cycle/wall attribution of the replay.
+    pub breakdown: StageBreakdown,
+    /// The raw recorded stream (for `--trace-out` Chrome export).
+    pub snapshot: TraceSnapshot,
+    /// The engine shape the overhead was measured on.
+    pub overhead_shape: String,
+    /// Best-of wall seconds of the untraced engine run on that shape.
+    pub untraced_wall_s: f64,
+    /// Best-of wall seconds of the same run with a recorder attached.
+    pub recorder_wall_s: f64,
+    /// `recorder_wall_s / untraced_wall_s − 1`, clamped at zero.
+    pub overhead_frac: f64,
+}
+
+/// Times the parallel engine on one shape untraced vs with a recorder
+/// sink attached; returns `(shape_id, untraced_wall_s, recorder_wall_s)`.
+///
+/// The full sweep measures the headline `prefill_s1024_h128` shape;
+/// `quick` drops to `prefill_s256_h64` for CI smoke runs.
+fn measure_engine_overhead(quick: bool) -> (String, f64, f64) {
+    let spec = if quick {
+        ShapeSpec { phase: "prefill", seq_len: 256, head_dim: 64, query_rows: 16 }
+    } else {
+        ShapeSpec { phase: "prefill", seq_len: 1024, head_dim: 128, query_rows: 64 }
+    };
+    let config = PadeConfig::standard();
+    let trace = trace_for(&spec);
+    let keys = BitPlaneMatrix::from_rows(trace.keys().as_slice(), trace.keys().cols(), config.bits)
+        .expect("key bit planes");
+    let queries: Vec<&[i8]> = (0..trace.queries().rows()).map(|i| trace.queries().row(i)).collect();
+    let scale = trace.logit_scale();
+    let iters = if quick { 3 } else { 5 };
+
+    let (base, untraced_wall_s) =
+        time_best_of(iters, || run_qk_blocks_par(&config, &queries, &keys, scale));
+    let recorder = Arc::new(Recorder::new());
+    let tracer = Tracer::new(Arc::clone(&recorder) as Arc<dyn pade_trace::TraceSink>);
+    let base_track = trace_track::id(trace_track::ENGINE, 0, 0);
+    let (traced, recorder_wall_s) = time_best_of(iters, || {
+        // Each iteration records into an empty sink, so every run pays
+        // the same submission cost.
+        recorder.clear();
+        run_qk_blocks_par_traced(&config, &queries, &keys, scale, &tracer, base_track)
+    });
+    assert_eq!(base, traced, "tracing changed engine results on {}", spec.id());
+    (spec.id(), untraced_wall_s, recorder_wall_s)
+}
+
+/// Replays the route workload once more with a recorder attached (2-node
+/// affinity fleet), byte-checks the traced run against the untraced one,
+/// and times the tracing overhead on the headline engine shape.
+///
+/// # Panics
+///
+/// Panics if the traced replay's outputs diverge from the untraced run
+/// (telemetry must never change a byte) or the recorded stream is
+/// malformed.
+#[must_use]
+pub fn run_route_trace_profile(quick: bool) -> RouteTraceProfile {
+    let (workload, chunk_tokens) = route_workload(quick);
+    let arrivals = generate_multi_tenant_arrivals(&workload);
+    let node = ServeConfig { kv_chunk_tokens: chunk_tokens, ..ServeConfig::standard() };
+    let fleet = RouterConfig::homogeneous(node, 2, RoutePolicy::Affinity);
+
+    let untraced = route(&fleet, &arrivals, ScheduleMode::Batched);
+    let recorder = Arc::new(Recorder::new());
+    let tracer = Tracer::new(Arc::clone(&recorder) as Arc<dyn pade_trace::TraceSink>);
+    let traced = route_traced(&fleet, &arrivals, ScheduleMode::Batched, &tracer);
+
+    let untraced_bytes: HashMap<usize, Vec<u8>> =
+        untraced.completions_by_id().iter().map(|c| (c.id, c.output_bytes())).collect();
+    let traced_completions = traced.completions_by_id();
+    assert_eq!(traced_completions.len(), arrivals.len(), "traced replay lost requests");
+    for completion in &traced_completions {
+        assert!(
+            completion.output_bytes() == untraced_bytes[&completion.id],
+            "request {}: tracing changed an output byte",
+            completion.id
+        );
+    }
+    let snapshot = recorder.snapshot();
+    snapshot.check_well_formed().unwrap_or_else(|e| panic!("malformed trace: {e}"));
+
+    let (overhead_shape, untraced_wall_s, recorder_wall_s) = measure_engine_overhead(quick);
+    let overhead_frac = if untraced_wall_s > 0.0 {
+        (recorder_wall_s / untraced_wall_s - 1.0).max(0.0)
+    } else {
+        0.0
+    };
+    RouteTraceProfile {
+        feature_enabled: tracer.is_active(),
+        events: snapshot.event_count(),
+        spans: snapshot.span_count(),
+        stage_names: snapshot.stage_names().into_iter().map(str::to_string).collect(),
+        breakdown: snapshot.breakdown(),
+        snapshot,
+        overhead_shape,
+        untraced_wall_s,
+        recorder_wall_s,
+        overhead_frac,
+    }
 }
 
 /// Node counts of the sweep. `quick` trims for CI smoke runs.
@@ -317,7 +453,8 @@ pub fn run_route_matrix(quick: bool) -> RouteSweep {
         );
         assert!(aff.decomposed_tokens < rr.decomposed_tokens);
     }
-    RouteSweep { workload, chunk_tokens, points }
+    let trace = run_route_trace_profile(quick);
+    RouteSweep { workload, chunk_tokens, points, trace }
 }
 
 /// Serializes a route sweep to the `BENCH_<n>.json` trajectory schema.
@@ -376,6 +513,26 @@ pub fn write_route_json(
         writeln!(f, "    }}{comma}")?;
     }
     writeln!(f, "  ],")?;
+    let t = &sweep.trace;
+    writeln!(f, "  \"trace\": {{")?;
+    writeln!(f, "    \"feature_enabled\": {},", t.feature_enabled)?;
+    writeln!(f, "    \"events\": {},", t.events)?;
+    writeln!(f, "    \"spans\": {},", t.spans)?;
+    writeln!(
+        f,
+        "    \"stage_names\": [{}],",
+        t.stage_names
+            .iter()
+            .map(|s| format!("\"{}\"", crate::json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )?;
+    writeln!(f, "    \"overhead_shape\": \"{}\",", crate::json_escape(&t.overhead_shape))?;
+    writeln!(f, "    \"untraced_wall_s\": {:.6},", t.untraced_wall_s)?;
+    writeln!(f, "    \"recorder_wall_s\": {:.6},", t.recorder_wall_s)?;
+    writeln!(f, "    \"overhead_pct\": {:.2},", t.overhead_frac * 100.0)?;
+    writeln!(f, "    \"breakdown\": {}", t.breakdown.to_json())?;
+    writeln!(f, "  }},")?;
     let max_nodes = sweep.points.iter().map(|p| p.n_nodes).max().expect("non-empty sweep");
     let at = |policy: RoutePolicy| {
         sweep
@@ -440,7 +597,26 @@ mod tests {
         assert!(text.contains("\"scenario\": \"route\""));
         assert_eq!(text.matches("\"policy\"").count(), 6); // 2 node counts x 3 policies
         assert!(text.contains("\"kv_prep_speedup_vs_round_robin\""));
+        assert!(text.contains("\"overhead_pct\""));
+        assert!(text.contains("\"breakdown\""));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_profile_preserves_outputs_and_attributes_stages() {
+        let p = run_route_trace_profile(true);
+        assert!(p.untraced_wall_s > 0.0 && p.recorder_wall_s > 0.0);
+        if cfg!(feature = "trace") {
+            assert!(p.feature_enabled);
+            assert!(p.events > 0 && p.spans > 0);
+            assert!(p.stage_names.len() >= 6, "stages: {:?}", p.stage_names);
+            assert!(p.breakdown.get("serve.prefill").is_some());
+            assert!(p.breakdown.get("cache.attach").is_some());
+        } else {
+            assert!(!p.feature_enabled);
+            assert_eq!(p.events, 0);
+            assert!(p.stage_names.is_empty());
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use pade_quant::{BitPlaneMatrix, GrowableKeyCache, QuantError};
+use pade_trace::{Cycle, Tracer};
 
 use crate::budget::CacheBudget;
 use crate::index::PrefixIndex;
@@ -194,6 +195,11 @@ pub struct KvCacheManager {
     pub(crate) residency: Residency,
     pub(crate) stats: CacheStats,
     pub(crate) tick: u64,
+    /// Telemetry hookup: `(tracer, track)`. The manager's logical clock
+    /// is its attach/detach tick, so equal request sequences replay as
+    /// identical event streams. A pure side channel — hit, eviction and
+    /// plane outcomes never read it.
+    trace: Option<(Tracer, u64)>,
 }
 
 impl KvCacheManager {
@@ -213,7 +219,15 @@ impl KvCacheManager {
             residency: Residency::default(),
             stats: CacheStats::default(),
             tick: 0,
+            trace: None,
         })
+    }
+
+    /// Binds this manager's telemetry to `track` of `tracer`. Attaches,
+    /// evictions and session resumes record onto that track from now on;
+    /// outputs are unaffected.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: u64) {
+        self.trace = if tracer.is_active() { Some((tracer, track)) } else { None };
     }
 
     /// The manager's shape and budget.
@@ -309,6 +323,7 @@ impl KvCacheManager {
         }
         self.tick += 1;
         self.stats.lookups = self.stats.lookups.saturating_add(1);
+        let attach_wall = self.trace.is_some().then(std::time::Instant::now);
         let dims = self.config.dims;
 
         // 1. Session resume. The resumed cache leaves the store (its
@@ -325,6 +340,7 @@ impl KvCacheManager {
             self.stats.decomposed_tokens =
                 self.stats.decomposed_tokens.saturating_add((ids.len() - covered) as u64);
             self.evict_to_budget();
+            self.trace_attach(attach_wall, covered, ids.len() - covered, true);
             return Ok(Attached {
                 cache,
                 lease: CacheLease { path: resolved.path },
@@ -380,6 +396,7 @@ impl KvCacheManager {
         self.stats.decomposed_tokens =
             self.stats.decomposed_tokens.saturating_add(decomposed_tokens as u64);
         self.evict_to_budget();
+        self.trace_attach(attach_wall, hit_tokens, decomposed_tokens, false);
         Ok(Attached {
             cache,
             lease: CacheLease { path },
@@ -387,6 +404,32 @@ impl KvCacheManager {
             decomposed_tokens,
             resumed_session: false,
         })
+    }
+
+    /// Records one attach outcome on the bound track (no-op when no
+    /// tracer is bound). Clocked at the attach's own tick.
+    fn trace_attach(
+        &self,
+        wall: Option<std::time::Instant>,
+        hit_tokens: usize,
+        decomposed_tokens: usize,
+        resumed: bool,
+    ) {
+        if let (Some((tracer, track)), Some(t0)) = (&self.trace, wall) {
+            let clock = Cycle(self.tick);
+            tracer.span_at(*track, "cache.attach", clock, clock, t0.elapsed().as_nanos() as u64);
+            if resumed {
+                tracer.instant(*track, "cache.session_resume", clock);
+            }
+            if hit_tokens > 0 {
+                tracer.instant(*track, "cache.hit", clock);
+            }
+            if decomposed_tokens > 0 {
+                tracer.instant(*track, "cache.suffix_decompose", clock);
+            }
+            tracer.count(*track, "cache.hit_tokens", clock, hit_tokens as u64);
+            tracer.count(*track, "cache.decomposed_tokens", clock, decomposed_tokens as u64);
+        }
     }
 
     /// Predicted prompt tokens an [`attach`](Self::attach) of `(session,
@@ -464,6 +507,8 @@ impl KvCacheManager {
         if self.config.budget.is_unlimited() {
             return;
         }
+        let evict_wall = self.trace.is_some().then(std::time::Instant::now);
+        let bytes_before = self.residency.total;
         let max = self.config.budget.max_bytes();
         while self.residency.total > max {
             let before = self.residency.total;
@@ -485,6 +530,14 @@ impl KvCacheManager {
             // exactly what was actually freed.
             self.stats.evicted_bytes =
                 self.stats.evicted_bytes.saturating_add(before - self.residency.total);
+        }
+        let freed = bytes_before - self.residency.total;
+        if freed > 0 {
+            if let (Some((tracer, track)), Some(t0)) = (&self.trace, evict_wall) {
+                let clock = Cycle(self.tick);
+                tracer.span_at(*track, "cache.evict", clock, clock, t0.elapsed().as_nanos() as u64);
+                tracer.count(*track, "cache.evicted_bytes", clock, freed);
+            }
         }
     }
 }

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use pade_mem::{HbmModel, KeyLayout, SramBuffer};
 use pade_quant::{BitPlaneMatrix, KeyCacheSnapshot, PlaneSource};
 use pade_sim::{Cycle, EventQueue, OpCounts, TrafficCounts, UtilizationCounter};
+use pade_trace::{track as trace_track, Tracer};
 
 use crate::bitserial::{plane_contribution, plane_contribution_planes, q_sum, BsMode, QRowPlanes};
 use crate::bui::Bui;
@@ -131,9 +132,50 @@ pub fn run_qk_block_on<K: PlaneSource + ?Sized>(
     keys: &K,
     logit_scale: f32,
 ) -> QkBlockResult {
+    run_qk_block_on_traced(config, queries, keys, logit_scale, &Tracer::disabled(), 0)
+}
+
+/// [`run_qk_block_on`] with telemetry: the query-decompose and block stage
+/// spans plus kernel counters (plane-AND words, popcounts, LUT lookups,
+/// bytes touched) are recorded through `tracer` onto
+/// [`DISPATCH_STRIDE`](pade_trace::track::DISPATCH_STRIDE) consecutive
+/// tracks starting at `track`. Telemetry never feeds back into the
+/// simulation: the returned [`QkBlockResult`] is byte-identical to the
+/// untraced call (and to [`run_qk_block_reference`]) whether `tracer` is
+/// recording, disabled, or compiled out.
+///
+/// # Panics
+///
+/// As [`run_qk_block_on`].
+#[must_use]
+pub fn run_qk_block_on_traced<K: PlaneSource + ?Sized>(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &K,
+    logit_scale: f32,
+    tracer: &Tracer,
+    track: u64,
+) -> QkBlockResult {
+    let q_wall = tracer.is_active().then(std::time::Instant::now);
     let qplanes: Vec<QRowPlanes> = queries.iter().map(|q| QRowPlanes::new(q)).collect();
     let borrowed: Vec<&QRowPlanes> = qplanes.iter().collect();
-    run_qk_block_prepared(config, queries, &borrowed, keys, logit_scale)
+    if let Some(t0) = q_wall {
+        tracer.span_at(
+            track,
+            "engine.q_decompose",
+            Cycle::ZERO,
+            Cycle::ZERO,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+    run_qk_block_prepared(
+        config,
+        queries,
+        &borrowed,
+        keys,
+        logit_scale,
+        BlockTrace { tracer, track },
+    )
 }
 
 /// [`run_qk_block_on`] with the per-row query decompositions already
@@ -141,6 +183,15 @@ pub fn run_qk_block_on<K: PlaneSource + ?Sized>(
 /// every head (and layer) scoring the same query rows; `qplanes[r]` must
 /// be the decomposition of `queries[r]`.
 ///
+/// Telemetry hookup of one engine block dispatch: a tracer handle plus the
+/// dispatch's base track id. Recording is a pure side channel — nothing
+/// here reaches the simulated arithmetic or timing.
+#[derive(Clone, Copy)]
+struct BlockTrace<'a> {
+    tracer: &'a Tracer,
+    track: u64,
+}
+
 /// # Panics
 ///
 /// As [`run_qk_block_on`]; additionally if `qplanes.len() != queries.len()`
@@ -151,8 +202,19 @@ fn run_qk_block_prepared<K: PlaneSource + ?Sized>(
     qplanes: &[&QRowPlanes],
     keys: &K,
     logit_scale: f32,
+    trace: BlockTrace<'_>,
 ) -> QkBlockResult {
     config.validate();
+    // Telemetry accumulators — folded away entirely when the `trace`
+    // feature is off (`is_active` is then a constant `false`).
+    let tr_active = trace.tracer.is_active();
+    let wall_start = tr_active.then(std::time::Instant::now);
+    let mut tr_popcounts = 0u64;
+    let mut tr_and_words = 0u64;
+    let mut tr_absorb_cycles = 0u64;
+    let mut tr_gsat_sweeps = 0u64;
+    let mut tr_gsat_cycles = 0u64;
+    let mut tr_memo_hits = 0u64;
     assert_eq!(qplanes.len(), queries.len(), "one decomposition per query row");
     for (q, qp) in queries.iter().zip(qplanes) {
         assert_eq!(qp.len(), q.len(), "decomposition width must match its query row");
@@ -312,15 +374,29 @@ fn run_qk_block_prepared<K: PlaneSource + ?Sized>(
                     plane_contribution_planes(qplanes[lane.row], plane, job.plane, bits, false);
                 let memo_slot = job.token * bits_us + job.plane as usize;
                 let stats = match gsat_memo[memo_slot] {
-                    Some(s) => s,
+                    Some(s) => {
+                        if tr_active {
+                            tr_memo_hits += 1;
+                        }
+                        s
+                    }
                     None => {
                         let s = gsat.absorb_stats(plane, config.enable_bs);
                         gsat_memo[memo_slot] = Some(s);
+                        if tr_active {
+                            tr_gsat_sweeps += 1;
+                            tr_gsat_cycles += s.cycles;
+                        }
                         s
                     }
                 };
                 let (cycles, selected) = (stats.cycles, stats.selected);
                 let balanced = stats.balanced;
+                if tr_active {
+                    tr_popcounts += 1;
+                    tr_and_words += plane.words().len() as u64;
+                    tr_absorb_cycles += balanced;
+                }
                 lane.util.busy(balanced);
                 lane.util.stall_intra(cycles - balanced);
                 lane.busy_until = now + Cycle(cycles);
@@ -422,6 +498,26 @@ fn run_qk_block_prepared<K: PlaneSource + ?Sized>(
         lane_utils.push(lane.util);
     }
 
+    if let Some(t0) = wall_start {
+        // The block span rides the dispatch's main track; the per-stage
+        // aggregates are *summed lane-time*, not bracketed intervals
+        // (lanes overlap), so they get their own subtracks and every
+        // track stays strictly nested.
+        let t = trace.tracer;
+        let tk = trace.track;
+        t.span_at(tk, "engine.qk_block", Cycle::ZERO, horizon, t0.elapsed().as_nanos() as u64);
+        t.span_at(tk + 1, "engine.plane_and_popcount", Cycle::ZERO, Cycle(tr_absorb_cycles), 0);
+        t.span_at(tk + 2, "engine.gsat_absorb", Cycle::ZERO, Cycle(tr_gsat_cycles), 0);
+        t.count(tk, "engine.popcounts", horizon, tr_popcounts);
+        t.count(tk, "engine.plane_and_words", horizon, tr_and_words);
+        t.count(tk, "engine.gsat_sweeps", horizon, tr_gsat_sweeps);
+        t.count(tk, "engine.gsat_memo_hits", horizon, tr_memo_hits);
+        t.count(tk, "engine.lut_lookups", horizon, ops.lut_lookup);
+        t.count(tk, "engine.planes_fetched", horizon, planes_fetched);
+        t.count(tk, "engine.dram_read_bytes", horizon, traffic.dram_read_bytes);
+        t.count(tk, "engine.sram_read_bytes", horizon, traffic.sram_read_bytes);
+    }
+
     QkBlockResult {
         cycles: horizon,
         retained,
@@ -513,6 +609,37 @@ pub fn run_qk_blocks_par_on<K: PlaneSource + Sync + ?Sized>(
 ) -> Vec<QkBlockResult> {
     let blocks: Vec<&[&[i8]]> = queries.chunks(config.pe_rows).collect();
     pade_par::par_map(&blocks, |block| run_qk_block_on(config, block, keys, logit_scale))
+}
+
+/// [`run_qk_blocks_par_on`] with telemetry: block `i` records onto tracks
+/// `base_track + i·DISPATCH_STRIDE`. Block indices — not worker identity —
+/// assign the tracks, so recorded traces are identical at any
+/// `PADE_THREADS`. Results stay byte-identical to the untraced call.
+///
+/// # Panics
+///
+/// As [`run_qk_blocks_par`].
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn run_qk_blocks_par_traced<K: PlaneSource + Sync + ?Sized>(
+    config: &PadeConfig,
+    queries: &[&[i8]],
+    keys: &K,
+    logit_scale: f32,
+    tracer: &Tracer,
+    base_track: u64,
+) -> Vec<QkBlockResult> {
+    let blocks: Vec<&[&[i8]]> = queries.chunks(config.pe_rows).collect();
+    pade_par::par_map_indexed(blocks.len(), |i| {
+        run_qk_block_on_traced(
+            config,
+            blocks[i],
+            keys,
+            logit_scale,
+            tracer,
+            base_track + i as u64 * trace_track::DISPATCH_STRIDE,
+        )
+    })
 }
 
 /// [`run_qk_block`] over a [`KeyCacheSnapshot`] — one engine block against
@@ -730,6 +857,35 @@ pub fn run_qk_batch(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlock
         .collect()
 }
 
+/// [`run_qk_batch`] with telemetry: job `i` records onto tracks
+/// `base_track + i·DISPATCH_STRIDE`. Results stay byte-identical to the
+/// untraced call.
+///
+/// # Panics
+///
+/// As [`run_qk_block`], per job.
+#[must_use]
+pub fn run_qk_batch_traced(
+    config: &PadeConfig,
+    jobs: &[QkBatchJob<'_>],
+    tracer: &Tracer,
+    base_track: u64,
+) -> Vec<QkBlockResult> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| {
+            run_qk_block_on_traced(
+                config,
+                &job.queries,
+                &job.keys,
+                job.logit_scale,
+                tracer,
+                base_track + i as u64 * trace_track::DISPATCH_STRIDE,
+            )
+        })
+        .collect()
+}
+
 /// Parallel variant of [`run_qk_batch`]: jobs fan out across worker
 /// threads and are merged back in job order, bit-identical to the
 /// sequential loop regardless of thread count.
@@ -741,6 +897,33 @@ pub fn run_qk_batch(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlock
 #[must_use]
 pub fn run_qk_batch_par(config: &PadeConfig, jobs: &[QkBatchJob<'_>]) -> Vec<QkBlockResult> {
     pade_par::par_map(jobs, |job| run_qk_block_on(config, &job.queries, &job.keys, job.logit_scale))
+}
+
+/// [`run_qk_batch_par`] with telemetry; job indices (not worker identity)
+/// assign tracks, so traces are identical at any `PADE_THREADS`.
+///
+/// # Panics
+///
+/// As [`run_qk_block`], per job.
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn run_qk_batch_par_traced(
+    config: &PadeConfig,
+    jobs: &[QkBatchJob<'_>],
+    tracer: &Tracer,
+    base_track: u64,
+) -> Vec<QkBlockResult> {
+    pade_par::par_map_indexed(jobs.len(), |i| {
+        let job = &jobs[i];
+        run_qk_block_on_traced(
+            config,
+            &job.queries,
+            &job.keys,
+            job.logit_scale,
+            tracer,
+            base_track + i as u64 * trace_track::DISPATCH_STRIDE,
+        )
+    })
 }
 
 /// Every head (and, stacked across layers, every layer-head) of one token
@@ -810,19 +993,54 @@ fn fused_prepass<'a>(
 /// As [`run_qk_block`], per block.
 #[must_use]
 pub fn run_qk_fused(config: &PadeConfig, job: &QkFusedJob<'_>) -> Vec<Vec<QkBlockResult>> {
+    run_qk_fused_traced(config, job, &Tracer::disabled(), 0)
+}
+
+/// [`run_qk_fused`] with telemetry: the shared query-decompose prepass and
+/// the fan-out span record onto the dispatcher track `base_track`; unit
+/// `u` (in deterministic prepass order) records onto tracks
+/// `base_track + (1 + u)·DISPATCH_STRIDE`. Results stay byte-identical to
+/// the untraced call.
+///
+/// # Panics
+///
+/// As [`run_qk_block`], per block.
+#[must_use]
+pub fn run_qk_fused_traced(
+    config: &PadeConfig,
+    job: &QkFusedJob<'_>,
+    tracer: &Tracer,
+    base_track: u64,
+) -> Vec<Vec<QkBlockResult>> {
+    let prep_wall = tracer.is_active().then(std::time::Instant::now);
     let (qplanes, units) = fused_prepass(config, job);
+    if let Some(t0) = prep_wall {
+        tracer.span_at(
+            base_track,
+            "engine.q_decompose",
+            Cycle::ZERO,
+            Cycle::ZERO,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+    let fan_wall = tracer.is_active().then(std::time::Instant::now);
     let mut results: Vec<Vec<QkBlockResult>> = job.heads.iter().map(|_| Vec::new()).collect();
-    for (head, block, plane_ids) in units {
+    for (u, (head, block, plane_ids)) in units.iter().enumerate() {
         let borrowed: Vec<&QRowPlanes> = plane_ids.iter().map(|&i| &qplanes[i]).collect();
-        let entry = &job.heads[head];
-        results[head].push(run_qk_block_prepared(
+        let entry = &job.heads[*head];
+        results[*head].push(run_qk_block_prepared(
             config,
             block,
             &borrowed,
             &entry.keys,
             entry.logit_scale,
+            BlockTrace {
+                tracer,
+                track: base_track + (1 + u as u64) * trace_track::DISPATCH_STRIDE,
+            },
         ));
     }
+    emit_fanout_span(tracer, base_track, fan_wall, &results);
     results
 }
 
@@ -837,17 +1055,78 @@ pub fn run_qk_fused(config: &PadeConfig, job: &QkFusedJob<'_>) -> Vec<Vec<QkBloc
 #[cfg(feature = "parallel")]
 #[must_use]
 pub fn run_qk_fused_par(config: &PadeConfig, job: &QkFusedJob<'_>) -> Vec<Vec<QkBlockResult>> {
+    run_qk_fused_par_traced(config, job, &Tracer::disabled(), 0)
+}
+
+/// [`run_qk_fused_par`] with telemetry, laid out exactly as
+/// [`run_qk_fused_traced`]: unit indices from the deterministic prepass —
+/// not worker identity — assign tracks, so the recorded trace is identical
+/// at any `PADE_THREADS`.
+///
+/// # Panics
+///
+/// As [`run_qk_block`], per block.
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn run_qk_fused_par_traced(
+    config: &PadeConfig,
+    job: &QkFusedJob<'_>,
+    tracer: &Tracer,
+    base_track: u64,
+) -> Vec<Vec<QkBlockResult>> {
+    let prep_wall = tracer.is_active().then(std::time::Instant::now);
     let (qplanes, units) = fused_prepass(config, job);
-    let flat = pade_par::par_map(&units, |(head, block, plane_ids)| {
+    if let Some(t0) = prep_wall {
+        tracer.span_at(
+            base_track,
+            "engine.q_decompose",
+            Cycle::ZERO,
+            Cycle::ZERO,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+    let fan_wall = tracer.is_active().then(std::time::Instant::now);
+    let flat = pade_par::par_map_indexed(units.len(), |u| {
+        let (head, block, plane_ids) = &units[u];
         let borrowed: Vec<&QRowPlanes> = plane_ids.iter().map(|&i| &qplanes[i]).collect();
         let entry = &job.heads[*head];
-        (*head, run_qk_block_prepared(config, block, &borrowed, &entry.keys, entry.logit_scale))
+        (
+            *head,
+            run_qk_block_prepared(config, block, &borrowed, &entry.keys, entry.logit_scale, {
+                BlockTrace {
+                    tracer,
+                    track: base_track + (1 + u as u64) * trace_track::DISPATCH_STRIDE,
+                }
+            }),
+        )
     });
     let mut results: Vec<Vec<QkBlockResult>> = job.heads.iter().map(|_| Vec::new()).collect();
     for (head, result) in flat {
         results[head].push(result);
     }
+    emit_fanout_span(tracer, base_track, fan_wall, &results);
     results
+}
+
+/// Closes the fused-dispatch fan-out span: logical length = the longest
+/// block horizon of the dispatch (blocks run concurrently on hardware),
+/// wall annotation = measured fan-out time.
+fn emit_fanout_span(
+    tracer: &Tracer,
+    base_track: u64,
+    fan_wall: Option<std::time::Instant>,
+    results: &[Vec<QkBlockResult>],
+) {
+    if let Some(t0) = fan_wall {
+        let horizon = results.iter().flatten().map(|r| r.cycles).max().unwrap_or(Cycle::ZERO);
+        tracer.span_at(
+            base_track,
+            "engine.fused_fanout",
+            Cycle::ZERO,
+            horizon,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
 }
 
 /// The seed's hash-map-based implementation, kept verbatim as the

@@ -157,4 +157,58 @@ proptest! {
             prop_assert_eq!(&par[1], &results[1]);
         }
     }
+
+    /// The traced entry points are the seed path plus a pure side
+    /// channel: recorder attached, recorder absent, or the whole `trace`
+    /// feature compiled out — the outputs stay byte-identical to the
+    /// oracle, and whatever stream is recorded is strictly well-formed.
+    #[test]
+    fn traced_engine_matches_oracle_and_records_wellformed_spans(
+        bits in prop_oneof![Just(2u32), Just(4), Just(8)],
+        s in 1usize..40,
+        dims in 1usize..32,
+        rows in 1usize..6,
+        knobs in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let config = config_for(bits, knobs);
+        let keys_data = vec_i8_bits(s * dims, seed, bits);
+        let keys = BitPlaneMatrix::from_rows(&keys_data, dims, bits).unwrap();
+        let query_data: Vec<Vec<i8>> =
+            (0..rows).map(|r| vec_i8_bits(dims, seed ^ mix(seed, r), bits)).collect();
+        let queries: Vec<&[i8]> = query_data.iter().map(Vec::as_slice).collect();
+        let scale = 1.0 / 64.0;
+        let recorder = Arc::new(pade_trace::Recorder::new());
+        let tracer =
+            pade_trace::Tracer::new(Arc::clone(&recorder) as Arc<dyn pade_trace::TraceSink>);
+        let track = pade_trace::track::id(pade_trace::track::ENGINE, 7, 0);
+        let head = &queries[..queries.len().min(config.pe_rows)];
+        let traced = pade_core::engine::run_qk_block_on_traced(
+            &config, head, &keys, scale, &tracer, track,
+        );
+        let oracle = run_qk_block_reference(&config, head, &keys, scale);
+        prop_assert_eq!(&traced, &oracle);
+        let inert = pade_core::engine::run_qk_block_on_traced(
+            &config, head, &keys, scale, &pade_trace::Tracer::disabled(), track,
+        );
+        prop_assert_eq!(&inert, &oracle);
+        let snap = recorder.snapshot();
+        prop_assert!(snap.check_well_formed().is_ok());
+        if cfg!(feature = "trace") {
+            prop_assert!(snap.span_count() > 0);
+            prop_assert!(snap.stage_names().contains("engine.qk_block"));
+        } else {
+            prop_assert_eq!(snap.event_count(), 0);
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let par = pade_core::engine::run_qk_blocks_par_traced(
+                &config, &queries, &keys, scale, &tracer, track,
+            );
+            prop_assert_eq!(
+                par,
+                pade_core::engine::run_qk_blocks_par(&config, &queries, &keys, scale)
+            );
+        }
+    }
 }

@@ -27,6 +27,8 @@
 
 use std::sync::Arc;
 
+use pade_trace::{Cycle, Tracer};
+
 use crate::bitplane::{BitPlaneMatrix, TokenPlanes};
 use crate::QuantError;
 
@@ -126,13 +128,33 @@ impl<K: PlaneSource + ?Sized> PlaneSource for Arc<K> {
 ///     assert_eq!(snap.token(j), scratch.token(j));
 /// }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GrowableKeyCache {
     dims: usize,
     bits: u32,
     chunk_tokens: usize,
     sealed: Vec<Arc<BitPlaneMatrix>>,
     tail: Vec<TokenPlanes>,
+    /// Telemetry hookup: `(tracer, track)`. Events are stamped with the
+    /// cache's token count (monotonic under append-only growth). A pure
+    /// side channel — storage and decomposition never read it.
+    trace: Option<(Tracer, u64)>,
+}
+
+impl Clone for GrowableKeyCache {
+    /// Clones the stored planes but **not** the telemetry hookup: a track
+    /// is owned by exactly one emitter, and a clone diverging from the
+    /// original would interleave non-monotonic clocks on it.
+    fn clone(&self) -> Self {
+        Self {
+            dims: self.dims,
+            bits: self.bits,
+            chunk_tokens: self.chunk_tokens,
+            sealed: self.sealed.clone(),
+            tail: self.tail.clone(),
+            trace: None,
+        }
+    }
 }
 
 impl GrowableKeyCache {
@@ -151,7 +173,14 @@ impl GrowableKeyCache {
         if dims == 0 || chunk_tokens == 0 {
             return Err(QuantError::DimensionMismatch { expected: 1, actual: 0 });
         }
-        Ok(Self { dims, bits, chunk_tokens, sealed: Vec::new(), tail: Vec::new() })
+        Ok(Self { dims, bits, chunk_tokens, sealed: Vec::new(), tail: Vec::new(), trace: None })
+    }
+
+    /// Binds this cache's telemetry to `track` of `tracer`. Appends and
+    /// chunk seals record onto that track from now on; outputs are
+    /// unaffected.
+    pub fn set_trace(&mut self, tracer: Tracer, track: u64) {
+        self.trace = if tracer.is_active() { Some((tracer, track)) } else { None };
     }
 
     /// A cache pre-populated with already-sealed chunks — the reuse path
@@ -269,10 +298,22 @@ impl GrowableKeyCache {
         }
         self.tail.push(TokenPlanes::try_from_values(values, self.bits)?);
         if self.tail.len() == self.chunk_tokens {
+            let seal_wall = self.trace.is_some().then(std::time::Instant::now);
             let chunk = std::mem::take(&mut self.tail);
             let sealed = BitPlaneMatrix::from_tokens(chunk, self.dims, self.bits)
                 .expect("tail tokens share the cache shape by construction");
             self.sealed.push(Arc::new(sealed));
+            if let (Some((tracer, track)), Some(t0)) = (&self.trace, seal_wall) {
+                let clock = Cycle(self.tokens() as u64);
+                tracer.span_at(
+                    *track,
+                    "quant.seal_chunk",
+                    clock,
+                    clock,
+                    t0.elapsed().as_nanos() as u64,
+                );
+                tracer.count(*track, "quant.sealed_tokens", clock, self.chunk_tokens as u64);
+            }
         }
         Ok(())
     }
@@ -288,8 +329,24 @@ impl GrowableKeyCache {
         if !data.len().is_multiple_of(self.dims) {
             return Err(QuantError::DimensionMismatch { expected: self.dims, actual: data.len() });
         }
+        let wall = self.trace.is_some().then(std::time::Instant::now);
+        let rows = data.len() / self.dims;
         for row in data.chunks(self.dims) {
             self.append_token(row)?;
+        }
+        if let (Some((tracer, track)), Some(t0)) = (&self.trace, wall) {
+            // Zero-length span at the *post-append* token count: any seal
+            // events emitted by the loop carry earlier (or equal) clocks,
+            // keeping the track monotone.
+            let clock = Cycle(self.tokens() as u64);
+            tracer.span_at(
+                *track,
+                "quant.append_rows",
+                clock,
+                clock,
+                t0.elapsed().as_nanos() as u64,
+            );
+            tracer.count(*track, "quant.tokens_appended", clock, rows as u64);
         }
         Ok(())
     }

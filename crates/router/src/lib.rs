@@ -68,4 +68,4 @@ pub mod router;
 pub use merge::verify_partial_merge;
 pub use metrics::{merge_node_reports, RouterSummary};
 pub use policy::{RouteDecision, RoutePolicy, RouteReason};
-pub use router::{route, RouterConfig, RouterReport};
+pub use router::{route, route_traced, RouterConfig, RouterReport};

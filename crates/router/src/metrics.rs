@@ -11,7 +11,7 @@
 //! even, `N` = one node took everything).
 
 use pade_serve::server::ServeReport;
-use pade_sim::{Cycle, Frequency, LatencyStats, LatencySummary};
+use pade_sim::{Cycle, Frequency, LatencyStats, LatencySummary, OpCounts, TrafficCounts};
 
 use crate::policy::{RouteDecision, RouteReason};
 
@@ -50,6 +50,11 @@ pub struct RouterSummary {
     /// Decisions placed by prefix-shard affinity (new sessions joining a
     /// warm node).
     pub prefix_affinity_routes: u64,
+    /// Engine arithmetic events summed over every node's dispatched
+    /// blocks.
+    pub ops: OpCounts,
+    /// Engine memory traffic summed over every node's dispatched blocks.
+    pub traffic: TrafficCounts,
 }
 
 /// Pools per-node reports and the decision log into a [`RouterSummary`].
@@ -70,6 +75,8 @@ pub fn merge_node_reports(
     let mut decomposed = 0u64;
     let mut evictions = 0u64;
     let mut node_tokens = Vec::with_capacity(node_reports.len());
+    let mut ops = OpCounts::default();
+    let mut traffic = TrafficCounts::default();
     for report in node_reports {
         latency.merge(&report.metrics.latency);
         tokens += report.summary.tokens;
@@ -78,6 +85,8 @@ pub fn merge_node_reports(
         decomposed += report.summary.cache_decomposed_tokens;
         evictions += report.summary.cache_evictions;
         node_tokens.push(report.summary.tokens);
+        ops.merge(&report.summary.ops);
+        traffic.merge(&report.summary.traffic);
     }
     let attached = hit + decomposed;
     let max = node_tokens.iter().copied().max().unwrap_or(0);
@@ -103,5 +112,7 @@ pub fn merge_node_reports(
             .iter()
             .filter(|d| d.reason == RouteReason::PrefixAffinity)
             .count() as u64,
+        ops,
+        traffic,
     }
 }

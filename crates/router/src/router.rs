@@ -29,6 +29,7 @@ use pade_serve::node::Node;
 use pade_serve::scheduler::ScheduleMode;
 use pade_serve::server::{Completion, ServeConfig, ServeReport};
 use pade_sim::Cycle;
+use pade_trace::{track as trace_track, Tracer};
 use pade_workload::trace::RequestArrival;
 
 use crate::metrics::{merge_node_reports, RouterSummary};
@@ -125,6 +126,28 @@ pub fn route(
     arrivals: &[RequestArrival],
     mode: ScheduleMode,
 ) -> RouterReport {
+    route_traced(config, arrivals, mode, &Tracer::disabled())
+}
+
+/// [`route`] with telemetry: node `k` records onto its `k`-owned serve,
+/// engine, cache and quant tracks of `tracer`, and the router itself
+/// records one `router.route` span bracketing the arrival replay, a
+/// `router.place` instant plus a per-reason counter per decision. With a
+/// disabled tracer this **is** [`route`]; either way the report is
+/// byte-identical — tracing is a pure side channel (property-tested in
+/// `tests/`).
+///
+/// # Panics
+///
+/// Panics if `arrivals` or `config.nodes` is empty, or any node's engine
+/// configuration is invalid.
+#[must_use]
+pub fn route_traced(
+    config: &RouterConfig,
+    arrivals: &[RequestArrival],
+    mode: ScheduleMode,
+    tracer: &Tracer,
+) -> RouterReport {
     assert!(!arrivals.is_empty(), "at least one request required");
     assert!(!config.nodes.is_empty(), "at least one node required");
     // Each node saves its own cache image at finish; two nodes sharing
@@ -141,6 +164,9 @@ pub fn route(
     }
     let n = config.nodes.len();
     let mut nodes: Vec<Node> = config.nodes.iter().map(|c| Node::new(c, mode)).collect();
+    for (k, node) in nodes.iter_mut().enumerate() {
+        node.set_tracer(tracer.clone(), k as u32);
+    }
     // The shard-key granularity must match what the nodes' cache
     // managers index, or affinity would cluster on boundaries no node
     // shares chunks at — so an affinity fleet must agree on it.
@@ -163,6 +189,11 @@ pub fn route(
     let mut session_home: HashMap<u64, usize> = HashMap::new();
     let mut prefix_home: HashMap<u64, usize> = HashMap::new();
     let mut decisions: Vec<RouteDecision> = Vec::with_capacity(sorted.len());
+
+    // Buffered so the bracketing span's Begin precedes every placement
+    // instant in stream order (sorted arrivals keep clocks monotone).
+    let mut router_ctx = tracer.ctx(trace_track::id(trace_track::ROUTER, 0, 0));
+    router_ctx.begin_timed("router.route", Cycle(sorted[0].arrival_cycle));
 
     for (i, spec) in sorted.iter().enumerate() {
         let now = Cycle(spec.arrival_cycle);
@@ -203,8 +234,12 @@ pub fn route(
             }
         };
         nodes[target].enqueue(spec);
+        router_ctx.instant("router.place", now);
+        router_ctx.count(reason_counter(reason), now, 1);
         decisions.push(RouteDecision { id: spec.id, session: spec.session, node: target, reason });
     }
+    router_ctx.end(Cycle(sorted.last().expect("non-empty").arrival_cycle));
+    drop(router_ctx);
 
     let node_reports: Vec<ServeReport> = nodes
         .into_iter()
@@ -215,6 +250,16 @@ pub fn route(
         .collect();
     let summary = merge_node_reports(&node_reports, &decisions);
     RouterReport { policy: config.policy, decisions, node_reports, summary }
+}
+
+/// Counter name for a placement reason (static, for the trace registry).
+fn reason_counter(reason: RouteReason) -> &'static str {
+    match reason {
+        RouteReason::SessionAffinity => "router.place_session_affinity",
+        RouteReason::PrefixAffinity => "router.place_prefix_affinity",
+        RouteReason::LeastLoaded => "router.place_least_loaded",
+        RouteReason::RoundRobin => "router.place_round_robin",
+    }
 }
 
 #[cfg(test)]

@@ -24,10 +24,12 @@
 //! cache disabled — outputs are byte-identical either way.
 
 use std::process::exit;
+use std::sync::Arc;
 
 use pade_cache::CacheBudget;
 use pade_serve::scheduler::ScheduleMode;
-use pade_serve::server::{serve, ServeConfig, ServeReport};
+use pade_serve::server::{serve, serve_traced, ServeConfig, ServeReport};
+use pade_trace::{save_chrome_trace, Recorder, Tracer};
 use pade_workload::prompt::{generate_shared_prefix_arrivals, SharedPrefixConfig};
 use pade_workload::trace::{generate_arrivals, ArrivalConfig, RequestArrival};
 
@@ -38,6 +40,7 @@ struct Args {
     hit_aware: bool,
     cache_budget: Option<u64>,
     cache_file: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
     requests: Option<usize>,
     mean_gap: Option<f64>,
     seq_len: Option<usize>,
@@ -62,6 +65,7 @@ fn parse_args() -> Args {
         hit_aware: false,
         cache_budget: None,
         cache_file: None,
+        trace_out: None,
         requests: None,
         mean_gap: None,
         seq_len: None,
@@ -82,6 +86,10 @@ fn parse_args() -> Args {
                 args.cache_file =
                     Some(std::path::PathBuf::from(parse::<String>("--cache-file", it.next())));
             }
+            "--trace-out" => {
+                args.trace_out =
+                    Some(std::path::PathBuf::from(parse::<String>("--trace-out", it.next())));
+            }
             "--requests" => args.requests = Some(parse("--requests", it.next())),
             "--mean-gap" => args.mean_gap = Some(parse("--mean-gap", it.next())),
             "--seq-len" => args.seq_len = Some(parse("--seq-len", it.next())),
@@ -97,8 +105,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: pade-serve [--quick] [--shared-prefix] [--no-prefix-cache] \
                      [--hit-aware] [--cache-budget BYTES] [--cache-file PATH] \
-                     [--requests N] [--mean-gap CYCLES] [--seq-len S] [--slots K] \
-                     [--max-batch-tokens T] [--decode-fraction F] [--seed X]"
+                     [--trace-out PATH] [--requests N] [--mean-gap CYCLES] [--seq-len S] \
+                     [--slots K] [--max-batch-tokens T] [--decode-fraction F] [--seed X]"
                 );
                 exit(0);
             }
@@ -113,13 +121,21 @@ fn parse_args() -> Args {
 
 fn print_report(report: &ServeReport, wall_s: f64) {
     let s = &report.summary;
+    // An empty run has no percentiles: "—" columns, never a p99 of zero
+    // cycles that reads as an impossibly fast run.
+    let (p50, p95, p99) = if s.latency.count == 0 {
+        let dash = || "\u{2014}".to_string();
+        (dash(), dash(), dash())
+    } else {
+        (s.latency.p50.0.to_string(), s.latency.p95.0.to_string(), s.latency.p99.0.to_string())
+    };
     println!(
         "{:<8} {:>9} {:>12} {:>12} {:>12} {:>13.1} {:>10.2} {:>10.2} {:>9.3}s",
         report.mode.label(),
         s.tokens,
-        s.latency.p50.0,
-        s.latency.p95.0,
-        s.latency.p99.0,
+        p50,
+        p95,
+        p99,
         s.tokens_per_s / 1e6,
         s.queue_depth_mean,
         s.occupancy_mean,
@@ -127,21 +143,45 @@ fn print_report(report: &ServeReport, wall_s: f64) {
     );
 }
 
+/// Always prints — a run that attached nothing says so explicitly
+/// instead of silently omitting the line.
 fn print_cache_summary(report: &ServeReport) {
     let s = &report.summary;
     if s.cache_hit_tokens + s.cache_decomposed_tokens == 0 {
+        println!(
+            "{} prefix cache: no prompt tokens attached (latency {})",
+            report.mode.label(),
+            s.latency
+        );
         return;
     }
     println!(
         "{} prefix cache: {} hit tokens / {} decomposed ({:.1}% hit rate), \
-         {} evictions, resident bytes mean {:.0} / peak {:.0}",
+         {} evictions, resident bytes mean {:.0} / peak {:.0} (latency {})",
         report.mode.label(),
         s.cache_hit_tokens,
         s.cache_decomposed_tokens,
         s.cache_hit_rate * 100.0,
         s.cache_evictions,
         s.cache_resident_bytes_mean,
-        s.cache_resident_bytes_max
+        s.cache_resident_bytes_max,
+        s.latency
+    );
+}
+
+/// Engine op/traffic totals — the satellite visibility for the counters
+/// the kernels have always accumulated per block.
+fn print_ops_summary(report: &ServeReport) {
+    let s = &report.summary;
+    println!(
+        "{} engine ops: {} equivalent adds ({} bit-serial acc, {} LUT lookups); \
+         traffic: {} DRAM + {} SRAM bytes",
+        report.mode.label(),
+        s.ops.equivalent_adds(),
+        s.ops.bit_serial_acc,
+        s.ops.lut_lookup,
+        s.traffic.dram_total_bytes(),
+        s.traffic.sram_total_bytes()
     );
 }
 
@@ -305,8 +345,20 @@ fn main() {
         "mode", "tokens", "p50 cyc", "p95 cyc", "p99 cyc", "Mtok/s sim", "queue", "occup", "wall"
     );
 
+    let recorder = args.trace_out.as_ref().map(|_| Arc::new(Recorder::new()));
+    let tracer = match &recorder {
+        Some(r) => Tracer::new(Arc::clone(r) as Arc<dyn pade_trace::TraceSink>),
+        None => Tracer::disabled(),
+    };
+    if args.trace_out.is_some() && !tracer.is_active() {
+        eprintln!(
+            "warning: built without the `trace` feature; the trace file will hold no events \
+             (rebuild with --features pade-serve/trace)"
+        );
+    }
+
     let start = std::time::Instant::now();
-    let batched = serve(&config, &arrivals, ScheduleMode::Batched);
+    let batched = serve_traced(&config, &arrivals, ScheduleMode::Batched, &tracer, 0);
     let batched_wall = start.elapsed().as_secs_f64();
     print_report(&batched, batched_wall);
 
@@ -321,6 +373,24 @@ fn main() {
     println!();
     print_cache_summary(&batched);
     print_cache_summary(&solo);
+    print_ops_summary(&batched);
+    print_ops_summary(&solo);
+
+    if let (Some(path), Some(recorder)) = (&args.trace_out, &recorder) {
+        let snapshot = recorder.snapshot();
+        snapshot.check_well_formed().unwrap_or_else(|e| panic!("malformed trace: {e}"));
+        save_chrome_trace(&snapshot, path)
+            .unwrap_or_else(|e| panic!("failed to write trace file {}: {e}", path.display()));
+        let stages: Vec<&str> = snapshot.stage_names().into_iter().collect();
+        println!(
+            "\ntrace: {} events / {} spans across {} stages -> {}",
+            snapshot.event_count(),
+            snapshot.span_count(),
+            stages.len(),
+            path.display()
+        );
+        println!("trace stages: {}", stages.join(", "));
+    }
 
     let gain = batched.summary.tokens_per_s / solo.summary.tokens_per_s.max(f64::MIN_POSITIVE);
     println!(

@@ -77,6 +77,10 @@ pub struct MetricsSummary {
     pub cache_resident_bytes_mean: f64,
     /// Peak resident bytes of the prefix cache.
     pub cache_resident_bytes_max: f64,
+    /// Engine arithmetic events summed over every dispatched block.
+    pub ops: OpCounts,
+    /// Engine memory traffic summed over every dispatched block.
+    pub traffic: TrafficCounts,
 }
 
 impl ServeMetrics {
@@ -106,6 +110,8 @@ impl ServeMetrics {
             cache_evictions: self.cache.evicted_chunks + self.cache.evicted_sessions,
             cache_resident_bytes_mean: self.cache_resident_bytes.mean(end),
             cache_resident_bytes_max: self.cache_resident_bytes.max(),
+            ops: self.ops,
+            traffic: self.traffic,
         }
     }
 }

@@ -42,7 +42,8 @@ use std::collections::VecDeque;
 
 use pade_cache::{CacheConfig, KvCacheManager};
 use pade_sim::{Cycle, Frequency};
-use pade_workload::trace::RequestArrival;
+use pade_trace::{track as trace_track, Tracer};
+use pade_workload::trace::{RequestArrival, RequestKind};
 
 use crate::metrics::ServeMetrics;
 use crate::scheduler::{form_batch, ScheduleMode, SchedulerLimits};
@@ -77,6 +78,20 @@ pub struct Node {
     completions: Vec<Completion>,
     metrics: ServeMetrics,
     now: Cycle,
+    /// Telemetry sink; [`Tracer::disabled`] by default. A pure side
+    /// channel: every simulated outcome is byte-identical with tracing
+    /// on or off.
+    tracer: Tracer,
+    /// Owner id stamped into every track this node emits (one node per
+    /// id — the multi-node router assigns them).
+    node_id: u32,
+    /// Engine dispatch units handed out so far; each dispatched block
+    /// (plus the fused dispatcher) claims [`trace_track::DISPATCH_STRIDE`]
+    /// consecutive track ids, so worker-thread emission lands on
+    /// caller-assigned, index-keyed tracks.
+    dispatch_units: u32,
+    /// Sessions admitted so far — keys per-session quant tracks.
+    session_seq: u32,
 }
 
 impl Node {
@@ -102,7 +117,29 @@ impl Node {
             completions: Vec::new(),
             metrics: ServeMetrics::new(),
             now: Cycle::ZERO,
+            tracer: Tracer::disabled(),
+            node_id: 0,
+            dispatch_units: 0,
+            session_seq: 0,
         }
+    }
+
+    /// Binds this node's telemetry: every subsequent step records spans,
+    /// instants and gauges onto `node_id`-owned tracks of `tracer`
+    /// (serve, engine, cache and quant layers). Simulated outcomes are
+    /// unaffected.
+    pub fn set_tracer(&mut self, tracer: Tracer, node_id: u32) {
+        self.tracer = tracer;
+        self.node_id = node_id;
+        if let Some(manager) = self.cache_manager.as_mut() {
+            manager
+                .set_tracer(self.tracer.clone(), trace_track::id(trace_track::CACHE, node_id, 0));
+        }
+    }
+
+    /// The node's own serve-layer track.
+    fn node_track(&self) -> u64 {
+        trace_track::id(trace_track::SERVE, self.node_id, 0)
     }
 
     /// The node's simulated clock.
@@ -166,10 +203,15 @@ impl Node {
                     }
                     _ => None,
                 };
-                self.cache_manager = Some(manager.unwrap_or_else(|| {
+                let mut manager = manager.unwrap_or_else(|| {
                     KvCacheManager::new(cache_config)
                         .expect("the serve engine configuration is a valid cache shape")
-                }));
+                });
+                manager.set_tracer(
+                    self.tracer.clone(),
+                    trace_track::id(trace_track::CACHE, self.node_id, 0),
+                );
+                self.cache_manager = Some(manager);
             }
         }
         // Insert keeping (arrival_cycle, id) order; the common cases —
@@ -210,13 +252,22 @@ impl Node {
             }
         }
         for queued in ready {
-            self.active.push(Session::admit(
+            let mut session = Session::admit(
                 &queued,
                 &self.config.engine,
                 self.config.kv_chunk_tokens.max(1),
                 self.now,
                 self.cache_manager.as_mut(),
-            ));
+            );
+            if self.tracer.is_active() {
+                self.tracer.span_at(self.node_track(), "serve.admit", self.now, self.now, 0);
+                session.bind_trace(
+                    &self.tracer,
+                    trace_track::id(trace_track::QUANT, self.node_id, self.session_seq),
+                );
+                self.session_seq = self.session_seq.wrapping_add(1);
+            }
+            self.active.push(session);
             if let Some(manager) = &self.cache_manager {
                 self.metrics.cache_resident_bytes.set(self.now, manager.resident_bytes() as f64);
             }
@@ -238,6 +289,11 @@ impl Node {
                     self.metrics.queue_depth.set(self.now, 0.0);
                     self.metrics.occupancy.set(self.now, 0.0);
                     self.metrics.batch_tokens.set(self.now, 0.0);
+                    if self.tracer.is_active() {
+                        let tk = self.node_track();
+                        self.tracer.gauge(tk, "serve.queue_depth", self.now, 0.0);
+                        self.tracer.gauge(tk, "serve.batch_tokens", self.now, 0.0);
+                    }
                     let mut to = Cycle(next.arrival_cycle);
                     if let Some(cap) = jump_cap {
                         to = to.min(cap);
@@ -249,12 +305,30 @@ impl Node {
             }
         }
         self.metrics.queue_depth.set(self.now, self.active.len() as f64);
+        if self.tracer.is_active() {
+            self.tracer.gauge(
+                self.node_track(),
+                "serve.queue_depth",
+                self.now,
+                self.active.len() as f64,
+            );
+        }
 
         // Form and dispatch this iteration's batch.
         let chosen = form_batch(&self.active, self.mode, &self.limits);
         debug_assert!(!chosen.is_empty());
         let jobs: Vec<_> = chosen.iter().map(|&i| self.active[i].next_job()).collect();
         let batch_tokens: usize = jobs.iter().map(|j| j.queries.len()).sum();
+        // Caller-assigned engine tracks, keyed by dispatch-unit index —
+        // never by worker identity — so the recorded streams are
+        // deterministic at any `PADE_THREADS`. The fused path spends one
+        // extra unit on the dispatcher (prepass + fan-out spans).
+        let dispatch_begin = self.now;
+        let base_track = trace_track::id(
+            trace_track::ENGINE,
+            self.node_id,
+            self.dispatch_units.wrapping_mul(trace_track::DISPATCH_STRIDE as u32),
+        );
         let results = if self.config.fused_dispatch {
             // One fused multi-head dispatch per iteration: a shared query
             // decomposition prepass and a single worker fan-out instead of
@@ -262,10 +336,21 @@ impl Node {
             // each fused head yields exactly one block result.
             let fused_job = pade_core::engine::QkFusedJob { heads: jobs.clone() };
             let fused = if self.config.parallel_dispatch {
-                pade_core::engine::run_qk_fused_par(&self.config.engine, &fused_job)
+                pade_core::engine::run_qk_fused_par_traced(
+                    &self.config.engine,
+                    &fused_job,
+                    &self.tracer,
+                    base_track,
+                )
             } else {
-                pade_core::engine::run_qk_fused(&self.config.engine, &fused_job)
+                pade_core::engine::run_qk_fused_traced(
+                    &self.config.engine,
+                    &fused_job,
+                    &self.tracer,
+                    base_track,
+                )
             };
+            self.dispatch_units = self.dispatch_units.wrapping_add(1 + chosen.len() as u32);
             fused
                 .into_iter()
                 .map(|mut head| {
@@ -273,10 +358,23 @@ impl Node {
                     head.remove(0)
                 })
                 .collect()
-        } else if self.config.parallel_dispatch {
-            pade_core::engine::run_qk_batch_par(&self.config.engine, &jobs)
         } else {
-            pade_core::engine::run_qk_batch(&self.config.engine, &jobs)
+            self.dispatch_units = self.dispatch_units.wrapping_add(chosen.len() as u32);
+            if self.config.parallel_dispatch {
+                pade_core::engine::run_qk_batch_par_traced(
+                    &self.config.engine,
+                    &jobs,
+                    &self.tracer,
+                    base_track,
+                )
+            } else {
+                pade_core::engine::run_qk_batch_traced(
+                    &self.config.engine,
+                    &jobs,
+                    &self.tracer,
+                    base_track,
+                )
+            }
         };
         drop(jobs);
 
@@ -287,6 +385,35 @@ impl Node {
             results.iter().map(|r| r.cycles).max().expect("non-empty batch has a duration");
         self.metrics.iterations += 1;
         self.now += duration;
+        if self.tracer.is_active() {
+            self.tracer.gauge(
+                self.node_track(),
+                "serve.batch_tokens",
+                dispatch_begin,
+                batch_tokens as f64,
+            );
+            // One per-job span on each engine unit's wrapper subtrack —
+            // not the node track, where same-instant siblings would break
+            // strict nesting. Clocked at the iteration's dispatch window.
+            for (j, result) in results.iter().enumerate() {
+                let unit = if self.config.fused_dispatch {
+                    base_track + (1 + j as u64) * trace_track::DISPATCH_STRIDE
+                } else {
+                    base_track + j as u64 * trace_track::DISPATCH_STRIDE
+                };
+                let name = match self.active[chosen[j]].spec().kind {
+                    RequestKind::Prefill { .. } => "serve.prefill",
+                    RequestKind::Decode { .. } => "serve.decode",
+                };
+                self.tracer.span_at(
+                    unit + 3,
+                    name,
+                    dispatch_begin,
+                    dispatch_begin + result.cycles,
+                    0,
+                );
+            }
+        }
 
         for (&i, result) in chosen.iter().zip(results) {
             self.metrics.ops.merge(&result.ops);
@@ -309,6 +436,9 @@ impl Node {
                 let arrival = Cycle(session.spec().arrival_cycle);
                 self.metrics.latency.record(self.now - arrival);
                 self.metrics.tokens += session.tokens();
+                if self.tracer.is_active() {
+                    self.tracer.instant(self.node_track(), "serve.retire", self.now);
+                }
                 self.completions.push(Completion {
                     id: session.spec().id,
                     kind: session.spec().kind,
@@ -321,6 +451,14 @@ impl Node {
             } else {
                 i += 1;
             }
+        }
+        if self.tracer.is_active() {
+            self.tracer.gauge(
+                self.node_track(),
+                "serve.active_sessions",
+                self.now,
+                self.active.len() as f64,
+            );
         }
         Step::Ran
     }

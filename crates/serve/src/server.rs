@@ -191,8 +191,29 @@ pub fn assert_outputs_identical(a: &ServeReport, b: &ServeReport) {
 /// Panics if `arrivals` is empty or the engine configuration is invalid.
 #[must_use]
 pub fn serve(config: &ServeConfig, arrivals: &[RequestArrival], mode: ScheduleMode) -> ServeReport {
+    serve_traced(config, arrivals, mode, &pade_trace::Tracer::disabled(), 0)
+}
+
+/// [`serve`] with telemetry: the node records stage spans, instants and
+/// gauges onto `node_id`-owned tracks of `tracer` (serve, engine, cache
+/// and quant layers). With a disabled tracer this **is** [`serve`];
+/// either way the report is byte-identical — tracing is a pure side
+/// channel (property-tested in `tests/`).
+///
+/// # Panics
+///
+/// Panics if `arrivals` is empty or the engine configuration is invalid.
+#[must_use]
+pub fn serve_traced(
+    config: &ServeConfig,
+    arrivals: &[RequestArrival],
+    mode: ScheduleMode,
+    tracer: &pade_trace::Tracer,
+    node_id: u32,
+) -> ServeReport {
     assert!(!arrivals.is_empty(), "at least one request required");
     let mut node = Node::new(config, mode);
+    node.set_tracer(tracer.clone(), node_id);
     // FCFS admission order: arrival time, then id (stable for equal times).
     let mut sorted: Vec<&RequestArrival> = arrivals.iter().collect();
     sorted.sort_by_key(|r| (r.arrival_cycle, r.id));

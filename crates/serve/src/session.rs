@@ -169,6 +169,16 @@ impl Session {
         }
     }
 
+    /// Binds the session's growable key cache (when it holds one) to
+    /// `track` of `tracer`, so each decode-step append and chunk seal is
+    /// recorded. A no-op for shared-plane prefill sessions. Outputs are
+    /// unaffected.
+    pub fn bind_trace(&mut self, tracer: &pade_trace::Tracer, track: u64) {
+        if let SessionKeys::Grown(cache) = &mut self.keys {
+            cache.set_trace(tracer.clone(), track);
+        }
+    }
+
     /// The admitted request.
     #[must_use]
     pub fn spec(&self) -> &RequestArrival {

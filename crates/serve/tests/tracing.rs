@@ -1,0 +1,120 @@
+//! Observability invariants of the serving loop:
+//!
+//! 1. **Telemetry is a pure side channel** — `serve_traced` with a
+//!    recorder attached, with a disabled tracer, or compiled without the
+//!    `trace` feature produces byte-identical completions and an
+//!    identical metrics summary; spot-checked against the solo seed
+//!    oracle (`run_qk_block_reference`).
+//! 2. **Span streams are well-formed and deterministic** — strictly
+//!    nested begin/end pairs with monotone per-track clocks, and the
+//!    snapshot fingerprint is identical at any `PADE_THREADS` (tracks
+//!    are keyed by logical dispatch index, never worker identity).
+
+use std::sync::Arc;
+
+use pade_serve::scheduler::ScheduleMode;
+use pade_serve::server::{serve, serve_traced, Completion, ServeConfig, ServeReport};
+use pade_serve::{output_bytes, reference_outputs};
+use pade_trace::{Recorder, TraceSink, Tracer};
+use pade_workload::prompt::{generate_shared_prefix_arrivals, SharedPrefixConfig};
+use proptest::prelude::*;
+
+/// A small shared-prefix / multi-turn workload whose requests carry
+/// prompt token-id sequences, so the cache and quant layers emit too.
+fn prompt_workload(seed: u64) -> SharedPrefixConfig {
+    SharedPrefixConfig {
+        n_sessions: 3,
+        turns_per_session: 2,
+        shared_prefix_tokens: 40,
+        unique_suffix_tokens: 12,
+        turn_suffix_tokens: 12,
+        decode_steps: 2,
+        prefill_rows: 6,
+        mean_interarrival_cycles: 2_000.0,
+        turn_gap_cycles: 50_000,
+        head_dim: 64,
+        seed,
+        ..SharedPrefixConfig::small_demo()
+    }
+}
+
+fn by_id(report: &ServeReport) -> Vec<&Completion> {
+    let mut v: Vec<&Completion> = report.completions.iter().collect();
+    v.sort_by_key(|c| c.id);
+    v
+}
+
+fn recording_tracer() -> (Arc<Recorder>, Tracer) {
+    let recorder = Arc::new(Recorder::new());
+    let tracer = Tracer::new(Arc::clone(&recorder) as Arc<dyn TraceSink>);
+    (recorder, tracer)
+}
+
+/// Sweeps explicit worker counts via `PADE_THREADS`. All env twiddling
+/// in this binary lives in this one test; the proptest below is
+/// thread-count-agnostic (that is the very property this file proves),
+/// so concurrent execution never observes a half-set variable.
+#[test]
+fn traced_serve_is_identical_and_fingerprint_stable_across_worker_counts() {
+    let arrivals = generate_shared_prefix_arrivals(&prompt_workload(2026));
+    let config = ServeConfig::standard();
+    let baseline = serve(&config, &arrivals, ScheduleMode::Batched);
+    let baseline_by_id = by_id(&baseline);
+
+    let mut fingerprints = Vec::new();
+    for workers in ["1", "2", "4"] {
+        std::env::set_var("PADE_THREADS", workers);
+        let (recorder, tracer) = recording_tracer();
+        let report = serve_traced(&config, &arrivals, ScheduleMode::Batched, &tracer, 0);
+        assert_eq!(report.summary, baseline.summary, "workers={workers}");
+        for (traced, untraced) in by_id(&report).iter().zip(&baseline_by_id) {
+            assert_eq!(traced.id, untraced.id);
+            assert!(
+                traced.output_bytes() == untraced.output_bytes(),
+                "workers={workers}: tracing changed request {} output bytes",
+                traced.id
+            );
+        }
+        let snap = recorder.snapshot();
+        snap.check_well_formed().unwrap_or_else(|e| panic!("workers={workers}: {e}"));
+        fingerprints.push(snap.fingerprint());
+        if cfg!(feature = "trace") {
+            let stages = snap.stage_names();
+            assert!(stages.len() >= 6, "workers={workers}: stages {stages:?}");
+            for expect in ["serve.prefill", "serve.decode", "cache.attach", "engine.qk_block"] {
+                assert!(stages.contains(expect), "workers={workers}: missing {expect}");
+            }
+        } else {
+            assert_eq!(snap.event_count(), 0);
+        }
+    }
+    std::env::remove_var("PADE_THREADS");
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "snapshot fingerprints varied with worker count: {fingerprints:?}"
+    );
+}
+
+proptest! {
+    /// Telemetry on, off, or compiled out never changes a byte: the
+    /// traced run equals the untraced run request for request (and the
+    /// first request equals the solo seed oracle).
+    #[test]
+    fn tracing_never_changes_serve_outputs(seed in any::<u64>()) {
+        let arrivals = generate_shared_prefix_arrivals(&prompt_workload(seed));
+        let config = ServeConfig::standard();
+        let untraced = serve(&config, &arrivals, ScheduleMode::Batched);
+        let (recorder, tracer) = recording_tracer();
+        let traced = serve_traced(&config, &arrivals, ScheduleMode::Batched, &tracer, 0);
+        prop_assert_eq!(untraced.completion_order(), traced.completion_order());
+        prop_assert_eq!(untraced.summary, traced.summary);
+        for (a, b) in by_id(&untraced).iter().zip(by_id(&traced)) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.output_bytes(), b.output_bytes());
+        }
+        let first = by_id(&traced)[0];
+        let oracle = reference_outputs(&arrivals[first.id], &config.engine);
+        prop_assert_eq!(first.output_bytes(), output_bytes(&oracle));
+        prop_assert!(recorder.snapshot().check_well_formed().is_ok());
+    }
+}

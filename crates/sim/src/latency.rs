@@ -64,6 +64,22 @@ impl LatencySummary {
     }
 }
 
+/// `n=0 —` for an empty collector (zero percentiles of no samples would
+/// read as a real, impossibly fast run); `n=N p50=… p95=… p99=… max=…
+/// mean=…` cycles otherwise.
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0 —");
+        }
+        write!(
+            f,
+            "n={} p50={} p95={} p99={} max={} mean={:.1}",
+            self.count, self.p50.0, self.p95.0, self.p99.0, self.max.0, self.mean
+        )
+    }
+}
+
 impl LatencyStats {
     /// An empty collector.
     #[must_use]
@@ -262,6 +278,18 @@ mod tests {
         assert!(lat.is_empty());
         let s = lat.summary();
         assert_eq!(s, LatencySummary::empty());
+    }
+
+    #[test]
+    fn summary_display_distinguishes_empty_from_fast() {
+        assert_eq!(LatencySummary::empty().to_string(), "n=0 —");
+        let mut lat = LatencyStats::new();
+        lat.record(Cycle(40));
+        lat.record(Cycle(60));
+        let text = lat.summary().to_string();
+        assert!(text.starts_with("n=2 "), "{text}");
+        assert!(text.contains("p99=60"), "{text}");
+        assert!(text.contains("mean=50.0"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! `pade-trace-validate` — checks a Chrome-trace JSON file emitted by
+//! `--trace-out`: the file must parse as JSON and every `B` event must be
+//! closed by an `E` on the same track. Used by the CI smoke step.
+//!
+//! Usage: `pade-trace-validate <trace.json> [--min-stages N]`
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut min_stages = 0usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-stages" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(n) => min_stages = n,
+                    Err(_) => {
+                        eprintln!("error: --min-stages needs an integer, got '{v}'");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: pade-trace-validate <trace.json> [--min-stages N]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: pade-trace-validate <trace.json> [--min-stages N]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match pade_trace::validate_chrome_trace(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: valid — {} events, {} spans, {} counter events, {} stage names",
+                summary.events,
+                summary.spans,
+                summary.counter_events,
+                summary.stage_names.len()
+            );
+            for name in &summary.stage_names {
+                println!("  stage {name}");
+            }
+            if summary.stage_names.len() < min_stages {
+                eprintln!(
+                    "error: only {} distinct stage names, need >= {min_stages}",
+                    summary.stage_names.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Chrome-trace/Perfetto JSON export and a dependency-free validator.
+//!
+//! The exporter writes the [Trace Event Format] consumed by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): spans as
+//! `B`/`E` phase pairs, counters and gauges as `C` events, instants as
+//! `i`. Timestamps are the **logical** cycle values (one trace-µs per
+//! cycle), so the rendered timeline is deterministic; wall-clock span
+//! annotations ride in `args.wall_ns`.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::{track, TraceEvent, TraceSnapshot};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Escapes a string for embedding in a JSON literal.
+#[must_use]
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes a snapshot as Chrome-trace JSON.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace<W: Write>(snapshot: &TraceSnapshot, mut w: W) -> io::Result<()> {
+    w.write_all(b"{\"traceEvents\":[")?;
+    let mut first = true;
+    let mut emit = |w: &mut W, line: &str| -> io::Result<()> {
+        if first {
+            first = false;
+        } else {
+            w.write_all(b",")?;
+        }
+        w.write_all(b"\n")?;
+        w.write_all(line.as_bytes())
+    };
+    for t in &snapshot.tracks {
+        let tid = t.track;
+        emit(
+            &mut w,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(&track::label(tid))
+            ),
+        )?;
+        // Running totals so delta counters render as levels, and the open
+        // span stack so `E` events can repeat their span's name (some
+        // viewers want it).
+        let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut open: Vec<&'static str> = Vec::new();
+        for e in &t.events {
+            let line = match *e {
+                TraceEvent::Begin { name, clock } => {
+                    open.push(name);
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\"tid\":{tid}}}",
+                        escape(name),
+                        clock.0
+                    )
+                }
+                TraceEvent::End { clock, wall_nanos } => {
+                    let name = open.pop().unwrap_or("");
+                    let args = if wall_nanos > 0 {
+                        format!(",\"args\":{{\"wall_ns\":{wall_nanos}}}")
+                    } else {
+                        String::new()
+                    };
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":{tid}{args}}}",
+                        escape(name),
+                        clock.0
+                    )
+                }
+                TraceEvent::Instant { name, clock } => format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{tid},\"s\":\"t\"}}",
+                    escape(name),
+                    clock.0
+                ),
+                TraceEvent::Count { name, clock, delta } => {
+                    let total = totals.entry(name).or_insert(0);
+                    *total += delta;
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{tid},\
+                         \"args\":{{\"value\":{}}}}}",
+                        escape(name),
+                        clock.0,
+                        *total
+                    )
+                }
+                TraceEvent::Gauge { name, clock, value } => format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"value\":{value}}}}}",
+                    escape(name),
+                    clock.0
+                ),
+            };
+            emit(&mut w, &line)?;
+        }
+    }
+    w.write_all(b"\n],\"displayTimeUnit\":\"ns\"}\n")
+}
+
+/// Writes a snapshot as Chrome-trace JSON to `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_chrome_trace(snapshot: &TraceSnapshot, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut buf = io::BufWriter::new(file);
+    write_chrome_trace(snapshot, &mut buf)?;
+    buf.flush()
+}
+
+/// What [`validate_chrome_trace`] found in a well-formed trace file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Matched `B`/`E` span pairs.
+    pub spans: usize,
+    /// Distinct span stage names.
+    pub stage_names: BTreeSet<String>,
+    /// `C` (counter/gauge) events.
+    pub counter_events: usize,
+}
+
+/// Validates Chrome-trace JSON text: it must parse as JSON, carry a
+/// `traceEvents` array, and every `B` must close with an `E` on the same
+/// `tid` (per-track balanced, stack-wise). This is the check the CI smoke
+/// step runs over `pade-serve --trace-out` output.
+///
+/// # Errors
+///
+/// Describes the first syntax or balance violation.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
+    let value = json::parse(text)?;
+    let root = value.as_object().ok_or("root is not an object")?;
+    let events = root
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    let mut summary = ChromeTraceSummary { events: events.len(), ..Default::default() };
+    let mut open: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let obj = e.as_object().ok_or_else(|| format!("event {i} is not an object"))?;
+        let field = |k: &str| obj.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let ph = field("ph")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| format!("event {i} has no ph"))?;
+        let tid = field("tid").map(json::Value::render).unwrap_or_default();
+        let name = field("name").and_then(json::Value::as_str).unwrap_or("");
+        match ph {
+            "B" => {
+                summary.stage_names.insert(name.to_string());
+                open.entry(tid).or_default().push(name.to_string());
+            }
+            "E" => {
+                let stack = open.entry(tid.clone()).or_default();
+                if stack.pop().is_none() {
+                    return Err(format!("event {i}: E without open B on tid {tid}"));
+                }
+                summary.spans += 1;
+            }
+            "C" => summary.counter_events += 1,
+            _ => {}
+        }
+    }
+    for (tid, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("tid {tid}: span '{name}' never closed"));
+        }
+    }
+    Ok(summary)
+}
+
+/// A minimal recursive-descent JSON parser — the workspace vendors no
+/// serde, and the validator must check real syntax, not grep for tokens.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        /// Canonical rendering used to key tids regardless of JSON type.
+        pub fn render(&self) -> String {
+            match self {
+                Value::Null => "null".into(),
+                Value::Bool(b) => b.to_string(),
+                Value::Num(n) => n.to_string(),
+                Value::Str(s) => s.clone(),
+                Value::Arr(_) => "[..]".into(),
+                Value::Obj(_) => "{..}".into(),
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+        s.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number '{s}' at byte {start}"))
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let ch_len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b.get(*pos..*pos + ch_len).ok_or("truncated utf-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    *pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            fields.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, TraceSink};
+    use pade_sim::Cycle;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let rec = Recorder::new();
+        rec.submit(
+            track::id(track::ENGINE, 0, 0),
+            &[
+                TraceEvent::Begin { name: "engine.qk_block", clock: Cycle(0) },
+                TraceEvent::Count { name: "engine.popcounts", clock: Cycle(3), delta: 2 },
+                TraceEvent::Count { name: "engine.popcounts", clock: Cycle(5), delta: 1 },
+                TraceEvent::End { clock: Cycle(9), wall_nanos: 321 },
+            ],
+        );
+        rec.submit(
+            track::id(track::SERVE, 0, 0),
+            &[
+                TraceEvent::Gauge { name: "serve.queue_depth", clock: Cycle(1), value: 2.0 },
+                TraceEvent::Instant { name: "serve.retire", clock: Cycle(4) },
+                TraceEvent::Begin { name: "serve.dispatch", clock: Cycle(4) },
+                TraceEvent::End { clock: Cycle(8), wall_nanos: 0 },
+            ],
+        );
+        rec.snapshot()
+    }
+
+    #[test]
+    fn export_round_trips_through_validator() {
+        let mut out = Vec::new();
+        write_chrome_trace(&sample_snapshot(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.spans, 2);
+        assert!(summary.stage_names.contains("engine.qk_block"));
+        assert!(summary.stage_names.contains("serve.dispatch"));
+        assert_eq!(summary.counter_events, 3);
+        // Delta counters render as running totals.
+        assert!(text.contains("\"value\":3"));
+        // Wall annotation rides in args.
+        assert!(text.contains("\"wall_ns\":321"));
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":3}").is_err());
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"x","ph":"B","ts":0,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(unbalanced).unwrap_err().contains("never closed"));
+        let orphan = r#"{"traceEvents":[
+            {"name":"x","ph":"E","ts":0,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(orphan).unwrap_err().contains("without open B"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_valid_json() {
+        let mut out = Vec::new();
+        write_chrome_trace(&TraceSnapshot::default(), &mut out).unwrap();
+        let summary = validate_chrome_trace(&String::from_utf8(out).unwrap()).unwrap();
+        assert_eq!(summary.events, 0);
+    }
+}
