@@ -11,6 +11,7 @@
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario popcount  # -> BENCH_6.json
 //! cargo run --release -p pade-bench --features trace --bin pade-bench -- \
 //!     --scenario route --out BENCH_7.json --trace-out route_trace.json
+//! cargo run --release -p pade-bench --bin pade-bench -- --scenario preempt  # -> BENCH_8.json
 //! ```
 //!
 //! The `qk` scenario (default) runs the sequential seed engine and the
@@ -38,12 +39,18 @@
 //! changes nothing), embeds the per-stage breakdown and tracing-overhead
 //! measurement in the JSON (`BENCH_7.json` records the observability
 //! PR), and with `--trace-out` writes the recorded stream as
-//! Chrome-trace JSON loadable in Perfetto or `chrome://tracing`.
+//! Chrome-trace JSON loadable in Perfetto or `chrome://tracing`. The
+//! `preempt` scenario contends a background tenant flooding long
+//! prefills against a foreground decode tenant under a p99 SLO,
+//! compares non-preemptive FCFS with SLO-aware chunked-prefill
+//! preemption (byte-identity and SLO attainment hard-checked), and
+//! writes `BENCH_8.json`.
 
 use std::path::PathBuf;
 
 use pade_bench::decode_growth::{run_growth_matrix, write_growth_json};
 use pade_bench::popcount::{run_popcount_matrix, write_popcount_json};
+use pade_bench::preempt::{run_preempt_matrix, write_preempt_json};
 use pade_bench::prefix_cache::{run_prefix_cache_matrix, write_prefix_cache_json};
 use pade_bench::route::{run_route_matrix, write_route_json};
 use pade_bench::serve::{run_serve_matrix, write_serve_json};
@@ -75,8 +82,8 @@ fn main() {
             "--scenario" => {
                 scenario = args.next().unwrap_or_else(|| {
                     eprintln!(
-                        "--scenario requires qk, serve, decode-growth, prefix-cache, route \
-                         or popcount"
+                        "--scenario requires qk, serve, decode-growth, prefix-cache, route, \
+                         popcount or preempt"
                     );
                     std::process::exit(2);
                 });
@@ -84,7 +91,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: pade-bench [--quick] \
-                     [--scenario qk|serve|decode-growth|prefix-cache|route|popcount] \
+                     [--scenario qk|serve|decode-growth|prefix-cache|route|popcount|preempt] \
                      [--out FILE.json] [--trace-out TRACE.json (route scenario)]"
                 );
                 return;
@@ -108,10 +115,11 @@ fn main() {
         "prefix-cache" => run_prefix_cache_scenario(quick, mode, out),
         "route" => run_route_scenario(quick, mode, out, trace_out),
         "popcount" => run_popcount_scenario(quick, mode, out),
+        "preempt" => run_preempt_scenario(quick, mode, out),
         other => {
             eprintln!(
                 "unknown scenario: {other} (expected qk, serve, decode-growth, prefix-cache, \
-                 route or popcount)"
+                 route, popcount or preempt)"
             );
             std::process::exit(2);
         }
@@ -316,6 +324,51 @@ fn run_popcount_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
     };
     if let Some(path) = path {
         write_popcount_json(&path, &sweep, mode).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+}
+
+fn run_preempt_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
+    println!("pade-bench preempt: SLO-aware preemption vs FCFS under a background prefill flood\n");
+    let result = run_preempt_matrix(quick);
+    let w = &result.workload;
+    println!(
+        "workload: {} fg decode reqs (SLO {} cyc) vs {} bg prefills x {} rows, seq {}",
+        w.n_foreground, w.slo_cycles, w.n_background, w.background_prefill_rows, w.seq_len
+    );
+    println!(
+        "\n{:<11} {:>12} {:>12} {:>9} {:>9} {:>9} {:>14}",
+        "policy", "fg p50", "fg p99", "met", "preempt", "resume", "makespan"
+    );
+    for (label, p) in [("fcfs", &result.fcfs), ("slo-aware", &result.slo_aware)] {
+        println!(
+            "{:<11} {:>12} {:>12} {:>6}/{:<2} {:>9} {:>9} {:>14}",
+            label,
+            p.fg_p50_cycles,
+            p.fg_p99_cycles,
+            p.fg_met,
+            p.fg_total,
+            p.preemptions,
+            p.resumes,
+            p.makespan_cycles
+        );
+    }
+    println!(
+        "\nforeground p99 under SLO-aware: {} <= {} (met); fcfs baseline: {} ({:.2}x tail cut); \
+         all outputs byte-identical across both policies and the seed oracle",
+        result.slo_aware.fg_p99_cycles, w.slo_cycles, result.fcfs.fg_p99_cycles, result.fg_p99_gain
+    );
+
+    let path = match (&out, quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some(PathBuf::from("BENCH_8.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = path {
+        write_preempt_json(&path, &result, mode).unwrap_or_else(|e| {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         });

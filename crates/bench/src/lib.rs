@@ -34,12 +34,18 @@
 //! QK scoring via weighted `popcount(q_plane & k_plane)` vs the PR-1
 //! `QRowLut` byte-LUT path on a single worker thread, plus the fused
 //! multi-head dispatch vs a per-head loop, recorded to `BENCH_6.json`.
+//! The [`preempt`] module adds the SLO-aware preemptive-scheduling
+//! scenario (`pade-bench --scenario preempt`): a background tenant
+//! flooding long prefills against a foreground decode tenant under a
+//! p99 SLO, non-preemptive FCFS vs chunked-prefill SLO-aware
+//! preemption, recorded to `BENCH_8.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decode_growth;
 pub mod popcount;
+pub mod preempt;
 pub mod prefix_cache;
 pub mod route;
 pub mod serve;

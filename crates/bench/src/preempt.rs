@@ -1,0 +1,349 @@
+//! The `preempt` scenario: SLO-aware preemptive scheduling under a
+//! background prefill flood.
+//!
+//! A latency-sensitive foreground tenant decodes under a p99 SLO while a
+//! low-priority background tenant floods long prefill prompts onto the
+//! same node. [`run_preempt_matrix`] replays the identical two-tenant
+//! trace through non-preemptive FCFS and through the SLO-aware policy
+//! with chunked prefill + forced preemption, hard-checks that every
+//! request's outputs are byte-identical across both policies **and**
+//! against solo `run_qk_block_reference` oracle runs, and hard-asserts
+//! the foreground tenant's p99 decode latency stays under its SLO in the
+//! preemptive run. [`write_preempt_json`] serializes the comparison to
+//! the `BENCH_<n>.json` trajectory schema (`BENCH_8.json` records the
+//! scheduling PR).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use pade_serve::scheduler::{ScheduleMode, SchedulePolicy};
+use pade_serve::server::{serve, ServeConfig, ServeReport};
+use pade_serve::{output_bytes, reference_outputs};
+use pade_workload::trace::{generate_tenant_mix, ArrivalConfig, RequestArrival, TenantLoad};
+
+/// Tenant id of the latency-sensitive foreground decode tenant.
+const FOREGROUND: u32 = 0;
+
+/// The two-tenant contention trace plus the knobs that shaped it, kept
+/// together so the JSON metadata stays tied to what actually ran.
+#[derive(Debug, Clone)]
+pub struct PreemptWorkload {
+    /// Foreground p99 decode-latency SLO in core cycles.
+    pub slo_cycles: u64,
+    /// Foreground decode requests.
+    pub n_foreground: usize,
+    /// Background prefill requests.
+    pub n_background: usize,
+    /// Prompt rows per background prefill request.
+    pub background_prefill_rows: usize,
+    /// Key context length shared by both tenants.
+    pub seq_len: usize,
+    /// Trace seed.
+    pub seed: u64,
+    /// The merged arrival trace (sorted, densely re-numbered ids).
+    pub arrivals: Vec<RequestArrival>,
+}
+
+/// Builds the contention trace: foreground tenant 0 (priority 10,
+/// decode-only, SLO-carrying) against background tenant 1 (priority 0,
+/// prefill-only, long prompts at a tighter arrival gap). `quick` trims
+/// context and request counts for CI smoke runs.
+#[must_use]
+pub fn preempt_workload(quick: bool) -> PreemptWorkload {
+    // The SLO targets are calibrated against the deterministic simulated
+    // latencies: tight enough that the non-preemptive FCFS baseline's
+    // foreground p99 blows past the full-workload target under the
+    // background flood, with the SLO-aware policy comfortably inside it.
+    let (slo, n_fg, n_bg, bg_rows, seq_len, fg_gap, bg_gap, decode_steps) = if quick {
+        (5_000, 3usize, 2usize, 16usize, 128usize, 900.0, 300.0, 2usize)
+    } else {
+        (6_000, 8, 6, 48, 512, 3_000.0, 800.0, 4)
+    };
+    let seed = 2026;
+    let fg = ArrivalConfig {
+        n_requests: n_fg,
+        mean_interarrival_cycles: fg_gap,
+        decode_fraction: 1.0,
+        decode_steps,
+        seq_len,
+        seed,
+        ..ArrivalConfig::small_demo()
+    };
+    let bg = ArrivalConfig {
+        n_requests: n_bg,
+        mean_interarrival_cycles: bg_gap,
+        decode_fraction: 0.0,
+        prefill_rows: bg_rows,
+        seq_len,
+        seed: seed ^ 0x9E37_79B9,
+        ..ArrivalConfig::small_demo()
+    };
+    let arrivals = generate_tenant_mix(&[
+        TenantLoad { tenant: FOREGROUND, priority: 10, tenant_slo: Some(slo), arrivals: fg },
+        TenantLoad { tenant: 1, priority: 0, tenant_slo: None, arrivals: bg },
+    ]);
+    PreemptWorkload {
+        slo_cycles: slo,
+        n_foreground: n_fg,
+        n_background: n_bg,
+        background_prefill_rows: bg_rows,
+        seq_len,
+        seed,
+        arrivals,
+    }
+}
+
+/// The digest of one scheduling policy on the contention trace.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicySummary {
+    /// Foreground median latency in cycles.
+    pub fg_p50_cycles: u64,
+    /// Foreground 99th-percentile latency in cycles — the SLO figure.
+    pub fg_p99_cycles: u64,
+    /// Foreground completions within the SLO target.
+    pub fg_met: u64,
+    /// Foreground completions total.
+    pub fg_total: u64,
+    /// Sessions descheduled at a chunk/step boundary after having run.
+    pub preemptions: u64,
+    /// Previously-preempted sessions scheduled again.
+    pub resumes: u64,
+    /// Makespan in cycles.
+    pub makespan_cycles: u64,
+    /// Simulated tokens per second at the core clock.
+    pub tokens_per_s: f64,
+    /// Host wall-clock seconds of the serve run.
+    pub wall_s: f64,
+}
+
+impl PolicySummary {
+    fn from_report(report: &ServeReport, wall_s: f64) -> Self {
+        let fg = report
+            .summary
+            .slo
+            .iter()
+            .find(|t| t.tenant == u64::from(FOREGROUND))
+            .expect("the foreground tenant carries an SLO, so it gets an attainment line");
+        Self {
+            fg_p50_cycles: fg.latency.p50.0,
+            fg_p99_cycles: fg.latency.p99.0,
+            fg_met: fg.met,
+            fg_total: fg.total,
+            preemptions: report.metrics.preemptions,
+            resumes: report.metrics.resumes,
+            makespan_cycles: report.summary.makespan.0,
+            tokens_per_s: report.summary.tokens_per_s,
+            wall_s,
+        }
+    }
+}
+
+/// Measured outcome of the contention trace under both policies.
+#[derive(Debug, Clone)]
+pub struct PreemptScenarioResult {
+    /// The workload both policies replayed.
+    pub workload: PreemptWorkload,
+    /// Non-preemptive FCFS baseline (no prefill chunking).
+    pub fcfs: PolicySummary,
+    /// SLO-aware policy with chunked prefill and a forced preemption
+    /// cadence.
+    pub slo_aware: PolicySummary,
+    /// `fcfs.fg_p99_cycles / slo_aware.fg_p99_cycles` — how much the
+    /// preemptive policy shrinks the foreground tail.
+    pub fg_p99_gain: f64,
+    /// Whether the SLO-aware run kept the foreground p99 under the SLO
+    /// (hard-asserted; a miss panics before this is ever recorded
+    /// false).
+    pub slo_met: bool,
+    /// Whether every request's outputs were byte-identical across both
+    /// policies and the solo seed-oracle runs (hard-checked; a mismatch
+    /// panics before this is ever recorded false).
+    pub bit_identical: bool,
+}
+
+/// Both policies contend on a deliberately narrow node so the background
+/// flood actually queues against the foreground decodes.
+fn node_config(policy: SchedulePolicy) -> ServeConfig {
+    let preemptive = policy == SchedulePolicy::SloAware;
+    ServeConfig {
+        engine_slots: 2,
+        policy,
+        prefill_chunk_tokens: preemptive.then_some(2),
+        preempt_every: preemptive.then_some(4),
+        ..ServeConfig::standard()
+    }
+}
+
+/// Checks that every request's outputs are identical across both policy
+/// runs and equal the solo seed-oracle (`run_qk_block_reference`)
+/// outputs, byte for byte.
+///
+/// # Panics
+///
+/// Panics on any divergence — bit-identity is a hard invariant, not a
+/// metric.
+fn check_bit_identity(
+    arrivals: &[RequestArrival],
+    config: &ServeConfig,
+    fcfs: &ServeReport,
+    slo_aware: &ServeReport,
+) {
+    assert_eq!(fcfs.completions.len(), arrivals.len());
+    pade_serve::assert_outputs_identical(fcfs, slo_aware);
+    for completion in &fcfs.completions {
+        let oracle = reference_outputs(&arrivals[completion.id], &config.engine);
+        assert!(
+            completion.output_bytes() == output_bytes(&oracle),
+            "request {}: output diverged from the solo seed oracle",
+            completion.id
+        );
+    }
+}
+
+/// Replays the contention trace through both policies and cross-checks
+/// outputs, SLO attainment and preemption accounting.
+///
+/// # Panics
+///
+/// Panics if outputs diverge, if the SLO-aware run misses the foreground
+/// SLO, or if the preemptive run never actually preempts.
+#[must_use]
+pub fn run_preempt_matrix(quick: bool) -> PreemptScenarioResult {
+    let workload = preempt_workload(quick);
+
+    let start = Instant::now();
+    let fcfs_report =
+        serve(&node_config(SchedulePolicy::Fcfs), &workload.arrivals, ScheduleMode::Batched);
+    let fcfs_wall = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let slo_config = node_config(SchedulePolicy::SloAware);
+    let slo_report = serve(&slo_config, &workload.arrivals, ScheduleMode::Batched);
+    let slo_wall = start.elapsed().as_secs_f64();
+
+    check_bit_identity(&workload.arrivals, &slo_config, &fcfs_report, &slo_report);
+
+    let fcfs = PolicySummary::from_report(&fcfs_report, fcfs_wall);
+    let slo_aware = PolicySummary::from_report(&slo_report, slo_wall);
+    assert_eq!(fcfs.fg_total as usize, workload.n_foreground);
+    assert_eq!(slo_aware.fg_total as usize, workload.n_foreground);
+    assert!(
+        slo_aware.fg_p99_cycles <= workload.slo_cycles,
+        "SLO-aware foreground p99 {} exceeds the {}-cycle SLO under the background flood",
+        slo_aware.fg_p99_cycles,
+        workload.slo_cycles
+    );
+    assert!(
+        slo_aware.preemptions > 0,
+        "chunked prefill + forced cadence on a contended node must preempt"
+    );
+
+    PreemptScenarioResult {
+        fg_p99_gain: fcfs.fg_p99_cycles as f64 / slo_aware.fg_p99_cycles.max(1) as f64,
+        slo_met: true,
+        bit_identical: true,
+        workload,
+        fcfs,
+        slo_aware,
+    }
+}
+
+fn write_policy(f: &mut std::fs::File, name: &str, p: &PolicySummary) -> std::io::Result<()> {
+    writeln!(f, "  \"{name}\": {{")?;
+    writeln!(f, "    \"fg_p50_cycles\": {},", p.fg_p50_cycles)?;
+    writeln!(f, "    \"fg_p99_cycles\": {},", p.fg_p99_cycles)?;
+    writeln!(f, "    \"fg_met\": {},", p.fg_met)?;
+    writeln!(f, "    \"fg_total\": {},", p.fg_total)?;
+    writeln!(f, "    \"preemptions\": {},", p.preemptions)?;
+    writeln!(f, "    \"resumes\": {},", p.resumes)?;
+    writeln!(f, "    \"makespan_cycles\": {},", p.makespan_cycles)?;
+    writeln!(f, "    \"tokens_per_s_sim\": {:.1},", p.tokens_per_s)?;
+    writeln!(f, "    \"wall_s\": {:.6}", p.wall_s)?;
+    write!(f, "  }}")?;
+    Ok(())
+}
+
+/// Serializes the preempt comparison to the `BENCH_<n>.json` trajectory
+/// schema.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_preempt_json(
+    path: &std::path::Path,
+    result: &PreemptScenarioResult,
+    mode: &str,
+) -> std::io::Result<()> {
+    let w = &result.workload;
+    let config = node_config(SchedulePolicy::SloAware);
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench_id\": {},", crate::bench_id_from_path(path))?;
+    writeln!(f, "  \"tool\": \"pade-bench\",")?;
+    writeln!(f, "  \"scenario\": \"preempt\",")?;
+    writeln!(f, "  \"mode\": \"{mode}\",")?;
+    writeln!(f, "  \"worker_threads\": {},", pade_par::max_threads())?;
+    writeln!(
+        f,
+        "  \"paths\": {{\"slo_aware\": \"SLO-aware preemptive scheduling (chunked prefill \
+         {} rows, forced preemption every {} iterations, {} slots)\", \"baseline\": \
+         \"non-preemptive FCFS, same node\"}},",
+        config.prefill_chunk_tokens.unwrap_or(0),
+        config.preempt_every.unwrap_or(0),
+        config.engine_slots
+    )?;
+    writeln!(
+        f,
+        "  \"workload\": {{\"slo_cycles\": {}, \"n_foreground\": {}, \"n_background\": {}, \
+         \"background_prefill_rows\": {}, \"seq_len\": {}, \"seed\": {}}},",
+        w.slo_cycles, w.n_foreground, w.n_background, w.background_prefill_rows, w.seq_len, w.seed
+    )?;
+    write_policy(&mut f, "fcfs", &result.fcfs)?;
+    writeln!(f, ",")?;
+    write_policy(&mut f, "slo_aware", &result.slo_aware)?;
+    writeln!(f, ",")?;
+    writeln!(
+        f,
+        "  \"headline\": {{\"slo_cycles\": {}, \"fcfs_fg_p99_cycles\": {}, \
+         \"slo_aware_fg_p99_cycles\": {}, \"fg_p99_gain\": {:.3}, \"slo_met\": {}, \
+         \"preemptions\": {}, \"bit_identical\": {}}}",
+        w.slo_cycles,
+        result.fcfs.fg_p99_cycles,
+        result.slo_aware.fg_p99_cycles,
+        result.fg_p99_gain,
+        result.slo_met,
+        result.slo_aware.preemptions,
+        result.bit_identical
+    )?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_preempt_matrix_meets_slo_and_stays_bit_identical() {
+        let result = run_preempt_matrix(true);
+        assert!(result.slo_met);
+        assert!(result.bit_identical);
+        assert!(result.slo_aware.fg_p99_cycles <= result.workload.slo_cycles);
+        assert_eq!(result.fcfs.fg_total, result.slo_aware.fg_total);
+        assert!(result.slo_aware.preemptions > 0);
+        assert!(result.slo_aware.resumes > 0);
+        assert!(result.fg_p99_gain > 0.0);
+    }
+
+    #[test]
+    fn preempt_json_is_well_formed_enough() {
+        let result = run_preempt_matrix(true);
+        let path = std::env::temp_dir().join("pade_preempt_bench_test.json");
+        write_preempt_json(&path, &result, "quick").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert_eq!(text.matches("\"fg_p99_cycles\"").count(), 2);
+        assert!(text.contains("\"scenario\": \"preempt\""));
+        assert!(text.contains("\"slo_met\": true"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -149,6 +149,14 @@ fn main() {
         s.load_imbalance
     );
     println!("fleet latency: {}", s.latency);
+    // Only SLO-carrying workloads produce attainment lines; a tenant that
+    // completed nothing renders as `n=0 —` via the summary's Display.
+    for line in &s.slo {
+        println!("fleet slo: {line}");
+    }
+    if s.preemptions > 0 || s.resumes > 0 {
+        println!("fleet scheduling: {} preemptions, {} resumes", s.preemptions, s.resumes);
+    }
     println!(
         "fleet cache: {} hit tokens / {} decomposed ({:.1}% hit rate), {} evictions; placements: \
          {} session-affinity, {} prefix-affinity",

@@ -10,8 +10,10 @@
 //! served tokens, the standard fleet-balance figure (1.0 = perfectly
 //! even, `N` = one node took everything).
 
+use pade_serve::metrics::{slo_attainment, TenantSloSummary};
 use pade_serve::server::ServeReport;
 use pade_sim::{Cycle, Frequency, LatencyStats, LatencySummary, OpCounts, TrafficCounts};
+use pade_trace::MetricsRegistry;
 
 use crate::policy::{RouteDecision, RouteReason};
 
@@ -50,6 +52,15 @@ pub struct RouterSummary {
     /// Decisions placed by prefix-shard affinity (new sessions joining a
     /// warm node).
     pub prefix_affinity_routes: u64,
+    /// Sessions descheduled at a chunk/step boundary after having run,
+    /// summed over nodes.
+    pub preemptions: u64,
+    /// Previously-preempted sessions scheduled again, summed over nodes.
+    pub resumes: u64,
+    /// Per-tenant SLO attainment pooled over **all** nodes' raw
+    /// registries (exact fleet percentiles, not an average of per-node
+    /// lines), in tenant order; empty when no request carried an SLO.
+    pub slo: Vec<TenantSloSummary>,
     /// Engine arithmetic events summed over every node's dispatched
     /// blocks.
     pub ops: OpCounts,
@@ -77,8 +88,14 @@ pub fn merge_node_reports(
     let mut node_tokens = Vec::with_capacity(node_reports.len());
     let mut ops = OpCounts::default();
     let mut traffic = TrafficCounts::default();
+    let mut preemptions = 0u64;
+    let mut resumes = 0u64;
+    let mut slo_pool = MetricsRegistry::new();
     for report in node_reports {
         latency.merge(&report.metrics.latency);
+        preemptions += report.metrics.preemptions;
+        resumes += report.metrics.resumes;
+        slo_pool.merge(&report.metrics.slo);
         tokens += report.summary.tokens;
         makespan = makespan.max(report.summary.makespan);
         hit += report.summary.cache_hit_tokens;
@@ -112,6 +129,9 @@ pub fn merge_node_reports(
             .iter()
             .filter(|d| d.reason == RouteReason::PrefixAffinity)
             .count() as u64,
+        preemptions,
+        resumes,
+        slo: slo_attainment(&slo_pool),
         ops,
         traffic,
     }

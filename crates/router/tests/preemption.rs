@@ -1,0 +1,183 @@
+//! Fleet-level preemption invariants, property-tested:
+//!
+//! 1. **Placement × scheduling independence** — SLO-aware preemptive
+//!    nodes (chunked prefill + forced preemption cadence) produce
+//!    byte-identical per-request outputs across node counts {1, 2, 4},
+//!    equal to the single-node non-preemptive FCFS run and the solo
+//!    seed-oracle (`run_qk_block_reference`) outputs.
+//! 2. **No starvation** — the lowest-priority tenant still completes
+//!    every one of its requests under the SLO-aware policy with a
+//!    high-priority tenant contending.
+//! 3. **Fleet SLO accounting** — per-tenant attainment lines pool
+//!    across nodes and the preempt/resume counters surface in the
+//!    `RouterSummary`.
+
+use std::collections::HashMap;
+
+use pade_router::{route, RoutePolicy, RouterConfig};
+use pade_serve::scheduler::{ScheduleMode, SchedulePolicy};
+use pade_serve::server::{serve, ServeConfig};
+use pade_serve::{output_bytes, reference_outputs};
+use pade_workload::trace::{generate_tenant_mix, ArrivalConfig, RequestArrival, TenantLoad};
+use proptest::prelude::*;
+
+/// Three tenants at distinct priorities: a latency-sensitive decode
+/// tenant with an SLO, a mid-priority mixed tenant, and a lowest-priority
+/// prefill tenant flooding long prompts (the starvation candidate).
+/// `mean_gap` sets the per-tenant arrival density.
+fn workload_at(seed: u64, mean_gap: f64) -> Vec<RequestArrival> {
+    let base = ArrivalConfig {
+        n_requests: 2,
+        mean_interarrival_cycles: mean_gap,
+        decode_steps: 2,
+        prefill_rows: 10,
+        seq_len: 128,
+        seed,
+        ..ArrivalConfig::small_demo()
+    };
+    generate_tenant_mix(&[
+        TenantLoad {
+            tenant: 0,
+            priority: 10,
+            tenant_slo: Some(200_000),
+            arrivals: ArrivalConfig { decode_fraction: 1.0, ..base },
+        },
+        TenantLoad {
+            tenant: 1,
+            priority: 5,
+            tenant_slo: None,
+            arrivals: ArrivalConfig { seed: seed ^ 0x5851_F42D, ..base },
+        },
+        TenantLoad {
+            tenant: 2,
+            priority: 0,
+            tenant_slo: None,
+            arrivals: ArrivalConfig {
+                decode_fraction: 0.0,
+                prefill_rows: 24,
+                seed: seed ^ 0x9E37_79B9,
+                ..base
+            },
+        },
+    ])
+}
+
+fn slo_node_config(chunk: usize, cadence: u64) -> ServeConfig {
+    ServeConfig {
+        policy: SchedulePolicy::SloAware,
+        prefill_chunk_tokens: Some(chunk),
+        preempt_every: (cadence > 0).then_some(cadence),
+        ..ServeConfig::standard()
+    }
+}
+
+fn output_map(report: &pade_router::RouterReport) -> HashMap<usize, Vec<u8>> {
+    report.completions_by_id().iter().map(|c| (c.id, c.output_bytes())).collect()
+}
+
+proptest! {
+    /// SLO-aware preemptive fleets produce byte-identical outputs across
+    /// node counts {1, 2, 4}, matching the single-node non-preemptive
+    /// FCFS serve run — placement, policy, chunk size and cadence are all
+    /// scheduling decisions, never numerical ones.
+    #[test]
+    fn slo_aware_fleet_outputs_are_placement_independent(
+        seed in any::<u64>(),
+        chunk in 1usize..9,
+        cadence in 0u64..5,
+    ) {
+        let arrivals = workload_at(seed, 600.0);
+        let fcfs = serve(&ServeConfig::standard(), &arrivals, ScheduleMode::Batched);
+        let mut fcfs_map: HashMap<usize, Vec<u8>> = HashMap::new();
+        for c in &fcfs.completions {
+            fcfs_map.insert(c.id, c.output_bytes());
+        }
+        prop_assert_eq!(fcfs_map.len(), arrivals.len());
+
+        for n_nodes in [1usize, 2, 4] {
+            for policy in [RoutePolicy::Affinity, RoutePolicy::LeastLoaded] {
+                let fleet = RouterConfig::homogeneous(
+                    slo_node_config(chunk, cadence),
+                    n_nodes,
+                    policy,
+                );
+                let report = route(&fleet, &arrivals, ScheduleMode::Batched);
+                prop_assert_eq!(
+                    &output_map(&report),
+                    &fcfs_map,
+                    "{} preemptive nodes under {} diverged from single-node FCFS",
+                    n_nodes,
+                    policy.label()
+                );
+            }
+        }
+        // The FCFS baseline itself equals the seed oracle, so transitively
+        // every preemptive fleet does too; check it directly once.
+        for completion in &fcfs.completions {
+            let oracle = reference_outputs(&arrivals[completion.id], &ServeConfig::standard().engine);
+            prop_assert_eq!(
+                completion.output_bytes(),
+                output_bytes(&oracle),
+                "request {} diverged from its solo seed-oracle run",
+                completion.id
+            );
+        }
+    }
+
+    /// The lowest-priority tenant is never starved: under SLO-aware
+    /// preemptive scheduling with higher-priority tenants contending,
+    /// every one of its requests still completes, at every node count.
+    #[test]
+    fn lowest_priority_tenant_still_completes(seed in any::<u64>(), chunk in 1usize..9) {
+        let arrivals = workload_at(seed, 600.0);
+        let low: Vec<usize> =
+            arrivals.iter().filter(|a| a.session >> 32 == 2).map(|a| a.id).collect();
+        prop_assert!(!low.is_empty());
+        for n_nodes in [1usize, 2, 4] {
+            let fleet = RouterConfig::homogeneous(
+                slo_node_config(chunk, 1),
+                n_nodes,
+                RoutePolicy::LeastLoaded,
+            );
+            let report = route(&fleet, &arrivals, ScheduleMode::Batched);
+            let done: Vec<usize> = report.completions_by_id().iter().map(|c| c.id).collect();
+            prop_assert_eq!(done.len(), arrivals.len());
+            for id in &low {
+                prop_assert!(
+                    done.contains(id),
+                    "lowest-priority request {} starved on a {}-node fleet",
+                    id,
+                    n_nodes
+                );
+            }
+        }
+    }
+}
+
+/// Fleet SLO accounting: per-tenant attainment pools across nodes (only
+/// the SLO-carrying tenant gets a line), and the forced-preemption
+/// counters surface in the merged summary.
+#[test]
+fn fleet_summary_pools_slo_attainment_and_preemptions() {
+    let arrivals = workload_at(2026, 50.0);
+    let n_fg = arrivals.iter().filter(|a| a.session >> 32 == 0).count();
+    for n_nodes in [1usize, 2, 4] {
+        let fleet = RouterConfig::homogeneous(
+            ServeConfig { engine_slots: 1, ..slo_node_config(2, 1) },
+            n_nodes,
+            RoutePolicy::LeastLoaded,
+        );
+        let report = route(&fleet, &arrivals, ScheduleMode::Batched);
+        assert_eq!(report.summary.slo.len(), 1, "{n_nodes} nodes: one SLO-carrying tenant");
+        let fg = &report.summary.slo[0];
+        assert_eq!(fg.tenant, 0);
+        assert_eq!(fg.total as usize, n_fg, "{n_nodes} nodes: every request accounted");
+        assert_eq!(fg.target_cycles, 200_000);
+        assert_eq!(fg.latency.count, n_fg);
+        assert!(
+            report.summary.preemptions > 0,
+            "{n_nodes} nodes: rotate-every-iteration on one slot must preempt"
+        );
+        assert!(report.summary.resumes > 0);
+    }
+}

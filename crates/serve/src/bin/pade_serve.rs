@@ -22,20 +22,31 @@
 //! decomposed token counts, evictions and resident bytes are printed in
 //! the summary). `--no-prefix-cache` serves the same workload with the
 //! cache disabled — outputs are byte-identical either way.
+//!
+//! `--slo-aware` switches to the two-tenant contention workload: a
+//! high-priority foreground tenant decoding under a p99 latency SLO
+//! against a low-priority background tenant flooding long prefills, and
+//! serves it with the SLO-aware preemptive policy (chunked prefill +
+//! forced preemption cadence). Per-tenant SLO-attainment lines and
+//! preempt/resume counters join the summary — outputs stay
+//! byte-identical to the non-preemptive solo baseline.
 
 use std::process::exit;
 use std::sync::Arc;
 
 use pade_cache::CacheBudget;
-use pade_serve::scheduler::ScheduleMode;
+use pade_serve::scheduler::{ScheduleMode, SchedulePolicy};
 use pade_serve::server::{serve, serve_traced, ServeConfig, ServeReport};
 use pade_trace::{save_chrome_trace, Recorder, Tracer};
 use pade_workload::prompt::{generate_shared_prefix_arrivals, SharedPrefixConfig};
-use pade_workload::trace::{generate_arrivals, ArrivalConfig, RequestArrival};
+use pade_workload::trace::{
+    generate_arrivals, generate_tenant_mix, ArrivalConfig, RequestArrival, TenantLoad,
+};
 
 struct Args {
     quick: bool,
     shared_prefix: bool,
+    slo_aware: bool,
     no_prefix_cache: bool,
     hit_aware: bool,
     cache_budget: Option<u64>,
@@ -61,6 +72,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         shared_prefix: false,
+        slo_aware: false,
         no_prefix_cache: false,
         hit_aware: false,
         cache_budget: None,
@@ -79,6 +91,7 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--shared-prefix" => args.shared_prefix = true,
+            "--slo-aware" => args.slo_aware = true,
             "--no-prefix-cache" => args.no_prefix_cache = true,
             "--hit-aware" => args.hit_aware = true,
             "--cache-budget" => args.cache_budget = Some(parse("--cache-budget", it.next())),
@@ -103,10 +116,11 @@ fn parse_args() -> Args {
             "--seed" => args.seed = Some(parse("--seed", it.next())),
             "--help" | "-h" => {
                 println!(
-                    "usage: pade-serve [--quick] [--shared-prefix] [--no-prefix-cache] \
-                     [--hit-aware] [--cache-budget BYTES] [--cache-file PATH] \
-                     [--trace-out PATH] [--requests N] [--mean-gap CYCLES] [--seq-len S] \
-                     [--slots K] [--max-batch-tokens T] [--decode-fraction F] [--seed X]"
+                    "usage: pade-serve [--quick] [--shared-prefix] [--slo-aware] \
+                     [--no-prefix-cache] [--hit-aware] [--cache-budget BYTES] \
+                     [--cache-file PATH] [--trace-out PATH] [--requests N] \
+                     [--mean-gap CYCLES] [--seq-len S] [--slots K] [--max-batch-tokens T] \
+                     [--decode-fraction F] [--seed X]"
                 );
                 exit(0);
             }
@@ -295,10 +309,92 @@ fn shared_prefix_workload(args: &Args) -> Vec<RequestArrival> {
     generate_shared_prefix_arrivals(&workload)
 }
 
+/// The two-tenant SLO contention workload: foreground tenant 0 decoding
+/// under a p99 SLO at priority 10, background tenant 1 flooding long
+/// prefill prompts at priority 0 (mirroring `pade-bench --scenario
+/// preempt`).
+fn slo_workload(args: &Args) -> Vec<RequestArrival> {
+    if args.decode_fraction.is_some() {
+        usage_error(
+            "--decode-fraction has no effect with --slo-aware (the tenant mix sets per-tenant \
+             fractions)",
+        );
+    }
+    let (slo, n_fg, n_bg, bg_rows, seq_len, fg_gap, bg_gap, decode_steps) = if args.quick {
+        (5_000u64, 3usize, 2usize, 16usize, 128usize, 900.0, 300.0, 2usize)
+    } else {
+        (6_000, 8, 6, 48, 512, 3_000.0, 800.0, 4)
+    };
+    let n_fg = args.requests.unwrap_or(n_fg);
+    if n_fg == 0 {
+        usage_error("--requests must be at least 1");
+    }
+    let fg_gap = args.mean_gap.unwrap_or(fg_gap);
+    if !(fg_gap > 0.0 && fg_gap.is_finite()) {
+        usage_error("--mean-gap must be a positive, finite cycle count");
+    }
+    let seq_len = args.seq_len.unwrap_or(seq_len);
+    if seq_len == 0 {
+        usage_error("--seq-len must be at least 1");
+    }
+    let seed = args.seed.unwrap_or(2026);
+    let fg = ArrivalConfig {
+        n_requests: n_fg,
+        mean_interarrival_cycles: fg_gap,
+        decode_fraction: 1.0,
+        decode_steps,
+        seq_len,
+        seed,
+        ..ArrivalConfig::small_demo()
+    };
+    let bg = ArrivalConfig {
+        n_requests: n_bg,
+        mean_interarrival_cycles: bg_gap,
+        decode_fraction: 0.0,
+        prefill_rows: bg_rows,
+        seq_len,
+        seed: seed ^ 0x9E37_79B9,
+        ..ArrivalConfig::small_demo()
+    };
+    println!(
+        "pade-serve: SLO contention mix — {n_fg} fg decode reqs (priority 10, SLO {slo} cyc) vs \
+         {n_bg} bg prefills x {bg_rows} rows (priority 0), S={seq_len}",
+    );
+    generate_tenant_mix(&[
+        TenantLoad { tenant: 0, priority: 10, tenant_slo: Some(slo), arrivals: fg },
+        TenantLoad { tenant: 1, priority: 0, tenant_slo: None, arrivals: bg },
+    ])
+}
+
+/// Per-tenant SLO attainment plus the preempt/resume counters. Tenants
+/// that completed nothing render as `n=0 —` (the Display handles it);
+/// runs with no SLO-carrying tenants print nothing.
+fn print_slo_summary(report: &ServeReport) {
+    for line in &report.summary.slo {
+        println!("{} slo: {line}", report.mode.label());
+    }
+    if !report.summary.slo.is_empty() {
+        println!(
+            "{} scheduling: {} preemptions, {} resumes",
+            report.mode.label(),
+            report.metrics.preemptions,
+            report.metrics.resumes
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let arrivals =
-        if args.shared_prefix { shared_prefix_workload(&args) } else { plain_workload(&args) };
+    if args.shared_prefix && args.slo_aware {
+        usage_error("--slo-aware conflicts with --shared-prefix (pick one workload)");
+    }
+    let arrivals = if args.shared_prefix {
+        shared_prefix_workload(&args)
+    } else if args.slo_aware {
+        slo_workload(&args)
+    } else {
+        plain_workload(&args)
+    };
     let prefix_cache = if args.no_prefix_cache {
         if args.cache_budget.is_some() {
             usage_error("--cache-budget conflicts with --no-prefix-cache");
@@ -316,14 +412,25 @@ fn main() {
         Some(args.cache_budget.map_or(CacheBudget::unlimited(), CacheBudget::bytes))
     };
     let config = ServeConfig {
-        engine_slots: args.slots.unwrap_or(4).max(1),
+        engine_slots: args.slots.unwrap_or(if args.slo_aware { 2 } else { 4 }).max(1),
         max_batch_tokens: args.max_batch_tokens.unwrap_or(64),
         prefix_cache,
         hit_aware: args.hit_aware,
         cache_file: args.cache_file.clone(),
+        policy: if args.slo_aware { SchedulePolicy::SloAware } else { SchedulePolicy::Fcfs },
+        prefill_chunk_tokens: args.slo_aware.then_some(2),
+        preempt_every: args.slo_aware.then_some(4),
         ..ServeConfig::standard()
     };
 
+    if args.slo_aware {
+        println!(
+            "scheduler: SLO-aware preemptive (chunked prefill {} rows, forced preemption every \
+             {} iterations)",
+            config.prefill_chunk_tokens.unwrap_or(0),
+            config.preempt_every.unwrap_or(0)
+        );
+    }
     println!(
         "device: {} slots, {} max batch tokens, prefix cache {}{}{}\n",
         config.engine_slots,
@@ -371,6 +478,8 @@ fn main() {
     pade_serve::assert_outputs_identical(&batched, &solo);
 
     println!();
+    print_slo_summary(&batched);
+    print_slo_summary(&solo);
     print_cache_summary(&batched);
     print_cache_summary(&solo);
     print_ops_summary(&batched);

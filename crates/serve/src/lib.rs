@@ -67,7 +67,8 @@ pub mod scheduler;
 pub mod server;
 pub mod session;
 
+pub use metrics::{slo_attainment, TenantSloSummary};
 pub use node::Node;
-pub use scheduler::{ScheduleMode, SchedulerLimits};
+pub use scheduler::{ScheduleMode, SchedulePolicy, SchedulerLimits};
 pub use server::{assert_outputs_identical, serve, Completion, ServeConfig, ServeReport};
 pub use session::{output_bytes, reference_outputs, Session};

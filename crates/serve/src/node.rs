@@ -3,8 +3,10 @@
 //!
 //! A [`Node`] owns everything a single PADE device needs to serve
 //! traffic — its engine slots, its FCFS (or hit-aware) admission queue,
-//! its active sessions, its own [`KvCacheManager`] and its metric
-//! collectors — and exposes the loop as three operations:
+//! its active sessions, its scheduling policy
+//! ([`ServeConfig::policy`]: FCFS or SLO-aware preemptive), its own
+//! [`KvCacheManager`] and its metric collectors — and exposes the loop
+//! as three operations:
 //!
 //! * [`enqueue`](Node::enqueue) — hand the node a routed arrival,
 //! * [`advance_to`](Node::advance_to) — run lockstep iterations until the
@@ -92,6 +94,12 @@ pub struct Node {
     dispatch_units: u32,
     /// Sessions admitted so far — keys per-session quant tracks.
     session_seq: u32,
+    /// Request ids dispatched in the previous iteration's batch — the
+    /// baseline for preempt/resume detection: a previously-running
+    /// session left out of this iteration's batch was preempted at a
+    /// chunk/step boundary; a chosen session with progress that did not
+    /// run last iteration resumed.
+    ran_last: Vec<usize>,
 }
 
 impl Node {
@@ -121,6 +129,7 @@ impl Node {
             node_id: 0,
             dispatch_units: 0,
             session_seq: 0,
+            ran_last: Vec::new(),
         }
     }
 
@@ -172,6 +181,19 @@ impl Node {
     #[must_use]
     pub fn cache_manager(&self) -> Option<&KvCacheManager> {
         self.cache_manager.as_ref()
+    }
+
+    /// Bitwise fingerprints of every active session's resident key
+    /// planes, as `(request id, resident key tokens, planes)` in
+    /// admission order — determinism-suite introspection
+    /// ([`Session::key_planes`]): the preemption property tests use it to
+    /// prove parked planes resume bitwise-intact.
+    #[must_use]
+    pub fn active_key_planes(&self) -> Vec<(usize, usize, pade_quant::BitPlaneMatrix)> {
+        self.active
+            .iter()
+            .filter_map(|s| Some((s.spec().id, s.cached_key_tokens(), s.key_planes()?)))
+            .collect()
     }
 
     /// Hands the node a routed arrival. Arrivals may be enqueued in any
@@ -256,6 +278,7 @@ impl Node {
                 &queued,
                 &self.config.engine,
                 self.config.kv_chunk_tokens.max(1),
+                self.config.prefill_chunk_tokens,
                 self.now,
                 self.cache_manager.as_mut(),
             );
@@ -314,9 +337,41 @@ impl Node {
             );
         }
 
-        // Form and dispatch this iteration's batch.
-        let chosen = form_batch(&self.active, self.mode, &self.limits);
+        // Form and dispatch this iteration's batch. On a forced-preempt
+        // tick the policy's head candidate yields its slot for one
+        // iteration; the knob (like the policy itself) only moves blocks
+        // in time, so outputs stay byte-identical at any cadence.
+        let yield_head = self
+            .config
+            .preempt_every
+            .is_some_and(|p| p > 0 && self.metrics.iterations % p == p - 1);
+        let chosen =
+            form_batch(&self.active, self.mode, &self.limits, self.config.policy, yield_head);
         debug_assert!(!chosen.is_empty());
+        // Preempt/resume bookkeeping against the previous iteration's
+        // batch. A previously-running session that is still active but
+        // not chosen is preempted at its chunk/step boundary — its grown
+        // KV planes stay parked in its Session untouched; a chosen
+        // session with progress that sat out the last iteration resumes
+        // from exactly those planes.
+        let chosen_ids: Vec<usize> = chosen.iter().map(|&i| self.active[i].spec().id).collect();
+        for &id in &self.ran_last {
+            if !chosen_ids.contains(&id) && self.active.iter().any(|s| s.spec().id == id) {
+                self.metrics.preemptions += 1;
+                if self.tracer.is_active() {
+                    self.tracer.span_at(self.node_track(), "serve.preempt", self.now, self.now, 0);
+                }
+            }
+        }
+        for &i in &chosen {
+            let id = self.active[i].spec().id;
+            if self.active[i].blocks_done() > 0 && !self.ran_last.contains(&id) {
+                self.metrics.resumes += 1;
+                if self.tracer.is_active() {
+                    self.tracer.span_at(self.node_track(), "serve.resume", self.now, self.now, 0);
+                }
+            }
+        }
         let jobs: Vec<_> = chosen.iter().map(|&i| self.active[i].next_job()).collect();
         let batch_tokens: usize = jobs.iter().map(|j| j.queries.len()).sum();
         // Caller-assigned engine tracks, keyed by dispatch-unit index —
@@ -436,6 +491,15 @@ impl Node {
                 let arrival = Cycle(session.spec().arrival_cycle);
                 self.metrics.latency.record(self.now - arrival);
                 self.metrics.tokens += session.tokens();
+                if let Some(target) = session.spec().tenant_slo {
+                    // Sessions pack their tenant into the high 32 bits
+                    // (the MultiTenantConfig::tenant_of convention).
+                    self.metrics.record_slo(
+                        session.spec().session >> 32,
+                        target,
+                        self.now - arrival,
+                    );
+                }
                 if self.tracer.is_active() {
                     self.tracer.instant(self.node_track(), "serve.retire", self.now);
                 }
@@ -452,6 +516,9 @@ impl Node {
                 i += 1;
             }
         }
+        // Retired ids may linger here; the preempt check above skips ids
+        // no longer active, so they never miscount as preemptions.
+        self.ran_last = chosen_ids;
         if self.tracer.is_active() {
             self.tracer.gauge(
                 self.node_track(),
@@ -613,6 +680,8 @@ mod tests {
             },
             session: id as u64,
             prompt: Some(PromptTokens::new(ids)),
+            priority: 0,
+            tenant_slo: None,
         }
     }
 

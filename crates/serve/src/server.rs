@@ -29,7 +29,7 @@ use pade_workload::trace::{RequestArrival, RequestKind};
 
 use crate::metrics::{MetricsSummary, ServeMetrics};
 use crate::node::Node;
-use crate::scheduler::ScheduleMode;
+use crate::scheduler::{ScheduleMode, SchedulePolicy};
 use crate::session::output_bytes;
 
 /// Configuration of one serve run.
@@ -78,6 +78,28 @@ pub struct ServeConfig {
     /// missing file starts cold, a corrupt or shape-mismatched one
     /// panics rather than silently serving cold.
     pub cache_file: Option<PathBuf>,
+    /// Batch-forming policy: FCFS baseline, or SLO-aware priority/
+    /// deadline ordering honoring the arrivals'
+    /// [`priority`](pade_workload::trace::RequestArrival::priority)/
+    /// [`tenant_slo`](pade_workload::trace::RequestArrival::tenant_slo)
+    /// attributes. A scheduling knob only: outputs are byte-identical
+    /// under either policy (property-tested); only dispatch order,
+    /// latency and completion order change.
+    pub policy: SchedulePolicy,
+    /// Cap on query rows per prefill block (chunked prefill): `Some(c)`
+    /// splits long prompts into `c.clamp(1, pe_rows)`-row slices that
+    /// interleave with decode steps at iteration granularity; `None`
+    /// keeps the engine's native `pe_rows` chunking. Like
+    /// [`kv_chunk_tokens`](ServeConfig::kv_chunk_tokens) this is
+    /// output-invariant for every value (property-tested) — it changes
+    /// the scheduling quantum, never the bytes.
+    pub prefill_chunk_tokens: Option<usize>,
+    /// Forced preemption cadence: every `p`-th iteration the scheduler's
+    /// head candidate yields its slot for that iteration (a no-op when it
+    /// is the only active session, so progress is guaranteed). `None` —
+    /// the default — leaves preemption purely policy-driven. The cadence
+    /// is output-invariant for every value (property-tested).
+    pub preempt_every: Option<u64>,
 }
 
 impl ServeConfig {
@@ -95,6 +117,9 @@ impl ServeConfig {
             prefix_cache: Some(CacheBudget::unlimited()),
             hit_aware: false,
             cache_file: None,
+            policy: SchedulePolicy::Fcfs,
+            prefill_chunk_tokens: None,
+            preempt_every: None,
         }
     }
 }

@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use pade_cache::{CacheLease, KvCacheManager};
 use pade_core::config::PadeConfig;
-use pade_core::engine::{KeySource, QkBatchJob, QkBlockResult, SharedKeyPlanes};
+use pade_core::engine::{run_qk_batch, KeySource, QkBatchJob, QkBlockResult, SharedKeyPlanes};
 use pade_quant::{BitPlaneMatrix, GrowableKeyCache};
 use pade_sim::Cycle;
 use pade_workload::trace::{AttentionTrace, RequestArrival, RequestKind};
@@ -73,6 +73,10 @@ pub struct Session {
     next_block: usize,
     results: Vec<QkBlockResult>,
     admitted: Cycle,
+    /// Engine configuration, kept so a chunk-sliced prefill session can
+    /// re-run its request through the engine's native `pe_rows` tiling at
+    /// completion ([`Self::canonicalize_results`]).
+    config: PadeConfig,
 }
 
 impl Session {
@@ -90,6 +94,19 @@ impl Session {
     /// prompt-derived rows are decomposed from scratch, so outputs are
     /// byte-identical with the manager on or off.
     ///
+    /// `prefill_chunk_tokens` caps the query rows per prefill block
+    /// (chunked prefill): `None` chunks by PE-row height exactly as
+    /// [`run_qk_blocks`](pade_core::engine::run_qk_blocks), `Some(c)`
+    /// uses `c.clamp(1, pe_rows)` rows per block (the fused dispatcher
+    /// requires at most `pe_rows` rows per job). The slices are a
+    /// scheduling/timing quantum only: the guard-filter's prune/retain
+    /// decisions depend on the block-shared memory system, so a session
+    /// sliced off the native tile height re-runs its request through the
+    /// canonical `pe_rows` tiling once, at completion
+    /// ([`absorb`](Self::absorb)) — per-request output bytes are
+    /// therefore identical for every chunk size (property-tested in
+    /// `tests/`).
+    ///
     /// # Panics
     ///
     /// Panics if the request's trace cannot be decomposed under
@@ -101,6 +118,7 @@ impl Session {
         spec: &RequestArrival,
         config: &PadeConfig,
         kv_chunk_tokens: usize,
+        prefill_chunk_tokens: Option<usize>,
         admitted: Cycle,
         cache: Option<&mut KvCacheManager>,
     ) -> Self {
@@ -108,8 +126,13 @@ impl Session {
         let dims = trace.keys().cols();
         let seq_len = trace.keys().rows();
         let (rows_per_block, blocks_total) = match spec.kind {
-            // Prefill chunks by PE-row height, exactly as run_qk_blocks.
-            RequestKind::Prefill { rows } => (config.pe_rows, rows.div_ceil(config.pe_rows)),
+            // Prefill chunks by PE-row height (or the configured chunk),
+            // exactly as run_qk_blocks when unset.
+            RequestKind::Prefill { rows } => {
+                let chunk =
+                    prefill_chunk_tokens.map_or(config.pe_rows, |c| c.clamp(1, config.pe_rows));
+                (chunk, rows.div_ceil(chunk))
+            }
             // Decode: one query row per step.
             RequestKind::Decode { steps } => (1, steps),
         };
@@ -166,6 +189,7 @@ impl Session {
             next_block: 0,
             results: Vec::with_capacity(blocks_total),
             admitted,
+            config: config.clone(),
         }
     }
 
@@ -197,16 +221,19 @@ impl Session {
         self.blocks_total
     }
 
-    /// Blocks already executed.
+    /// Blocks already executed. Tracked by dispatch progress, not
+    /// `results.len()`: a chunk-sliced prefill session's results collapse
+    /// to the canonical tiling at completion
+    /// ([`canonicalize_results`](Self::canonicalize_results)).
     #[must_use]
     pub fn blocks_done(&self) -> usize {
-        self.results.len()
+        self.next_block
     }
 
     /// Whether every block has been executed.
     #[must_use]
     pub fn is_finished(&self) -> bool {
-        self.results.len() == self.blocks_total
+        self.next_block == self.blocks_total
     }
 
     /// Query rows (≙ tokens) this request executes in total.
@@ -224,6 +251,23 @@ impl Session {
             SessionKeys::Shared(planes) => planes.tokens(),
             SessionKeys::Grown(cache) => cache.tokens(),
             SessionKeys::Detached => 0,
+        }
+    }
+
+    /// A bitwise fingerprint of this session's resident key planes: the
+    /// whole plane set materialized into one [`BitPlaneMatrix`] (whose
+    /// derived equality compares the packed plane words of every token).
+    /// `None` once the cache has been detached.
+    ///
+    /// Determinism-suite introspection: the preemption property tests use
+    /// it to prove a suspended-then-resumed session's planes are bitwise
+    /// equal to a never-suspended session's at the same context length.
+    #[must_use]
+    pub fn key_planes(&self) -> Option<BitPlaneMatrix> {
+        match &self.keys {
+            SessionKeys::Shared(planes) => Some(planes.as_ref().clone()),
+            SessionKeys::Grown(cache) => Some(cache.snapshot().materialize()),
+            SessionKeys::Detached => None,
         }
     }
 
@@ -278,6 +322,9 @@ impl Session {
         debug_assert!(!self.is_finished());
         self.next_block += 1;
         self.results.push(result);
+        if self.is_finished() {
+            self.canonicalize_results();
+        }
         if let SessionKeys::Grown(cache) = &mut self.keys {
             if self.next_block < self.blocks_total {
                 let dims = self.trace.keys().cols();
@@ -294,6 +341,41 @@ impl Session {
                 }
             }
         }
+    }
+
+    /// Replaces a chunk-sliced prefill session's per-slice results with
+    /// the request run through the engine's **native** `pe_rows` tiling —
+    /// the grouping [`run_qk_blocks`](pade_core::engine::run_qk_blocks)
+    /// and the seed oracle use. The guard filter's prune/retain decisions
+    /// depend on the order key planes arrive through the block-shared
+    /// memory system, so slice-grouped blocks are a timing model only;
+    /// the session's *outputs* are always the canonical tiling's, which
+    /// is what makes `prefill_chunk_tokens` output-invariant. A no-op for
+    /// decode sessions and for prefill at the native tile height (their
+    /// dispatched blocks already are canonical).
+    fn canonicalize_results(&mut self) {
+        let pe_rows = self.config.pe_rows;
+        if !matches!(self.spec.kind, RequestKind::Prefill { .. }) || self.rows_per_block == pe_rows
+        {
+            return;
+        }
+        let total = self.spec.kind.tokens();
+        let keys = match &self.keys {
+            SessionKeys::Shared(planes) => KeySource::Planes(Arc::clone(planes)),
+            SessionKeys::Grown(cache) => KeySource::Cache(cache.snapshot()),
+            SessionKeys::Detached => unreachable!("results are canonicalized before detach"),
+        };
+        self.results = (0..total.div_ceil(pe_rows))
+            .map(|b| {
+                let rows = (b * pe_rows)..((b + 1) * pe_rows).min(total);
+                let job = QkBatchJob {
+                    queries: rows.map(|i| self.trace.queries().row(i)).collect(),
+                    keys: keys.clone(),
+                    logit_scale: self.trace.logit_scale(),
+                };
+                run_qk_batch(&self.config, &[job]).pop().expect("one job in, one result out")
+            })
+            .collect();
     }
 
     /// Hands a finished cache-managed session's grown planes back to the
@@ -431,7 +513,7 @@ mod tests {
     fn prefill_chunks_by_pe_rows_and_decode_by_step() {
         let config = PadeConfig::standard();
         for spec in specs() {
-            let s = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
+            let s = Session::admit(&spec, &config, KV_CHUNK, None, Cycle::ZERO, None);
             match spec.kind {
                 RequestKind::Prefill { rows } => {
                     assert_eq!(s.blocks_total(), rows.div_ceil(config.pe_rows));
@@ -449,7 +531,7 @@ mod tests {
     fn session_blocks_cover_every_query_row_once() {
         let config = PadeConfig::standard();
         let spec = specs().into_iter().find(|s| s.kind.tokens() > config.pe_rows).unwrap();
-        let session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
+        let session = Session::admit(&spec, &config, KV_CHUNK, None, Cycle::ZERO, None);
         let mut covered = Vec::new();
         for b in 0..session.blocks_total() {
             covered.extend(session.block_rows(b));
@@ -462,7 +544,7 @@ mod tests {
         let config = PadeConfig::standard();
         let spec =
             specs().into_iter().find(|s| matches!(s.kind, RequestKind::Prefill { .. })).unwrap();
-        let session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
+        let session = Session::admit(&spec, &config, KV_CHUNK, None, Cycle::ZERO, None);
         let job_a = session.next_job();
         let job_b = session.next_job();
         match (&job_a.keys, &job_b.keys) {
@@ -477,7 +559,7 @@ mod tests {
         let spec =
             specs().into_iter().find(|s| matches!(s.kind, RequestKind::Decode { .. })).unwrap();
         let seq_len = spec.trace.seq_len;
-        let mut session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
+        let mut session = Session::admit(&spec, &config, KV_CHUNK, None, Cycle::ZERO, None);
         let mut prefixes = Vec::new();
         while !session.is_finished() {
             let step = session.blocks_done();
@@ -506,7 +588,7 @@ mod tests {
         let config = PadeConfig::standard();
         let spec =
             specs().into_iter().find(|s| matches!(s.kind, RequestKind::Decode { .. })).unwrap();
-        let mut session = Session::admit(&spec, &config, KV_CHUNK, Cycle::ZERO, None);
+        let mut session = Session::admit(&spec, &config, KV_CHUNK, None, Cycle::ZERO, None);
         while !session.is_finished() {
             let job = session.next_job();
             let result = run_qk_batch(&config, &[job]).pop().unwrap();

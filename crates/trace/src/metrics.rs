@@ -79,6 +79,13 @@ impl MetricsRegistry {
         self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// All histograms' raw collectors, sorted by name — for callers that
+    /// digest or re-pool samples themselves (e.g. the per-tenant SLO
+    /// attainment lines of `pade-serve`/`pade-router`).
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LatencyStats)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Folds another registry in: counters add, gauges keep the maximum,
     /// histograms pool their samples.
     pub fn merge(&mut self, other: &MetricsRegistry) {

@@ -293,6 +293,8 @@ pub fn generate_shared_prefix_arrivals(config: &SharedPrefixConfig) -> Vec<Reque
                 trace,
                 session: session as u64,
                 prompt: Some(PromptTokens::new(ids.clone())),
+                priority: 0,
+                tenant_slo: None,
             });
             turn_arrival += config.turn_gap_cycles.max(1);
         }

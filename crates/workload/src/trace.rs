@@ -439,6 +439,18 @@ pub struct RequestArrival {
     /// traces). `None` means the key tensor comes from the operand trace
     /// alone, as in the plain [`generate_arrivals`] workloads.
     pub prompt: Option<PromptTokens>,
+    /// Scheduling priority of the request's tenant — higher runs first
+    /// under an SLO-aware scheduler. Priority is a **scheduling** input
+    /// only: it may reorder dispatch, never change a request's output
+    /// bytes. The plain generators stamp 0 (every request equal, FCFS
+    /// semantics preserved).
+    pub priority: u8,
+    /// The tenant's end-to-end latency SLO in core cycles (completion −
+    /// arrival), or `None` when the tenant has no latency objective. An
+    /// SLO-aware scheduler orders by `arrival + tenant_slo` deadlines and
+    /// the serve metrics report per-tenant attainment against it; like
+    /// [`priority`](Self::priority) it never changes output bytes.
+    pub tenant_slo: Option<u64>,
 }
 
 /// Generates a seeded, reproducible arrival trace.
@@ -490,7 +502,67 @@ pub fn generate_arrivals(config: &ArrivalConfig) -> Vec<RequestArrival> {
             trace,
             session: id as u64,
             prompt: None,
+            priority: 0,
+            tenant_slo: None,
         });
+    }
+    out
+}
+
+/// One tenant's slice of a mixed-tenant arrival trace: a plain
+/// [`ArrivalConfig`] workload plus the scheduling attributes its requests
+/// carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantLoad {
+    /// Tenant id, packed into the high 32 bits of every generated
+    /// request's session (the [`MultiTenantConfig::tenant_of`] convention).
+    ///
+    /// [`MultiTenantConfig::tenant_of`]: crate::prompt::MultiTenantConfig::tenant_of
+    pub tenant: u32,
+    /// Priority stamped on every request of this tenant.
+    pub priority: u8,
+    /// Latency SLO stamped on every request of this tenant.
+    pub tenant_slo: Option<u64>,
+    /// Shape of this tenant's arrival process.
+    pub arrivals: ArrivalConfig,
+}
+
+/// Generates a merged multi-tenant arrival trace from per-tenant loads —
+/// the workload of an SLO-aware scheduler evaluation: e.g. a foreground
+/// tenant issuing latency-sensitive decodes while a background tenant
+/// floods long prefills.
+///
+/// Per tenant the trace is exactly [`generate_arrivals`] of its config;
+/// tenants are merged in `(arrival_cycle, session)` order and request ids
+/// are re-assigned densely over the merge, so the result satisfies the
+/// same id/ordering contract as every other generator.
+///
+/// # Panics
+///
+/// Panics if `loads` is empty, two loads share a tenant id, or any
+/// per-tenant config violates the [`generate_arrivals`] preconditions.
+#[must_use]
+pub fn generate_tenant_mix(loads: &[TenantLoad]) -> Vec<RequestArrival> {
+    assert!(!loads.is_empty(), "at least one tenant load required");
+    for (i, a) in loads.iter().enumerate() {
+        for b in &loads[i + 1..] {
+            assert!(a.tenant != b.tenant, "tenant ids must be distinct");
+        }
+    }
+    let mut out: Vec<RequestArrival> = Vec::new();
+    for load in loads {
+        out.extend(generate_arrivals(&load.arrivals).into_iter().map(|mut r| {
+            r.session |= u64::from(load.tenant) << 32;
+            r.priority = load.priority;
+            r.tenant_slo = load.tenant_slo;
+            r
+        }));
+    }
+    // Dense ids in global arrival order; ties break on the (unique per
+    // tenant×request) session id so the interleave is deterministic.
+    out.sort_by_key(|r| (r.arrival_cycle, r.session));
+    for (id, r) in out.iter_mut().enumerate() {
+        r.id = id;
     }
     out
 }
@@ -702,5 +774,73 @@ mod tests {
             let b = AttentionTrace::generate(&r.trace);
             assert_eq!(a.keys().as_slice(), b.keys().as_slice());
         }
+    }
+
+    #[test]
+    fn plain_arrivals_carry_neutral_scheduling_attributes() {
+        for r in generate_arrivals(&ArrivalConfig::small_demo()) {
+            assert_eq!(r.priority, 0);
+            assert_eq!(r.tenant_slo, None);
+        }
+    }
+
+    #[test]
+    fn tenant_mix_merges_stamps_and_renumbers() {
+        let fg = TenantLoad {
+            tenant: 0,
+            priority: 10,
+            tenant_slo: Some(50_000),
+            arrivals: ArrivalConfig {
+                seed: 11,
+                decode_fraction: 1.0,
+                ..ArrivalConfig::small_demo()
+            },
+        };
+        let bg = TenantLoad {
+            tenant: 1,
+            priority: 0,
+            tenant_slo: None,
+            arrivals: ArrivalConfig {
+                seed: 12,
+                decode_fraction: 0.0,
+                ..ArrivalConfig::small_demo()
+            },
+        };
+        let mix = generate_tenant_mix(&[fg.clone(), bg.clone()]);
+        assert_eq!(mix.len(), 16);
+        for (i, r) in mix.iter().enumerate() {
+            assert_eq!(r.id, i, "ids re-assigned densely over the merge");
+            if i > 0 {
+                assert!(r.arrival_cycle >= mix[i - 1].arrival_cycle);
+            }
+            match r.session >> 32 {
+                0 => {
+                    assert_eq!(r.priority, 10);
+                    assert_eq!(r.tenant_slo, Some(50_000));
+                    assert!(matches!(r.kind, RequestKind::Decode { .. }));
+                }
+                1 => {
+                    assert_eq!(r.priority, 0);
+                    assert_eq!(r.tenant_slo, None);
+                    assert!(matches!(r.kind, RequestKind::Prefill { .. }));
+                }
+                t => panic!("unexpected tenant {t}"),
+            }
+        }
+        // Deterministic per input; order-independent of the load list.
+        assert_eq!(mix, generate_tenant_mix(&[fg.clone(), bg.clone()]));
+        assert_eq!(mix, generate_tenant_mix(&[bg, fg]));
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant ids must be distinct")]
+    fn tenant_mix_rejects_duplicate_tenants() {
+        let load = TenantLoad {
+            tenant: 0,
+            priority: 0,
+            tenant_slo: None,
+            arrivals: ArrivalConfig::small_demo(),
+        };
+        let _ = generate_tenant_mix(&[load.clone(), load]);
     }
 }
