@@ -12,6 +12,7 @@
 //! cargo run --release -p pade-bench --features trace --bin pade-bench -- \
 //!     --scenario route --out BENCH_7.json --trace-out route_trace.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario preempt  # -> BENCH_8.json
+//! cargo run --release -p pade-bench --bin pade-bench -- --scenario tier  # -> BENCH_9.json
 //! ```
 //!
 //! The `qk` scenario (default) runs the sequential seed engine and the
@@ -44,7 +45,12 @@
 //! prefills against a foreground decode tenant under a p99 SLO,
 //! compares non-preemptive FCFS with SLO-aware chunked-prefill
 //! preemption (byte-identity and SLO attainment hard-checked), and
-//! writes `BENCH_8.json`.
+//! writes `BENCH_8.json`. The `tier` scenario thrashes a prompt pool
+//! through a budgeted `pade-cache` manager with eviction set to drop,
+//! spill-to-memory or spill-to-disk (`pade-tier`), then runs the fleet
+//! drain-migration and hot-shard replication points (every attach and
+//! every fleet output byte-identity hard-checked), and writes
+//! `BENCH_9.json`.
 
 use std::path::PathBuf;
 
@@ -54,6 +60,7 @@ use pade_bench::preempt::{run_preempt_matrix, write_preempt_json};
 use pade_bench::prefix_cache::{run_prefix_cache_matrix, write_prefix_cache_json};
 use pade_bench::route::{run_route_matrix, write_route_json};
 use pade_bench::serve::{run_serve_matrix, write_serve_json};
+use pade_bench::tier::{run_tier_matrix, write_tier_json};
 use pade_bench::{run_matrix, write_json};
 
 fn main() {
@@ -83,7 +90,7 @@ fn main() {
                 scenario = args.next().unwrap_or_else(|| {
                     eprintln!(
                         "--scenario requires qk, serve, decode-growth, prefix-cache, route, \
-                         popcount or preempt"
+                         popcount, preempt or tier"
                     );
                     std::process::exit(2);
                 });
@@ -91,7 +98,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: pade-bench [--quick] \
-                     [--scenario qk|serve|decode-growth|prefix-cache|route|popcount|preempt] \
+                     [--scenario qk|serve|decode-growth|prefix-cache|route|popcount|preempt|tier] \
                      [--out FILE.json] [--trace-out TRACE.json (route scenario)]"
                 );
                 return;
@@ -116,10 +123,11 @@ fn main() {
         "route" => run_route_scenario(quick, mode, out, trace_out),
         "popcount" => run_popcount_scenario(quick, mode, out),
         "preempt" => run_preempt_scenario(quick, mode, out),
+        "tier" => run_tier_scenario(quick, mode, out),
         other => {
             eprintln!(
                 "unknown scenario: {other} (expected qk, serve, decode-growth, prefix-cache, \
-                 route, popcount or preempt)"
+                 route, popcount, preempt or tier)"
             );
             std::process::exit(2);
         }
@@ -369,6 +377,72 @@ fn run_preempt_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
     };
     if let Some(path) = path {
         write_preempt_json(&path, &result, mode).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+}
+
+fn run_tier_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
+    println!("pade-bench tier: drop-on-evict vs pade-tier spill/fetch under cache thrash\n");
+    let sweep = run_tier_matrix(quick);
+    println!(
+        "workload: pool {} x {} tok, {} visits, chunk {} tok, budget {} B",
+        sweep.workload.pool_size,
+        sweep.workload.prompt_tokens,
+        sweep.workload.visits,
+        sweep.chunk_tokens,
+        sweep.budget_bytes
+    );
+    println!(
+        "\n{:<12} {:>9} {:>9} {:>8} {:>8} {:>10} {:>8} {:>9} {:>11}",
+        "mode", "hit tok", "dec tok", "evict", "spill", "spill B", "fetch", "fetch tok", "kv-prep"
+    );
+    for m in &sweep.modes {
+        println!(
+            "{:<12} {:>9} {:>9} {:>8} {:>8} {:>10} {:>8} {:>9} {:>10.4}s",
+            m.mode.label(),
+            m.stats.hit_tokens,
+            m.stats.decomposed_tokens,
+            m.stats.evicted_chunks,
+            m.stats.spilled_chunks,
+            m.stats.spilled_bytes,
+            m.stats.fetched_chunks,
+            m.stats.fetched_tokens,
+            m.kv_prep_wall_s
+        );
+    }
+    println!(
+        "\n{:<12} {:>6} {:>9} {:>9} {:>7} {:>7} {:>11} {:>11} {:>11}",
+        "fleet", "nodes", "hit tok", "fetch tok", "migr", "repl", "xfer B", "xfer cyc", "xfer pJ"
+    );
+    for p in &sweep.fleet {
+        println!(
+            "{:<12} {:>6} {:>9} {:>9} {:>7} {:>7} {:>11} {:>11} {:>11.1}",
+            p.label,
+            p.n_nodes,
+            p.hit_tokens,
+            p.fetched_tokens,
+            p.migrations,
+            p.replications,
+            p.transfer_bytes,
+            p.transfer_cycles,
+            p.transfer_pj
+        );
+    }
+    println!(
+        "\nevery attach byte-identical to from-scratch decomposition; every fleet output \
+         byte-identical to the single-node run and the seed oracle"
+    );
+
+    let path = match (&out, quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some(PathBuf::from("BENCH_9.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = path {
+        write_tier_json(&path, &sweep, mode).unwrap_or_else(|e| {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         });

@@ -38,7 +38,12 @@
 //! scenario (`pade-bench --scenario preempt`): a background tenant
 //! flooding long prefills against a foreground decode tenant under a
 //! p99 SLO, non-preemptive FCFS vs chunked-prefill SLO-aware
-//! preemption, recorded to `BENCH_8.json`.
+//! preemption, recorded to `BENCH_8.json`. The [`tier`] module adds the
+//! tiered-KV scenario (`pade-bench --scenario tier`): drop-on-evict vs
+//! `pade-tier` spill/fetch (memory and disk backends) under a
+//! cache-thrashing prompt pool, plus fleet drain-migration and
+//! hot-shard replication points with interconnect-costed transfers,
+//! recorded to `BENCH_9.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +54,7 @@ pub mod preempt;
 pub mod prefix_cache;
 pub mod route;
 pub mod serve;
+pub mod tier;
 
 /// Shared KV-prep replay machinery for the cache-centric scenarios
 /// (`prefix_cache`, `route`): one prepared-operand representation and

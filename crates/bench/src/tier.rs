@@ -1,0 +1,546 @@
+//! The `tier` scenario: drop-on-evict vs spill/fetch vs fleet
+//! replication/migration under cache-thrashing and drain workloads.
+//!
+//! PR 9's `pade-tier` demotes budget-evicted sealed plane chunks into a
+//! spill store instead of dropping them; a later prefix walk re-adopts
+//! them by **parsing packed plane words** — no decomposition. This
+//! scenario measures exactly that trade on the LRU-adversarial workload
+//! ([`ThrashConfig`]: a prompt pool revisited round-robin, so the chunk
+//! evicted longest ago is always the one the next visit needs):
+//!
+//! * **Part 1 — spill modes.** One manager-level attach/detach replay
+//!   per mode under one tight plane budget: `drop` (no tier — evictions
+//!   discard planes, revisits re-decompose), `spill-mem` (in-process
+//!   [`TierConfig::Memory`]) and `spill-disk`
+//!   ([`TierConfig::Disk`], one atomic file per chunk). Every attach is
+//!   hard-checked **byte-identical** to a from-scratch
+//!   `BitPlaneMatrix::from_rows` decomposition of the same key rows —
+//!   the same oracle form the seed reference scores — and the two spill
+//!   backends must agree on every deterministic counter.
+//! * **Part 2 — fleet points.** A spread multi-turn shared-prefix
+//!   workload through 2/4-node `pade-router` affinity fleets: plain
+//!   affinity, affinity under a mid-trace [`DrainPlan`] (the drained
+//!   node's shard records migrate to where its traffic re-homes — the
+//!   affinity hit level must survive), and affinity with hot-shard
+//!   replication ([`FleetTierConfig::replicate_hot_after`]). Every
+//!   point's outputs are byte-checked against the single-node run and
+//!   spot-checked against the solo seed oracle.
+//!
+//! [`write_tier_json`] serializes the sweep to the `BENCH_<n>.json`
+//! trajectory schema (`BENCH_9.json` records the tiered-KV PR): spill
+//! must beat drop-on-evict on decomposed tokens, and the drain point
+//! must retain at least half the undrained hit level.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pade_cache::{CacheBudget, CacheConfig, CacheStats, KvCacheManager, TierConfig};
+use pade_quant::BitPlaneMatrix;
+use pade_router::{route, DrainPlan, FleetTierConfig, RoutePolicy, RouterConfig};
+use pade_serve::scheduler::ScheduleMode;
+use pade_serve::server::{serve, ServeConfig};
+use pade_serve::{output_bytes, reference_outputs};
+use pade_workload::prompt::{
+    generate_shared_prefix_arrivals, generate_thrash_arrivals, SharedPrefixConfig, ThrashConfig,
+};
+use pade_workload::trace::RequestArrival;
+
+use crate::prep::{prepare, PreparedRequest};
+
+/// What happens to a budget-evicted sealed chunk in part 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillMode {
+    /// No tier: evicted planes are dropped, revisits re-decompose.
+    Drop,
+    /// In-process spill tier ([`TierConfig::Memory`]).
+    Memory,
+    /// On-disk spill tier ([`TierConfig::Disk`]).
+    Disk,
+}
+
+impl SpillMode {
+    /// Stable label for logs and the JSON trajectory.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpillMode::Drop => "drop",
+            SpillMode::Memory => "spill-mem",
+            SpillMode::Disk => "spill-disk",
+        }
+    }
+}
+
+/// Measured outcome of one spill-mode replay.
+#[derive(Debug, Clone)]
+pub struct TierModeResult {
+    /// The spill mode.
+    pub mode: SpillMode,
+    /// Final manager counters (hits, decompositions, spills, fetches).
+    pub stats: CacheStats,
+    /// Wall-clock seconds of the attach/detach loop (oracle checks
+    /// excluded).
+    pub kv_prep_wall_s: f64,
+    /// Whether every attach materialized byte-identical to the
+    /// from-scratch decomposition (hard-checked; a mismatch panics
+    /// before this is recorded false).
+    pub bit_identical: bool,
+}
+
+/// Measured outcome of one fleet point in part 2.
+#[derive(Debug, Clone)]
+pub struct FleetPointResult {
+    /// `"affinity"`, `"drain"` or `"replicate"`.
+    pub label: &'static str,
+    /// Nodes in the fleet.
+    pub n_nodes: usize,
+    /// Prompt tokens served from resident planes, fleet-wide.
+    pub hit_tokens: u64,
+    /// Prompt tokens re-adopted from spill tiers, fleet-wide.
+    pub fetched_tokens: u64,
+    /// Load-following migrations performed.
+    pub migrations: u64,
+    /// Hot-shard replications performed.
+    pub replications: u64,
+    /// Payload bytes moved between nodes.
+    pub transfer_bytes: u64,
+    /// Modeled interconnect cycles of those transfers.
+    pub transfer_cycles: u64,
+    /// Modeled interconnect energy of those transfers, in pJ.
+    pub transfer_pj: f64,
+    /// Whether every request's outputs matched the single-node run
+    /// byte-for-byte (hard-checked).
+    pub bit_identical: bool,
+}
+
+/// A finished tier sweep.
+#[derive(Debug, Clone)]
+pub struct TierSweep {
+    /// The thrash workload part 1 replayed.
+    pub workload: ThrashConfig,
+    /// Tokens per sealed cache chunk.
+    pub chunk_tokens: usize,
+    /// The plane budget every part-1 mode ran under, in bytes.
+    pub budget_bytes: u64,
+    /// One entry per spill mode.
+    pub modes: Vec<TierModeResult>,
+    /// One entry per (fleet point, node count).
+    pub fleet: Vec<FleetPointResult>,
+}
+
+/// The thrash workload and the tight budget behind part 1: the budget
+/// holds ~1.5 of the pool's prompts, so round-robin revisiting always
+/// needs a chunk the LRU already evicted.
+#[must_use]
+pub fn tier_workload(quick: bool) -> (ThrashConfig, usize, u64) {
+    let (workload, chunk_tokens) = if quick {
+        (
+            ThrashConfig {
+                pool_size: 3,
+                prompt_tokens: 96,
+                visits: 9,
+                decode_steps: 2,
+                seed: 2026,
+                ..ThrashConfig::small_demo()
+            },
+            32,
+        )
+    } else {
+        (
+            ThrashConfig {
+                pool_size: 6,
+                prompt_tokens: 256,
+                visits: 30,
+                decode_steps: 4,
+                seed: 2026,
+                ..ThrashConfig::small_demo()
+            },
+            32,
+        )
+    };
+    // Plane bytes of one full prompt (tokens × bits × ⌈dims/64⌉ words),
+    // budget = 1.5 prompts.
+    let words = workload.head_dim.div_ceil(64) as u64;
+    let prompt_bytes = workload.prompt_tokens as u64 * u64::from(workload.bits) * words * 8;
+    (workload, chunk_tokens, prompt_bytes * 3 / 2)
+}
+
+/// Replays the thrash trace through one manager, oracle-checking every
+/// attach against a from-scratch decomposition of the same key rows.
+fn replay_thrash(
+    requests: &[PreparedRequest],
+    cache_config: CacheConfig,
+    tier: Option<&TierConfig>,
+    dims: usize,
+    bits: u32,
+) -> (CacheStats, f64) {
+    let mut manager = KvCacheManager::new(cache_config).expect("bench cache shape is valid");
+    if let Some(tier) = tier {
+        manager.set_tier(Some(tier.build().expect("bench tier store builds")));
+    }
+    let mut wall = 0.0f64;
+    for req in requests {
+        let start = Instant::now();
+        let attached =
+            manager.attach(req.session, &req.ids, &req.rows).expect("bench prompt rows decompose");
+        wall += start.elapsed().as_secs_f64();
+        // Byte-identity: resident hits, tier fetches and fresh
+        // decomposition must all land on the from-scratch planes.
+        let oracle = BitPlaneMatrix::from_rows(&req.rows, dims, bits).expect("oracle planes");
+        assert!(
+            attached.cache.snapshot().materialize() == oracle,
+            "request {}: attached planes diverged from the from-scratch decomposition",
+            req.id
+        );
+        let start = Instant::now();
+        manager.detach(req.session, Arc::clone(&req.ids), attached.cache, attached.lease);
+        wall += start.elapsed().as_secs_f64();
+    }
+    (*manager.stats(), wall)
+}
+
+/// The spread multi-turn shared-prefix workload behind part 2, with
+/// inter-arrival gaps long enough that turns are served (and hit
+/// counters accrue) between arrivals.
+#[must_use]
+pub fn fleet_workload(quick: bool) -> (SharedPrefixConfig, usize) {
+    let base = SharedPrefixConfig {
+        pool_size: 2,
+        unique_suffix_tokens: 8,
+        turn_suffix_tokens: 8,
+        mean_interarrival_cycles: 50_000.0,
+        turn_gap_cycles: 500_000,
+        seed: 2026,
+        ..SharedPrefixConfig::small_demo()
+    };
+    if quick {
+        (
+            SharedPrefixConfig {
+                n_sessions: 6,
+                turns_per_session: 3,
+                shared_prefix_tokens: 64,
+                decode_steps: 2,
+                ..base
+            },
+            32,
+        )
+    } else {
+        (
+            SharedPrefixConfig {
+                n_sessions: 10,
+                turns_per_session: 3,
+                shared_prefix_tokens: 128,
+                decode_steps: 4,
+                ..base
+            },
+            32,
+        )
+    }
+}
+
+/// Node counts part 2 sweeps. `quick` trims for CI smoke runs.
+#[must_use]
+pub fn fleet_node_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2]
+    } else {
+        vec![2, 4]
+    }
+}
+
+/// Runs one fleet configuration and byte-checks it against the
+/// single-node bytes.
+fn run_fleet_point(
+    label: &'static str,
+    config: &RouterConfig,
+    arrivals: &[RequestArrival],
+    single_bytes: &HashMap<usize, Vec<u8>>,
+) -> FleetPointResult {
+    let report = route(config, arrivals, ScheduleMode::Batched);
+    let completions = report.completions_by_id();
+    assert_eq!(completions.len(), arrivals.len(), "{label} lost requests");
+    for completion in &completions {
+        assert!(
+            completion.output_bytes() == single_bytes[&completion.id],
+            "{label} at {} nodes: request {} diverged from the single-node run",
+            config.nodes.len(),
+            completion.id
+        );
+    }
+    let s = &report.summary;
+    FleetPointResult {
+        label,
+        n_nodes: config.nodes.len(),
+        hit_tokens: s.cache_hit_tokens,
+        fetched_tokens: s.cache_fetched_tokens,
+        migrations: s.migrations,
+        replications: s.replications,
+        transfer_bytes: s.transfer_bytes,
+        transfer_cycles: s.transfer_cycles,
+        transfer_pj: s.transfer_pj,
+        bit_identical: true,
+    }
+}
+
+/// Runs the full tier sweep: the three spill modes over the thrash
+/// workload, then the fleet drain/replication points.
+///
+/// # Panics
+///
+/// Panics on any byte-identity violation, and — the headline claims —
+/// if spill fails to beat drop-on-evict on decomposed tokens, the two
+/// spill backends disagree, no drain migration fires, or the drain
+/// point loses more than half the undrained hit level.
+#[must_use]
+pub fn run_tier_matrix(quick: bool) -> TierSweep {
+    let (workload, chunk_tokens, budget_bytes) = tier_workload(quick);
+    let arrivals = generate_thrash_arrivals(&workload);
+    let requests = prepare(&arrivals, workload.head_dim, workload.bits);
+    let cache_config = CacheConfig::new(workload.head_dim, workload.bits, chunk_tokens)
+        .with_budget(CacheBudget::bytes(budget_bytes));
+
+    let spill_dir = std::env::temp_dir().join(format!("pade_tier_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let mode_configs = [
+        (SpillMode::Drop, None),
+        (SpillMode::Memory, Some(TierConfig::Memory)),
+        (SpillMode::Disk, Some(TierConfig::Disk(spill_dir.clone()))),
+    ];
+    let modes: Vec<TierModeResult> = mode_configs
+        .iter()
+        .map(|(mode, tier)| {
+            let (stats, kv_prep_wall_s) = replay_thrash(
+                &requests,
+                cache_config,
+                tier.as_ref(),
+                workload.head_dim,
+                workload.bits,
+            );
+            TierModeResult { mode: *mode, stats, kv_prep_wall_s, bit_identical: true }
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    let by_mode = |m: SpillMode| modes.iter().find(|r| r.mode == m).expect("every mode ran");
+    let (drop, mem, disk) =
+        (by_mode(SpillMode::Drop), by_mode(SpillMode::Memory), by_mode(SpillMode::Disk));
+    // The headline claim, enforced not just recorded: under thrash the
+    // spill tier re-adopts what drop-on-evict re-decomposes.
+    assert!(mem.stats.spilled_chunks > 0, "the budget must force spills");
+    assert!(mem.stats.fetched_tokens > 0, "revisits must fetch from the tier");
+    assert!(
+        mem.stats.decomposed_tokens < drop.stats.decomposed_tokens,
+        "spill {} vs drop {} decomposed tokens",
+        mem.stats.decomposed_tokens,
+        drop.stats.decomposed_tokens
+    );
+    assert!(mem.stats.hit_tokens > drop.stats.hit_tokens);
+    // The two backends are the same protocol over different media.
+    assert_eq!(mem.stats, disk.stats, "memory and disk spill tiers must agree");
+
+    // Part 2: fleet drain + replication points.
+    let (fleet_cfg, fleet_chunk) = fleet_workload(quick);
+    let fleet_arrivals = generate_shared_prefix_arrivals(&fleet_cfg);
+    let node = ServeConfig { kv_chunk_tokens: fleet_chunk, ..ServeConfig::standard() };
+    let single = serve(&node, &fleet_arrivals, ScheduleMode::Batched);
+    let single_bytes: HashMap<usize, Vec<u8>> =
+        single.completions.iter().map(|c| (c.id, c.output_bytes())).collect();
+    // The single-node baseline itself is pinned to the seed oracle.
+    let oracle_every = (fleet_arrivals.len() / 3).max(1);
+    for spec in fleet_arrivals.iter().step_by(oracle_every) {
+        let oracle = reference_outputs(spec, &node.engine);
+        assert!(
+            single_bytes[&spec.id] == output_bytes(&oracle),
+            "single-node request {} diverged from the seed oracle",
+            spec.id
+        );
+    }
+
+    let mut fleet = Vec::new();
+    for n_nodes in fleet_node_counts(quick) {
+        let base = RouterConfig::homogeneous(node.clone(), n_nodes, RoutePolicy::Affinity);
+        let plain = run_fleet_point("affinity", &base, &fleet_arrivals, &single_bytes);
+
+        // Drain the node the trace warmed first, mid-trace.
+        let hot = route(&base, &fleet_arrivals, ScheduleMode::Batched).decisions[0].node;
+        let drain_cfg = RouterConfig {
+            tier: Some(FleetTierConfig::default()),
+            drain: Some(DrainPlan { node: hot, after_arrivals: fleet_arrivals.len() / 2 }),
+            ..base.clone()
+        };
+        let drain = run_fleet_point("drain", &drain_cfg, &fleet_arrivals, &single_bytes);
+        assert!(drain.migrations >= 1, "{n_nodes} nodes: the drain must migrate the hot shard");
+        assert!(
+            2 * drain.hit_tokens >= plain.hit_tokens,
+            "{n_nodes} nodes: hits collapsed under drain ({} vs {} undrained)",
+            drain.hit_tokens,
+            plain.hit_tokens
+        );
+
+        let replicate_cfg = RouterConfig {
+            tier: Some(FleetTierConfig { replicate_hot_after: 2, ..FleetTierConfig::default() }),
+            ..base
+        };
+        let replicate =
+            run_fleet_point("replicate", &replicate_cfg, &fleet_arrivals, &single_bytes);
+        assert!(
+            replicate.replications >= 1,
+            "{n_nodes} nodes: the shared prefix pool must run hot enough to replicate"
+        );
+        fleet.extend([plain, drain, replicate]);
+    }
+
+    TierSweep { workload, chunk_tokens, budget_bytes, modes, fleet }
+}
+
+/// Serializes a tier sweep to the `BENCH_<n>.json` trajectory schema.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_tier_json(
+    path: &std::path::Path,
+    sweep: &TierSweep,
+    mode: &str,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench_id\": {},", crate::bench_id_from_path(path))?;
+    writeln!(f, "  \"tool\": \"pade-bench\",")?;
+    writeln!(f, "  \"scenario\": \"tier\",")?;
+    writeln!(f, "  \"mode\": \"{mode}\",")?;
+    writeln!(
+        f,
+        "  \"paths\": {{\"drop\": \"budget eviction discards sealed planes\", \"spill\": \
+         \"pade-tier demotes evicted chunks; prefix walks re-adopt by parsing plane words\", \
+         \"fleet\": \"pade-router drain migration and hot-shard replication over chunk \
+         records\"}},"
+    )?;
+    writeln!(
+        f,
+        "  \"workload\": {{\"pool_size\": {}, \"prompt_tokens\": {}, \"visits\": {}, \
+         \"chunk_tokens\": {}, \"budget_bytes\": {}, \"seed\": {}}},",
+        sweep.workload.pool_size,
+        sweep.workload.prompt_tokens,
+        sweep.workload.visits,
+        sweep.chunk_tokens,
+        sweep.budget_bytes,
+        sweep.workload.seed
+    )?;
+    writeln!(f, "  \"modes\": [")?;
+    for (i, m) in sweep.modes.iter().enumerate() {
+        let comma = if i + 1 == sweep.modes.len() { "" } else { "," };
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"mode\": \"{}\",", m.mode.label())?;
+        writeln!(f, "      \"hit_tokens\": {},", m.stats.hit_tokens)?;
+        writeln!(f, "      \"decomposed_tokens\": {},", m.stats.decomposed_tokens)?;
+        writeln!(f, "      \"evicted_chunks\": {},", m.stats.evicted_chunks)?;
+        writeln!(f, "      \"spilled_chunks\": {},", m.stats.spilled_chunks)?;
+        writeln!(f, "      \"spilled_bytes\": {},", m.stats.spilled_bytes)?;
+        writeln!(f, "      \"fetched_chunks\": {},", m.stats.fetched_chunks)?;
+        writeln!(f, "      \"fetched_tokens\": {},", m.stats.fetched_tokens)?;
+        writeln!(f, "      \"kv_prep_wall_s\": {:.6},", m.kv_prep_wall_s)?;
+        writeln!(f, "      \"bit_identical\": {}", m.bit_identical)?;
+        writeln!(f, "    }}{comma}")?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"fleet\": [")?;
+    for (i, p) in sweep.fleet.iter().enumerate() {
+        let comma = if i + 1 == sweep.fleet.len() { "" } else { "," };
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"label\": \"{}\",", p.label)?;
+        writeln!(f, "      \"n_nodes\": {},", p.n_nodes)?;
+        writeln!(f, "      \"hit_tokens\": {},", p.hit_tokens)?;
+        writeln!(f, "      \"fetched_tokens\": {},", p.fetched_tokens)?;
+        writeln!(f, "      \"migrations\": {},", p.migrations)?;
+        writeln!(f, "      \"replications\": {},", p.replications)?;
+        writeln!(f, "      \"transfer_bytes\": {},", p.transfer_bytes)?;
+        writeln!(f, "      \"transfer_cycles\": {},", p.transfer_cycles)?;
+        writeln!(f, "      \"transfer_pj\": {:.1},", p.transfer_pj)?;
+        writeln!(f, "      \"bit_identical\": {}", p.bit_identical)?;
+        writeln!(f, "    }}{comma}")?;
+    }
+    writeln!(f, "  ],")?;
+    let by_mode = |m: SpillMode| sweep.modes.iter().find(|r| r.mode == m).expect("mode ran");
+    let (drop, mem) = (by_mode(SpillMode::Drop), by_mode(SpillMode::Memory));
+    let saved =
+        1.0 - mem.stats.decomposed_tokens as f64 / (drop.stats.decomposed_tokens as f64).max(1.0);
+    let max_nodes = sweep.fleet.iter().map(|p| p.n_nodes).max().unwrap_or(0);
+    let at = |label: &str| sweep.fleet.iter().find(|p| p.n_nodes == max_nodes && p.label == label);
+    let retention = match (at("drain"), at("affinity")) {
+        (Some(d), Some(a)) if a.hit_tokens > 0 => d.hit_tokens as f64 / a.hit_tokens as f64,
+        _ => 0.0,
+    };
+    writeln!(
+        f,
+        "  \"headline\": {{\"drop_decomposed_tokens\": {}, \"spill_decomposed_tokens\": {}, \
+         \"decomposition_saved_frac\": {:.3}, \"spill_fetched_tokens\": {}, \
+         \"drain_hit_retention\": {:.3}, \"bit_identical\": true}}",
+        drop.stats.decomposed_tokens,
+        mem.stats.decomposed_tokens,
+        saved,
+        mem.stats.fetched_tokens,
+        retention
+    )?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_checks_identity_and_spill_dominance() {
+        let sweep = run_tier_matrix(true);
+        assert_eq!(sweep.modes.len(), 3);
+        assert_eq!(sweep.fleet.len(), fleet_node_counts(true).len() * 3);
+        for m in &sweep.modes {
+            assert!(m.bit_identical);
+            assert!(m.kv_prep_wall_s > 0.0);
+            assert!(m.stats.evicted_chunks > 0, "{}: the budget must bite", m.mode.label());
+        }
+        let by = |mode: SpillMode| sweep.modes.iter().find(|r| r.mode == mode).unwrap();
+        // Drop never spills or fetches; the tiers never drop silently.
+        assert_eq!(by(SpillMode::Drop).stats.spilled_chunks, 0);
+        assert_eq!(by(SpillMode::Drop).stats.fetched_tokens, 0);
+        assert!(by(SpillMode::Memory).stats.fetched_tokens > 0);
+        assert_eq!(by(SpillMode::Memory).stats, by(SpillMode::Disk).stats);
+        // Fleet points: the drain retained hits and moved bytes.
+        let drain = sweep.fleet.iter().find(|p| p.label == "drain").unwrap();
+        assert!(drain.migrations >= 1 && drain.transfer_bytes > 0);
+        assert!(drain.transfer_cycles > 0 && drain.transfer_pj > 0.0);
+        let replicate = sweep.fleet.iter().find(|p| p.label == "replicate").unwrap();
+        assert!(replicate.replications >= 1);
+    }
+
+    #[test]
+    fn tier_json_is_well_formed_enough() {
+        let sweep = run_tier_matrix(true);
+        let path = std::env::temp_dir().join("pade_tier_bench_test.json");
+        write_tier_json(&path, &sweep, "quick").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"scenario\": \"tier\""));
+        assert_eq!(text.matches("\"mode\": \"spill-").count(), 2);
+        assert!(text.contains("\"drain_hit_retention\""));
+        assert!(text.contains("\"decomposition_saved_frac\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn full_workload_thrashes_harder_than_quick() {
+        let (quick, _, quick_budget) = tier_workload(true);
+        let (full, _, full_budget) = tier_workload(false);
+        assert!(full.pool_size > quick.pool_size);
+        assert!(full.visits > quick.visits);
+        // Both budgets hold strictly less than the pool footprint.
+        let words = full.head_dim.div_ceil(64) as u64;
+        let full_pool =
+            full.pool_size as u64 * full.prompt_tokens as u64 * u64::from(full.bits) * words * 8;
+        assert!(full_budget < full_pool);
+        assert!(quick_budget < full_pool);
+        assert_eq!(fleet_node_counts(false), vec![2, 4]);
+    }
+}

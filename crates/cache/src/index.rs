@@ -68,6 +68,10 @@ pub(crate) struct Resolved {
     pub(crate) chunks: Vec<Arc<BitPlaneMatrix>>,
 }
 
+/// What [`PrefixIndex::remove`] hands back for one evicted chunk:
+/// `(parent key, token ids, planes)`.
+pub(crate) type RemovedChunk = (Option<u128>, Box<[u32]>, Arc<BitPlaneMatrix>);
+
 /// The shared prefix index over sealed plane chunks.
 #[derive(Debug, Default)]
 pub struct PrefixIndex {
@@ -129,6 +133,14 @@ impl PrefixIndex {
     /// eviction clock (probing must never change what gets evicted).
     #[must_use]
     pub fn peek_hit_chunks(&self, ids: &[u32], chunk_tokens: usize) -> usize {
+        self.peek_hit_walk(ids, chunk_tokens).0
+    }
+
+    /// The read-only walk behind [`peek_hit_chunks`](Self::peek_hit_chunks),
+    /// also returning the last matched node key — the parent from which a
+    /// spill-tier probe continues the path-dependent key chain past the
+    /// resident prefix.
+    pub(crate) fn peek_hit_walk(&self, ids: &[u32], chunk_tokens: usize) -> (usize, Option<u128>) {
         let mut parent = None;
         let mut matched = 0usize;
         for chunk in ids.chunks_exact(chunk_tokens.max(1)) {
@@ -141,7 +153,22 @@ impl PrefixIndex {
                 _ => break,
             }
         }
-        matched
+        (matched, parent)
+    }
+
+    /// Whether a node with `key` is resident (no id validation — callers
+    /// pairing this with a later lookup re-validate there).
+    pub(crate) fn contains_key(&self, key: u128) -> bool {
+        self.nodes.contains_key(&key)
+    }
+
+    /// Borrows one resident node's `(parent, ids, planes)` without any
+    /// LRU touch — the read-only building block of shard-record export.
+    pub(crate) fn peek_node(
+        &self,
+        key: u128,
+    ) -> Option<(Option<u128>, &[u32], &Arc<BitPlaneMatrix>)> {
+        self.nodes.get(&key).map(|n| (n.parent, &*n.ids, &n.planes))
     }
 
     /// Inserts a sealed chunk under `parent`, returning its key, the
@@ -219,10 +246,12 @@ impl PrefixIndex {
             .map(|(&k, _)| k)
     }
 
-    /// Removes a node, returning its planes (for the caller's residency
-    /// accounting). The parent's resident-child count is decremented so
-    /// it becomes evictable once its own leases drain.
-    pub(crate) fn remove(&mut self, key: u128) -> Option<Arc<BitPlaneMatrix>> {
+    /// Removes a node, returning its `(parent, ids, planes)` — the planes
+    /// for the caller's residency accounting, the parent and ids so a
+    /// spill tier can keep the full chunk record instead of dropping it.
+    /// The parent's resident-child count is decremented so it becomes
+    /// evictable once its own leases drain.
+    pub(crate) fn remove(&mut self, key: u128) -> Option<RemovedChunk> {
         let node = self.nodes.remove(&key)?;
         debug_assert_eq!(node.refs, 0, "evicting a leased chunk");
         debug_assert_eq!(node.children, 0, "evicting a chunk with resident children");
@@ -231,7 +260,7 @@ impl PrefixIndex {
                 parent_node.children = parent_node.children.saturating_sub(1);
             }
         }
-        Some(node.planes)
+        Some((node.parent, node.ids, node.planes))
     }
 
     /// Iterates the resident chunks' `Arc` allocations (for the slow

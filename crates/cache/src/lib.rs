@@ -33,6 +33,14 @@
 //!   leading chunks, folded with the same path-dependent key the index
 //!   addresses its nodes with; a multi-node router uses it to send
 //!   requests that would share chunks to the node that holds them.
+//! * **Spill tier** — an optional [`pade_tier::TierStore`] installed via
+//!   [`set_tier`](KvCacheManager::set_tier): budget-evicted sealed chunks
+//!   are demoted into it instead of dropped, the attach prefix walk
+//!   fetches them back (pure word parsing, no decomposition) and
+//!   [`export_prefix_path`](KvCacheManager::export_prefix_path)/
+//!   [`import_chunk_records`](KvCacheManager::import_chunk_records) move
+//!   content-addressed chunk records between managers — the building
+//!   blocks of peer shard fetch, replication and migration.
 //!
 //! Two invariants make the manager safe to put on the serving path:
 //!
@@ -75,4 +83,7 @@ mod store;
 pub use budget::CacheBudget;
 pub use index::{prefix_shard_key, PrefixIndex};
 pub use manager::{Attached, CacheConfig, CacheLease, CacheStats, KvCacheManager};
+// Downstream crates configure and inspect the spill tier through the
+// manager, so its vocabulary types ship from here too.
+pub use pade_tier::{ChunkRecord, TierConfig, TierStore};
 pub use store::SessionStore;

@@ -7,10 +7,11 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use pade_quant::{BitPlaneMatrix, GrowableKeyCache, QuantError};
+use pade_tier::{ChunkRecord, TierStore};
 use pade_trace::{Cycle, Tracer};
 
 use crate::budget::CacheBudget;
-use crate::index::PrefixIndex;
+use crate::index::{chunk_key, PrefixIndex};
 use crate::store::SessionStore;
 
 /// Shape and budget of one [`KvCacheManager`].
@@ -71,6 +72,19 @@ pub struct CacheStats {
     pub evicted_sessions: u64,
     /// Resident bytes actually freed by eviction.
     pub evicted_bytes: u64,
+    /// Evicted index chunks demoted to the spill tier instead of dropped
+    /// (always `<= evicted_chunks`; the difference was dropped for real —
+    /// no tier configured, or the tier's `put` failed).
+    pub spilled_chunks: u64,
+    /// Plane-word payload bytes written to the spill tier.
+    pub spilled_bytes: u64,
+    /// Chunks re-adopted from the spill tier at attach instead of being
+    /// re-decomposed.
+    pub fetched_chunks: u64,
+    /// Prompt tokens covered by tier-fetched chunks (a subset of
+    /// [`hit_tokens`](Self::hit_tokens) — fetched tokens skip
+    /// decomposition just like resident hits).
+    pub fetched_tokens: u64,
 }
 
 impl CacheStats {
@@ -120,6 +134,10 @@ pub struct Attached {
     pub hit_tokens: usize,
     /// Prompt tokens decomposed by this attach.
     pub decomposed_tokens: usize,
+    /// Tokens of [`hit_tokens`](Self::hit_tokens) that were re-adopted
+    /// from the spill tier (fetched, parsed from plane words, republished
+    /// to the index) rather than found resident.
+    pub fetched_tokens: usize,
     /// Whether the attach resumed the session's stored cache instead of
     /// walking the shared index.
     pub resumed_session: bool,
@@ -195,6 +213,11 @@ pub struct KvCacheManager {
     pub(crate) residency: Residency,
     pub(crate) stats: CacheStats,
     pub(crate) tick: u64,
+    /// The spill tier: evicted sealed index chunks are demoted here
+    /// instead of dropped, and the attach prefix walk fetches from here
+    /// before re-decomposing. `None` (the default) preserves PR-5
+    /// drop-on-evict behavior exactly.
+    tier: Option<Box<dyn TierStore>>,
     /// Telemetry hookup: `(tracer, track)`. The manager's logical clock
     /// is its attach/detach tick, so equal request sequences replay as
     /// identical event streams. A pure side channel — hit, eviction and
@@ -219,8 +242,24 @@ impl KvCacheManager {
             residency: Residency::default(),
             stats: CacheStats::default(),
             tick: 0,
+            tier: None,
             trace: None,
         })
+    }
+
+    /// Installs (or replaces) the spill tier. Evictions from now on
+    /// demote sealed index chunks into it, and attaches fetch from it
+    /// before re-decomposing. Pass `None` to restore drop-on-evict.
+    /// Outputs are invariant either way — the tier only changes *where*
+    /// byte-identical planes come from.
+    pub fn set_tier(&mut self, tier: Option<Box<dyn TierStore>>) {
+        self.tier = tier;
+    }
+
+    /// The installed spill tier, if any.
+    #[must_use]
+    pub fn tier(&self) -> Option<&dyn TierStore> {
+        self.tier.as_deref()
     }
 
     /// Binds this manager's telemetry to `track` of `tracer`. Attaches,
@@ -340,12 +379,13 @@ impl KvCacheManager {
             self.stats.decomposed_tokens =
                 self.stats.decomposed_tokens.saturating_add((ids.len() - covered) as u64);
             self.evict_to_budget();
-            self.trace_attach(attach_wall, covered, ids.len() - covered, true);
+            self.trace_attach(attach_wall, covered, ids.len() - covered, 0, true);
             return Ok(Attached {
                 cache,
                 lease: CacheLease { path: resolved.path },
                 hit_tokens: covered,
                 decomposed_tokens: ids.len() - covered,
+                fetched_tokens: 0,
                 resumed_session: true,
             });
         }
@@ -355,13 +395,50 @@ impl KvCacheManager {
         let resolved = self.index.resolve(ids, chunk_tokens, self.tick);
         let mut path = resolved.path;
         let mut sealed = resolved.chunks;
-        let hit_tokens = sealed.len() * chunk_tokens;
+        let resident_hit_chunks = sealed.len();
         let mut parent = path.last().copied();
         let full_chunks = ids.len() / chunk_tokens;
         let mut indexable = true;
+        let mut fetched_chunks = 0usize;
         for c in sealed.len()..full_chunks {
             let lo = c * chunk_tokens;
             let hi = lo + chunk_tokens;
+            // Before paying decomposition, try the spill tier: a chunk
+            // evicted earlier (or imported from a peer) whose recorded
+            // ids and parent match this exact prefix position carries the
+            // byte-identical planes — re-adopt and republish them. Only
+            // while the path is still indexable: a private chunk cannot
+            // be republished, and a fetch that stays private would be
+            // pure I/O waste over an equal-cost parse.
+            if indexable {
+                if let Some(tier) = &self.tier {
+                    let key = chunk_key(parent, &ids[lo..hi]);
+                    let rec = tier.get(key).ok().flatten().filter(|rec| {
+                        rec.parent == parent
+                            && *rec.ids == ids[lo..hi]
+                            && rec.planes.tokens() == chunk_tokens
+                            && rec.planes.dims() == dims
+                            && rec.planes.bits() == self.config.bits
+                    });
+                    if let Some(rec) = rec {
+                        if let Some((key, resident, created)) =
+                            self.index.insert(parent, &ids[lo..hi], rec.planes, self.tick)
+                        {
+                            if created {
+                                self.residency.track_chunk(&resident);
+                                self.stats.inserted_chunks =
+                                    self.stats.inserted_chunks.saturating_add(1);
+                            }
+                            path.push(key);
+                            parent = Some(key);
+                            sealed.push(resident);
+                            fetched_chunks += 1;
+                            continue;
+                        }
+                        indexable = false;
+                    }
+                }
+            }
             let planes = Arc::new(BitPlaneMatrix::from_rows(
                 &rows[lo * dims..hi * dims],
                 dims,
@@ -390,18 +467,26 @@ impl KvCacheManager {
         let mut cache =
             GrowableKeyCache::from_chunks(sealed, dims, self.config.bits, chunk_tokens)?;
         cache.append_rows(&rows[full_chunks * chunk_tokens * dims..])?;
+        // Fetched chunks skipped decomposition exactly like resident
+        // hits, so they count into hit_tokens — and into their own
+        // subset counters so the tier's contribution stays visible.
+        let fetched_tokens = fetched_chunks * chunk_tokens;
+        let hit_tokens = resident_hit_chunks * chunk_tokens + fetched_tokens;
         let decomposed_tokens = ids.len() - hit_tokens;
         self.index.acquire(&path);
         self.stats.hit_tokens = self.stats.hit_tokens.saturating_add(hit_tokens as u64);
         self.stats.decomposed_tokens =
             self.stats.decomposed_tokens.saturating_add(decomposed_tokens as u64);
+        self.stats.fetched_chunks = self.stats.fetched_chunks.saturating_add(fetched_chunks as u64);
+        self.stats.fetched_tokens = self.stats.fetched_tokens.saturating_add(fetched_tokens as u64);
         self.evict_to_budget();
-        self.trace_attach(attach_wall, hit_tokens, decomposed_tokens, false);
+        self.trace_attach(attach_wall, hit_tokens, decomposed_tokens, fetched_tokens, false);
         Ok(Attached {
             cache,
             lease: CacheLease { path },
             hit_tokens,
             decomposed_tokens,
+            fetched_tokens,
             resumed_session: false,
         })
     }
@@ -413,6 +498,7 @@ impl KvCacheManager {
         wall: Option<std::time::Instant>,
         hit_tokens: usize,
         decomposed_tokens: usize,
+        fetched_tokens: usize,
         resumed: bool,
     ) {
         if let (Some((tracer, track)), Some(t0)) = (&self.trace, wall) {
@@ -426,6 +512,10 @@ impl KvCacheManager {
             }
             if decomposed_tokens > 0 {
                 tracer.instant(*track, "cache.suffix_decompose", clock);
+            }
+            if fetched_tokens > 0 {
+                tracer.instant(*track, "cache.tier_fetch", clock);
+                tracer.count(*track, "cache.fetched_tokens", clock, fetched_tokens as u64);
             }
             tracer.count(*track, "cache.hit_tokens", clock, hit_tokens as u64);
             tracer.count(*track, "cache.decomposed_tokens", clock, decomposed_tokens as u64);
@@ -445,7 +535,114 @@ impl KvCacheManager {
         if covered > 0 {
             return covered;
         }
-        self.index.peek_hit_chunks(ids, self.config.chunk_tokens) * self.config.chunk_tokens
+        let chunk_tokens = self.config.chunk_tokens;
+        let (resident, mut parent) = self.index.peek_hit_walk(ids, chunk_tokens);
+        let mut chunks = resident;
+        // Spilled-but-fetchable chunks extend the prediction: an attach
+        // would re-adopt them from the tier without decomposing, so an
+        // admission scheduler must see them as hits, not misses.
+        if let Some(tier) = &self.tier {
+            let full_chunks = ids.len() / chunk_tokens;
+            for c in resident..full_chunks {
+                let lo = c * chunk_tokens;
+                let key = chunk_key(parent, &ids[lo..lo + chunk_tokens]);
+                if !tier.contains(key) {
+                    break;
+                }
+                chunks += 1;
+                parent = Some(key);
+            }
+        }
+        chunks * chunk_tokens
+    }
+
+    /// Exports the chunk records covering the longest chunk-aligned
+    /// prefix of `ids` this manager can produce — resident index chunks
+    /// by `Arc` (no copy), spilled chunks fetched from the tier — in
+    /// root-to-leaf order, at most `max_chunks` of them. The building
+    /// block of peer shard fetch and shard migration: every record is
+    /// content-addressed, so an importer re-validates each key before
+    /// adopting anything. Read-only — no LRU touch, no stats.
+    #[must_use]
+    pub fn export_prefix_path(&self, ids: &[u32], max_chunks: usize) -> Vec<ChunkRecord> {
+        let chunk_tokens = self.config.chunk_tokens;
+        let mut out = Vec::new();
+        let mut parent = None;
+        for chunk in ids.chunks_exact(chunk_tokens) {
+            if out.len() >= max_chunks {
+                break;
+            }
+            let key = chunk_key(parent, chunk);
+            match self.index.peek_node(key) {
+                Some((p, node_ids, planes)) if p == parent && node_ids == chunk => {
+                    out.push(ChunkRecord {
+                        key,
+                        parent,
+                        ids: chunk.into(),
+                        planes: Arc::clone(planes),
+                    });
+                    parent = Some(key);
+                    continue;
+                }
+                // A resident node under this key with different content
+                // is a hash collision: the chain is unservable past it.
+                Some(_) => break,
+                None => {}
+            }
+            let spilled = self
+                .tier
+                .as_ref()
+                .and_then(|tier| tier.get(key).ok().flatten())
+                .filter(|rec| rec.parent == parent && *rec.ids == *chunk);
+            match spilled {
+                Some(rec) => {
+                    out.push(rec);
+                    parent = Some(key);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Adopts peer-exported chunk records into the shared index. Each
+    /// record is validated against its content address — the recomputed
+    /// `chunk_key(parent, ids)` must equal the recorded key, the planes
+    /// must match this manager's shape, and the parent must already be
+    /// resident (records arrive root-to-leaf, so a broken chain stops
+    /// adopting at the break). Returns how many records were newly
+    /// adopted; invalid, orphaned or already-resident records are
+    /// skipped. The budget is enforced once at the end.
+    pub fn import_chunk_records(&mut self, records: &[ChunkRecord]) -> usize {
+        self.tick += 1;
+        let mut imported = 0usize;
+        for rec in records {
+            if rec.ids.is_empty()
+                || rec.ids.len() != self.config.chunk_tokens
+                || rec.planes.tokens() != self.config.chunk_tokens
+                || rec.planes.dims() != self.config.dims
+                || rec.planes.bits() != self.config.bits
+                || chunk_key(rec.parent, &rec.ids) != rec.key
+            {
+                continue;
+            }
+            if let Some(parent) = rec.parent {
+                if !self.index.contains_key(parent) {
+                    continue;
+                }
+            }
+            if let Some((_, resident, created)) =
+                self.index.insert(rec.parent, &rec.ids, Arc::clone(&rec.planes), self.tick)
+            {
+                if created {
+                    self.residency.track_chunk(&resident);
+                    self.stats.inserted_chunks = self.stats.inserted_chunks.saturating_add(1);
+                    imported += 1;
+                }
+            }
+        }
+        self.evict_to_budget();
+        imported
     }
 
     /// Surrenders a finished request's lease and stores its grown cache
@@ -510,6 +707,7 @@ impl KvCacheManager {
         let evict_wall = self.trace.is_some().then(std::time::Instant::now);
         let bytes_before = self.residency.total;
         let max = self.config.budget.max_bytes();
+        let mut spilled_this_pass = 0u64;
         while self.residency.total > max {
             let before = self.residency.total;
             if let Some(session) = self.store.lru_session() {
@@ -518,8 +716,27 @@ impl KvCacheManager {
                 }
                 self.stats.evicted_sessions = self.stats.evicted_sessions.saturating_add(1);
             } else if let Some(key) = self.index.lru_evictable() {
-                if let Some(chunk) = self.index.remove(key) {
-                    self.residency.untrack_chunk(&chunk);
+                if let Some((parent, ids, planes)) = self.index.remove(key) {
+                    // Demote to the spill tier before surrendering the
+                    // planes: a later prefix hit fetches them back
+                    // byte-identical instead of re-decomposing. An I/O
+                    // failure degrades to PR-5 drop-on-evict — the
+                    // budget must drain either way.
+                    if let Some(tier) = &mut self.tier {
+                        let record = ChunkRecord {
+                            key,
+                            parent,
+                            ids: ids.into(),
+                            planes: Arc::clone(&planes),
+                        };
+                        if tier.put(&record).is_ok() {
+                            self.stats.spilled_chunks = self.stats.spilled_chunks.saturating_add(1);
+                            self.stats.spilled_bytes =
+                                self.stats.spilled_bytes.saturating_add(record.plane_bytes());
+                            spilled_this_pass += 1;
+                        }
+                    }
+                    self.residency.untrack_chunk(&planes);
                 }
                 self.stats.evicted_chunks = self.stats.evicted_chunks.saturating_add(1);
             } else {
@@ -537,6 +754,10 @@ impl KvCacheManager {
                 let clock = Cycle(self.tick);
                 tracer.span_at(*track, "cache.evict", clock, clock, t0.elapsed().as_nanos() as u64);
                 tracer.count(*track, "cache.evicted_bytes", clock, freed);
+                if spilled_this_pass > 0 {
+                    tracer.instant(*track, "cache.tier_spill", clock);
+                    tracer.count(*track, "cache.spilled_chunks", clock, spilled_this_pass);
+                }
             }
         }
     }
@@ -736,6 +957,115 @@ mod tests {
         let c = m.attach(1, &turn2, &rows_for(&turn2, 8)).unwrap();
         assert!(c.resumed_session);
         assert_eq!(c.hit_tokens, 10);
+    }
+
+    #[test]
+    fn evicted_chunks_spill_and_fetch_back_byte_identical() {
+        let mut m =
+            KvCacheManager::new(CacheConfig::new(8, 8, 4).with_budget(CacheBudget::bytes(0)))
+                .unwrap();
+        m.set_tier(Some(pade_tier::TierConfig::Memory.build().unwrap()));
+        let p = ids(8, 51);
+        let rows = rows_for(&p, 8);
+        let a = m.attach(1, &p, &rows).unwrap();
+        m.release(a.lease);
+        // Budget zero drains the index, but the tier caught both chunks.
+        assert_eq!(m.resident_chunks(), 0);
+        assert_eq!(m.stats().spilled_chunks, 2);
+        assert!(m.stats().spilled_bytes > 0);
+        assert_eq!(m.tier().unwrap().len(), 2);
+
+        // The re-attach re-adopts the spilled planes instead of
+        // decomposing: all 8 prompt tokens are hits, all of them fetched.
+        let b = m.attach(2, &p, &rows).unwrap();
+        assert_eq!((b.hit_tokens, b.decomposed_tokens, b.fetched_tokens), (8, 0, 8));
+        assert_eq!(m.stats().fetched_chunks, 2);
+        assert_eq!(m.stats().fetched_tokens, 8);
+        let scratch = BitPlaneMatrix::from_rows(&rows, 8, 8).unwrap();
+        assert_eq!(b.cache.snapshot().materialize(), scratch, "fetched planes byte-identical");
+    }
+
+    #[test]
+    fn probe_counts_spilled_but_fetchable_chunks() {
+        let mut m =
+            KvCacheManager::new(CacheConfig::new(8, 8, 4).with_budget(CacheBudget::bytes(0)))
+                .unwrap();
+        m.set_tier(Some(pade_tier::TierConfig::Memory.build().unwrap()));
+        let p = ids(12, 53);
+        let a = m.attach(1, &p, &rows_for(&p, 8)).unwrap();
+        m.release(a.lease);
+        assert_eq!(m.resident_chunks(), 0);
+        // Nothing is resident, yet an attach would fetch all 3 chunks —
+        // the probe must predict exactly that, without mutating anything.
+        let before_stats = *m.stats();
+        assert_eq!(m.predicted_hit_tokens(2, &p), 12);
+        assert_eq!(*m.stats(), before_stats);
+        let b = m.attach(2, &p, &rows_for(&p, 8)).unwrap();
+        assert_eq!(b.hit_tokens, 12);
+    }
+
+    #[test]
+    fn export_import_moves_a_prefix_between_managers() {
+        let mut a = manager(4);
+        let p = ids(12, 57);
+        let rows = rows_for(&p, 8);
+        let att = a.attach(1, &p, &rows).unwrap();
+        a.release(att.lease);
+        let records = a.export_prefix_path(&p, usize::MAX);
+        assert_eq!(records.len(), 3);
+
+        let mut b = manager(4);
+        assert_eq!(b.import_chunk_records(&records), 3);
+        assert_eq!(b.resident_chunks(), 3);
+        // Importing again is a no-op (already resident).
+        assert_eq!(b.import_chunk_records(&records), 0);
+        // The importer serves the prefix without decomposing it, and the
+        // planes are literally the exporter's allocations.
+        let att_b = b.attach(9, &p, &rows).unwrap();
+        assert_eq!((att_b.hit_tokens, att_b.decomposed_tokens), (12, 0));
+        let scratch = BitPlaneMatrix::from_rows(&rows, 8, 8).unwrap();
+        assert_eq!(att_b.cache.snapshot().materialize(), scratch);
+    }
+
+    #[test]
+    fn import_rejects_tampered_and_orphaned_records() {
+        let mut a = manager(4);
+        let p = ids(8, 61);
+        let att = a.attach(1, &p, &rows_for(&p, 8)).unwrap();
+        a.release(att.lease);
+        let records = a.export_prefix_path(&p, usize::MAX);
+        assert_eq!(records.len(), 2);
+
+        // A tampered key fails the content-address check.
+        let mut tampered = records.clone();
+        tampered[0].key ^= 1;
+        let mut b = manager(4);
+        // Record 0 is rejected; record 1's parent is then absent.
+        assert_eq!(b.import_chunk_records(&tampered), 0);
+        assert_eq!(b.resident_chunks(), 0);
+
+        // The leaf alone is an orphan: its parent is not resident.
+        let mut c = manager(4);
+        assert_eq!(c.import_chunk_records(&records[1..]), 0);
+        // Root-to-leaf order adopts both.
+        assert_eq!(c.import_chunk_records(&records), 2);
+    }
+
+    #[test]
+    fn export_continues_through_the_spill_tier() {
+        let mut m =
+            KvCacheManager::new(CacheConfig::new(8, 8, 4).with_budget(CacheBudget::bytes(0)))
+                .unwrap();
+        m.set_tier(Some(pade_tier::TierConfig::Memory.build().unwrap()));
+        let p = ids(8, 63);
+        let att = m.attach(1, &p, &rows_for(&p, 8)).unwrap();
+        m.release(att.lease);
+        assert_eq!(m.resident_chunks(), 0);
+        // Both chunks live only in the tier; export still walks them.
+        let records = m.export_prefix_path(&p, usize::MAX);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].parent, None);
+        assert_eq!(records[1].parent, Some(records[0].key));
     }
 
     #[test]

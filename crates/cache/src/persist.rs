@@ -9,9 +9,17 @@
 //! index chunk in parent-before-child order and every stored session.
 //! [`KvCacheManager::load_from`] replays the image through the ordinary
 //! insert/resolve machinery, so restored planes are **byte-identical** to
-//! the saved ones (decomposition is deterministic) and restored sessions
-//! re-adopt shared index chunks by `Arc` exactly as a live attach would —
-//! no double billing, same dedup.
+//! the saved ones and restored sessions re-adopt shared index chunks by
+//! `Arc` exactly as a live attach would — no double billing, same dedup.
+//!
+//! Format VERSION 2 records every sealed chunk as **packed plane words**
+//! through [`pade_tier::wire`] — the same chunk-granular encoding the
+//! spill tier uses — so the loader re-adopts decomposed state by parsing
+//! `⌈dims/64⌉` words per plane instead of re-running decomposition; only
+//! a session's short open tail is still stored as derivation-input rows.
+//! VERSION 1 images (rows everywhere) remain loadable: the V1 replay
+//! path re-decomposes them, which is deterministic and lands on the same
+//! bytes.
 //!
 //! What is deliberately *not* persisted: leases (transient claims of live
 //! sessions — a saved manager must be quiescent), running [`CacheStats`]
@@ -28,13 +36,17 @@ use std::path::Path;
 use std::sync::Arc;
 
 use pade_quant::{BitPlaneMatrix, GrowableKeyCache};
+use pade_tier::wire;
 
 use crate::manager::{CacheConfig, KvCacheManager};
 
 /// File magic: `PADEKVC` + a format byte.
 const MAGIC: [u8; 8] = *b"PADEKVC\x01";
-/// Format version; bump on any layout change.
-const VERSION: u32 = 1;
+/// Current format version; bump on any layout change. The loader also
+/// accepts every older version it knows how to replay.
+const VERSION: u32 = 2;
+/// Oldest version [`KvCacheManager::load_from`] still replays.
+const OLDEST_SUPPORTED_VERSION: u32 = 1;
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -167,17 +179,26 @@ impl KvCacheManager {
             write_u32(&mut w, parent_pos)?;
             write_u128(&mut w, node.key)?;
             write_ids(&mut w, node.ids)?;
-            write_rows(&mut w, &chunk_rows(node.planes))?;
+            wire::write_shared_planes(&mut w, node.planes)?;
         }
 
-        // Stored sessions, ascending session id.
+        // Stored sessions, ascending session id: sealed chunks as plane
+        // words, the open tail (always shorter than one chunk) as rows.
         let sessions = self.store.export_sessions();
         write_u32(&mut w, u32::try_from(sessions.len()).map_err(|_| invalid("session count"))?)?;
         for (session, ids, cache) in sessions {
             write_u64(&mut w, session)?;
             write_u32(&mut w, u32::try_from(ids.len()).map_err(|_| invalid("covered"))?)?;
             write_ids(&mut w, ids)?;
-            write_rows(&mut w, &chunk_rows(&cache.snapshot().materialize()))?;
+            let sealed = cache.sealed_chunks();
+            write_u32(&mut w, u32::try_from(sealed.len()).map_err(|_| invalid("sealed count"))?)?;
+            for chunk in sealed {
+                wire::write_shared_planes(&mut w, chunk)?;
+            }
+            if cache.tail_tokens() > 0 {
+                let snap = cache.snapshot();
+                write_rows(&mut w, &chunk_rows(snap.chunk(sealed.len())))?;
+            }
         }
         w.flush()
     }
@@ -207,7 +228,7 @@ impl KvCacheManager {
             return Err(invalid("not a PADE KV cache image"));
         }
         let version = read_u32(&mut r)?;
-        if version != VERSION {
+        if !(OLDEST_SUPPORTED_VERSION..=VERSION).contains(&version) {
             return Err(invalid(format!("unsupported cache image version {version}")));
         }
         let dims = read_u32(&mut r)? as usize;
@@ -233,16 +254,26 @@ impl KvCacheManager {
             let parent_pos = read_u32(&mut r)?;
             let recorded_key = read_u128(&mut r)?;
             let ids = read_ids(&mut r, chunk_tokens)?;
-            let rows = read_rows(&mut r, chunk_tokens * dims)?;
             let parent = match parent_pos {
                 u32::MAX => None,
                 p if (p as usize) < pos => Some(keys[p as usize]),
                 _ => return Err(invalid("cache image chunk references a later parent")),
             };
-            let planes = Arc::new(
-                BitPlaneMatrix::from_rows(&rows, dims, bits)
-                    .map_err(|e| invalid(format!("cache image rows do not decompose: {e}")))?,
-            );
+            let planes = if version >= 2 {
+                // V2: parse packed plane words straight back — no
+                // decomposition on the warm-start path.
+                let parsed = wire::read_planes(&mut r, dims, bits)?;
+                if parsed.tokens() != chunk_tokens {
+                    return Err(invalid("cache image chunk has a wrong token count"));
+                }
+                Arc::new(parsed)
+            } else {
+                let rows = read_rows(&mut r, chunk_tokens * dims)?;
+                Arc::new(
+                    BitPlaneMatrix::from_rows(&rows, dims, bits)
+                        .map_err(|e| invalid(format!("cache image rows do not decompose: {e}")))?,
+                )
+            };
             manager.tick += 1;
             let (key, resident, created) = manager
                 .index
@@ -263,16 +294,55 @@ impl KvCacheManager {
             let session = read_u64(&mut r)?;
             let covered = read_u32(&mut r)? as usize;
             let ids = read_ids(&mut r, covered)?;
-            let rows = read_rows(&mut r, covered * dims)?;
             manager.tick += 1;
-            let resolved = manager.index.resolve(&ids, chunk_tokens, manager.tick);
-            let shared_tokens = resolved.chunks.len() * chunk_tokens;
-            let mut cache =
-                GrowableKeyCache::from_chunks(resolved.chunks, dims, bits, chunk_tokens)
+            let cache = if version >= 2 {
+                // V2: sealed chunks are parsed from plane words; the ones
+                // the restored index also holds are adopted by `Arc` (the
+                // parsed copy must agree — it is the dedup's witness),
+                // the rest stay private to the session. Only the short
+                // open tail is re-decomposed from rows.
+                let n_sealed = read_u32(&mut r)? as usize;
+                if n_sealed * chunk_tokens > covered {
+                    return Err(invalid("cache image session seals more than it covers"));
+                }
+                let resolved = manager.index.resolve(&ids, chunk_tokens, manager.tick);
+                let mut sealed = Vec::with_capacity(n_sealed.min(4096));
+                for c in 0..n_sealed {
+                    let parsed = wire::read_planes(&mut r, dims, bits)?;
+                    if parsed.tokens() != chunk_tokens {
+                        return Err(invalid("cache image session chunk has a wrong token count"));
+                    }
+                    match resolved.chunks.get(c) {
+                        Some(shared) if **shared == parsed => sealed.push(Arc::clone(shared)),
+                        Some(_) => {
+                            return Err(invalid(
+                                "cache image session chunk diverges from the index",
+                            ))
+                        }
+                        None => sealed.push(Arc::new(parsed)),
+                    }
+                }
+                let tail_rows = read_rows(&mut r, (covered - n_sealed * chunk_tokens) * dims)?;
+                let mut cache = GrowableKeyCache::from_chunks(sealed, dims, bits, chunk_tokens)
                     .map_err(|e| invalid(format!("cache image session chunks malformed: {e}")))?;
-            cache
-                .append_rows(&rows[shared_tokens * dims..])
-                .map_err(|e| invalid(format!("cache image session rows do not decompose: {e}")))?;
+                cache.append_rows(&tail_rows).map_err(|e| {
+                    invalid(format!("cache image session tail does not decompose: {e}"))
+                })?;
+                cache
+            } else {
+                let rows = read_rows(&mut r, covered * dims)?;
+                let resolved = manager.index.resolve(&ids, chunk_tokens, manager.tick);
+                let shared_tokens = resolved.chunks.len() * chunk_tokens;
+                let mut cache =
+                    GrowableKeyCache::from_chunks(resolved.chunks, dims, bits, chunk_tokens)
+                        .map_err(|e| {
+                            invalid(format!("cache image session chunks malformed: {e}"))
+                        })?;
+                cache.append_rows(&rows[shared_tokens * dims..]).map_err(|e| {
+                    invalid(format!("cache image session rows do not decompose: {e}"))
+                })?;
+                cache
+            };
             manager.residency.track_cache(&cache);
             if manager.store.insert(session, ids.into(), cache, manager.tick).is_some() {
                 return Err(invalid("cache image stores a session twice"));
@@ -396,6 +466,54 @@ mod tests {
         std::fs::write(&path, b"NOTACACHE").unwrap();
         let err = KvCacheManager::load_from(&path, *m.config()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_1_images_still_load() {
+        // A VERSION-1 image hand-assembled byte-by-byte — one root index
+        // chunk plus one stored session (that chunk and a 2-token tail),
+        // derivation-input rows everywhere, exactly as the V1 writer laid
+        // them out. The V2 loader must replay it: re-decompose the rows,
+        // re-chain the chunk, Arc-share it into the session.
+        let (dims, bits, ct) = (8usize, 8u32, 4usize);
+        let chunk_ids = ids(ct, 71);
+        let mut session_ids = chunk_ids.clone();
+        session_ids.extend(ids(2, 72));
+        let session_rows = rows_for(&session_ids, dims);
+        let key = crate::index::chunk_key(None, &chunk_ids);
+
+        let mut img = Vec::new();
+        img.extend_from_slice(&MAGIC);
+        write_u32(&mut img, 1).unwrap(); // VERSION 1
+        write_u32(&mut img, dims as u32).unwrap();
+        write_u32(&mut img, bits).unwrap();
+        write_u32(&mut img, ct as u32).unwrap();
+        write_u32(&mut img, 1).unwrap(); // node count
+        write_u32(&mut img, u32::MAX).unwrap(); // parent: root
+        write_u128(&mut img, key).unwrap();
+        write_ids(&mut img, &chunk_ids).unwrap();
+        write_rows(&mut img, &session_rows[..ct * dims]).unwrap();
+        write_u32(&mut img, 1).unwrap(); // session count
+        write_u64(&mut img, 9).unwrap();
+        write_u32(&mut img, session_ids.len() as u32).unwrap();
+        write_ids(&mut img, &session_ids).unwrap();
+        write_rows(&mut img, &session_rows).unwrap();
+
+        let path = temp("v1_compat");
+        std::fs::write(&path, &img).unwrap();
+        let mut m = KvCacheManager::load_from(&path, CacheConfig::new(dims, bits, ct)).unwrap();
+        assert_eq!(m.resident_chunks(), 1);
+        assert_eq!(m.stored_sessions(), 1);
+        // The restored session resumes its next turn, byte-identical to
+        // a from-scratch decomposition.
+        let mut turn2 = session_ids.clone();
+        turn2.extend(ids(3, 73));
+        let a = m.attach(9, &turn2, &rows_for(&turn2, dims)).unwrap();
+        assert!(a.resumed_session);
+        assert_eq!(a.hit_tokens, 6);
+        let scratch = BitPlaneMatrix::from_rows(&rows_for(&turn2, dims), dims, bits).unwrap();
+        assert_eq!(a.cache.snapshot().materialize(), scratch);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -103,6 +103,32 @@ impl PlaneRow {
         row
     }
 
+    /// Builds a plane row directly from packed 64-bit words — the inverse
+    /// of [`PlaneRow::words`], used by the spill tier to re-adopt a
+    /// serialized plane without re-decomposing any values. The cached
+    /// `ones` count is recomputed from the words, so a round trip through
+    /// `words()` → `from_words` is `==`-identical to the original row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::DimensionMismatch`] when the word count is
+    /// not exactly `⌈len / 64⌉` or a padding bit past `len` is set (tail
+    /// garbage would corrupt word-level popcount kernels).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, QuantError> {
+        if words.len() != len.div_ceil(64) {
+            return Err(QuantError::DimensionMismatch {
+                expected: len.div_ceil(64),
+                actual: words.len(),
+            });
+        }
+        let ones = words.iter().map(|w| w.count_ones()).sum();
+        let row = Self { words, len, ones };
+        if !row.tail_is_clear() {
+            return Err(QuantError::DimensionMismatch { expected: len, actual: len + 1 });
+        }
+        Ok(row)
+    }
+
     /// Asserts (debug builds only) that every padding bit past `len` in the
     /// last packed word is zero. `popcount(q & k)` kernels rely on this:
     /// tail garbage would silently corrupt word-level AND+popcount results
@@ -356,6 +382,31 @@ impl TokenPlanes {
             })
             .collect();
         Ok(Self { planes, bits, dims: values.len() })
+    }
+
+    /// Reassembles a token from its already-built plane rows, MSB first —
+    /// the inverse of reading [`TokenPlanes::plane`] for each round, used
+    /// by the spill tier to re-adopt serialized planes without
+    /// re-decomposing values. Width is `planes.len()`; dims come from the
+    /// first plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::UnsupportedWidth`] when the plane count is
+    /// outside `2..=8` and [`QuantError::DimensionMismatch`] when the
+    /// planes cover differing numbers of dimensions.
+    pub fn from_planes(planes: Vec<PlaneRow>) -> Result<Self, QuantError> {
+        let bits = planes.len() as u32;
+        if !(2..=8).contains(&bits) {
+            return Err(QuantError::UnsupportedWidth { bits });
+        }
+        let dims = planes[0].len();
+        for p in &planes {
+            if p.len() != dims {
+                return Err(QuantError::DimensionMismatch { expected: dims, actual: p.len() });
+            }
+        }
+        Ok(Self { planes, bits, dims })
     }
 
     /// Bit width of the decomposed values.
@@ -622,7 +673,53 @@ mod tests {
         assert!(BitPlaneMatrix::from_rows(&[1, 2], 0, 8).is_err());
     }
 
+    #[test]
+    fn from_words_rejects_bad_shapes() {
+        // Wrong word count for the claimed length.
+        assert!(PlaneRow::from_words(vec![0u64; 2], 64).is_err());
+        assert!(PlaneRow::from_words(vec![], 1).is_err());
+        // Tail garbage past len.
+        assert!(PlaneRow::from_words(vec![0b100], 2).is_err());
+        // Exact fit round-trips.
+        let row = PlaneRow::from_words(vec![0b011], 2).unwrap();
+        assert_eq!(row.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_planes_rejects_bad_shapes() {
+        let p4 = PlaneRow::from_bits([true, false, true, true]);
+        let p3 = PlaneRow::from_bits([true, false, true]);
+        assert!(TokenPlanes::from_planes(vec![p4.clone()]).is_err(), "1 plane < 2 bits");
+        assert!(TokenPlanes::from_planes(vec![p4.clone(); 9]).is_err(), "9 planes > 8 bits");
+        assert!(TokenPlanes::from_planes(vec![p4.clone(), p3]).is_err(), "ragged dims");
+        let t = TokenPlanes::from_planes(vec![p4.clone(), p4.clone()]).unwrap();
+        assert_eq!((t.bits(), t.dims()), (2, 4));
+    }
+
     proptest! {
+        #[test]
+        fn prop_words_round_trip_is_identical(
+            values in proptest::collection::vec(any::<i8>(), 1..200),
+            bits in 2u32..=8,
+        ) {
+            // Fold the full i8 range into the width (arithmetic shift keeps
+            // two's-complement semantics), decompose, then rebuild every
+            // plane and token from serialized words alone.
+            let narrowed: Vec<i8> = values.iter().map(|&v| v >> (8 - bits)).collect();
+            let token = TokenPlanes::from_values(&narrowed, bits);
+            let rebuilt = TokenPlanes::from_planes(
+                (0..bits)
+                    .map(|r| {
+                        let p = token.plane(r);
+                        PlaneRow::from_words(p.words().to_vec(), p.len()).unwrap()
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            prop_assert_eq!(&rebuilt, &token);
+            prop_assert_eq!(rebuilt.reconstruct(), token.reconstruct());
+        }
+
         #[test]
         fn prop_reconstruction_is_exact_int8(values in proptest::collection::vec(any::<i8>(), 1..200)) {
             let planes = TokenPlanes::from_values(&values, 8);

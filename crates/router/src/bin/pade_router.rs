@@ -6,6 +6,8 @@
 //! cargo run --release -p pade-router --bin pade-router -- --quick      # CI smoke
 //! cargo run --release -p pade-router --bin pade-router -- \
 //!     --nodes 4 --policy round-robin --trace-out /tmp/fleet.json
+//! cargo run --release -p pade-router --bin pade-router -- \
+//!     --nodes 3 --spill-dir /tmp/fleet-spill --drain-node 0
 //! ```
 //!
 //! Every run routes the same arrival trace under the requested policy and
@@ -15,11 +17,20 @@
 //! `--trace-out` the run records deterministic stage spans across the
 //! router/serve/cache/engine layers and writes a Chrome-trace JSON file
 //! loadable in Perfetto or `chrome://tracing`.
+//!
+//! `--spill-dir` gives every node a `pade-tier` disk spill store (one
+//! `node<k>/` subdirectory each): budget-evicted sealed chunks demote to
+//! disk and later prefix hits re-adopt them. `--drain-node K` drains
+//! node K halfway through the trace — its shards migrate to wherever
+//! its traffic re-homes, costed against the `pade-dist` interconnect
+//! model. Outputs are byte-identical with the tier on, off or
+//! mid-migration; only the accounting moves.
 
 use std::process::exit;
 use std::sync::Arc;
 
-use pade_router::{route_traced, RoutePolicy, RouterConfig};
+use pade_cache::{CacheBudget, TierConfig};
+use pade_router::{route_traced, DrainPlan, FleetTierConfig, RoutePolicy, RouterConfig};
 use pade_serve::scheduler::ScheduleMode;
 use pade_serve::server::ServeConfig;
 use pade_trace::{save_chrome_trace, Recorder, Tracer};
@@ -32,6 +43,9 @@ struct Args {
     trace_out: Option<std::path::PathBuf>,
     sessions: Option<usize>,
     seed: Option<u64>,
+    spill_dir: Option<std::path::PathBuf>,
+    drain_node: Option<usize>,
+    cache_budget: Option<u64>,
 }
 
 fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
@@ -49,6 +63,9 @@ fn parse_args() -> Args {
         trace_out: None,
         sessions: None,
         seed: None,
+        spill_dir: None,
+        drain_node: None,
+        cache_budget: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -76,10 +93,17 @@ fn parse_args() -> Args {
             }
             "--sessions" => args.sessions = Some(parse("--sessions", it.next())),
             "--seed" => args.seed = Some(parse("--seed", it.next())),
+            "--spill-dir" => {
+                args.spill_dir =
+                    Some(std::path::PathBuf::from(parse::<String>("--spill-dir", it.next())));
+            }
+            "--drain-node" => args.drain_node = Some(parse("--drain-node", it.next())),
+            "--cache-budget" => args.cache_budget = Some(parse("--cache-budget", it.next())),
             "--help" | "-h" => {
                 println!(
                     "usage: pade-router [--quick] [--nodes N] [--policy affinity|round-robin|\
-                     least-loaded] [--trace-out PATH] [--sessions N] [--seed X]"
+                     least-loaded] [--trace-out PATH] [--sessions N] [--seed X] \
+                     [--spill-dir PATH] [--drain-node K] [--cache-budget BYTES]"
                 );
                 exit(0);
             }
@@ -92,6 +116,16 @@ fn parse_args() -> Args {
     if args.nodes == 0 {
         eprintln!("--nodes must be at least 1");
         exit(2);
+    }
+    if let Some(k) = args.drain_node {
+        if args.nodes < 2 {
+            eprintln!("--drain-node needs at least 2 nodes to re-home traffic");
+            exit(2);
+        }
+        if k >= args.nodes {
+            eprintln!("--drain-node {k} is out of range for {} nodes", args.nodes);
+            exit(2);
+        }
     }
     args
 }
@@ -115,8 +149,28 @@ fn main() {
         workload.seed = seed;
     }
     let arrivals = generate_multi_tenant_arrivals(&workload);
-    let node = ServeConfig { kv_chunk_tokens: 32, ..ServeConfig::standard() };
-    let fleet = RouterConfig::homogeneous(node, args.nodes, args.policy);
+    let node = ServeConfig {
+        kv_chunk_tokens: 32,
+        prefix_cache: Some(
+            args.cache_budget.map_or_else(CacheBudget::unlimited, CacheBudget::bytes),
+        ),
+        ..ServeConfig::standard()
+    };
+    let mut fleet = RouterConfig::homogeneous(node, args.nodes, args.policy);
+    if let Some(dir) = &args.spill_dir {
+        // One subdirectory per node: the fleet shares a root, the spill
+        // stores never share files.
+        for (k, node) in fleet.nodes.iter_mut().enumerate() {
+            node.tier = Some(TierConfig::Disk(dir.join(format!("node{k}"))));
+        }
+    }
+    if args.spill_dir.is_some() || args.drain_node.is_some() {
+        fleet.tier = Some(FleetTierConfig::default());
+    }
+    if let Some(k) = args.drain_node {
+        fleet.drain = Some(DrainPlan { node: k, after_arrivals: arrivals.len() / 2 });
+        println!("drain plan: node {k} drains after {} arrivals", arrivals.len() / 2);
+    }
 
     let recorder = args.trace_out.as_ref().map(|_| Arc::new(Recorder::new()));
     let tracer = match &recorder {
@@ -167,6 +221,20 @@ fn main() {
         s.session_affinity_routes,
         s.prefix_affinity_routes
     );
+    if fleet.tier.is_some() {
+        println!(
+            "fleet tier: {} chunks spilled, {} tokens re-adopted from spill; {} peer fetches \
+             ({} migrations, {} replications), {} transfer bytes / {} cycles / {:.1} pJ",
+            s.cache_spilled_chunks,
+            s.cache_fetched_tokens,
+            s.peer_fetches,
+            s.migrations,
+            s.replications,
+            s.transfer_bytes,
+            s.transfer_cycles,
+            s.transfer_pj
+        );
+    }
     println!(
         "fleet engine ops: {} equivalent adds ({} bit-serial acc, {} LUT lookups); traffic: {} \
          DRAM + {} SRAM bytes",

@@ -20,6 +20,13 @@
 //!   first ingested that shard; cold requests take deterministic
 //!   least-loaded placement) against the **round-robin** and
 //!   **least-loaded** cache-blind baselines,
+//! * [`FleetTierConfig`](router::FleetTierConfig) /
+//!   [`DrainPlan`](router::DrainPlan) — the warm state itself moves:
+//!   hot shards replicate their content-addressed chunk records to a
+//!   second node (placement then balances across residents), and a
+//!   drained node's shards migrate to wherever its traffic re-homes,
+//!   with every transfer costed against the `pade-dist` interconnect
+//!   model (accounting only — outputs stay byte-identical),
 //! * [`RouterSummary`](metrics::RouterSummary) — per-node
 //!   [`MetricsSummary`](pade_serve::metrics::MetricsSummary) digests
 //!   merged exactly: pooled latency percentiles, fleet cache hit rates,
@@ -68,4 +75,4 @@ pub mod router;
 pub use merge::verify_partial_merge;
 pub use metrics::{merge_node_reports, RouterSummary};
 pub use policy::{RouteDecision, RoutePolicy, RouteReason};
-pub use router::{route, route_traced, RouterConfig, RouterReport};
+pub use router::{route, route_traced, DrainPlan, FleetTierConfig, RouterConfig, RouterReport};

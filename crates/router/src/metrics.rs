@@ -42,6 +42,31 @@ pub struct RouterSummary {
     pub cache_hit_rate: f64,
     /// Cache evictions (chunks + stored sessions), summed over nodes.
     pub cache_evictions: u64,
+    /// Evicted chunks demoted to spill tiers instead of dropped, summed
+    /// over nodes.
+    pub cache_spilled_chunks: u64,
+    /// Prompt tokens re-adopted from spill tiers (no decomposition),
+    /// summed over nodes — a subset of
+    /// [`cache_hit_tokens`](Self::cache_hit_tokens).
+    pub cache_fetched_tokens: u64,
+    /// Chunk-record transfers between nodes (hot-shard replications plus
+    /// load-following migrations). Zero unless the router ran with a
+    /// fleet tier/drain configuration.
+    pub peer_fetches: u64,
+    /// Hot-shard replications performed (a shard's records copied to a
+    /// second node once its route count crossed the threshold).
+    pub replications: u64,
+    /// Load-following migrations (a drained node's shard records moved
+    /// to the node its traffic re-homed to).
+    pub migrations: u64,
+    /// Payload bytes moved between nodes by peer fetches.
+    pub transfer_bytes: u64,
+    /// Modeled interconnect cycles of those transfers (per-hop latency
+    /// plus link serialization), summed. Accounting only — node clocks
+    /// never include it, so outputs stay byte-identical.
+    pub transfer_cycles: u64,
+    /// Modeled interconnect energy of those transfers, in pJ.
+    pub transfer_pj: f64,
     /// Tokens served per node, in node order — the imbalance input.
     pub node_tokens: Vec<u64>,
     /// `max(node_tokens) / mean(node_tokens)`: 1.0 is perfectly even,
@@ -85,6 +110,8 @@ pub fn merge_node_reports(
     let mut hit = 0u64;
     let mut decomposed = 0u64;
     let mut evictions = 0u64;
+    let mut spilled = 0u64;
+    let mut fetched = 0u64;
     let mut node_tokens = Vec::with_capacity(node_reports.len());
     let mut ops = OpCounts::default();
     let mut traffic = TrafficCounts::default();
@@ -101,6 +128,8 @@ pub fn merge_node_reports(
         hit += report.summary.cache_hit_tokens;
         decomposed += report.summary.cache_decomposed_tokens;
         evictions += report.summary.cache_evictions;
+        spilled += report.summary.cache_spilled_chunks;
+        fetched += report.summary.cache_fetched_tokens;
         node_tokens.push(report.summary.tokens);
         ops.merge(&report.summary.ops);
         traffic.merge(&report.summary.traffic);
@@ -119,6 +148,16 @@ pub fn merge_node_reports(
         cache_decomposed_tokens: decomposed,
         cache_hit_rate: if attached == 0 { 0.0 } else { hit as f64 / attached as f64 },
         cache_evictions: evictions,
+        cache_spilled_chunks: spilled,
+        cache_fetched_tokens: fetched,
+        // Peer-transfer accounting lives in the router loop, not the node
+        // reports; `route_traced` fills these in after the merge.
+        peer_fetches: 0,
+        replications: 0,
+        migrations: 0,
+        transfer_bytes: 0,
+        transfer_cycles: 0,
+        transfer_pj: 0.0,
         load_imbalance: if tokens == 0 { 0.0 } else { max as f64 / mean },
         node_tokens,
         session_affinity_routes: decisions

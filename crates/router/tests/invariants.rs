@@ -126,6 +126,8 @@ proptest! {
                 nodes: vec![healthy.clone(), degraded.clone(), healthy.clone()],
                 policy,
                 affinity_chunks: 1,
+                tier: None,
+                drain: None,
             };
             let report = route(&fleet, &arrivals, ScheduleMode::Batched);
             let ids: Vec<usize> = report.completions_by_id().iter().map(|c| c.id).collect();

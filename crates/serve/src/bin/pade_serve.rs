@@ -21,7 +21,11 @@
 //! pool and admission goes through the `pade-cache` prefix cache (hit /
 //! decomposed token counts, evictions and resident bytes are printed in
 //! the summary). `--no-prefix-cache` serves the same workload with the
-//! cache disabled — outputs are byte-identical either way.
+//! cache disabled — outputs are byte-identical either way. `--spill-dir`
+//! attaches a `pade-tier` disk spill store: budget-evicted sealed chunks
+//! demote to one file each instead of dropping, and later prefix hits
+//! re-adopt them by parsing the stored plane words (spill/fetch counters
+//! join the cache summary; outputs stay byte-identical).
 //!
 //! `--slo-aware` switches to the two-tenant contention workload: a
 //! high-priority foreground tenant decoding under a p99 latency SLO
@@ -34,7 +38,7 @@
 use std::process::exit;
 use std::sync::Arc;
 
-use pade_cache::CacheBudget;
+use pade_cache::{CacheBudget, TierConfig};
 use pade_serve::scheduler::{ScheduleMode, SchedulePolicy};
 use pade_serve::server::{serve, serve_traced, ServeConfig, ServeReport};
 use pade_trace::{save_chrome_trace, Recorder, Tracer};
@@ -51,6 +55,7 @@ struct Args {
     hit_aware: bool,
     cache_budget: Option<u64>,
     cache_file: Option<std::path::PathBuf>,
+    spill_dir: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
     requests: Option<usize>,
     mean_gap: Option<f64>,
@@ -77,6 +82,7 @@ fn parse_args() -> Args {
         hit_aware: false,
         cache_budget: None,
         cache_file: None,
+        spill_dir: None,
         trace_out: None,
         requests: None,
         mean_gap: None,
@@ -99,6 +105,10 @@ fn parse_args() -> Args {
                 args.cache_file =
                     Some(std::path::PathBuf::from(parse::<String>("--cache-file", it.next())));
             }
+            "--spill-dir" => {
+                args.spill_dir =
+                    Some(std::path::PathBuf::from(parse::<String>("--spill-dir", it.next())));
+            }
             "--trace-out" => {
                 args.trace_out =
                     Some(std::path::PathBuf::from(parse::<String>("--trace-out", it.next())));
@@ -118,7 +128,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: pade-serve [--quick] [--shared-prefix] [--slo-aware] \
                      [--no-prefix-cache] [--hit-aware] [--cache-budget BYTES] \
-                     [--cache-file PATH] [--trace-out PATH] [--requests N] \
+                     [--cache-file PATH] [--spill-dir PATH] [--trace-out PATH] [--requests N] \
                      [--mean-gap CYCLES] [--seq-len S] [--slots K] [--max-batch-tokens T] \
                      [--decode-fraction F] [--seed X]"
                 );
@@ -181,6 +191,15 @@ fn print_cache_summary(report: &ServeReport) {
         s.cache_resident_bytes_max,
         s.latency
     );
+    if s.cache_spilled_chunks > 0 || s.cache_fetched_tokens > 0 {
+        println!(
+            "{} spill tier: {} chunks ({} bytes) spilled, {} tokens re-adopted from spill",
+            report.mode.label(),
+            s.cache_spilled_chunks,
+            s.cache_spilled_bytes,
+            s.cache_fetched_tokens
+        );
+    }
 }
 
 /// Engine op/traffic totals — the satellite visibility for the counters
@@ -407,6 +426,9 @@ fn main() {
                 "--hit-aware conflicts with --no-prefix-cache (no cache, no hit prediction)",
             );
         }
+        if args.spill_dir.is_some() {
+            usage_error("--spill-dir conflicts with --no-prefix-cache (no cache, no spill tier)");
+        }
         None
     } else {
         Some(args.cache_budget.map_or(CacheBudget::unlimited(), CacheBudget::bytes))
@@ -417,6 +439,9 @@ fn main() {
         prefix_cache,
         hit_aware: args.hit_aware,
         cache_file: args.cache_file.clone(),
+        // Per-mode subdirectories: the batched and solo replays each get
+        // their own spill store, so neither warms the other's counters.
+        tier: args.spill_dir.as_ref().map(|d| TierConfig::Disk(d.join("batched"))),
         policy: if args.slo_aware { SchedulePolicy::SloAware } else { SchedulePolicy::Fcfs },
         prefill_chunk_tokens: args.slo_aware.then_some(2),
         preempt_every: args.slo_aware.then_some(4),
@@ -432,7 +457,7 @@ fn main() {
         );
     }
     println!(
-        "device: {} slots, {} max batch tokens, prefix cache {}{}{}\n",
+        "device: {} slots, {} max batch tokens, prefix cache {}{}{}{}\n",
         config.engine_slots,
         config.max_batch_tokens,
         match config.prefix_cache {
@@ -444,6 +469,10 @@ fn main() {
         match &config.cache_file {
             Some(p) if p.exists() => format!(", warm cache file {}", p.display()),
             Some(p) => format!(", cold cache file {}", p.display()),
+            None => String::new(),
+        },
+        match &args.spill_dir {
+            Some(d) => format!(", disk spill tier {}", d.display()),
             None => String::new(),
         }
     );
@@ -469,8 +498,12 @@ fn main() {
     let batched_wall = start.elapsed().as_secs_f64();
     print_report(&batched, batched_wall);
 
+    let solo_config = ServeConfig {
+        tier: args.spill_dir.as_ref().map(|d| TierConfig::Disk(d.join("solo"))),
+        ..config.clone()
+    };
     let start = std::time::Instant::now();
-    let solo = serve(&config, &arrivals, ScheduleMode::Solo);
+    let solo = serve(&solo_config, &arrivals, ScheduleMode::Solo);
     let solo_wall = start.elapsed().as_secs_f64();
     print_report(&solo, solo_wall);
 

@@ -174,6 +174,13 @@ pub struct MetricsSummary {
     pub cache_hit_rate: f64,
     /// Sealed chunks plus stored sessions evicted under the byte budget.
     pub cache_evictions: u64,
+    /// Evicted chunks demoted to the spill tier instead of dropped.
+    pub cache_spilled_chunks: u64,
+    /// Plane-word payload bytes written to the spill tier.
+    pub cache_spilled_bytes: u64,
+    /// Prompt tokens re-adopted from the spill tier (a subset of
+    /// [`cache_hit_tokens`](Self::cache_hit_tokens)).
+    pub cache_fetched_tokens: u64,
     /// Time-weighted mean resident bytes of the prefix cache.
     pub cache_resident_bytes_mean: f64,
     /// Peak resident bytes of the prefix cache.
@@ -216,6 +223,9 @@ impl ServeMetrics {
             cache_decomposed_tokens: self.cache.decomposed_tokens,
             cache_hit_rate: self.cache.hit_rate(),
             cache_evictions: self.cache.evicted_chunks + self.cache.evicted_sessions,
+            cache_spilled_chunks: self.cache.spilled_chunks,
+            cache_spilled_bytes: self.cache.spilled_bytes,
+            cache_fetched_tokens: self.cache.fetched_tokens,
             cache_resident_bytes_mean: self.cache_resident_bytes.mean(end),
             cache_resident_bytes_max: self.cache_resident_bytes.max(),
             preemptions: self.preemptions,

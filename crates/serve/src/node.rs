@@ -183,6 +183,49 @@ impl Node {
         self.cache_manager.as_ref()
     }
 
+    /// The node's live cache counters (zeroes before the manager
+    /// engages) — the hit/spill/fetch signal a router's replication and
+    /// migration policies read mid-run.
+    #[must_use]
+    pub fn cache_stats(&self) -> pade_cache::CacheStats {
+        self.cache_manager.as_ref().map(|m| *m.stats()).unwrap_or_default()
+    }
+
+    /// Exports the content-addressed chunk records covering the longest
+    /// prefix of `ids` this node can produce (resident or spilled), up
+    /// to `max_chunks` — the payload of a peer shard fetch or a
+    /// migration. Empty when the manager has not engaged. Read-only.
+    #[must_use]
+    pub fn export_prefix_records(
+        &self,
+        ids: &[u32],
+        max_chunks: usize,
+    ) -> Vec<pade_cache::ChunkRecord> {
+        self.cache_manager
+            .as_ref()
+            .map(|m| m.export_prefix_path(ids, max_chunks))
+            .unwrap_or_default()
+    }
+
+    /// Adopts peer-exported chunk records into this node's index (each
+    /// re-validated against its content address), returning how many
+    /// were newly adopted. A cache-enabled node whose manager has not
+    /// engaged yet engages it from the records' plane shape (so a
+    /// replica can land on a node before its first request); records
+    /// whose bit width disagrees with the engine, or any records on a
+    /// cache-disabled node, adopt nothing.
+    pub fn import_chunk_records(&mut self, records: &[pade_cache::ChunkRecord]) -> usize {
+        if self.cache_manager.is_none() {
+            match records.first() {
+                Some(first) if first.planes.bits() == self.config.engine.bits => {
+                    self.ensure_manager(first.planes.dims());
+                }
+                _ => return 0,
+            }
+        }
+        self.cache_manager.as_mut().map_or(0, |m| m.import_chunk_records(records))
+    }
+
     /// Bitwise fingerprints of every active session's resident key
     /// planes, as `(request id, resident key tokens, planes)` in
     /// admission order — determinism-suite introspection
@@ -210,31 +253,7 @@ impl Node {
     /// mismatched image must not be silently discarded).
     pub fn enqueue(&mut self, spec: &RequestArrival) {
         if self.cache_manager.is_none() && spec.prompt.is_some() {
-            if let Some(budget) = self.config.prefix_cache {
-                let cache_config = CacheConfig::new(
-                    spec.trace.head_dim,
-                    self.config.engine.bits,
-                    self.config.kv_chunk_tokens.max(1),
-                )
-                .with_budget(budget);
-                let manager = match &self.config.cache_file {
-                    Some(path) if path.exists() => {
-                        Some(KvCacheManager::load_from(path, cache_config).unwrap_or_else(|e| {
-                            panic!("failed to load cache file {}: {e}", path.display())
-                        }))
-                    }
-                    _ => None,
-                };
-                let mut manager = manager.unwrap_or_else(|| {
-                    KvCacheManager::new(cache_config)
-                        .expect("the serve engine configuration is a valid cache shape")
-                });
-                manager.set_tracer(
-                    self.tracer.clone(),
-                    trace_track::id(trace_track::CACHE, self.node_id, 0),
-                );
-                self.cache_manager = Some(manager);
-            }
+            self.ensure_manager(spec.trace.head_dim);
         }
         // Insert keeping (arrival_cycle, id) order; the common cases —
         // pre-sorted bulk enqueue and router-time-ordered delivery —
@@ -243,6 +262,48 @@ impl Node {
         let at =
             self.pending.iter().rposition(|q| (q.arrival_cycle, q.id) <= key).map_or(0, |i| i + 1);
         self.pending.insert(at, spec.clone());
+    }
+
+    /// Engages the node's cache manager for `dims`-lane key rows if the
+    /// configuration carries a prefix cache and no manager exists yet:
+    /// warm-loaded from [`ServeConfig::cache_file`] when the file
+    /// exists, with the configured spill tier installed. A no-op when
+    /// the prefix cache is disabled or the manager already engaged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing cache file fails to load (a corrupt or
+    /// mismatched image must not be silently discarded) or the
+    /// configured spill tier cannot be built.
+    fn ensure_manager(&mut self, dims: usize) {
+        if self.cache_manager.is_some() {
+            return;
+        }
+        let Some(budget) = self.config.prefix_cache else { return };
+        let cache_config =
+            CacheConfig::new(dims, self.config.engine.bits, self.config.kv_chunk_tokens.max(1))
+                .with_budget(budget);
+        let manager = match &self.config.cache_file {
+            Some(path) if path.exists() => {
+                Some(KvCacheManager::load_from(path, cache_config).unwrap_or_else(|e| {
+                    panic!("failed to load cache file {}: {e}", path.display())
+                }))
+            }
+            _ => None,
+        };
+        let mut manager = manager.unwrap_or_else(|| {
+            KvCacheManager::new(cache_config)
+                .expect("the serve engine configuration is a valid cache shape")
+        });
+        if let Some(tier) = &self.config.tier {
+            let store = tier
+                .build()
+                .unwrap_or_else(|e| panic!("failed to build the configured spill tier: {e}"));
+            manager.set_tier(Some(store));
+        }
+        manager
+            .set_tracer(self.tracer.clone(), trace_track::id(trace_track::CACHE, self.node_id, 0));
+        self.cache_manager = Some(manager);
     }
 
     /// Admits every queued request whose arrival time has passed. FCFS by

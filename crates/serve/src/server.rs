@@ -21,7 +21,7 @@
 
 use std::path::PathBuf;
 
-use pade_cache::CacheBudget;
+use pade_cache::{CacheBudget, TierConfig};
 use pade_core::config::PadeConfig;
 use pade_core::engine::QkBlockResult;
 use pade_sim::Cycle;
@@ -78,6 +78,13 @@ pub struct ServeConfig {
     /// missing file starts cold, a corrupt or shape-mismatched one
     /// panics rather than silently serving cold.
     pub cache_file: Option<PathBuf>,
+    /// Spill tier of the prefix cache: budget-evicted sealed chunks are
+    /// demoted here ([`TierConfig::Memory`] or a
+    /// [`TierConfig::Disk`] directory) instead of dropped, and later
+    /// attaches fetch them back without re-decomposing. `None` — the
+    /// default — keeps drop-on-evict. Output-invariant: the tier only
+    /// changes where byte-identical planes come from.
+    pub tier: Option<TierConfig>,
     /// Batch-forming policy: FCFS baseline, or SLO-aware priority/
     /// deadline ordering honoring the arrivals'
     /// [`priority`](pade_workload::trace::RequestArrival::priority)/
@@ -117,6 +124,7 @@ impl ServeConfig {
             prefix_cache: Some(CacheBudget::unlimited()),
             hit_aware: false,
             cache_file: None,
+            tier: None,
             policy: SchedulePolicy::Fcfs,
             prefill_chunk_tokens: None,
             preempt_every: None,

@@ -388,9 +388,147 @@ pub fn generate_multi_tenant_arrivals(config: &MultiTenantConfig) -> Vec<Request
     arrivals
 }
 
+/// Configuration of a seeded cache-thrashing arrival trace: a pool of
+/// distinct long prompts revisited **round-robin**.
+///
+/// Round-robin revisiting is the LRU adversary: with a plane budget
+/// smaller than the pool's footprint, the chunk evicted longest ago is
+/// always exactly the one the *next* visit needs, so a drop-on-evict
+/// cache re-decomposes every visit while a spill tier re-adopts the
+/// evicted planes by parsing words. This is the workload behind
+/// `pade-bench --scenario tier`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrashConfig {
+    /// Distinct prompts in the pool.
+    pub pool_size: usize,
+    /// Token length of each pool prompt.
+    pub prompt_tokens: usize,
+    /// Total arrivals; visit `v` replays pool prompt `v % pool_size`,
+    /// each as a **fresh session** (so only the prefix index — not the
+    /// session store — can serve the repeat).
+    pub visits: usize,
+    /// Tokens generated by each visit.
+    pub decode_steps: usize,
+    /// Fixed gap between visits, in core cycles (large enough that a
+    /// visit is normally served — and its chunks evicted — before the
+    /// pool wraps around to its prompt again).
+    pub gap_cycles: u64,
+    /// Vocabulary size token ids are drawn from.
+    pub vocab: u32,
+    /// Per-head hidden dimension.
+    pub head_dim: usize,
+    /// Quantization bit width.
+    pub bits: u32,
+    /// Score structure of the per-request operand traces (queries).
+    pub profile: ScoreProfile,
+    /// RNG seed; equal seeds produce identical arrival traces.
+    pub seed: u64,
+}
+
+impl ThrashConfig {
+    /// A small deterministic configuration for examples and tests.
+    #[must_use]
+    pub fn small_demo() -> Self {
+        Self {
+            pool_size: 4,
+            prompt_tokens: 96,
+            visits: 16,
+            decode_steps: 4,
+            gap_cycles: 400_000,
+            vocab: 50_000,
+            head_dim: 64,
+            bits: 8,
+            profile: ScoreProfile::standard(),
+            seed: 9,
+        }
+    }
+}
+
+/// Generates a seeded, reproducible cache-thrashing arrival trace:
+/// `visits` single-turn decode requests at fixed `gap_cycles` spacing,
+/// visit `v` carrying pool prompt `v % pool_size` under a fresh session
+/// id. Prompts are pure functions of `(seed, pool index)`, so every
+/// revisit's ids — and therefore its key rows — are byte-equal to the
+/// first visit's.
+///
+/// # Panics
+///
+/// Panics if `pool_size`, `prompt_tokens`, `visits`, `decode_steps` or
+/// `vocab` is zero.
+#[must_use]
+pub fn generate_thrash_arrivals(config: &ThrashConfig) -> Vec<RequestArrival> {
+    assert!(config.pool_size > 0, "the prompt pool cannot be empty");
+    assert!(config.prompt_tokens > 0, "pool prompts must carry tokens");
+    assert!(config.visits > 0, "at least one visit required");
+    assert!(config.decode_steps > 0, "decode requests must generate tokens");
+    assert!(config.vocab > 0, "token ids need a vocabulary");
+    let pool: Vec<PromptTokens> = (0..config.pool_size)
+        .map(|p| {
+            let mut rng =
+                StdRng::seed_from_u64(splitmix64(config.seed ^ 0x7842_A5ED_0000_0003) ^ p as u64);
+            PromptTokens::new(
+                (0..config.prompt_tokens).map(|_| rng.gen_range(0..config.vocab)).collect(),
+            )
+        })
+        .collect();
+    (0..config.visits)
+        .map(|v| {
+            let prompt = pool[v % config.pool_size].clone();
+            let steps = config.decode_steps.min(prompt.len());
+            RequestArrival {
+                id: v,
+                arrival_cycle: v as u64 * config.gap_cycles.max(1),
+                kind: RequestKind::Decode { steps },
+                trace: TraceConfig {
+                    seq_len: prompt.len(),
+                    head_dim: config.head_dim,
+                    n_queries: steps,
+                    profile: config.profile,
+                    bits: config.bits,
+                    seed: splitmix64(config.seed.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ v as u64),
+                },
+                session: v as u64,
+                prompt: Some(prompt),
+                priority: 0,
+                tenant_slo: None,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thrash_arrivals_revisit_the_pool_round_robin() {
+        let cfg = ThrashConfig::small_demo();
+        let arrivals = generate_thrash_arrivals(&cfg);
+        assert_eq!(arrivals.len(), cfg.visits);
+        for (v, r) in arrivals.iter().enumerate() {
+            assert_eq!(r.id, v);
+            assert_eq!(r.arrival_cycle, v as u64 * cfg.gap_cycles);
+            assert_eq!(r.session, v as u64, "every visit is a fresh session");
+            let prompt = r.prompt.as_ref().expect("thrash arrivals carry prompts");
+            assert_eq!(prompt.len(), cfg.prompt_tokens);
+            assert_eq!(prompt.len(), r.trace.seq_len);
+            // The revisit is byte-equal to the first visit of its pool
+            // entry — the prefix index must be able to serve it.
+            assert_eq!(prompt.ids(), arrivals[v % cfg.pool_size].prompt.as_ref().unwrap().ids());
+        }
+        // Distinct pool entries never collide.
+        for a in 0..cfg.pool_size {
+            for b in a + 1..cfg.pool_size {
+                assert_ne!(
+                    arrivals[a].prompt.as_ref().unwrap().ids(),
+                    arrivals[b].prompt.as_ref().unwrap().ids()
+                );
+            }
+        }
+        // Determinism per seed.
+        assert_eq!(arrivals, generate_thrash_arrivals(&cfg));
+        assert_ne!(arrivals, generate_thrash_arrivals(&ThrashConfig { seed: 10, ..cfg }));
+    }
 
     #[test]
     fn prompt_key_rows_are_pure_per_token_id() {
