@@ -13,6 +13,8 @@
 //!     --scenario route --out BENCH_7.json --trace-out route_trace.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario preempt  # -> BENCH_8.json
 //! cargo run --release -p pade-bench --bin pade-bench -- --scenario tier  # -> BENCH_9.json
+//! cargo run --release -p pade-bench --features trace --bin pade-bench -- \
+//!     --scenario soak  # -> BENCH_10.json
 //! ```
 //!
 //! The `qk` scenario (default) runs the sequential seed engine and the
@@ -50,7 +52,11 @@
 //! spill-to-memory or spill-to-disk (`pade-tier`), then runs the fleet
 //! drain-migration and hot-shard replication points (every attach and
 //! every fleet output byte-identity hard-checked), and writes
-//! `BENCH_9.json`.
+//! `BENCH_9.json`. The `soak` scenario replays the route trace profile
+//! untraced, into the in-memory recorder, and into the bounded-memory
+//! on-disk `.padetrace` stream sink — byte-identity and
+//! recorder-vs-stream fingerprint parity hard-checked — and writes the
+//! streaming overhead to `BENCH_10.json`.
 
 use std::path::PathBuf;
 
@@ -60,6 +66,7 @@ use pade_bench::preempt::{run_preempt_matrix, write_preempt_json};
 use pade_bench::prefix_cache::{run_prefix_cache_matrix, write_prefix_cache_json};
 use pade_bench::route::{run_route_matrix, write_route_json};
 use pade_bench::serve::{run_serve_matrix, write_serve_json};
+use pade_bench::soak::{run_soak, write_soak_json};
 use pade_bench::tier::{run_tier_matrix, write_tier_json};
 use pade_bench::{run_matrix, write_json};
 
@@ -90,7 +97,7 @@ fn main() {
                 scenario = args.next().unwrap_or_else(|| {
                     eprintln!(
                         "--scenario requires qk, serve, decode-growth, prefix-cache, route, \
-                         popcount, preempt or tier"
+                         popcount, preempt, tier or soak"
                     );
                     std::process::exit(2);
                 });
@@ -98,7 +105,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: pade-bench [--quick] \
-                     [--scenario qk|serve|decode-growth|prefix-cache|route|popcount|preempt|tier] \
+                     [--scenario \
+                     qk|serve|decode-growth|prefix-cache|route|popcount|preempt|tier|soak] \
                      [--out FILE.json] [--trace-out TRACE.json (route scenario)]"
                 );
                 return;
@@ -124,10 +132,11 @@ fn main() {
         "popcount" => run_popcount_scenario(quick, mode, out),
         "preempt" => run_preempt_scenario(quick, mode, out),
         "tier" => run_tier_scenario(quick, mode, out),
+        "soak" => run_soak_scenario(quick, mode, out),
         other => {
             eprintln!(
                 "unknown scenario: {other} (expected qk, serve, decode-growth, prefix-cache, \
-                 route, popcount, preempt or tier)"
+                 route, popcount, preempt, tier or soak)"
             );
             std::process::exit(2);
         }
@@ -443,6 +452,80 @@ fn run_tier_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
     };
     if let Some(path) = path {
         write_tier_json(&path, &sweep, mode).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+}
+
+fn run_soak_scenario(quick: bool, mode: &str, out: Option<PathBuf>) {
+    println!("pade-bench soak: on-disk trace stream vs in-memory recorder on the route profile\n");
+    let r = run_soak(quick);
+    println!(
+        "workload: {} requests ({} tenants x {} sessions x {} turns, seed {})",
+        r.requests,
+        r.workload.tenants,
+        r.workload.sessions_per_tenant,
+        r.workload.per_tenant.turns_per_session,
+        r.workload.seed
+    );
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>14} {:>10}",
+        "sink", "run wall", "submit", "overhead", "resident"
+    );
+    println!("{:<10} {:>11.4}s {:>12} {:>14} {:>10}", "none", r.untraced_wall_s, "-", "-", "-");
+    println!(
+        "{:<10} {:>11.4}s {:>11.4}s {:>13.3}% {:>10}",
+        "recorder",
+        r.recorder_wall_s,
+        r.recorder_submit_s,
+        r.recorder_overhead_frac * 100.0,
+        "O(events)"
+    );
+    println!(
+        "{:<10} {:>11.4}s {:>11.4}s {:>13.3}% {:>8} B",
+        "stream",
+        r.stream_wall_s,
+        r.stream_submit_s,
+        r.stream_overhead_frac * 100.0,
+        r.peak_buffered_bytes
+    );
+    println!(
+        "(overhead = sink submission cost of this run's {} events, replayed best-of-N, \
+         relative to the untraced wall; the stream row is its delta over the recorder)",
+        r.events
+    );
+    if r.feature_enabled {
+        println!(
+            "\nstream: {} events / {} spans / {} links in {} frames of {} B ({} B file), \
+             fingerprint {:016x} identical to the recorder; {} flight timelines causally \
+             complete; {}",
+            r.events,
+            r.spans,
+            r.links,
+            r.frames,
+            r.frame_size,
+            r.file_bytes,
+            r.fingerprint,
+            r.timelines,
+            r.flight
+        );
+    } else {
+        println!(
+            "\ntrace: built without the `trace` feature — both sinks recorded nothing and the \
+             overhead is 0% by construction (rebuild with --features trace)"
+        );
+    }
+    println!("all outputs byte-identical across untraced, recorder and stream runs");
+
+    let path = match (&out, quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some(PathBuf::from("BENCH_10.json")),
+        (None, true) => None,
+    };
+    if let Some(path) = path {
+        write_soak_json(&path, &r, mode).unwrap_or_else(|e| {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         });

@@ -43,7 +43,12 @@
 //! `pade-tier` spill/fetch (memory and disk backends) under a
 //! cache-thrashing prompt pool, plus fleet drain-migration and
 //! hot-shard replication points with interconnect-costed transfers,
-//! recorded to `BENCH_9.json`.
+//! recorded to `BENCH_9.json`. The [`soak`] module adds the
+//! streaming-trace scenario (`pade-bench --scenario soak`): the route
+//! trace profile replayed untraced, into the in-memory recorder, and
+//! into the bounded-memory on-disk `StreamSink` — fingerprint parity
+//! and byte-identity hard-checked, streaming overhead recorded to
+//! `BENCH_10.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +59,7 @@ pub mod preempt;
 pub mod prefix_cache;
 pub mod route;
 pub mod serve;
+pub mod soak;
 pub mod tier;
 
 /// Shared KV-prep replay machinery for the cache-centric scenarios

@@ -515,6 +515,9 @@ impl KvCacheManager {
             }
             if fetched_tokens > 0 {
                 tracer.instant(*track, "cache.tier_fetch", clock);
+                // Counted under the tier name too, so StageBreakdown
+                // counter tables surface tier traffic directly.
+                tracer.count(*track, "cache.tier_fetch", clock, fetched_tokens as u64);
                 tracer.count(*track, "cache.fetched_tokens", clock, fetched_tokens as u64);
             }
             tracer.count(*track, "cache.hit_tokens", clock, hit_tokens as u64);
@@ -756,6 +759,9 @@ impl KvCacheManager {
                 tracer.count(*track, "cache.evicted_bytes", clock, freed);
                 if spilled_this_pass > 0 {
                     tracer.instant(*track, "cache.tier_spill", clock);
+                    // Counted under the tier name too, so StageBreakdown
+                    // counter tables surface tier traffic directly.
+                    tracer.count(*track, "cache.tier_spill", clock, spilled_this_pass);
                     tracer.count(*track, "cache.spilled_chunks", clock, spilled_this_pass);
                 }
             }

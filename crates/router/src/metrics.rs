@@ -10,7 +10,7 @@
 //! served tokens, the standard fleet-balance figure (1.0 = perfectly
 //! even, `N` = one node took everything).
 
-use pade_serve::metrics::{slo_attainment, TenantSloSummary};
+use pade_serve::metrics::{slo_attainment, FlightTotals, TenantSloSummary};
 use pade_serve::server::ServeReport;
 use pade_sim::{Cycle, Frequency, LatencyStats, LatencySummary, OpCounts, TrafficCounts};
 use pade_trace::MetricsRegistry;
@@ -86,6 +86,9 @@ pub struct RouterSummary {
     /// registries (exact fleet percentiles, not an average of per-node
     /// lines), in tenant order; empty when no request carried an SLO.
     pub slo: Vec<TenantSloSummary>,
+    /// Flight-recorder totals (queue / prefill / decode / preempted /
+    /// stalled cycles over every retired request), summed over nodes.
+    pub flight: FlightTotals,
     /// Engine arithmetic events summed over every node's dispatched
     /// blocks.
     pub ops: OpCounts,
@@ -118,11 +121,13 @@ pub fn merge_node_reports(
     let mut preemptions = 0u64;
     let mut resumes = 0u64;
     let mut slo_pool = MetricsRegistry::new();
+    let mut flight = FlightTotals::default();
     for report in node_reports {
         latency.merge(&report.metrics.latency);
         preemptions += report.metrics.preemptions;
         resumes += report.metrics.resumes;
         slo_pool.merge(&report.metrics.slo);
+        flight.merge(&report.summary.flight);
         tokens += report.summary.tokens;
         makespan = makespan.max(report.summary.makespan);
         hit += report.summary.cache_hit_tokens;
@@ -171,6 +176,7 @@ pub fn merge_node_reports(
         preemptions,
         resumes,
         slo: slo_attainment(&slo_pool),
+        flight,
         ops,
         traffic,
     }

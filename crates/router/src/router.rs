@@ -39,7 +39,7 @@ use pade_serve::node::Node;
 use pade_serve::scheduler::ScheduleMode;
 use pade_serve::server::{Completion, ServeConfig, ServeReport};
 use pade_sim::Cycle;
-use pade_trace::{track as trace_track, Tracer};
+use pade_trace::{flight::hop, track as trace_track, Tracer};
 use pade_workload::trace::RequestArrival;
 
 use crate::metrics::{merge_node_reports, RouterSummary};
@@ -397,6 +397,9 @@ pub fn route_traced(
         };
         nodes[target].enqueue(spec);
         router_ctx.instant("router.place", now);
+        // The first hop of the request's causality chain: the flight
+        // recorder joins it to the node-side admit→retire hops.
+        router_ctx.link(hop::PLACE, now, spec.id as u64, target as u64);
         router_ctx.count(reason_counter(reason), now, 1);
         decisions.push(RouteDecision { id: spec.id, session: spec.session, node: target, reason });
     }

@@ -41,11 +41,23 @@ use std::sync::Arc;
 use pade_cache::{CacheBudget, TierConfig};
 use pade_serve::scheduler::{ScheduleMode, SchedulePolicy};
 use pade_serve::server::{serve, serve_traced, ServeConfig, ServeReport};
-use pade_trace::{save_chrome_trace, Recorder, Tracer};
+use pade_trace::{save_chrome_trace, Recorder, StreamSink, TraceSink, Tracer};
 use pade_workload::prompt::{generate_shared_prefix_arrivals, SharedPrefixConfig};
 use pade_workload::trace::{
     generate_arrivals, generate_tenant_mix, ArrivalConfig, RequestArrival, TenantLoad,
 };
+
+/// Fans one event stream out to both the in-memory recorder and the
+/// on-disk stream sink when `--trace-out` and `--trace-stream` are both
+/// given.
+struct TeeSink(Arc<Recorder>, Arc<StreamSink>);
+
+impl TraceSink for TeeSink {
+    fn submit(&self, track: u64, events: &[pade_trace::TraceEvent]) {
+        self.0.submit(track, events);
+        self.1.submit(track, events);
+    }
+}
 
 struct Args {
     quick: bool,
@@ -57,6 +69,7 @@ struct Args {
     cache_file: Option<std::path::PathBuf>,
     spill_dir: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
+    trace_stream: Option<std::path::PathBuf>,
     requests: Option<usize>,
     mean_gap: Option<f64>,
     seq_len: Option<usize>,
@@ -84,6 +97,7 @@ fn parse_args() -> Args {
         cache_file: None,
         spill_dir: None,
         trace_out: None,
+        trace_stream: None,
         requests: None,
         mean_gap: None,
         seq_len: None,
@@ -113,6 +127,10 @@ fn parse_args() -> Args {
                 args.trace_out =
                     Some(std::path::PathBuf::from(parse::<String>("--trace-out", it.next())));
             }
+            "--trace-stream" => {
+                args.trace_stream =
+                    Some(std::path::PathBuf::from(parse::<String>("--trace-stream", it.next())));
+            }
             "--requests" => args.requests = Some(parse("--requests", it.next())),
             "--mean-gap" => args.mean_gap = Some(parse("--mean-gap", it.next())),
             "--seq-len" => args.seq_len = Some(parse("--seq-len", it.next())),
@@ -128,7 +146,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: pade-serve [--quick] [--shared-prefix] [--slo-aware] \
                      [--no-prefix-cache] [--hit-aware] [--cache-budget BYTES] \
-                     [--cache-file PATH] [--spill-dir PATH] [--trace-out PATH] [--requests N] \
+                     [--cache-file PATH] [--spill-dir PATH] [--trace-out PATH] \
+                     [--trace-stream PATH] [--requests N] \
                      [--mean-gap CYCLES] [--seq-len S] [--slots K] [--max-batch-tokens T] \
                      [--decode-fraction F] [--seed X]"
                 );
@@ -165,6 +184,12 @@ fn print_report(report: &ServeReport, wall_s: f64) {
         s.occupancy_mean,
         wall_s
     );
+}
+
+/// Flight-recorder totals: where retired requests spent their cycles
+/// between arrival and retirement.
+fn print_flight_summary(report: &ServeReport) {
+    println!("{} {}", report.mode.label(), report.summary.flight);
 }
 
 /// Always prints — a run that attached nothing says so explicitly
@@ -482,11 +507,21 @@ fn main() {
     );
 
     let recorder = args.trace_out.as_ref().map(|_| Arc::new(Recorder::new()));
-    let tracer = match &recorder {
-        Some(r) => Tracer::new(Arc::clone(r) as Arc<dyn pade_trace::TraceSink>),
-        None => Tracer::disabled(),
+    let stream = args.trace_stream.as_ref().map(|path| {
+        Arc::new(StreamSink::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create stream file {}: {e}", path.display());
+            exit(1);
+        }))
+    });
+    let tracer = match (&recorder, &stream) {
+        (Some(r), Some(s)) => {
+            Tracer::new(Arc::new(TeeSink(Arc::clone(r), Arc::clone(s))) as Arc<dyn TraceSink>)
+        }
+        (Some(r), None) => Tracer::new(Arc::clone(r) as Arc<dyn TraceSink>),
+        (None, Some(s)) => Tracer::new(Arc::clone(s) as Arc<dyn TraceSink>),
+        (None, None) => Tracer::disabled(),
     };
-    if args.trace_out.is_some() && !tracer.is_active() {
+    if (args.trace_out.is_some() || args.trace_stream.is_some()) && !tracer.is_active() {
         eprintln!(
             "warning: built without the `trace` feature; the trace file will hold no events \
              (rebuild with --features pade-serve/trace)"
@@ -513,6 +548,8 @@ fn main() {
     println!();
     print_slo_summary(&batched);
     print_slo_summary(&solo);
+    print_flight_summary(&batched);
+    print_flight_summary(&solo);
     print_cache_summary(&batched);
     print_cache_summary(&solo);
     print_ops_summary(&batched);
@@ -532,6 +569,18 @@ fn main() {
             path.display()
         );
         println!("trace stages: {}", stages.join(", "));
+    }
+    if let (Some(path), Some(stream)) = (&args.trace_stream, &stream) {
+        stream
+            .finish()
+            .unwrap_or_else(|e| panic!("failed to write stream file {}: {e}", path.display()));
+        println!(
+            "trace stream: {} frames of {} B (peak {} B buffered) -> {}",
+            stream.frames_written(),
+            stream.frame_size(),
+            stream.peak_buffered_bytes(),
+            path.display()
+        );
     }
 
     let gain = batched.summary.tokens_per_s / solo.summary.tokens_per_s.max(f64::MIN_POSITIVE);

@@ -60,6 +60,60 @@ pub struct ServeMetrics {
     /// retirement of a request carrying a
     /// [`tenant_slo`](pade_workload::trace::RequestArrival::tenant_slo).
     pub slo: MetricsRegistry,
+    /// Flight-recorder cycle totals folded in at every retirement.
+    pub flight: FlightTotals,
+}
+
+/// Flight-recorder cycle totals, summed over every retired request:
+/// where admitted requests actually spent their time between arrival and
+/// retirement. Accounted natively by the node at admit/dispatch/preempt/
+/// retire — never derived from the tracer — so traced and untraced runs
+/// digest identically; `pade_trace::flight::assemble_timelines`
+/// reconstructs the same numbers per request from a run's link events.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlightTotals {
+    /// Cycles between arrival and admission.
+    pub queue_cycles: u64,
+    /// Engine cycles the requests' prefill dispatches ran.
+    pub prefill_cycles: u64,
+    /// Engine cycles the requests' decode dispatches ran.
+    pub decode_cycles: u64,
+    /// Cycles parked between a preemption and its resume.
+    pub preempted_cycles: u64,
+    /// Admitted-but-idle cycles: in the system, neither running nor
+    /// parked (batch waits inside an iteration window, head-of-line
+    /// blocking, slower batch peers).
+    pub stalled_cycles: u64,
+    /// Requests folded into these totals (== completions).
+    pub requests: u64,
+}
+
+impl FlightTotals {
+    /// Accumulates another node's totals (the router's fleet merge).
+    pub fn merge(&mut self, other: &FlightTotals) {
+        self.queue_cycles += other.queue_cycles;
+        self.prefill_cycles += other.prefill_cycles;
+        self.decode_cycles += other.decode_cycles;
+        self.preempted_cycles += other.preempted_cycles;
+        self.stalled_cycles += other.stalled_cycles;
+        self.requests += other.requests;
+    }
+}
+
+/// `flight(n=N): queue Q + prefill P + decode D + preempted X + stalled S cyc`.
+impl std::fmt::Display for FlightTotals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flight(n={}): queue {} + prefill {} + decode {} + preempted {} + stalled {} cyc",
+            self.requests,
+            self.queue_cycles,
+            self.prefill_cycles,
+            self.decode_cycles,
+            self.preempted_cycles,
+            self.stalled_cycles
+        )
+    }
 }
 
 /// Per-tenant SLO attainment digest — one line of
@@ -192,6 +246,9 @@ pub struct MetricsSummary {
     /// Per-tenant SLO attainment, in tenant order; empty when no request
     /// carried an SLO.
     pub slo: Vec<TenantSloSummary>,
+    /// Flight-recorder totals over every retired request — queue /
+    /// prefill / decode / preempted / stalled cycle accounting.
+    pub flight: FlightTotals,
     /// Engine arithmetic events summed over every dispatched block.
     pub ops: OpCounts,
     /// Engine memory traffic summed over every dispatched block.
@@ -231,6 +288,7 @@ impl ServeMetrics {
             preemptions: self.preemptions,
             resumes: self.resumes,
             slo: slo_attainment(&self.slo),
+            flight: self.flight,
             ops: self.ops,
             traffic: self.traffic,
         }

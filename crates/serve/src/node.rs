@@ -40,11 +40,11 @@
 //! run starts with the prefix index and session store this run built.
 
 use std::cmp::Reverse;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use pade_cache::{CacheConfig, KvCacheManager};
 use pade_sim::{Cycle, Frequency};
-use pade_trace::{track as trace_track, Tracer};
+use pade_trace::{flight::hop, track as trace_track, Tracer};
 use pade_workload::trace::{RequestArrival, RequestKind};
 
 use crate::metrics::ServeMetrics;
@@ -61,6 +61,26 @@ enum Step {
     Jumped,
     /// No active and no queued work: the node is fully drained.
     Exhausted,
+}
+
+/// Native per-request flight accounting, accumulated from admission to
+/// retirement. Kept independent of the tracer — the flight digest in
+/// [`MetricsSummary`](crate::metrics::MetricsSummary) must be identical
+/// with tracing on, off or compiled out — while the link events emitted
+/// alongside carry the same numbers into the trace for
+/// `pade_trace::flight::assemble_timelines`.
+#[derive(Debug, Default, Clone, Copy)]
+struct FlightAccum {
+    /// Cycles between arrival and admission.
+    queue_cycles: u64,
+    /// Engine cycles of the request's prefill dispatches.
+    prefill_cycles: u64,
+    /// Engine cycles of the request's decode dispatches.
+    decode_cycles: u64,
+    /// Cycles spent parked over completed preempt→resume intervals.
+    preempted_cycles: u64,
+    /// Set while the session is parked by the scheduler.
+    parked_since: Option<Cycle>,
 }
 
 /// One serving node — scheduler, engine slots, KV cache manager and
@@ -100,6 +120,9 @@ pub struct Node {
     /// chunk/step boundary; a chosen session with progress that did not
     /// run last iteration resumed.
     ran_last: Vec<usize>,
+    /// In-flight requests' native cycle accounting, keyed by request id;
+    /// folded into [`ServeMetrics::flight`] at retirement.
+    flight: BTreeMap<usize, FlightAccum>,
 }
 
 impl Node {
@@ -130,6 +153,7 @@ impl Node {
             dispatch_units: 0,
             session_seq: 0,
             ran_last: Vec::new(),
+            flight: BTreeMap::new(),
         }
     }
 
@@ -335,6 +359,9 @@ impl Node {
             }
         }
         for queued in ready {
+            // Cache counters before the attach inside `Session::admit`, so
+            // the deltas below attribute this request's hits/spills/fetches.
+            let stats_before = self.cache_stats();
             let mut session = Session::admit(
                 &queued,
                 &self.config.engine,
@@ -343,6 +370,8 @@ impl Node {
                 self.now,
                 self.cache_manager.as_mut(),
             );
+            let queue_cycles = self.now.0.saturating_sub(queued.arrival_cycle);
+            self.flight.insert(queued.id, FlightAccum { queue_cycles, ..FlightAccum::default() });
             if self.tracer.is_active() {
                 self.tracer.span_at(self.node_track(), "serve.admit", self.now, self.now, 0);
                 session.bind_trace(
@@ -350,6 +379,28 @@ impl Node {
                     trace_track::id(trace_track::QUANT, self.node_id, self.session_seq),
                 );
                 self.session_seq = self.session_seq.wrapping_add(1);
+                // This request's hops of the causality chain: admit and
+                // queue-wait on the node track, tier traffic on the node's
+                // tier track. Deltas, not totals — the manager's counters
+                // are cumulative across requests.
+                let tk = self.node_track();
+                let req = queued.id as u64;
+                self.tracer.link(tk, hop::ADMIT, self.now, req, queued.session);
+                self.tracer.link(tk, hop::QUEUE, self.now, req, queue_cycles);
+                let stats = self.cache_stats();
+                let hit = stats.hit_tokens.saturating_sub(stats_before.hit_tokens);
+                if hit > 0 {
+                    self.tracer.link(tk, hop::CACHE, self.now, req, hit);
+                }
+                let tier_tk = trace_track::id(trace_track::TIER, self.node_id, 0);
+                let spilled = stats.spilled_chunks.saturating_sub(stats_before.spilled_chunks);
+                if spilled > 0 {
+                    self.tracer.link(tier_tk, hop::TIER_SPILL, self.now, req, spilled);
+                }
+                let fetched = stats.fetched_tokens.saturating_sub(stats_before.fetched_tokens);
+                if fetched > 0 {
+                    self.tracer.link(tier_tk, hop::TIER_FETCH, self.now, req, fetched);
+                }
             }
             self.active.push(session);
             if let Some(manager) = &self.cache_manager {
@@ -419,8 +470,12 @@ impl Node {
         for &id in &self.ran_last {
             if !chosen_ids.contains(&id) && self.active.iter().any(|s| s.spec().id == id) {
                 self.metrics.preemptions += 1;
+                if let Some(f) = self.flight.get_mut(&id) {
+                    f.parked_since = Some(self.now);
+                }
                 if self.tracer.is_active() {
                     self.tracer.span_at(self.node_track(), "serve.preempt", self.now, self.now, 0);
+                    self.tracer.link(self.node_track(), hop::PREEMPT, self.now, id as u64, 0);
                 }
             }
         }
@@ -428,8 +483,14 @@ impl Node {
             let id = self.active[i].spec().id;
             if self.active[i].blocks_done() > 0 && !self.ran_last.contains(&id) {
                 self.metrics.resumes += 1;
+                let parked = self.flight.get_mut(&id).map_or(0, |f| {
+                    let parked = f.parked_since.take().map_or(0, |since| (self.now - since).0);
+                    f.preempted_cycles += parked;
+                    parked
+                });
                 if self.tracer.is_active() {
                     self.tracer.span_at(self.node_track(), "serve.resume", self.now, self.now, 0);
+                    self.tracer.link(self.node_track(), hop::RESUME, self.now, id as u64, parked);
                 }
             }
         }
@@ -517,10 +578,15 @@ impl Node {
                 } else {
                     base_track + j as u64 * trace_track::DISPATCH_STRIDE
                 };
-                let name = match self.active[chosen[j]].spec().kind {
-                    RequestKind::Prefill { .. } => "serve.prefill",
-                    RequestKind::Decode { .. } => "serve.decode",
+                let (name, hop_name) = match self.active[chosen[j]].spec().kind {
+                    RequestKind::Prefill { .. } => ("serve.prefill", hop::PREFILL),
+                    RequestKind::Decode { .. } => ("serve.decode", hop::DECODE),
                 };
+                // Links first: the span's End lands past dispatch_begin,
+                // and per-track clocks must never step backwards.
+                let req = self.active[chosen[j]].spec().id as u64;
+                self.tracer.link(unit + 3, hop::DISPATCH, dispatch_begin, req, base_track);
+                self.tracer.link(unit + 3, hop_name, dispatch_begin, req, result.cycles.0);
                 self.tracer.span_at(
                     unit + 3,
                     name,
@@ -535,6 +601,12 @@ impl Node {
             self.metrics.ops.merge(&result.ops);
             self.metrics.traffic.merge(&result.traffic);
             self.metrics.engine_cycles += result.cycles.0;
+            if let Some(f) = self.flight.get_mut(&self.active[i].spec().id) {
+                match self.active[i].spec().kind {
+                    RequestKind::Prefill { .. } => f.prefill_cycles += result.cycles.0,
+                    RequestKind::Decode { .. } => f.decode_cycles += result.cycles.0,
+                }
+            }
             self.active[i].absorb(result);
         }
 
@@ -561,8 +633,33 @@ impl Node {
                         self.now - arrival,
                     );
                 }
+                // Fold the request's flight accounting into the run
+                // totals. Stalled = the admitted span minus every cycle
+                // attributed to running or being parked; a session cannot
+                // retire parked, but a lingering `parked_since` still
+                // folds in defensively.
+                let mut f = self.flight.remove(&session.spec().id).unwrap_or_default();
+                if let Some(since) = f.parked_since.take() {
+                    f.preempted_cycles += (self.now - since).0;
+                }
+                let admitted_span = (self.now - session.admitted()).0;
+                let stalled = admitted_span
+                    .saturating_sub(f.prefill_cycles + f.decode_cycles + f.preempted_cycles);
+                self.metrics.flight.queue_cycles += f.queue_cycles;
+                self.metrics.flight.prefill_cycles += f.prefill_cycles;
+                self.metrics.flight.decode_cycles += f.decode_cycles;
+                self.metrics.flight.preempted_cycles += f.preempted_cycles;
+                self.metrics.flight.stalled_cycles += stalled;
+                self.metrics.flight.requests += 1;
                 if self.tracer.is_active() {
                     self.tracer.instant(self.node_track(), "serve.retire", self.now);
+                    self.tracer.link(
+                        self.node_track(),
+                        hop::RETIRE,
+                        self.now,
+                        session.spec().id as u64,
+                        (self.now - arrival).0,
+                    );
                 }
                 self.completions.push(Completion {
                     id: session.spec().id,

@@ -3,9 +3,11 @@
 //! The exporter writes the [Trace Event Format] consumed by
 //! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): spans as
 //! `B`/`E` phase pairs, counters and gauges as `C` events, instants as
-//! `i`. Timestamps are the **logical** cycle values (one trace-µs per
-//! cycle), so the rendered timeline is deterministic; wall-clock span
-//! annotations ride in `args.wall_ns`.
+//! `i`, and request link chains as flow events (`s`/`t`/`f` phases keyed
+//! by request id) so a request's journey across router/serve/engine/tier
+//! tracks renders as connected arrows. Timestamps are the **logical**
+//! cycle values (one trace-µs per cycle), so the rendered timeline is
+//! deterministic; wall-clock span annotations ride in `args.wall_ns`.
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
@@ -38,6 +40,37 @@ pub(crate) fn escape(s: &str) -> String {
 ///
 /// Propagates I/O errors from `w`.
 pub fn write_chrome_trace<W: Write>(snapshot: &TraceSnapshot, mut w: W) -> io::Result<()> {
+    // Pre-pass: order every request's link hops by (clock, track,
+    // emission index) and assign flow phases — first hop opens the flow
+    // (`s`), middle hops step it (`t`), the last closes it (`f`).
+    // Single-hop chains draw no arrow and render as plain instants.
+    let mut chains: BTreeMap<u64, Vec<(u64, u64, usize)>> = BTreeMap::new();
+    for t in &snapshot.tracks {
+        for (i, e) in t.events.iter().enumerate() {
+            if let TraceEvent::Link { clock, request, .. } = *e {
+                chains.entry(request).or_default().push((clock.0, t.track, i));
+            }
+        }
+    }
+    let mut flow_phase: BTreeMap<(u64, usize), (char, u64)> = BTreeMap::new();
+    for (request, mut chain) in chains {
+        if chain.len() < 2 {
+            continue;
+        }
+        chain.sort_unstable();
+        let last = chain.len() - 1;
+        for (k, (_, track, index)) in chain.into_iter().enumerate() {
+            let phase = if k == 0 {
+                's'
+            } else if k == last {
+                'f'
+            } else {
+                't'
+            };
+            flow_phase.insert((track, index), (phase, request));
+        }
+    }
+
     w.write_all(b"{\"traceEvents\":[")?;
     let mut first = true;
     let mut emit = |w: &mut W, line: &str| -> io::Result<()> {
@@ -64,7 +97,32 @@ pub fn write_chrome_trace<W: Write>(snapshot: &TraceSnapshot, mut w: W) -> io::R
         // viewers want it).
         let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
         let mut open: Vec<&'static str> = Vec::new();
-        for e in &t.events {
+        for (i, e) in t.events.iter().enumerate() {
+            if let TraceEvent::Link { name, clock, request, info } = *e {
+                emit(
+                    &mut w,
+                    &format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{tid},\
+                         \"s\":\"t\",\"args\":{{\"request\":{request},\"info\":{info}}}}}",
+                        escape(name),
+                        clock.0
+                    ),
+                )?;
+                if let Some(&(phase, request)) = flow_phase.get(&(tid, i)) {
+                    // `bp:e` binds the closing flow arrow to the
+                    // enclosing slice, which Perfetto renders cleanly.
+                    let bp = if phase == 'f' { ",\"bp\":\"e\"" } else { "" };
+                    emit(
+                        &mut w,
+                        &format!(
+                            "{{\"name\":\"req\",\"cat\":\"req\",\"ph\":\"{phase}\",\
+                             \"id\":{request},\"ts\":{},\"pid\":1,\"tid\":{tid}{bp}}}",
+                            clock.0
+                        ),
+                    )?;
+                }
+                continue;
+            }
             let line = match *e {
                 TraceEvent::Begin { name, clock } => {
                     open.push(name);
@@ -109,6 +167,7 @@ pub fn write_chrome_trace<W: Write>(snapshot: &TraceSnapshot, mut w: W) -> io::R
                     escape(name),
                     clock.0
                 ),
+                TraceEvent::Link { .. } => unreachable!("links are emitted above"),
             };
             emit(&mut w, &line)?;
         }
@@ -139,6 +198,8 @@ pub struct ChromeTraceSummary {
     pub stage_names: BTreeSet<String>,
     /// `C` (counter/gauge) events.
     pub counter_events: usize,
+    /// Flow events (`s`/`t`/`f` phases — request link arrows).
+    pub flow_events: usize,
 }
 
 /// Validates Chrome-trace JSON text: it must parse as JSON, carry a
@@ -180,6 +241,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
                 summary.spans += 1;
             }
             "C" => summary.counter_events += 1,
+            "s" | "t" | "f" => summary.flow_events += 1,
             _ => {}
         }
     }
@@ -458,6 +520,37 @@ mod tests {
             {"name":"x","ph":"E","ts":0,"pid":1,"tid":1}
         ]}"#;
         assert!(validate_chrome_trace(orphan).unwrap_err().contains("without open B"));
+    }
+
+    #[test]
+    fn link_chains_export_as_flow_events() {
+        let rec = Recorder::new();
+        rec.submit(
+            track::id(track::SERVE, 0, 0),
+            &[
+                TraceEvent::Link { name: "req.admit", clock: Cycle(0), request: 5, info: 0 },
+                TraceEvent::Link { name: "req.prefill", clock: Cycle(2), request: 5, info: 9 },
+            ],
+        );
+        rec.submit(
+            track::id(track::ENGINE, 0, 0),
+            &[
+                TraceEvent::Link { name: "req.retire", clock: Cycle(7), request: 5, info: 7 },
+                TraceEvent::Link { name: "req.admit", clock: Cycle(8), request: 6, info: 0 },
+            ],
+        );
+        let mut out = Vec::new();
+        write_chrome_trace(&rec.snapshot(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let summary = validate_chrome_trace(&text).unwrap();
+        // Request 5's three hops draw s → t → f; request 6's single hop
+        // draws no arrow (instant only).
+        assert_eq!(summary.flow_events, 3);
+        assert!(text.contains("\"ph\":\"s\""));
+        assert!(text.contains("\"ph\":\"t\""));
+        assert!(text.contains("\"ph\":\"f\""));
+        assert!(text.contains("\"bp\":\"e\""));
+        assert!(text.contains("\"request\":5"));
     }
 
     #[test]

@@ -55,14 +55,18 @@
 #![warn(missing_docs)]
 
 mod chrome;
+pub mod flight;
 mod metrics;
 mod sink;
+pub mod stream;
 
 pub use chrome::{
     save_chrome_trace, validate_chrome_trace, write_chrome_trace, ChromeTraceSummary,
 };
+pub use flight::{assemble_timelines, RequestTimeline};
 pub use metrics::{MetricsRegistry, StageBreakdown, StageStat};
 pub use sink::{NullSink, Recorder, TraceSink, TraceSnapshot, TrackEvents};
+pub use stream::{read_stream, read_stream_lossy, StreamSink};
 
 /// Re-exported so layers without a `pade-sim` dependency can stamp events.
 pub use pade_sim::Cycle;
@@ -114,6 +118,21 @@ pub enum TraceEvent {
         /// Sampled level.
         value: f64,
     },
+    /// A causality edge: one hop of a request's journey through the
+    /// stack (router placement, node admit, dispatch, cache attach, tier
+    /// spill/fetch, retire). Links sharing a `request` id form a flow
+    /// chain exported as Perfetto flow events and folded into
+    /// [`RequestTimeline`]s by [`assemble_timelines`].
+    Link {
+        /// Hop name, e.g. `"req.admit"`.
+        name: &'static str,
+        /// Logical time.
+        clock: Cycle,
+        /// Request id the hop belongs to.
+        request: u64,
+        /// Hop-specific payload (node index, token count, latency, …).
+        info: u64,
+    },
 }
 
 impl TraceEvent {
@@ -125,7 +144,8 @@ impl TraceEvent {
             | TraceEvent::End { clock, .. }
             | TraceEvent::Instant { clock, .. }
             | TraceEvent::Count { clock, .. }
-            | TraceEvent::Gauge { clock, .. } => clock,
+            | TraceEvent::Gauge { clock, .. }
+            | TraceEvent::Link { clock, .. } => clock,
         }
     }
 }
@@ -148,6 +168,8 @@ pub mod track {
     pub const ROUTER: u8 = 5;
     /// Bench-harness layer tag.
     pub const BENCH: u8 = 6;
+    /// Spill-tier layer tag (per-node tier traffic tracks).
+    pub const TIER: u8 = 7;
 
     /// Consecutive track ids reserved per engine dispatch unit: the block's
     /// main track plus aggregate-stage and wrapper subtracks.
@@ -188,6 +210,7 @@ pub mod track {
             SERVE => "serve",
             ROUTER => "router",
             BENCH => "bench",
+            TIER => "tier",
             _ => "track",
         };
         format!("{name}/n{}/s{}", owner(track), seq(track))
@@ -334,6 +357,19 @@ impl Tracer {
             let _ = (track, name, clock, value);
         }
     }
+
+    /// One-shot causality link: one hop of request `request`'s journey.
+    #[inline]
+    pub fn link(&self, track: u64, name: &'static str, clock: Cycle, request: u64, info: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(sink) = &self.sink {
+            sink.submit(track, &[TraceEvent::Link { name, clock, request, info }]);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (track, name, clock, request, info);
+        }
+    }
 }
 
 #[cfg(feature = "enabled")]
@@ -470,6 +506,19 @@ impl TraceCtx {
         #[cfg(not(feature = "enabled"))]
         {
             let _ = (name, clock, value);
+        }
+    }
+
+    /// Records a causality link for request `request`.
+    #[inline]
+    pub fn link(&mut self, name: &'static str, clock: Cycle, request: u64, info: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(inner) = &mut self.inner {
+            inner.events.push(TraceEvent::Link { name, clock, request, info });
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (name, clock, request, info);
         }
     }
 

@@ -112,6 +112,16 @@ impl TraceSnapshot {
             .count()
     }
 
+    /// Number of causality link events across all tracks.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| matches!(e, TraceEvent::Link { .. }))
+            .count()
+    }
+
     /// Distinct span stage names, sorted.
     #[must_use]
     pub fn stage_names(&self) -> BTreeSet<&'static str> {
@@ -207,6 +217,13 @@ impl TraceSnapshot {
                         eat(name.as_bytes());
                         eat(&clock.0.to_le_bytes());
                         eat(&value.to_bits().to_le_bytes());
+                    }
+                    TraceEvent::Link { name, clock, request, info } => {
+                        eat(&[6]);
+                        eat(name.as_bytes());
+                        eat(&clock.0.to_le_bytes());
+                        eat(&request.to_le_bytes());
+                        eat(&info.to_le_bytes());
                     }
                 }
             }

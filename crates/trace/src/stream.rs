@@ -1,0 +1,775 @@
+//! Bounded-memory on-disk trace streaming: the [`StreamSink`] appends
+//! events to a `.padetrace` binary file during the run, and
+//! [`read_stream`] reconstructs a [`TraceSnapshot`] that is
+//! fingerprint-identical to what an in-memory [`Recorder`](crate::Recorder)
+//! would have captured on the same run.
+//!
+//! # Format
+//!
+//! The file opens with an 8-byte magic (`PADETRC` + version byte) and a
+//! little-endian `u32` frame size, then consists of fixed-size frames:
+//!
+//! ```text
+//! [4B "PTFR"][u32 payload_len][u64 FNV-1a(payload)][payload][zero pad]
+//! ```
+//!
+//! Frames are written whole, so a torn tail (crash mid-write) is
+//! detectable: the strict reader rejects it, the lossy reader returns
+//! every intact prior frame. Payload records never span frames.
+//!
+//! Records intern names and track ids into per-file tables (`NameDef` /
+//! `TrackDef` records, emitted before first use) and store event clocks
+//! as per-track varint deltas (`clock.wrapping_sub(last)`, reconstructed
+//! with `wrapping_add`, so even non-monotone inputs round-trip exactly).
+//! Resident memory while writing is one frame buffer plus the intern
+//! tables and per-track clock cursors — O(frame + distinct tracks), never
+//! O(events).
+
+use crate::sink::{TraceSink, TraceSnapshot, TrackEvents};
+use crate::TraceEvent;
+use pade_sim::Cycle;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// File magic: `PADETRC` + format version byte.
+pub const FILE_MAGIC: [u8; 8] = *b"PADETRC\x01";
+/// Per-frame magic.
+const FRAME_MAGIC: [u8; 4] = *b"PTFR";
+/// Bytes of frame header before the payload (magic + len + checksum).
+const FRAME_HEADER: usize = 4 + 4 + 8;
+/// Default frame size: large enough that framing overhead is noise.
+pub const DEFAULT_FRAME_SIZE: usize = 64 * 1024;
+/// Smallest accepted frame size — every record our emitters produce
+/// (longest stage name + worst-case varints) fits a 128-byte payload.
+pub const MIN_FRAME_SIZE: usize = FRAME_HEADER + 128;
+
+const TAG_NAME_DEF: u8 = 0x01;
+const TAG_TRACK_DEF: u8 = 0x02;
+const TAG_BEGIN: u8 = 0x10;
+const TAG_END: u8 = 0x11;
+const TAG_INSTANT: u8 = 0x12;
+const TAG_COUNT: u8 = 0x13;
+const TAG_GAUGE: u8 = 0x14;
+const TAG_LINK: u8 = 0x15;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or("varint runs off the record payload")?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err("varint longer than 64 bits".to_string());
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Leaked-string intern pool so reconstructed events can carry the
+/// `&'static str` names [`TraceEvent`] requires. Stage-name sets are
+/// small and fixed per build, so the leak is bounded.
+fn intern(name: &str) -> &'static str {
+    static POOL: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut pool = POOL.lock().expect("intern pool poisoned");
+    if let Some(&s) = pool.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    pool.insert(name.to_owned(), leaked);
+    leaked
+}
+
+struct StreamState {
+    out: Box<dyn Write + Send>,
+    /// Payload bytes of the frame under construction.
+    frame: Vec<u8>,
+    /// Payload capacity per frame (`frame_size - FRAME_HEADER`).
+    capacity: usize,
+    frame_size: usize,
+    names: BTreeMap<&'static str, u64>,
+    tracks: BTreeMap<u64, u64>,
+    /// Last emitted clock per track index, for delta encoding.
+    last_clock: BTreeMap<u64, u64>,
+    /// First I/O or encoding error, surfaced by [`StreamSink::finish`].
+    error: Option<String>,
+    peak_buffered: usize,
+    frames_written: u64,
+    finished: bool,
+}
+
+impl StreamState {
+    fn flush_frame(&mut self) {
+        if self.frame.is_empty() || self.error.is_some() {
+            return;
+        }
+        let mut header = [0u8; FRAME_HEADER];
+        header[..4].copy_from_slice(&FRAME_MAGIC);
+        header[4..8].copy_from_slice(&(self.frame.len() as u32).to_le_bytes());
+        header[8..16].copy_from_slice(&fnv1a(&self.frame).to_le_bytes());
+        let pad = self.capacity - self.frame.len();
+        let res =
+            self.out.write_all(&header).and_then(|()| self.out.write_all(&self.frame)).and_then(
+                |()| {
+                    // Zero padding keeps frames fixed-size so readers can
+                    // seek by frame index and torn tails are unambiguous.
+                    self.out.write_all(&vec![0u8; pad])
+                },
+            );
+        if let Err(e) = res {
+            self.error = Some(format!("writing frame {}: {e}", self.frames_written));
+        }
+        self.frames_written += 1;
+        self.frame.clear();
+    }
+
+    /// Appends one encoded record, flushing the current frame first when
+    /// the record would not fit.
+    fn push_record(&mut self, record: &[u8]) {
+        if record.len() > self.capacity {
+            self.error = Some(format!(
+                "record of {} bytes exceeds the frame payload capacity of {} — raise the \
+                 frame size",
+                record.len(),
+                self.capacity
+            ));
+            return;
+        }
+        if self.frame.len() + record.len() > self.capacity {
+            self.flush_frame();
+        }
+        self.frame.extend_from_slice(record);
+        self.peak_buffered = self.peak_buffered.max(self.frame.len());
+    }
+
+    fn name_index(&mut self, name: &'static str, scratch: &mut Vec<u8>) -> u64 {
+        if let Some(&idx) = self.names.get(name) {
+            return idx;
+        }
+        let idx = self.names.len() as u64;
+        self.names.insert(name, idx);
+        scratch.clear();
+        scratch.push(TAG_NAME_DEF);
+        put_varint(scratch, idx);
+        put_varint(scratch, name.len() as u64);
+        scratch.extend_from_slice(name.as_bytes());
+        let record = std::mem::take(scratch);
+        self.push_record(&record);
+        *scratch = record;
+        idx
+    }
+
+    fn track_index(&mut self, track: u64, scratch: &mut Vec<u8>) -> u64 {
+        if let Some(&idx) = self.tracks.get(&track) {
+            return idx;
+        }
+        let idx = self.tracks.len() as u64;
+        self.tracks.insert(track, idx);
+        self.last_clock.insert(idx, 0);
+        scratch.clear();
+        scratch.push(TAG_TRACK_DEF);
+        put_varint(scratch, idx);
+        put_varint(scratch, track);
+        let record = std::mem::take(scratch);
+        self.push_record(&record);
+        *scratch = record;
+        idx
+    }
+
+    fn encode_event(&mut self, track_idx: u64, event: &TraceEvent, scratch: &mut Vec<u8>) {
+        let last = self.last_clock.get(&track_idx).copied().unwrap_or(0);
+        let clock = event.clock().0;
+        let delta = clock.wrapping_sub(last);
+        self.last_clock.insert(track_idx, clock);
+        // Interning may itself emit a NameDef record, so resolve names
+        // before the event record starts.
+        let name_idx = match *event {
+            TraceEvent::Begin { name, .. }
+            | TraceEvent::Instant { name, .. }
+            | TraceEvent::Count { name, .. }
+            | TraceEvent::Gauge { name, .. }
+            | TraceEvent::Link { name, .. } => Some(self.name_index(name, scratch)),
+            TraceEvent::End { .. } => None,
+        };
+        scratch.clear();
+        match *event {
+            TraceEvent::Begin { .. } => {
+                scratch.push(TAG_BEGIN);
+                put_varint(scratch, track_idx);
+                put_varint(scratch, name_idx.expect("begin has a name"));
+                put_varint(scratch, delta);
+            }
+            TraceEvent::End { wall_nanos, .. } => {
+                scratch.push(TAG_END);
+                put_varint(scratch, track_idx);
+                put_varint(scratch, delta);
+                put_varint(scratch, wall_nanos);
+            }
+            TraceEvent::Instant { .. } => {
+                scratch.push(TAG_INSTANT);
+                put_varint(scratch, track_idx);
+                put_varint(scratch, name_idx.expect("instant has a name"));
+                put_varint(scratch, delta);
+            }
+            TraceEvent::Count { delta: count_delta, .. } => {
+                scratch.push(TAG_COUNT);
+                put_varint(scratch, track_idx);
+                put_varint(scratch, name_idx.expect("count has a name"));
+                put_varint(scratch, delta);
+                put_varint(scratch, count_delta);
+            }
+            TraceEvent::Gauge { value, .. } => {
+                scratch.push(TAG_GAUGE);
+                put_varint(scratch, track_idx);
+                put_varint(scratch, name_idx.expect("gauge has a name"));
+                put_varint(scratch, delta);
+                scratch.extend_from_slice(&value.to_bits().to_le_bytes());
+            }
+            TraceEvent::Link { request, info, .. } => {
+                scratch.push(TAG_LINK);
+                put_varint(scratch, track_idx);
+                put_varint(scratch, name_idx.expect("link has a name"));
+                put_varint(scratch, delta);
+                put_varint(scratch, request);
+                put_varint(scratch, info);
+            }
+        }
+        let record = std::mem::take(scratch);
+        self.push_record(&record);
+        *scratch = record;
+    }
+}
+
+/// Append-only on-disk [`TraceSink`]: events stream to a `.padetrace`
+/// file in fixed-size frames as the run progresses, so resident memory
+/// stays bounded by the frame size no matter how long the run is.
+///
+/// Call [`finish`](StreamSink::finish) when the run ends to flush the
+/// final partial frame and surface any deferred I/O error; dropping the
+/// sink flushes best-effort.
+pub struct StreamSink {
+    state: Mutex<StreamState>,
+}
+
+impl std::fmt::Debug for StreamSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StreamSink")
+    }
+}
+
+impl StreamSink {
+    /// Creates (truncating) `path` with the default frame size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and header-write errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::with_frame_size(path, DEFAULT_FRAME_SIZE)
+    }
+
+    /// Creates (truncating) `path` with an explicit frame size — small
+    /// frames force multi-frame output in tests, large frames amortize
+    /// syscalls in soaks.
+    ///
+    /// # Errors
+    ///
+    /// Rejects frame sizes under [`MIN_FRAME_SIZE`]; propagates
+    /// file-creation and header-write errors.
+    pub fn with_frame_size(path: impl AsRef<Path>, frame_size: usize) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Self::from_writer(Box::new(io::BufWriter::new(file)), frame_size)
+    }
+
+    /// Streams into an arbitrary writer (in-memory buffers in tests).
+    ///
+    /// # Errors
+    ///
+    /// Rejects frame sizes under [`MIN_FRAME_SIZE`]; propagates
+    /// header-write errors.
+    pub fn from_writer(mut out: Box<dyn Write + Send>, frame_size: usize) -> io::Result<Self> {
+        if frame_size < MIN_FRAME_SIZE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame size {frame_size} is below the minimum {MIN_FRAME_SIZE}"),
+            ));
+        }
+        out.write_all(&FILE_MAGIC)?;
+        out.write_all(&(frame_size as u32).to_le_bytes())?;
+        Ok(Self {
+            state: Mutex::new(StreamState {
+                out,
+                frame: Vec::with_capacity(frame_size - FRAME_HEADER),
+                capacity: frame_size - FRAME_HEADER,
+                frame_size,
+                names: BTreeMap::new(),
+                tracks: BTreeMap::new(),
+                last_clock: BTreeMap::new(),
+                error: None,
+                peak_buffered: 0,
+                frames_written: 0,
+                finished: false,
+            }),
+        })
+    }
+
+    /// Flushes the final partial frame and the underlying writer, and
+    /// returns the first error deferred from any earlier submission.
+    /// Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces deferred encoding/I/O errors and final-flush failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a submitting thread panicked while holding the lock.
+    pub fn finish(&self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("stream sink lock poisoned");
+        if !state.finished {
+            state.flush_frame();
+            state.finished = true;
+            if state.error.is_none() {
+                if let Err(e) = state.out.flush() {
+                    state.error = Some(format!("final flush: {e}"));
+                }
+            }
+        }
+        match &state.error {
+            Some(e) => Err(io::Error::other(e.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// High-water mark of the frame buffer, in bytes — the bounded-memory
+    /// claim the tests assert (`peak ≤ frame payload capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a submitting thread panicked while holding the lock.
+    #[must_use]
+    pub fn peak_buffered_bytes(&self) -> usize {
+        self.state.lock().expect("stream sink lock poisoned").peak_buffered
+    }
+
+    /// Frames flushed to the writer so far (excluding any partial frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a submitting thread panicked while holding the lock.
+    #[must_use]
+    pub fn frames_written(&self) -> u64 {
+        self.state.lock().expect("stream sink lock poisoned").frames_written
+    }
+
+    /// The configured frame size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a submitting thread panicked while holding the lock.
+    #[must_use]
+    pub fn frame_size(&self) -> usize {
+        self.state.lock().expect("stream sink lock poisoned").frame_size
+    }
+}
+
+impl TraceSink for StreamSink {
+    fn submit(&self, track: u64, events: &[TraceEvent]) {
+        let mut state = self.state.lock().expect("stream sink lock poisoned");
+        if state.finished || state.error.is_some() {
+            return;
+        }
+        let mut scratch = Vec::new();
+        let track_idx = state.track_index(track, &mut scratch);
+        for event in events {
+            state.encode_event(track_idx, event, &mut scratch);
+        }
+    }
+}
+
+impl Drop for StreamSink {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Outcome of a lossy stream read: every intact frame's events plus what
+/// was skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyRead {
+    /// Events reconstructed from intact frames.
+    pub snapshot: TraceSnapshot,
+    /// Intact frames decoded.
+    pub frames: u64,
+    /// `true` when a torn/corrupt tail was skipped.
+    pub torn: bool,
+}
+
+/// `true` when `path` starts with the `.padetrace` file magic.
+#[must_use]
+pub fn is_stream_file(path: impl AsRef<Path>) -> bool {
+    let mut magic = [0u8; 8];
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .map(|()| magic == FILE_MAGIC)
+        .unwrap_or(false)
+}
+
+/// Strict read: reconstructs the full snapshot, rejecting torn tails,
+/// checksum mismatches and malformed records.
+///
+/// # Errors
+///
+/// I/O errors, a bad header, or any malformed/torn frame.
+pub fn read_stream(path: impl AsRef<Path>) -> io::Result<TraceSnapshot> {
+    let bytes = std::fs::read(path)?;
+    let lossy = decode(&bytes).map_err(io::Error::other)?;
+    if lossy.torn {
+        return Err(io::Error::other(
+            "stream has a torn or corrupt final frame (use the lossy reader to salvage \
+             prior frames)",
+        ));
+    }
+    Ok(lossy.snapshot)
+}
+
+/// Lossy read: returns every event from intact frames, flagging (not
+/// failing on) a torn/corrupt tail — the crash-recovery path.
+///
+/// # Errors
+///
+/// I/O errors and malformed file headers only; frame damage is reported
+/// via [`LossyRead::torn`].
+pub fn read_stream_lossy(path: impl AsRef<Path>) -> io::Result<LossyRead> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map_err(io::Error::other)
+}
+
+fn decode(bytes: &[u8]) -> Result<LossyRead, String> {
+    if bytes.len() < FILE_MAGIC.len() + 4 {
+        return Err("file too short for a .padetrace header".to_string());
+    }
+    if bytes[..8] != FILE_MAGIC {
+        return Err("bad file magic: not a .padetrace stream".to_string());
+    }
+    let frame_size = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if frame_size < MIN_FRAME_SIZE {
+        return Err(format!("header frame size {frame_size} is below the minimum"));
+    }
+    let capacity = frame_size - FRAME_HEADER;
+    let mut names: Vec<&'static str> = Vec::new();
+    let mut track_ids: Vec<u64> = Vec::new();
+    let mut last_clock: Vec<u64> = Vec::new();
+    let mut tracks: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+    let mut offset = 12usize;
+    let mut frames = 0u64;
+    let mut torn = false;
+    while offset < bytes.len() {
+        if offset + frame_size > bytes.len() {
+            torn = true;
+            break;
+        }
+        let frame = &bytes[offset..offset + frame_size];
+        offset += frame_size;
+        if frame[..4] != FRAME_MAGIC {
+            torn = true;
+            break;
+        }
+        let payload_len = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes")) as usize;
+        if payload_len > capacity {
+            torn = true;
+            break;
+        }
+        let checksum = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes"));
+        let payload = &frame[FRAME_HEADER..FRAME_HEADER + payload_len];
+        if fnv1a(payload) != checksum {
+            torn = true;
+            break;
+        }
+        decode_frame(payload, &mut names, &mut track_ids, &mut last_clock, &mut tracks)?;
+        frames += 1;
+    }
+    Ok(LossyRead {
+        snapshot: TraceSnapshot {
+            tracks: tracks
+                .into_iter()
+                .map(|(track, events)| TrackEvents { track, events })
+                .collect(),
+        },
+        frames,
+        torn,
+    })
+}
+
+fn decode_frame(
+    payload: &[u8],
+    names: &mut Vec<&'static str>,
+    track_ids: &mut Vec<u64>,
+    last_clock: &mut Vec<u64>,
+    tracks: &mut BTreeMap<u64, Vec<TraceEvent>>,
+) -> Result<(), String> {
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        let tag = payload[pos];
+        pos += 1;
+        match tag {
+            TAG_NAME_DEF => {
+                let idx = get_varint(payload, &mut pos)?;
+                let len = get_varint(payload, &mut pos)? as usize;
+                let end = pos.checked_add(len).filter(|&e| e <= payload.len());
+                let end = end.ok_or("name def runs off the frame")?;
+                let name = std::str::from_utf8(&payload[pos..end])
+                    .map_err(|_| "name def is not UTF-8".to_string())?;
+                pos = end;
+                if idx as usize != names.len() {
+                    return Err(format!("name def index {idx} out of order"));
+                }
+                names.push(intern(name));
+            }
+            TAG_TRACK_DEF => {
+                let idx = get_varint(payload, &mut pos)?;
+                let track = get_varint(payload, &mut pos)?;
+                if idx as usize != track_ids.len() {
+                    return Err(format!("track def index {idx} out of order"));
+                }
+                track_ids.push(track);
+                last_clock.push(0);
+            }
+            TAG_BEGIN | TAG_END | TAG_INSTANT | TAG_COUNT | TAG_GAUGE | TAG_LINK => {
+                let track_idx = get_varint(payload, &mut pos)? as usize;
+                let track =
+                    *track_ids.get(track_idx).ok_or("event references an undefined track")?;
+                let name = if tag == TAG_END {
+                    ""
+                } else {
+                    let name_idx = get_varint(payload, &mut pos)? as usize;
+                    *names.get(name_idx).ok_or("event references an undefined name")?
+                };
+                let delta = get_varint(payload, &mut pos)?;
+                let clock = last_clock[track_idx].wrapping_add(delta);
+                last_clock[track_idx] = clock;
+                let clock = Cycle(clock);
+                let event = match tag {
+                    TAG_BEGIN => TraceEvent::Begin { name, clock },
+                    TAG_END => {
+                        let wall_nanos = get_varint(payload, &mut pos)?;
+                        TraceEvent::End { clock, wall_nanos }
+                    }
+                    TAG_INSTANT => TraceEvent::Instant { name, clock },
+                    TAG_COUNT => {
+                        let count_delta = get_varint(payload, &mut pos)?;
+                        TraceEvent::Count { name, clock, delta: count_delta }
+                    }
+                    TAG_GAUGE => {
+                        let end = pos
+                            .checked_add(8)
+                            .filter(|&e| e <= payload.len())
+                            .ok_or("gauge value runs off the frame")?;
+                        let bits =
+                            u64::from_le_bytes(payload[pos..end].try_into().expect("8 bytes"));
+                        pos = end;
+                        TraceEvent::Gauge { name, clock, value: f64::from_bits(bits) }
+                    }
+                    TAG_LINK => {
+                        let request = get_varint(payload, &mut pos)?;
+                        let info = get_varint(payload, &mut pos)?;
+                        TraceEvent::Link { name, clock, request, info }
+                    }
+                    _ => unreachable!("tag filtered above"),
+                };
+                tracks.entry(track).or_default().push(event);
+            }
+            other => return Err(format!("unknown record tag 0x{other:02x}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    /// A deterministic synthetic event mix exercising every variant.
+    fn workload() -> Vec<(u64, Vec<TraceEvent>)> {
+        let mut batches = Vec::new();
+        for owner in 0..3u32 {
+            let track = crate::track::id(crate::track::SERVE, owner, 0);
+            let mut events = Vec::new();
+            for i in 0..40u64 {
+                let base = i * 10;
+                events.push(TraceEvent::Begin { name: "serve.prefill", clock: Cycle(base) });
+                events.push(TraceEvent::Count {
+                    name: "serve.tokens",
+                    clock: Cycle(base + 1),
+                    delta: i,
+                });
+                events.push(TraceEvent::Gauge {
+                    name: "serve.queue_depth",
+                    clock: Cycle(base + 2),
+                    value: i as f64 * 0.5,
+                });
+                events.push(TraceEvent::Link {
+                    name: "req.admit",
+                    clock: Cycle(base + 3),
+                    request: i,
+                    info: u64::from(owner),
+                });
+                events.push(TraceEvent::Instant { name: "serve.retire", clock: Cycle(base + 4) });
+                events.push(TraceEvent::End { clock: Cycle(base + 5), wall_nanos: 7 });
+            }
+            batches.push((track, events));
+        }
+        batches
+    }
+
+    fn run_both(frame_size: usize) -> (TraceSnapshot, TraceSnapshot, usize, u64) {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pade_stream_test_{frame_size}.padetrace"));
+        let stream = StreamSink::with_frame_size(&path, frame_size).unwrap();
+        let recorder = Recorder::new();
+        for (track, events) in workload() {
+            // Submit in chunks to mimic real flush interleaving.
+            for chunk in events.chunks(7) {
+                stream.submit(track, chunk);
+                recorder.submit(track, chunk);
+            }
+        }
+        stream.finish().unwrap();
+        let peak = stream.peak_buffered_bytes();
+        let frames = stream.frames_written();
+        let snap = read_stream(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        (snap, recorder.snapshot(), peak, frames)
+    }
+
+    #[test]
+    fn round_trip_matches_recorder_bit_for_bit() {
+        let (streamed, recorded, _, _) = run_both(DEFAULT_FRAME_SIZE);
+        assert_eq!(streamed, recorded);
+        assert_eq!(streamed.fingerprint(), recorded.fingerprint());
+        streamed.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn tiny_frames_force_multi_frame_output_and_bound_memory() {
+        let (streamed, recorded, peak, frames) = run_both(MIN_FRAME_SIZE);
+        assert_eq!(streamed.fingerprint(), recorded.fingerprint());
+        assert!(frames > 10, "expected many frames, got {frames}");
+        assert!(
+            peak <= MIN_FRAME_SIZE,
+            "frame buffer peaked at {peak} bytes, above the {MIN_FRAME_SIZE}-byte frame"
+        );
+    }
+
+    #[test]
+    fn torn_final_frame_rejected_strictly_salvaged_lossily() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pade_stream_torn.padetrace");
+        let stream = StreamSink::with_frame_size(&path, MIN_FRAME_SIZE).unwrap();
+        for (track, events) in workload() {
+            stream.submit(track, &events);
+        }
+        stream.finish().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Tear the file mid-way through its final frame.
+        let torn_len = full.len() - MIN_FRAME_SIZE / 2;
+        std::fs::write(&path, &full[..torn_len]).unwrap();
+
+        assert!(read_stream(&path).is_err(), "strict read must reject a torn tail");
+        let lossy = read_stream_lossy(&path).unwrap();
+        assert!(lossy.torn);
+        assert!(lossy.frames > 0);
+        assert!(lossy.snapshot.event_count() > 0);
+
+        // Corrupt a checksum: same story.
+        let mut corrupt = full.clone();
+        let frame0 = 12 + 8; // first frame's checksum bytes
+        corrupt[frame0] ^= 0xff;
+        std::fs::write(&path, &corrupt).unwrap();
+        assert!(read_stream(&path).is_err());
+        let lossy = read_stream_lossy(&path).unwrap();
+        assert!(lossy.torn);
+        assert_eq!(lossy.frames, 0);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn detects_stream_files_by_magic() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pade_stream_magic.padetrace");
+        let stream = StreamSink::create(&path).unwrap();
+        stream.finish().unwrap();
+        assert!(is_stream_file(&path));
+        std::fs::write(&path, b"{\"traceEvents\":[]}").unwrap();
+        assert!(!is_stream_file(&path));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_stream_reads_back_empty() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pade_stream_empty.padetrace");
+        let stream = StreamSink::create(&path).unwrap();
+        stream.finish().unwrap();
+        let snap = read_stream(&path).unwrap();
+        assert!(snap.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_undersized_frames() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pade_stream_small.padetrace");
+        assert!(StreamSink::with_frame_size(&path, 16).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_monotone_clocks_round_trip_via_wrapping_deltas() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pade_stream_wrap.padetrace");
+        let stream = StreamSink::with_frame_size(&path, MIN_FRAME_SIZE).unwrap();
+        let recorder = Recorder::new();
+        let events = [
+            TraceEvent::Instant { name: "a", clock: Cycle(100) },
+            TraceEvent::Instant { name: "b", clock: Cycle(3) },
+            TraceEvent::Instant { name: "c", clock: Cycle(u64::MAX) },
+            TraceEvent::Instant { name: "d", clock: Cycle(0) },
+        ];
+        stream.submit(1, &events);
+        recorder.submit(1, &events);
+        stream.finish().unwrap();
+        let snap = read_stream(&path).unwrap();
+        assert_eq!(snap, recorder.snapshot());
+        let _ = std::fs::remove_file(&path);
+    }
+}
